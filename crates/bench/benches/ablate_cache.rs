@@ -1,0 +1,37 @@
+//! Ablation — Algorithm 2's decision caching (lines 6–9): cost of the
+//! first message of an unseen format (MaxMatch + dynamic code generation +
+//! plan construction) vs steady-state cached processing.
+
+use bench::workload::{fig5_transformation, members_for_size, response_v1, v2_message};
+use bench::Pipelines;
+use criterion::{criterion_group, criterion_main, Criterion};
+use morph::MorphReceiver;
+
+fn ablate_cache(c: &mut Criterion) {
+    let p = Pipelines::new();
+    let msg = v2_message(members_for_size(1_000));
+    let wire = p.encode_pbio(&msg);
+    let mut g = c.benchmark_group("ablate_cache");
+
+    // Cold: build a fresh receiver per message — every message pays
+    // MaxMatch + Ecode compilation + plan compilation.
+    g.bench_function("cold_first_message", |b| {
+        b.iter(|| {
+            let mut rx = MorphReceiver::new();
+            rx.register_handler(&response_v1(), |_v| {});
+            rx.import_transformation(fig5_transformation());
+            rx.process(&wire).expect("delivered")
+        })
+    });
+
+    // Warm: one receiver, cached decision replayed per message.
+    let mut rx = MorphReceiver::new();
+    rx.register_handler(&response_v1(), |_v| {});
+    rx.import_transformation(fig5_transformation());
+    rx.process(&wire).expect("primed");
+    g.bench_function("warm_cached", |b| b.iter(|| rx.process(&wire).expect("delivered")));
+    g.finish();
+}
+
+criterion_group!(benches, ablate_cache);
+criterion_main!(benches);

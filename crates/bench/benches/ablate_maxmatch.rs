@@ -1,0 +1,49 @@
+//! Ablation — MaxMatch cost as the candidate format sets grow (the
+//! once-per-unseen-format decision cost of Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use morph::{max_match, MatchConfig};
+use pbio::{FormatBuilder, RecordFormat};
+use std::sync::Arc;
+
+/// A family of related formats: `n_fields` int fields, a sliding window of
+/// shared names so every pair has partial overlap.
+fn family(count: usize, n_fields: usize) -> Vec<Arc<RecordFormat>> {
+    (0..count)
+        .map(|v| {
+            let mut b = FormatBuilder::record("Msg");
+            for f in 0..n_fields {
+                b = b.int(format!("field_{}", v + f));
+            }
+            b.build_arc().unwrap()
+        })
+        .collect()
+}
+
+fn ablate_maxmatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_maxmatch");
+    let config = MatchConfig { diff_threshold: 64, mismatch_threshold: 1.0 };
+    for set_size in [1usize, 4, 16, 64] {
+        let incoming = family(1, 24);
+        let readers = family(set_size, 24);
+        g.bench_with_input(
+            BenchmarkId::new("reader_set", set_size),
+            &readers,
+            |b, readers| b.iter(|| max_match(&incoming, readers, &config)),
+        );
+    }
+    // Field-count scaling at a fixed set size.
+    for n_fields in [8usize, 64, 256] {
+        let incoming = family(1, n_fields);
+        let readers = family(8, n_fields);
+        g.bench_with_input(
+            BenchmarkId::new("field_count", n_fields),
+            &readers,
+            |b, readers| b.iter(|| max_match(&incoming, readers, &config)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablate_maxmatch);
+criterion_main!(benches);

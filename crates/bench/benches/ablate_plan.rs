@@ -1,0 +1,47 @@
+//! Ablation — specialized conversion plans vs fully meta-data-driven
+//! decoding in PBIO (per-message field-name resolution).
+
+use bench::workload::{members_for_size, response_v1, response_v2, size_label, v2_message};
+use bench::Pipelines;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbio::{ConversionPlan, GenericDecoder};
+
+fn ablate_plan(c: &mut Criterion) {
+    let p = Pipelines::new();
+    let mut g = c.benchmark_group("ablate_plan");
+    for target in [1_000usize, 100_000] {
+        let msg = v2_message(members_for_size(target));
+        let wire = p.encode_pbio(&msg);
+        // Identity-shaped conversion (decode).
+        let plan = ConversionPlan::identity(&response_v2()).unwrap();
+        let generic = GenericDecoder::new(response_v2(), response_v2());
+        g.bench_with_input(
+            BenchmarkId::new("specialized_plan", size_label(target)),
+            &wire,
+            |b, w| b.iter(|| plan.execute(w).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("metadata_driven", size_label(target)),
+            &wire,
+            |b, w| b.iter(|| generic.decode(w).unwrap()),
+        );
+        // Cross-format conversion (v2 wire → v1-member-shaped reader that
+        // drops the role flags).
+        let cross_plan = ConversionPlan::compile(&response_v2(), &response_v1()).unwrap();
+        let cross_generic = GenericDecoder::new(response_v2(), response_v1());
+        g.bench_with_input(
+            BenchmarkId::new("specialized_plan_cross", size_label(target)),
+            &wire,
+            |b, w| b.iter(|| cross_plan.execute(w).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("metadata_driven_cross", size_label(target)),
+            &wire,
+            |b, w| b.iter(|| cross_generic.decode(w).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablate_plan);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 10 — decoding cost *with* message evolution: PBIO-based message
+//! morphing (decode + compiled Fig. 5 transformation) vs XML/XSLT (parse +
+//! stylesheet + tree walk).
+
+use bench::workload::{members_for_size, size_label, v2_message, SWEEP};
+use bench::Pipelines;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn fig10(c: &mut Criterion) {
+    let p = Pipelines::new();
+    let mut g = c.benchmark_group("fig10_morph");
+    g.sample_size(20);
+    for target in SWEEP {
+        let msg = v2_message(members_for_size(target));
+        let wire = p.encode_pbio(&msg);
+        let xml = p.encode_xml(&msg);
+        g.throughput(Throughput::Bytes(target as u64));
+        g.bench_with_input(
+            BenchmarkId::new("pbio_morph", size_label(target)),
+            &wire,
+            |b, w| b.iter(|| p.morph_pbio(w)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("xml_xslt", size_label(target)),
+            &xml,
+            |b, x| b.iter(|| p.morph_xml(x)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 8 — encoding cost: PBIO vs XML over the paper's size sweep.
+
+use bench::workload::{members_for_size, size_label, v2_message, SWEEP};
+use bench::Pipelines;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn fig8(c: &mut Criterion) {
+    let p = Pipelines::new();
+    let mut g = c.benchmark_group("fig8_encode");
+    for target in SWEEP {
+        let msg = v2_message(members_for_size(target));
+        g.throughput(Throughput::Bytes(target as u64));
+        g.bench_with_input(BenchmarkId::new("pbio", size_label(target)), &msg, |b, m| {
+            b.iter(|| p.encode_pbio(m))
+        });
+        g.bench_with_input(BenchmarkId::new("xml", size_label(target)), &msg, |b, m| {
+            b.iter(|| p.encode_xml(m))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 9 — decoding cost without evolution: PBIO vs XML.
+
+use bench::workload::{members_for_size, size_label, v2_message, SWEEP};
+use bench::Pipelines;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn fig9(c: &mut Criterion) {
+    let p = Pipelines::new();
+    let mut g = c.benchmark_group("fig9_decode");
+    for target in SWEEP {
+        let msg = v2_message(members_for_size(target));
+        let wire = p.encode_pbio(&msg);
+        let xml = p.encode_xml(&msg);
+        g.throughput(Throughput::Bytes(target as u64));
+        g.bench_with_input(BenchmarkId::new("pbio", size_label(target)), &wire, |b, w| {
+            b.iter(|| p.decode_pbio(w))
+        });
+        g.bench_with_input(BenchmarkId::new("xml", size_label(target)), &xml, |b, x| {
+            b.iter(|| p.decode_xml(x))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # bench — evaluation harness
+//!
+//! Workloads, measured pipelines, and timing helpers regenerating every
+//! table and figure of the paper's §5:
+//!
+//! | Experiment | Bench target | Report command |
+//! |---|---|---|
+//! | Figure 8 (encoding cost) | `benches/fig8_encode.rs` | `cargo run -p bench --bin report -- fig8` |
+//! | Figure 9 (decoding cost) | `benches/fig9_decode.rs` | `... -- fig9` |
+//! | Figure 10 (decode + evolution) | `benches/fig10_morph.rs` | `... -- fig10` |
+//! | Table 1 (message sizes) | — (exact, no timing) | `... -- table1` |
+//!
+//! Plus ablations for the design choices DESIGN.md calls out:
+//! `ablate_cache` (Algorithm 2's caching), `ablate_vm` (compiled VM vs AST
+//! interpretation), `ablate_plan` (specialized plans vs meta-data-driven
+//! decode), `ablate_maxmatch` (matching cost vs format-set size).
+
+pub mod measure;
+pub mod pipelines;
+pub mod workload;
+
+pub use pipelines::{Pipelines, Table1Row};

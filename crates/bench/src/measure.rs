@@ -1,0 +1,84 @@
+//! Lightweight timing for the `report` binary (the Criterion benches give
+//! rigorous statistics; the report trades rigor for a table that prints in
+//! seconds and mirrors the paper's figures row-for-row).
+
+use std::time::{Duration, Instant};
+
+/// Median-of-runs timing: executes `f` in batches until `min_time` has
+/// elapsed (and at least `min_runs` batches ran), returning the median
+/// per-iteration time in nanoseconds.
+pub fn time_ns<F: FnMut()>(mut f: F, min_time: Duration, min_runs: usize) -> f64 {
+    // Warm up and pick a batch size targeting ~2 ms per batch.
+    let t0 = Instant::now();
+    f();
+    let one = t0.elapsed().max(Duration::from_nanos(50));
+    let batch = (2_000_000 / one.as_nanos().max(1)).clamp(1, 10_000) as usize;
+
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < min_time || samples.len() < min_runs {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        if samples.len() > 1_000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples[samples.len() / 2]
+}
+
+/// Formats nanoseconds as the paper's millisecond axis.
+pub fn fmt_ms(ns: f64) -> String {
+    let ms = ns / 1e6;
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.4}")
+    }
+}
+
+/// Formats a byte count in KB with the paper's precision.
+pub fn fmt_kb(bytes: usize) -> String {
+    let kb = bytes as f64 / 1000.0;
+    if kb >= 100.0 {
+        format!("{kb:.0}")
+    } else if kb >= 1.0 {
+        format!("{kb:.1}")
+    } else {
+        format!("{kb:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ns_returns_positive() {
+        let mut x = 0u64;
+        let ns = time_ns(
+            || {
+                x = x.wrapping_add(1);
+                std::hint::black_box(x);
+            },
+            Duration::from_millis(5),
+            3,
+        );
+        assert!(ns > 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(1.5e6), "1.50");
+        assert_eq!(fmt_ms(2.5e8), "250");
+        assert_eq!(fmt_ms(1.23e4), "0.0123");
+        assert_eq!(fmt_kb(100), "0.10");
+        assert_eq!(fmt_kb(12_345), "12.3");
+        assert_eq!(fmt_kb(1_200_000), "1200");
+    }
+}

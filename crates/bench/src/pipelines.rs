@@ -1,0 +1,176 @@
+//! The measured operations of the paper's §5, PBIO side and XML side, as
+//! reusable functions shared by the Criterion benches and the `report`
+//! binary.
+
+use std::sync::Arc;
+
+use morph::CompiledXform;
+use pbio::{ConversionPlan, Encoder, RecordFormat, Value};
+use xmlt::Stylesheet;
+
+use crate::workload;
+
+/// Everything pre-built once (formats, encoders, compiled plans and
+/// transformations, parsed stylesheet) so the hot loops measure exactly
+/// what the paper measures.
+pub struct Pipelines {
+    /// v2.0 response format.
+    pub v2: Arc<RecordFormat>,
+    /// v1.0 response format.
+    pub v1: Arc<RecordFormat>,
+    /// PBIO encoder for v2 messages.
+    pub encoder: Encoder,
+    /// Cached identity decode plan for v2 (Fig. 9's PBIO decoder).
+    pub decode_plan: ConversionPlan,
+    /// Compiled Fig. 5 transformation (Fig. 10's morphing step).
+    pub fig5: CompiledXform,
+    /// Parsed rollback stylesheet (Fig. 10's XSLT step).
+    pub stylesheet: Stylesheet,
+}
+
+impl Default for Pipelines {
+    fn default() -> Pipelines {
+        Pipelines::new()
+    }
+}
+
+impl Pipelines {
+    /// Builds every pre-compiled artifact.
+    pub fn new() -> Pipelines {
+        let v2 = workload::response_v2();
+        let v1 = workload::response_v1();
+        Pipelines {
+            encoder: Encoder::new(&v2),
+            decode_plan: ConversionPlan::identity(&v2).expect("static formats compile"),
+            fig5: workload::fig5_transformation().compile().expect("Fig. 5 compiles"),
+            stylesheet: Stylesheet::parse(workload::FIG5_XSL).expect("stylesheet parses"),
+            v2,
+            v1,
+        }
+    }
+
+    // -- Figure 8: encoding ------------------------------------------------
+
+    /// PBIO encode (binary, native layout).
+    pub fn encode_pbio(&self, msg: &Value) -> Vec<u8> {
+        self.encoder.encode(msg).expect("workload conforms")
+    }
+
+    /// XML encode: binary-to-string conversion + element begin/end blocks,
+    /// built with direct string appends (the paper's `sprintf`/`strcat`).
+    pub fn encode_xml(&self, msg: &Value) -> String {
+        xmlt::value_to_xml(msg, &self.v2)
+    }
+
+    // -- Figure 9: decoding without evolution --------------------------------
+
+    /// PBIO decode using the cached specialized plan.
+    pub fn decode_pbio(&self, wire: &[u8]) -> Value {
+        self.decode_plan.execute(wire).expect("wire is well-formed")
+    }
+
+    /// XML decode: parse to a DOM, then walk the tree into a typed record
+    /// block (the paper's "generates a data structure block similar to the
+    /// one from which it was formed").
+    pub fn decode_xml(&self, xml: &str) -> Value {
+        xmlt::xml_to_value(xml, &self.v2).expect("xml is well-formed")
+    }
+
+    // -- Figure 10: decoding with evolution ---------------------------------
+
+    /// PBIO-based message morphing: decode to the native v2 form, then run
+    /// the compiled Fig. 5 transformation to produce the v1 record.
+    pub fn morph_pbio(&self, wire: &[u8]) -> Value {
+        let v2_val = self.decode_plan.execute(wire).expect("wire is well-formed");
+        self.fig5.apply_owned(v2_val).expect("Fig. 5 runs")
+    }
+
+    /// XML/XSLT morphing: parse to a DOM, apply the stylesheet producing a
+    /// second DOM, then walk the result into a typed v1 record.
+    pub fn morph_xml(&self, xml: &str) -> Value {
+        let doc = xmlt::parse(xml).expect("xml is well-formed");
+        let transformed = self.stylesheet.transform(&doc).expect("stylesheet applies");
+        xmlt::element_to_value(&transformed, &self.v1).expect("result is typed")
+    }
+
+    /// The interpreted (no-DCG) morphing variant for the `ablate_vm` bench.
+    pub fn morph_pbio_interp(&self, wire: &[u8]) -> Value {
+        let v2_val = self.decode_plan.execute(wire).expect("wire is well-formed");
+        self.fig5.apply_interp(&v2_val).expect("Fig. 5 runs")
+    }
+
+    // -- Table 1: message sizes ---------------------------------------------
+
+    /// All five size columns of Table 1 for a message of `n` members.
+    pub fn table1_row(&self, n: usize) -> Table1Row {
+        let v2_val = workload::v2_message(n);
+        let v1_val = self.fig5.apply(&v2_val).expect("Fig. 5 runs");
+        Table1Row {
+            members: n,
+            unencoded_v2: v2_val.native_record_size(&self.v2),
+            pbio_v2: self.encode_pbio(&v2_val).len(),
+            unencoded_v1: v1_val.native_record_size(&self.v1),
+            xml_v2: self.encode_xml(&v2_val).len(),
+            xml_v1: xmlt::value_to_xml(&v1_val, &self.v1).len(),
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Member count generating this row.
+    pub members: usize,
+    /// Unencoded native size of the v2.0 message (the baseline column).
+    pub unencoded_v2: usize,
+    /// PBIO-encoded v2.0 wire size.
+    pub pbio_v2: usize,
+    /// Unencoded native size after rollback to v1.0.
+    pub unencoded_v1: usize,
+    /// XML-encoded v2.0 size.
+    pub xml_v2: usize,
+    /// XML-encoded v1.0 size.
+    pub xml_v1: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_roundtrip() {
+        let p = Pipelines::new();
+        let msg = workload::v2_message(20);
+        let wire = p.encode_pbio(&msg);
+        assert_eq!(p.decode_pbio(&wire), msg);
+        let xml = p.encode_xml(&msg);
+        assert_eq!(p.decode_xml(&xml), msg);
+    }
+
+    #[test]
+    fn both_morph_paths_agree() {
+        let p = Pipelines::new();
+        let msg = workload::v2_message(15);
+        let wire = p.encode_pbio(&msg);
+        let xml = p.encode_xml(&msg);
+        let a = p.morph_pbio(&wire);
+        let b = p.morph_xml(&xml);
+        assert_eq!(a, b);
+        a.check(&p.v1).unwrap();
+        assert_eq!(p.morph_pbio_interp(&wire), a);
+    }
+
+    #[test]
+    fn table1_row_shape_matches_paper() {
+        let p = Pipelines::new();
+        let n = workload::members_for_size(10_000);
+        let row = p.table1_row(n);
+        // PBIO adds < 30 bytes.
+        assert!(row.pbio_v2 - row.unencoded_v2 < 30 + 8 /* width padding slack */);
+        // v1 rollback inflates the native data (~2.5-3x: duplicated lists).
+        assert!(row.unencoded_v1 > 2 * row.unencoded_v2);
+        // XML inflates substantially over binary.
+        assert!(row.xml_v2 > 3 * row.unencoded_v2);
+        assert!(row.xml_v1 > row.xml_v2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Workload generation for the evaluation: `ChannelOpenResponse` messages
+//! sized to the paper's sweep points.
+//!
+//! The paper's §5 varies the size of the v2.0 `member_list` so that the
+//! *unencoded native* message size hits 100 B, 1 KB, 10 KB, 100 KB, 1 MB
+//! (and up to 10 MB in Table 1). We reproduce the same construction: member
+//! contact strings are realistic `host:port` strings, and sizes are tuned
+//! by member count.
+
+use std::sync::Arc;
+
+use morph::Transformation;
+use pbio::{FormatBuilder, RecordFormat, Value};
+
+/// The v1.0 member entry (info + ID).
+pub fn member_v1() -> Arc<RecordFormat> {
+    FormatBuilder::record("Member")
+        .string("info")
+        .int("ID")
+        .build_arc()
+        .expect("static format")
+}
+
+/// The v2.0 member entry (info + ID + role flags). The flags are C
+/// booleans (`char`), as the paper's Fig. 4b comments them.
+pub fn member_v2() -> Arc<RecordFormat> {
+    FormatBuilder::record("Member")
+        .string("info")
+        .int("ID")
+        .char("is_source")
+        .char("is_sink")
+        .build_arc()
+        .expect("static format")
+}
+
+/// `ChannelOpenResponse` v1.0 (paper Fig. 4a).
+pub fn response_v1() -> Arc<RecordFormat> {
+    FormatBuilder::record("ChannelOpenResponse")
+        .int("member_count")
+        .var_array_of("member_list", member_v1(), "member_count")
+        .int("src_count")
+        .var_array_of("src_list", member_v1(), "src_count")
+        .int("sink_count")
+        .var_array_of("sink_list", member_v1(), "sink_count")
+        .build_arc()
+        .expect("static format")
+}
+
+/// `ChannelOpenResponse` v2.0 (paper Fig. 4b).
+pub fn response_v2() -> Arc<RecordFormat> {
+    FormatBuilder::record("ChannelOpenResponse")
+        .int("member_count")
+        .var_array_of("member_list", member_v2(), "member_count")
+        .build_arc()
+        .expect("static format")
+}
+
+/// The paper's Fig. 5 transformation (v2.0 → v1.0 rollback).
+pub const FIG5: &str = r#"
+    int i;
+    int sink_count = 0;
+    int src_count = 0;
+    old.member_count = new.member_count;
+    for (i = 0; i < new.member_count; i++) {
+        old.member_list[i].info = new.member_list[i].info;
+        old.member_list[i].ID = new.member_list[i].ID;
+        if (new.member_list[i].is_source) {
+            old.src_list[src_count].info = new.member_list[i].info;
+            old.src_list[src_count].ID = new.member_list[i].ID;
+            src_count++;
+        }
+        if (new.member_list[i].is_sink) {
+            old.sink_list[sink_count].info = new.member_list[i].info;
+            old.sink_list[sink_count].ID = new.member_list[i].ID;
+            sink_count++;
+        }
+    }
+    old.src_count = src_count;
+    old.sink_count = sink_count;
+"#;
+
+/// The Fig. 5 transformation as out-of-band meta-data.
+pub fn fig5_transformation() -> Transformation {
+    Transformation::new(response_v2(), response_v1(), FIG5)
+}
+
+/// The v2→v1 rollback as an XSLT stylesheet (the libxslt-side equivalent).
+pub const FIG5_XSL: &str = r#"
+  <xsl:stylesheet>
+    <xsl:template match="/ChannelOpenResponse">
+      <ChannelOpenResponse>
+        <member_count><xsl:value-of select="member_count"/></member_count>
+        <xsl:for-each select="member_list">
+          <member_list>
+            <info><xsl:value-of select="info"/></info>
+            <ID><xsl:value-of select="ID"/></ID>
+          </member_list>
+        </xsl:for-each>
+        <src_count><xsl:value-of select="count(member_list[is_source=1])"/></src_count>
+        <xsl:for-each select="member_list[is_source=1]">
+          <src_list>
+            <info><xsl:value-of select="info"/></info>
+            <ID><xsl:value-of select="ID"/></ID>
+          </src_list>
+        </xsl:for-each>
+        <sink_count><xsl:value-of select="count(member_list[is_sink=1])"/></sink_count>
+        <xsl:for-each select="member_list[is_sink=1]">
+          <sink_list>
+            <info><xsl:value-of select="info"/></info>
+            <ID><xsl:value-of select="ID"/></ID>
+          </sink_list>
+        </xsl:for-each>
+      </ChannelOpenResponse>
+    </xsl:template>
+  </xsl:stylesheet>"#;
+
+/// One synthetic member entry (v2 shape). Contact strings mimic the CM
+/// contact info of real deployments.
+fn member_value(i: usize) -> Value {
+    // Every member is both source and sink — the worst case the paper's
+    // Table 1 measures, where the v1.0 rollback copies each contact into
+    // all three lists ("the message size increases by three times").
+    Value::Record(vec![
+        Value::str(format!("n{:04}.gt.edu:7{:03}", i % 10_000, i % 1000)),
+        Value::Int(i as i64),
+        Value::Char(1),
+        Value::Char(1),
+    ])
+}
+
+/// Builds a v2.0 response with `n` members.
+pub fn v2_message(n: usize) -> Value {
+    Value::Record(vec![
+        Value::Int(n as i64),
+        Value::Array((0..n).map(member_value).collect()),
+    ])
+}
+
+/// The unencoded native size (bytes) of a v2 message with `n` members.
+pub fn v2_native_size(n: usize) -> usize {
+    v2_message(n).native_record_size(&response_v2())
+}
+
+/// Finds the member count whose unencoded v2 message is closest to
+/// `target_bytes` (the paper's size axis).
+pub fn members_for_size(target_bytes: usize) -> usize {
+    if target_bytes <= v2_native_size(0) {
+        return 0;
+    }
+    // Member entries have near-constant size; interpolate then refine.
+    let per = (v2_native_size(64) - v2_native_size(0)) as f64 / 64.0;
+    let mut n = ((target_bytes - v2_native_size(0)) as f64 / per).round().max(0.0) as usize;
+    loop {
+        let size = v2_native_size(n);
+        if size < target_bytes && v2_native_size(n + 1) <= target_bytes {
+            n += 1;
+        } else if size > target_bytes && n > 0 && v2_native_size(n - 1) >= target_bytes {
+            n -= 1;
+        } else {
+            // Pick the closer of n / n+1.
+            let below = v2_native_size(n) as i64;
+            let above = v2_native_size(n + 1) as i64;
+            let t = target_bytes as i64;
+            if (above - t).abs() < (t - below).abs() {
+                n += 1;
+            }
+            return n;
+        }
+    }
+}
+
+/// The paper's size sweep: 100 B, 1 KB, 10 KB, 100 KB, 1 MB.
+pub const SWEEP: [usize; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Human label for a sweep point.
+pub fn size_label(bytes: usize) -> String {
+    if bytes >= 1_000_000 {
+        format!("{}MB", bytes / 1_000_000)
+    } else if bytes >= 1_000 {
+        format!("{}KB", bytes / 1_000)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v2_message_conforms() {
+        for n in [0, 1, 7, 100] {
+            v2_message(n).check(&response_v2()).unwrap();
+        }
+    }
+
+    #[test]
+    fn members_for_size_hits_targets() {
+        for target in SWEEP {
+            let n = members_for_size(target);
+            let size = v2_native_size(n);
+            let err = (size as f64 - target as f64).abs() / target as f64;
+            assert!(
+                err < 0.5 || (target == 100),
+                "target {target}: n={n} gives {size} ({err:.2} relative error)"
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_transformation_compiles_and_runs() {
+        let cx = fig5_transformation().compile().unwrap();
+        let out = cx.apply(&v2_message(10)).unwrap();
+        out.check(&response_v1()).unwrap();
+    }
+
+    #[test]
+    fn fig5_xsl_matches_ecode_semantics() {
+        let v = v2_message(6);
+        // Ecode path.
+        let ecode_out = fig5_transformation().compile().unwrap().apply(&v).unwrap();
+        // XSLT path.
+        let xml = xmlt::value_to_xml(&v, &response_v2());
+        let doc = xmlt::parse(&xml).unwrap();
+        let ss = xmlt::Stylesheet::parse(FIG5_XSL).unwrap();
+        let out = ss.transform(&doc).unwrap();
+        let xslt_out = xmlt::element_to_value(&out, &response_v1()).unwrap();
+        assert_eq!(ecode_out, xslt_out);
+    }
+
+    #[test]
+    fn size_labels() {
+        assert_eq!(size_label(100), "100B");
+        assert_eq!(size_label(10_000), "10KB");
+        assert_eq!(size_label(1_000_000), "1MB");
+    }
+}

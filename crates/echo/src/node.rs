@@ -1,0 +1,321 @@
+//! ECho process state: channel bookkeeping plus the morphing receivers for
+//! control messages and per-channel events.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use morph::{MorphReceiver, MorphStats, Transformation};
+use pbio::{Encoder, RecordFormat, Value};
+
+use crate::proto::{self, ChannelId, MemberInfo};
+use crate::EchoError;
+
+/// Which historical ECho release a process runs (determines which
+/// `ChannelOpenResponse` format it emits and understands natively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EchoVersion {
+    /// ECho v1.0: three-list response format (Fig. 4a).
+    V1,
+    /// ECho v2.0: single-list response with role flags (Fig. 4b).
+    V2,
+}
+
+/// Subscription role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Role {
+    /// Subscribes as an event source.
+    pub source: bool,
+    /// Subscribes as an event sink.
+    pub sink: bool,
+}
+
+impl Role {
+    /// Source-only role.
+    pub fn source() -> Role {
+        Role { source: true, sink: false }
+    }
+
+    /// Sink-only role.
+    pub fn sink() -> Role {
+        Role { source: false, sink: true }
+    }
+
+    /// Source and sink.
+    pub fn both() -> Role {
+        Role { source: true, sink: true }
+    }
+}
+
+/// A message to be sent on the network, addressed by contact string.
+#[derive(Debug, Clone)]
+pub(crate) struct Outgoing {
+    pub to_contact: String,
+    pub bytes: Vec<u8>,
+}
+
+type ControlInbox = Arc<Mutex<Vec<Value>>>;
+type EventInbox = Arc<Mutex<Vec<(ChannelId, Value)>>>;
+
+/// One ECho process.
+pub(crate) struct NodeState {
+    pub name: String,
+    pub version: EchoVersion,
+    control_rx: MorphReceiver,
+    requests: ControlInbox,
+    responses: ControlInbox,
+    event_rx: HashMap<ChannelId, MorphReceiver>,
+    events: EventInbox,
+    /// Channels this node created, with their membership.
+    pub owned: HashMap<ChannelId, Vec<MemberInfo>>,
+    /// Latest membership view per subscribed channel.
+    pub memberships: HashMap<ChannelId, Vec<MemberInfo>>,
+    /// This node's role per channel.
+    pub roles: HashMap<ChannelId, Role>,
+    next_member_id: i64,
+    /// Transformations to seed into future per-channel event receivers.
+    shared_xforms: Vec<Transformation>,
+    shared_formats: Vec<Arc<RecordFormat>>,
+}
+
+impl NodeState {
+    pub fn new(name: String, version: EchoVersion) -> NodeState {
+        let requests: ControlInbox = Arc::new(Mutex::new(Vec::new()));
+        let responses: ControlInbox = Arc::new(Mutex::new(Vec::new()));
+        let mut control_rx = MorphReceiver::new();
+        let req_sink = Arc::clone(&requests);
+        control_rx.register_handler(&proto::channel_open_request(), move |v| {
+            req_sink.lock().expect("inbox lock").push(v);
+        });
+        let resp_fmt = match version {
+            EchoVersion::V1 => proto::channel_open_response_v1(),
+            EchoVersion::V2 => proto::channel_open_response_v2(),
+        };
+        let resp_sink = Arc::clone(&responses);
+        control_rx.register_handler(&resp_fmt, move |v| {
+            resp_sink.lock().expect("inbox lock").push(v);
+        });
+        NodeState {
+            name,
+            version,
+            control_rx,
+            requests,
+            responses,
+            event_rx: HashMap::new(),
+            events: Arc::new(Mutex::new(Vec::new())),
+            owned: HashMap::new(),
+            memberships: HashMap::new(),
+            roles: HashMap::new(),
+            next_member_id: 1,
+            shared_xforms: Vec::new(),
+            shared_formats: Vec::new(),
+        }
+    }
+
+    /// Learns out-of-band meta-data (formats + transformations), seeding
+    /// both the control receiver and every event receiver.
+    pub fn import_metadata(&mut self, formats: &[Arc<RecordFormat>], xforms: &[Transformation]) {
+        for f in formats {
+            self.control_rx.import_format(Arc::clone(f));
+            for rx in self.event_rx.values_mut() {
+                rx.import_format(Arc::clone(f));
+            }
+            self.shared_formats.push(Arc::clone(f));
+        }
+        for t in xforms {
+            self.control_rx.import_transformation(t.clone());
+            for rx in self.event_rx.values_mut() {
+                rx.import_transformation(t.clone());
+            }
+            self.shared_xforms.push(t.clone());
+        }
+    }
+
+    /// Registers the event format this node expects on `channel`; received
+    /// (possibly morphed) events land in the node's event log.
+    pub fn expect_events(&mut self, channel: ChannelId, format: &Arc<RecordFormat>) {
+        let rx = self.event_rx.entry(channel).or_insert_with(MorphReceiver::new);
+        let sink = Arc::clone(&self.events);
+        rx.register_handler(format, move |v| {
+            sink.lock().expect("event lock").push((channel, v));
+        });
+        for f in &self.shared_formats {
+            rx.import_format(Arc::clone(f));
+        }
+        for t in &self.shared_xforms {
+            rx.import_transformation(t.clone());
+        }
+    }
+
+    /// Creates a channel owned by this node.
+    pub fn create_channel(&mut self, channel: ChannelId) {
+        self.owned.insert(channel, Vec::new());
+    }
+
+    /// Adds a member to an owned channel (idempotent on contact) and returns
+    /// the updated member list.
+    pub fn add_member(
+        &mut self,
+        channel: ChannelId,
+        contact: String,
+        role: Role,
+    ) -> Result<&[MemberInfo], EchoError> {
+        let id = self.next_member_id;
+        let members =
+            self.owned.get_mut(&channel).ok_or(EchoError::NotChannelOwner(channel))?;
+        match members.iter_mut().find(|m| m.contact == contact) {
+            Some(m) => {
+                m.is_source |= role.source;
+                m.is_sink |= role.sink;
+            }
+            None => {
+                members.push(MemberInfo {
+                    contact,
+                    id,
+                    is_source: role.source,
+                    is_sink: role.sink,
+                });
+                self.next_member_id += 1;
+            }
+        }
+        Ok(self.owned[&channel].as_slice())
+    }
+
+    /// Removes a member from an owned channel (idempotent). Returns true
+    /// if the contact was subscribed.
+    pub fn remove_member(&mut self, channel: ChannelId, contact: &str) -> bool {
+        match self.owned.get_mut(&channel) {
+            Some(members) => {
+                let before = members.len();
+                members.retain(|m| m.contact != contact);
+                members.len() != before
+            }
+            None => false,
+        }
+    }
+
+    /// Builds this node's version of the `ChannelOpenResponse` wire message
+    /// for an owned channel.
+    pub fn encode_response(&self, channel: ChannelId) -> Result<Vec<u8>, EchoError> {
+        let members =
+            self.owned.get(&channel).ok_or(EchoError::NotChannelOwner(channel))?;
+        let (fmt, value) = match self.version {
+            EchoVersion::V1 => {
+                (proto::channel_open_response_v1(), proto::response_v1_value(channel, members))
+            }
+            EchoVersion::V2 => {
+                (proto::channel_open_response_v2(), proto::response_v2_value(channel, members))
+            }
+        };
+        Ok(Encoder::new(&fmt).encode(&value)?)
+    }
+
+    /// Processes one incoming network frame, returning follow-up messages.
+    pub fn handle_frame(&mut self, bytes: &[u8]) -> Result<Vec<Outgoing>, EchoError> {
+        let (kind, channel, msg) =
+            proto::unframe(bytes).ok_or(EchoError::MalformedFrame)?;
+        match kind {
+            proto::FRAME_CONTROL => self.handle_control(msg),
+            proto::FRAME_EVENT => {
+                if let Some(rx) = self.event_rx.get_mut(&channel) {
+                    rx.process(msg)?;
+                }
+                Ok(Vec::new())
+            }
+            k => Err(EchoError::UnknownFrameKind(k)),
+        }
+    }
+
+    fn handle_control(&mut self, msg: &[u8]) -> Result<Vec<Outgoing>, EchoError> {
+        self.control_rx.process(msg)?;
+        let mut out = Vec::new();
+
+        // Requests: only meaningful at channel creators.
+        let reqs: Vec<Value> =
+            self.requests.lock().expect("inbox lock").drain(..).collect();
+        for req in reqs {
+            let fmt = proto::channel_open_request();
+            let channel = proto::channel_of(&req, &fmt).ok_or(EchoError::MalformedFrame)?;
+            let contact = req
+                .field(&fmt, "contact")
+                .and_then(Value::as_str)
+                .ok_or(EchoError::MalformedFrame)?
+                .to_string();
+            let role = Role {
+                source: req.field(&fmt, "is_source").and_then(Value::as_i64) == Some(1),
+                sink: req.field(&fmt, "is_sink").and_then(Value::as_i64) == Some(1),
+            };
+            if !self.owned.contains_key(&channel) {
+                // Not ours: ignore (models a stale channel directory entry).
+                continue;
+            }
+            if !role.source && !role.sink {
+                // A role-less request is an unsubscribe.
+                self.remove_member(channel, &contact);
+            } else {
+                self.add_member(channel, contact, role)?;
+            }
+            // Creator replies to the requester and refreshes every member —
+            // the broadcast case where the paper notes negotiation is
+            // impractical.
+            let resp = self.encode_response(channel)?;
+            let members = self.owned[&channel].clone();
+            for m in &members {
+                if m.contact != self.name {
+                    out.push(Outgoing {
+                        to_contact: m.contact.clone(),
+                        bytes: proto::frame(proto::FRAME_CONTROL, channel, &resp),
+                    });
+                }
+            }
+        }
+
+        // Responses: refresh membership views.
+        let resps: Vec<Value> =
+            self.responses.lock().expect("inbox lock").drain(..).collect();
+        for resp in resps {
+            let (fmt, members) = match self.version {
+                EchoVersion::V1 => {
+                    (proto::channel_open_response_v1(), proto::members_from_v1(&resp))
+                }
+                EchoVersion::V2 => {
+                    (proto::channel_open_response_v2(), proto::members_from_v2(&resp))
+                }
+            };
+            let channel = proto::channel_of(&resp, &fmt).ok_or(EchoError::MalformedFrame)?;
+            self.memberships.insert(channel, members);
+        }
+        Ok(out)
+    }
+
+    /// The sinks this node would publish to on `channel` (from its
+    /// membership view, or the authoritative list for owned channels),
+    /// excluding itself.
+    pub fn sinks_of(&self, channel: ChannelId) -> Vec<String> {
+        let list = self
+            .owned
+            .get(&channel)
+            .or_else(|| self.memberships.get(&channel));
+        list.map(|ms| {
+            ms.iter()
+                .filter(|m| m.is_sink && m.contact != self.name)
+                .map(|m| m.contact.clone())
+                .collect()
+        })
+        .unwrap_or_default()
+    }
+
+    /// Drains events received so far.
+    pub fn take_events(&mut self) -> Vec<(ChannelId, Value)> {
+        self.events.lock().expect("event lock").drain(..).collect()
+    }
+
+    /// Control-plane morphing statistics.
+    pub fn control_stats(&self) -> MorphStats {
+        self.control_rx.stats()
+    }
+
+    /// Event-plane morphing statistics for one channel.
+    pub fn event_stats(&self, channel: ChannelId) -> Option<MorphStats> {
+        self.event_rx.get(&channel).map(MorphReceiver::stats)
+    }
+}

@@ -1,0 +1,691 @@
+//! The ECho system: processes connected by event channels over a simulated
+//! network (paper Fig. 3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use morph::{CompiledXform, MorphStats, Transformation};
+use pbio::{Encoder, RecordFormat, Value};
+use simnet::{LinkParams, Network, NodeId};
+
+use crate::node::{EchoVersion, NodeState, Role};
+use crate::proto::{self, ChannelId, MemberInfo};
+use crate::EchoError;
+
+/// Handle to an ECho process within an [`EchoSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcessId(usize);
+
+/// A complete simulated ECho deployment: processes, the network connecting
+/// them, and the channel directory.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), echo::EchoError> {
+/// use echo::{EchoSystem, EchoVersion, Role};
+/// use pbio::{FormatBuilder, Value};
+///
+/// let mut sys = EchoSystem::new();
+/// let creator = sys.add_process("creator", EchoVersion::V2);
+/// let sub = sys.add_process("sub", EchoVersion::V2);
+/// sys.connect_all(simnet::LinkParams::lan());
+///
+/// let events = FormatBuilder::record("Tick").int("n").build_arc()?;
+/// let ch = sys.create_channel(creator);
+/// sys.subscribe(sub, ch, Role::sink(), Some(&events))?;
+/// sys.run();
+///
+/// sys.publish(creator, ch, &events, &Value::Record(vec![Value::Int(1)]))?;
+/// sys.run();
+/// assert_eq!(sys.take_events(sub).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct EchoSystem {
+    net: Network,
+    nodes: Vec<NodeState>,
+    net_ids: Vec<NodeId>,
+    by_contact: HashMap<String, usize>,
+    /// Channel directory: which process created each channel.
+    directory: HashMap<ChannelId, usize>,
+    /// Derived subscriptions: per (channel, sink contact), the compiled
+    /// source-side filter/transformation.
+    derived: HashMap<(ChannelId, String), CompiledXform>,
+    next_channel: u32,
+}
+
+impl Default for EchoSystem {
+    fn default() -> EchoSystem {
+        EchoSystem::new()
+    }
+}
+
+impl std::fmt::Debug for EchoSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EchoSystem")
+            .field("processes", &self.nodes.len())
+            .field("channels", &self.directory.len())
+            .field("virtual_time_ns", &self.net.now_ns())
+            .finish()
+    }
+}
+
+impl EchoSystem {
+    /// Creates an empty system. The v2.0 → v1.0 `ChannelOpenResponse`
+    /// retro-transformation (paper Fig. 5) is pre-distributed as out-of-band
+    /// meta-data, as the v2.0 release would ship it.
+    pub fn new() -> EchoSystem {
+        EchoSystem {
+            net: Network::new(),
+            nodes: Vec::new(),
+            net_ids: Vec::new(),
+            by_contact: HashMap::new(),
+            directory: HashMap::new(),
+            derived: HashMap::new(),
+            next_channel: 1,
+        }
+    }
+
+    /// Adds a process running the given ECho version. Its contact string is
+    /// its name.
+    pub fn add_process(&mut self, name: impl Into<String>, version: EchoVersion) -> ProcessId {
+        let name = name.into();
+        let mut node = NodeState::new(name.clone(), version);
+        // Ship the standard control-plane meta-data with every process.
+        node.import_metadata(
+            &[proto::channel_open_response_v1(), proto::channel_open_response_v2()],
+            &[
+                proto::response_retro_transformation(),
+                proto::response_forward_transformation(),
+            ],
+        );
+        let net_id = self.net.add_node(name.clone());
+        self.nodes.push(node);
+        self.net_ids.push(net_id);
+        self.by_contact.insert(name, self.nodes.len() - 1);
+        ProcessId(self.nodes.len() - 1)
+    }
+
+    /// Connects every pair of processes with identical link parameters.
+    pub fn connect_all(&mut self, params: LinkParams) {
+        for i in 0..self.net_ids.len() {
+            for j in (i + 1)..self.net_ids.len() {
+                self.net.connect(self.net_ids[i], self.net_ids[j], params);
+            }
+        }
+    }
+
+    /// Connects two specific processes.
+    pub fn connect(&mut self, a: ProcessId, b: ProcessId, params: LinkParams) {
+        self.net.connect(self.net_ids[a.0], self.net_ids[b.0], params);
+    }
+
+    /// Distributes out-of-band meta-data (event formats and their
+    /// retro-transformations) to every process — the format-server role.
+    pub fn distribute_metadata(
+        &mut self,
+        formats: &[Arc<RecordFormat>],
+        xforms: &[Transformation],
+    ) {
+        for node in &mut self.nodes {
+            node.import_metadata(formats, xforms);
+        }
+    }
+
+    /// Creates a channel owned by `creator`, registering it in the channel
+    /// directory.
+    pub fn create_channel(&mut self, creator: ProcessId) -> ChannelId {
+        let ch = ChannelId(self.next_channel);
+        self.next_channel += 1;
+        self.nodes[creator.0].create_channel(ch);
+        self.directory.insert(ch, creator.0);
+        ch
+    }
+
+    /// Subscribes `proc` to `channel` with `role`. Sinks should pass the
+    /// event format they expect. The creator answers (and refreshes all
+    /// members) with a `ChannelOpenResponse` in *its* format version;
+    /// morphing reconciles version differences at each receiver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchoError::UnknownChannel`] for unregistered channels and
+    /// network errors for unconnected processes.
+    pub fn subscribe(
+        &mut self,
+        proc: ProcessId,
+        channel: ChannelId,
+        role: Role,
+        expected_events: Option<&Arc<RecordFormat>>,
+    ) -> Result<(), EchoError> {
+        let creator_idx =
+            *self.directory.get(&channel).ok_or(EchoError::UnknownChannel(channel))?;
+        self.nodes[proc.0].roles.insert(channel, role);
+        if let Some(fmt) = expected_events {
+            self.nodes[proc.0].expect_events(channel, fmt);
+        }
+        let contact = self.nodes[proc.0].name.clone();
+        if creator_idx == proc.0 {
+            // Local subscription at the creator: no network round trip.
+            self.nodes[proc.0].add_member(channel, contact, role)?;
+            return Ok(());
+        }
+        let fmt = proto::channel_open_request();
+        let req = Value::Record(vec![
+            Value::Int(i64::from(channel.0)),
+            Value::str(contact),
+            Value::Int(i64::from(role.source)),
+            Value::Int(i64::from(role.sink)),
+        ]);
+        let msg = Encoder::new(&fmt).encode(&req)?;
+        let framed = proto::frame(proto::FRAME_CONTROL, channel, &msg);
+        self.net.send(self.net_ids[proc.0], self.net_ids[creator_idx], framed)?;
+        Ok(())
+    }
+
+    /// Unsubscribes `proc` from `channel`: the creator removes the member
+    /// and refreshes the remaining membership; local event expectations and
+    /// any derived subscription are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchoError::UnknownChannel`] / network errors.
+    pub fn unsubscribe(&mut self, proc: ProcessId, channel: ChannelId) -> Result<(), EchoError> {
+        let creator_idx =
+            *self.directory.get(&channel).ok_or(EchoError::UnknownChannel(channel))?;
+        self.nodes[proc.0].roles.remove(&channel);
+        self.nodes[proc.0].memberships.remove(&channel);
+        let contact = self.nodes[proc.0].name.clone();
+        self.derived.remove(&(channel, contact.clone()));
+        if creator_idx == proc.0 {
+            self.nodes[proc.0].remove_member(channel, &contact);
+            return Ok(());
+        }
+        let fmt = proto::channel_open_request();
+        let req = Value::Record(vec![
+            Value::Int(i64::from(channel.0)),
+            Value::str(contact),
+            Value::Int(0),
+            Value::Int(0),
+        ]);
+        let msg = Encoder::new(&fmt).encode(&req)?;
+        let framed = proto::frame(proto::FRAME_CONTROL, channel, &msg);
+        self.net.send(self.net_ids[proc.0], self.net_ids[creator_idx], framed)?;
+        Ok(())
+    }
+
+    /// Subscribes `proc` as a sink on a *derived* view of `channel`: the
+    /// supplied Ecode runs **at each source** (compiled there once, as in
+    /// ECho's derived event channels), filtering and reshaping events
+    /// before they travel. The code binds the source's event format as
+    /// read-only `new` and the derived format as writable `old`; executing
+    /// `return 0;` suppresses the event for this subscriber.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchoError::UnknownChannel`], [`EchoError::Morph`] for code
+    /// that fails to compile, and network errors.
+    pub fn subscribe_derived(
+        &mut self,
+        proc: ProcessId,
+        channel: ChannelId,
+        source_format: &Arc<RecordFormat>,
+        derived_format: &Arc<RecordFormat>,
+        code: &str,
+    ) -> Result<(), EchoError> {
+        // Compile eagerly: registration is the natural DCG point, and a
+        // bad filter should fail loudly at the subscriber, not at sources.
+        let xform =
+            Transformation::new(Arc::clone(source_format), Arc::clone(derived_format), code)
+                .compile()?;
+        self.subscribe(proc, channel, Role::sink(), Some(derived_format))?;
+        let contact = self.nodes[proc.0].name.clone();
+        self.derived.insert((channel, contact), xform);
+        Ok(())
+    }
+
+    /// Publishes an event on a channel: the source encodes in its own
+    /// format and submits to every sink it knows of. Sinks holding a
+    /// derived subscription get their filter/transformation applied *here*,
+    /// at the source, before anything is sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchoError::NotSubscribed`] when `proc` is not a source on
+    /// the channel, plus encoding/network/filter errors.
+    pub fn publish(
+        &mut self,
+        proc: ProcessId,
+        channel: ChannelId,
+        format: &Arc<RecordFormat>,
+        event: &Value,
+    ) -> Result<usize, EchoError> {
+        let node = &self.nodes[proc.0];
+        let is_owner = node.owned.contains_key(&channel);
+        let is_source = node.roles.get(&channel).is_some_and(|r| r.source);
+        if !is_owner && !is_source {
+            return Err(EchoError::NotSubscribed(channel));
+        }
+        let sinks = node.sinks_of(channel);
+        let mut raw_frame: Option<Vec<u8>> = None;
+        let mut sent = 0;
+        for contact in sinks {
+            let Some(&dst) = self.by_contact.get(&contact) else { continue };
+            let frame = match self.derived.get(&(channel, contact)) {
+                Some(xform) if xform.from_format() == format => {
+                    // Source-side derivation: filter/reshape per subscriber.
+                    match xform.apply_filtered(event)? {
+                        None => continue, // filtered out — nothing travels
+                        Some(derived) => {
+                            let msg = Encoder::new(xform.to_format()).encode(&derived)?;
+                            proto::frame(proto::FRAME_EVENT, channel, &msg)
+                        }
+                    }
+                }
+                // Different source format (or no derivation): send the raw
+                // event; the sink's own morphing receiver reconciles.
+                _ => {
+                    if raw_frame.is_none() {
+                        let msg = Encoder::new(format).encode(event)?;
+                        raw_frame = Some(proto::frame(proto::FRAME_EVENT, channel, &msg));
+                    }
+                    raw_frame.clone().expect("filled above")
+                }
+            };
+            self.net.send(self.net_ids[proc.0], self.net_ids[dst], frame)?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+
+    /// Runs the network to quiescence, dispatching every delivery through
+    /// the receiving process (which may send follow-ups). Returns the number
+    /// of deliveries processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a process fails to handle a frame — in this simulated
+    /// deployment every failure is a bug, not an operational condition.
+    pub fn run(&mut self) -> usize {
+        let mut processed = 0;
+        loop {
+            let Some(d) = self.net.step() else { break };
+            // Drop the inbox copy; dispatch directly.
+            let _ = self.net.recv(d.to);
+            let idx = self
+                .net_ids
+                .iter()
+                .position(|&n| n == d.to)
+                .expect("delivery to a known node");
+            let outgoing = self.nodes[idx]
+                .handle_frame(&d.payload)
+                .unwrap_or_else(|e| panic!("process `{}`: {e}", self.nodes[idx].name));
+            for out in outgoing {
+                if let Some(&dst) = self.by_contact.get(&out.to_contact) {
+                    self.net
+                        .send(self.net_ids[idx], self.net_ids[dst], out.bytes)
+                        .expect("members are connected");
+                }
+            }
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Drains the events received by a process so far.
+    pub fn take_events(&mut self, proc: ProcessId) -> Vec<(ChannelId, Value)> {
+        self.nodes[proc.0].take_events()
+    }
+
+    /// The membership view a process holds for a channel (creators return
+    /// the authoritative list).
+    pub fn members(&self, proc: ProcessId, channel: ChannelId) -> Option<Vec<MemberInfo>> {
+        let node = &self.nodes[proc.0];
+        node.owned.get(&channel).or_else(|| node.memberships.get(&channel)).cloned()
+    }
+
+    /// Control-plane morphing statistics of a process.
+    pub fn control_stats(&self, proc: ProcessId) -> MorphStats {
+        self.nodes[proc.0].control_stats()
+    }
+
+    /// Event-plane morphing statistics of a process on one channel.
+    pub fn event_stats(&self, proc: ProcessId, channel: ChannelId) -> Option<MorphStats> {
+        self.nodes[proc.0].event_stats(channel)
+    }
+
+    /// Current virtual time (nanoseconds).
+    pub fn now_ns(&self) -> u64 {
+        self.net.now_ns()
+    }
+
+    /// Total bytes carried on the network so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.net.total_bytes()
+    }
+
+    /// The ECho version a process runs.
+    pub fn version(&self, proc: ProcessId) -> EchoVersion {
+        self.nodes[proc.0].version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio::FormatBuilder;
+
+    fn tick_format() -> Arc<RecordFormat> {
+        FormatBuilder::record("Tick").int("n").double("t").build_arc().unwrap()
+    }
+
+    fn tick(n: i64) -> Value {
+        Value::Record(vec![Value::Int(n), Value::Float(n as f64 * 0.5)])
+    }
+
+    /// Builds creator + two subscribers, fully connected.
+    fn three(creator_v: EchoVersion, sub_v: EchoVersion) -> (EchoSystem, ProcessId, ProcessId, ProcessId) {
+        let mut sys = EchoSystem::new();
+        let c = sys.add_process("creator", creator_v);
+        let s1 = sys.add_process("pub-1", EchoVersion::V2);
+        let s2 = sys.add_process("sub-2", sub_v);
+        sys.connect_all(LinkParams::lan());
+        (sys, c, s1, s2)
+    }
+
+    #[test]
+    fn same_version_subscribe_and_publish() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        // Publisher learned the membership (including the sink).
+        let members = sys.members(s1, ch).unwrap();
+        assert_eq!(members.len(), 2);
+        let sent = sys.publish(s1, ch, &fmt, &tick(7)).unwrap();
+        assert_eq!(sent, 1);
+        sys.run();
+        let events = sys.take_events(s2);
+        assert_eq!(events, vec![(ch, tick(7))]);
+    }
+
+    #[test]
+    fn v2_creator_serves_v1_subscriber_via_morphing() {
+        // The paper's §4.1 scenario.
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V1);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::both(), Some(&fmt)).unwrap();
+        sys.run();
+        // The v1 subscriber holds a correct membership view even though the
+        // creator only ever sent v2 responses.
+        let members = sys.members(s2, ch).unwrap();
+        assert_eq!(members.len(), 2);
+        assert!(members.iter().any(|m| m.contact == "sub-2" && m.is_sink && m.is_source));
+        assert!(members.iter().any(|m| m.contact == "pub-1" && m.is_source && !m.is_sink));
+        // Morphing happened at the v1 node (its stats show a compiled
+        // transformation), not at the creator.
+        let stats = sys.control_stats(s2);
+        assert!(stats.morphs >= 1, "stats: {stats:?}");
+        assert!(stats.compiles >= 1);
+        assert_eq!(sys.control_stats(c).morphs, 0);
+        // Events flow to the v1 sink.
+        sys.publish(s1, ch, &fmt, &tick(1)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2).len(), 1);
+    }
+
+    #[test]
+    fn v1_creator_serves_v2_subscriber_forward_compat() {
+        // Reverse direction: the v1 creator emits v1 responses; the v2
+        // subscriber morphs them *forward* with the shipped v1→v2
+        // transformation, which reconstructs the role booleans by joining
+        // the v1 src/sink lists — semantic, not just syntactic, recovery.
+        let (mut sys, c, _s1, s2) = three(EchoVersion::V1, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        sys.subscribe(s2, ch, Role::sink(), Some(&tick_format())).unwrap();
+        sys.run();
+        let members = sys.members(s2, ch).unwrap();
+        assert_eq!(members.len(), 1);
+        assert_eq!(members[0].contact, "sub-2");
+        assert!(members[0].is_sink, "role flags recovered from the v1 sink list");
+        assert!(!members[0].is_source);
+        assert!(sys.control_stats(s2).morphs >= 1);
+    }
+
+    #[test]
+    fn creator_local_subscription() {
+        let (mut sys, c, s1, _s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(c, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.run();
+        sys.publish(s1, ch, &fmt, &tick(3)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(c).len(), 1);
+    }
+
+    #[test]
+    fn unknown_channel_rejected() {
+        let (mut sys, _c, s1, _s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let err = sys.subscribe(s1, ChannelId(99), Role::sink(), None).unwrap_err();
+        assert!(matches!(err, EchoError::UnknownChannel(_)));
+    }
+
+    #[test]
+    fn publish_requires_subscription() {
+        let (mut sys, c, s1, _s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let err = sys.publish(s1, ch, &tick_format(), &tick(0)).unwrap_err();
+        assert!(matches!(err, EchoError::NotSubscribed(_)));
+    }
+
+    #[test]
+    fn event_format_evolution_with_transformation() {
+        // A newer publisher ships richer events; an old sink still works.
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let old_fmt = FormatBuilder::record("Reading").int("value").build_arc().unwrap();
+        let new_fmt = FormatBuilder::record("Reading")
+            .int("raw")
+            .int("scale")
+            .build_arc()
+            .unwrap();
+        sys.distribute_metadata(
+            &[old_fmt.clone(), new_fmt.clone()],
+            &[Transformation::new(
+                new_fmt.clone(),
+                old_fmt.clone(),
+                "old.value = new.raw * new.scale;",
+            )],
+        );
+        let ch = sys.create_channel(c);
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&old_fmt)).unwrap();
+        sys.run();
+        sys.publish(s1, ch, &new_fmt, &Value::Record(vec![Value::Int(6), Value::Int(7)]))
+            .unwrap();
+        sys.run();
+        let events = sys.take_events(s2);
+        assert_eq!(events, vec![(ch, Value::Record(vec![Value::Int(42)]))]);
+        assert_eq!(sys.event_stats(s2, ch).unwrap().morphs, 1);
+    }
+
+    #[test]
+    fn membership_updates_broadcast_to_all() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.run();
+        assert_eq!(sys.members(s1, ch).unwrap().len(), 1);
+        sys.subscribe(s2, ch, Role::sink(), Some(&tick_format())).unwrap();
+        sys.run();
+        // s1's view refreshed by the broadcast.
+        assert_eq!(sys.members(s1, ch).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn derived_channel_filters_at_source() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        // s2 only wants even ticks, and only the sequence number.
+        let derived = FormatBuilder::record("TickSeq").int("n").build_arc().unwrap();
+        sys.subscribe_derived(
+            s2,
+            ch,
+            &fmt,
+            &derived,
+            "if (new.n % 2 != 0) return 0; old.n = new.n;",
+        )
+        .unwrap();
+        sys.run();
+        for n in 0..6 {
+            sys.publish(s1, ch, &fmt, &tick(n)).unwrap();
+        }
+        sys.run();
+        let events = sys.take_events(s2);
+        let seqs: Vec<i64> = events
+            .iter()
+            .map(|(_, v)| v.field(&derived, "n").unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(seqs, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn derived_channel_reduces_wire_traffic() {
+        // The point of source-side derivation: filtered events never travel.
+        let run = |derived: bool| -> u64 {
+            let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+            let ch = sys.create_channel(c);
+            let fmt = tick_format();
+            sys.subscribe(s1, ch, Role::source(), None).unwrap();
+            if derived {
+                let dfmt = FormatBuilder::record("T").int("n").build_arc().unwrap();
+                sys.subscribe_derived(s2, ch, &fmt, &dfmt, "return 0;").unwrap();
+            } else {
+                sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+            }
+            sys.run();
+            let before = sys.total_bytes();
+            for n in 0..20 {
+                sys.publish(s1, ch, &fmt, &tick(n)).unwrap();
+            }
+            sys.run();
+            sys.total_bytes() - before
+        };
+        let full = run(false);
+        let filtered = run(true);
+        assert_eq!(filtered, 0, "drop-all derivation sends nothing");
+        assert!(full > 0);
+    }
+
+    #[test]
+    fn derived_and_plain_sinks_coexist() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let plain = sys.add_process("plain-sink", EchoVersion::V2);
+        sys.connect_all(LinkParams::lan());
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(plain, ch, Role::sink(), Some(&fmt)).unwrap();
+        let dfmt = FormatBuilder::record("T").int("n").build_arc().unwrap();
+        sys.subscribe_derived(s2, ch, &fmt, &dfmt, "if (new.n < 2) return 0; old.n = new.n;")
+            .unwrap();
+        sys.run();
+        for n in 0..4 {
+            sys.publish(s1, ch, &fmt, &tick(n)).unwrap();
+        }
+        sys.run();
+        assert_eq!(sys.take_events(plain).len(), 4, "plain sink sees everything");
+        assert_eq!(sys.take_events(s2).len(), 2, "derived sink sees the tail");
+    }
+
+    #[test]
+    fn unsubscribe_removes_member_and_stops_delivery() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.publish(s1, ch, &fmt, &tick(1)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2).len(), 1);
+
+        sys.unsubscribe(s2, ch).unwrap();
+        sys.run();
+        // Creator's authoritative list no longer holds s2; the publisher's
+        // refreshed view excludes it.
+        assert!(sys.members(c, ch).unwrap().iter().all(|m| m.contact != "sub-2"));
+        assert!(sys.members(s1, ch).unwrap().iter().all(|m| m.contact != "sub-2"));
+        sys.publish(s1, ch, &fmt, &tick(2)).unwrap();
+        sys.run();
+        assert!(sys.take_events(s2).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_drops_derived_subscription() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        let dfmt = FormatBuilder::record("T").int("n").build_arc().unwrap();
+        sys.subscribe_derived(s2, ch, &fmt, &dfmt, "old.n = new.n;").unwrap();
+        sys.run();
+        sys.publish(s1, ch, &fmt, &tick(1)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2).len(), 1);
+        // After unsubscribing, re-subscribing plainly must not reuse the
+        // stale derived transformation.
+        sys.unsubscribe(s2, ch).unwrap();
+        sys.run();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.publish(s1, ch, &fmt, &tick(2)).unwrap();
+        sys.run();
+        let events = sys.take_events(s2);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].1, tick(2), "raw event, not the derived shape");
+    }
+
+    #[test]
+    fn unsubscribe_by_creator_is_local() {
+        let (mut sys, c, _s1, _s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        sys.subscribe(c, ch, Role::sink(), Some(&tick_format())).unwrap();
+        assert_eq!(sys.members(c, ch).unwrap().len(), 1);
+        sys.unsubscribe(c, ch).unwrap();
+        assert!(sys.members(c, ch).unwrap().is_empty());
+        assert!(sys.unsubscribe(c, ChannelId(99)).is_err());
+    }
+
+    #[test]
+    fn derived_channel_bad_code_fails_at_registration() {
+        let (mut sys, c, _s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        let dfmt = FormatBuilder::record("T").int("n").build_arc().unwrap();
+        let err = sys
+            .subscribe_derived(s2, ch, &fmt, &dfmt, "old.nosuch = 1;")
+            .unwrap_err();
+        assert!(matches!(err, EchoError::Morph(_)));
+    }
+
+    #[test]
+    fn virtual_time_advances_and_traffic_counted() {
+        let (mut sys, c, s1, _s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.run();
+        assert!(sys.now_ns() > 0);
+        assert!(sys.total_bytes() > 0);
+        assert_eq!(sys.version(c), EchoVersion::V2);
+        assert!(!format!("{sys:?}").is_empty());
+    }
+}

@@ -1,0 +1,491 @@
+//! Lowers the typed AST to VM bytecode.
+
+use crate::bytecode::{CSeg, Code, FnCode, Insn};
+use crate::tast::*;
+
+struct Compiler {
+    insns: Vec<Insn>,
+    strings: Vec<String>,
+    /// Jump targets for `break` (patched at loop exit) per enclosing loop.
+    break_patches: Vec<Vec<usize>>,
+    /// Continue target per enclosing loop (absolute index of the step/cond).
+    continue_patches: Vec<Vec<usize>>,
+}
+
+impl Compiler {
+    fn emit(&mut self, i: Insn) -> usize {
+        self.insns.push(i);
+        self.insns.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.insns.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.insns[at] {
+            Insn::Jmp(t) | Insn::Jz(t) | Insn::Jnz(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn string_const(&mut self, s: &str) -> u32 {
+        if let Some(i) = self.strings.iter().position(|x| x == s) {
+            return i as u32;
+        }
+        self.strings.push(s.to_string());
+        (self.strings.len() - 1) as u32
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    /// Compiles an expression, leaving its value on the stack.
+    fn expr(&mut self, e: &TExpr) {
+        match &e.kind {
+            TExprKind::ConstI(v) => {
+                self.emit(Insn::ConstI(*v));
+            }
+            TExprKind::ConstF(v) => {
+                self.emit(Insn::ConstF(*v));
+            }
+            TExprKind::ConstC(c) => {
+                self.emit(Insn::ConstC(*c));
+            }
+            TExprKind::ConstS(s) => {
+                let idx = self.string_const(s);
+                self.emit(Insn::ConstS(idx));
+            }
+            TExprKind::ReadLocal(slot) => {
+                self.emit(Insn::LoadLocal(*slot as u32));
+            }
+            TExprKind::ReadPath { root, segs } => {
+                let (segs, n_idx) = self.build_path(segs);
+                self.emit(Insn::Load { root: *root as u8, n_idx, segs });
+            }
+            TExprKind::LenOf { root, segs } => {
+                let (segs, n_idx) = self.build_path(segs);
+                self.emit(Insn::LenOf { root: *root as u8, n_idx, segs });
+            }
+            TExprKind::Assign { place, op, rhs } => {
+                self.assign(place, op.as_ref(), rhs, true, &e.ty);
+            }
+            TExprKind::Binary(op, l, r) => {
+                self.expr(l);
+                self.expr(r);
+                self.emit(binop_insn(*op));
+            }
+            TExprKind::LogicalAnd(l, r) => {
+                // l ? (r != 0) : 0
+                self.expr(l);
+                let jz = self.emit(Insn::Jz(0));
+                self.expr(r);
+                self.emit(Insn::ConstI(0));
+                self.emit(Insn::ICmp(CmpOp::Ne));
+                let done = self.emit(Insn::Jmp(0));
+                let f = self.here();
+                self.patch(jz, f);
+                self.emit(Insn::ConstI(0));
+                let end = self.here();
+                self.patch(done, end);
+            }
+            TExprKind::LogicalOr(l, r) => {
+                self.expr(l);
+                let jnz = self.emit(Insn::Jnz(0));
+                self.expr(r);
+                self.emit(Insn::ConstI(0));
+                self.emit(Insn::ICmp(CmpOp::Ne));
+                let done = self.emit(Insn::Jmp(0));
+                let t = self.here();
+                self.patch(jnz, t);
+                self.emit(Insn::ConstI(1));
+                let end = self.here();
+                self.patch(done, end);
+            }
+            TExprKind::NegI(inner) => {
+                self.expr(inner);
+                self.emit(Insn::NegI);
+            }
+            TExprKind::NegF(inner) => {
+                self.expr(inner);
+                self.emit(Insn::NegF);
+            }
+            TExprKind::Not(inner) => {
+                self.expr(inner);
+                self.emit(Insn::Not);
+            }
+            TExprKind::Ternary(c, t, f) => {
+                self.expr(c);
+                let jz = self.emit(Insn::Jz(0));
+                self.expr(t);
+                let done = self.emit(Insn::Jmp(0));
+                let fpos = self.here();
+                self.patch(jz, fpos);
+                self.expr(f);
+                let end = self.here();
+                self.patch(done, end);
+            }
+            TExprKind::IncDec { place, inc, post } => {
+                let is_char = e.ty == Ty::Char;
+                // Load current value (as int).
+                self.load_place(place);
+                if is_char {
+                    self.emit(Insn::C2I);
+                }
+                if *post {
+                    // stack: old — dup so one copy remains as the result.
+                    self.emit(Insn::Dup);
+                }
+                self.emit(Insn::ConstI(1));
+                self.emit(Insn::IArith(if *inc { ArithOp::Add } else { ArithOp::Sub }));
+                if !*post {
+                    self.emit(Insn::Dup);
+                }
+                // stack: result, newval  (post: old, new / pre: new, new)
+                if is_char {
+                    self.emit(Insn::I2C);
+                }
+                self.store_place(place);
+                // remaining top of stack is the expression value (int); for
+                // char places the result is the char-typed old/new value —
+                // convert it back.
+                if is_char {
+                    self.emit(Insn::I2C);
+                }
+            }
+            TExprKind::Cast(kind, inner) => {
+                self.expr(inner);
+                match kind {
+                    CastKind::IntToDouble => self.emit(Insn::I2F),
+                    CastKind::DoubleToInt => self.emit(Insn::F2I),
+                    CastKind::CharToInt => self.emit(Insn::C2I),
+                    CastKind::IntToChar => self.emit(Insn::I2C),
+                    CastKind::DoubleToBool => self.emit(Insn::FTest),
+                };
+            }
+            TExprKind::Call(builtin, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Insn::Call(*builtin, args.len() as u8));
+            }
+            TExprKind::CallUser(idx, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.emit(Insn::CallFn(*idx as u32));
+            }
+        }
+    }
+
+    /// Compiles `place op= rhs`; leaves the stored value on the stack iff
+    /// `want_value`. `place_ty` is the static type of the place (needed to
+    /// insert char↔int casts around compound arithmetic).
+    fn assign(
+        &mut self,
+        place: &TPlace,
+        op: Option<&TBinOp>,
+        rhs: &TExpr,
+        want_value: bool,
+        place_ty: &Ty,
+    ) {
+        let char_arith = *place_ty == Ty::Char && matches!(op, Some(TBinOp::IArith(_)));
+        if let Some(op) = op {
+            self.load_place(place);
+            if char_arith {
+                self.emit(Insn::C2I);
+            }
+            self.expr(rhs);
+            self.emit(binop_insn(*op));
+            if char_arith {
+                self.emit(Insn::I2C);
+            }
+        } else {
+            self.expr(rhs);
+        }
+        if want_value {
+            self.emit(Insn::Dup);
+        }
+        self.store_place(place);
+    }
+
+    /// Pushes every dynamic index of the path (left-to-right) and returns
+    /// the compiled segment list for a fused access instruction.
+    fn build_path(&mut self, segs: &[TSeg]) -> (std::sync::Arc<[CSeg]>, u8) {
+        let mut out = Vec::with_capacity(segs.len());
+        let mut n_idx = 0u8;
+        for seg in segs {
+            match seg {
+                TSeg::Field(i) => out.push(CSeg::Field(*i as u32)),
+                TSeg::Index(e) => {
+                    self.expr(e);
+                    out.push(CSeg::Index);
+                    n_idx += 1;
+                }
+            }
+        }
+        (out.into(), n_idx)
+    }
+
+    fn load_place(&mut self, place: &TPlace) {
+        match place {
+            TPlace::Local(slot) => {
+                self.emit(Insn::LoadLocal(*slot as u32));
+            }
+            TPlace::Path { root, segs } => {
+                let (segs, n_idx) = self.build_path(segs);
+                self.emit(Insn::Load { root: *root as u8, n_idx, segs });
+            }
+        }
+    }
+
+    fn store_place(&mut self, place: &TPlace) {
+        match place {
+            TPlace::Local(slot) => {
+                self.emit(Insn::StoreLocal(*slot as u32));
+            }
+            TPlace::Path { root, segs } => {
+                let (segs, n_idx) = self.build_path(segs);
+                self.emit(Insn::Store { root: *root as u8, n_idx, segs });
+            }
+        }
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    fn stmt(&mut self, s: &TStmt) {
+        match s {
+            TStmt::Empty => {}
+            TStmt::Init(slot, e) => {
+                self.expr(e);
+                self.emit(Insn::StoreLocal(*slot as u32));
+            }
+            TStmt::Expr(e) => {
+                // Assignments as statements skip the result Dup entirely.
+                if let TExprKind::Assign { place, op, rhs } = &e.kind {
+                    self.assign(place, op.as_ref(), rhs, false, &e.ty);
+                } else {
+                    self.expr(e);
+                    self.emit(Insn::Pop);
+                }
+            }
+            TStmt::If(c, t, f) => {
+                self.expr(c);
+                let jz = self.emit(Insn::Jz(0));
+                self.stmt(t);
+                match f {
+                    Some(f) => {
+                        let done = self.emit(Insn::Jmp(0));
+                        let fpos = self.here();
+                        self.patch(jz, fpos);
+                        self.stmt(f);
+                        let end = self.here();
+                        self.patch(done, end);
+                    }
+                    None => {
+                        let end = self.here();
+                        self.patch(jz, end);
+                    }
+                }
+            }
+            TStmt::Loop { cond, body, step } => {
+                self.break_patches.push(Vec::new());
+                self.continue_patches.push(Vec::new());
+                let top = self.here();
+                let exit_jump = cond.as_ref().map(|c| {
+                    self.expr(c);
+                    self.emit(Insn::Jz(0))
+                });
+                self.stmt(body);
+                let step_pos = self.here();
+                if let Some(step) = step {
+                    self.expr(step);
+                    self.emit(Insn::Pop);
+                }
+                self.emit(Insn::Jmp(top));
+                let end = self.here();
+                if let Some(j) = exit_jump {
+                    self.patch(j, end);
+                }
+                for j in self.break_patches.pop().expect("pushed above") {
+                    self.patch(j, end);
+                }
+                for j in self.continue_patches.pop().expect("pushed above") {
+                    self.patch(j, step_pos);
+                }
+            }
+            TStmt::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(s);
+                }
+            }
+            TStmt::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.expr(e);
+                        self.emit(Insn::RetVal);
+                    }
+                    None => {
+                        self.emit(Insn::RetVoid);
+                    }
+                };
+            }
+            TStmt::Break => {
+                let j = self.emit(Insn::Jmp(0));
+                self.break_patches.last_mut().expect("checker validated loop depth").push(j);
+            }
+            TStmt::Continue => {
+                let j = self.emit(Insn::Jmp(0));
+                self.continue_patches.last_mut().expect("checker validated loop depth").push(j);
+            }
+        }
+    }
+}
+
+fn binop_insn(op: TBinOp) -> Insn {
+    match op {
+        TBinOp::IArith(a) => Insn::IArith(a),
+        TBinOp::FArith(a) => Insn::FArith(a),
+        TBinOp::Concat => Insn::Concat,
+        TBinOp::ICmp(c) => Insn::ICmp(c),
+        TBinOp::FCmp(c) => Insn::FCmp(c),
+        TBinOp::SCmp(c) => Insn::SCmp(c),
+    }
+}
+
+/// Compiles a type-checked program to bytecode: the main body first, then
+/// each function (reached only through `CallFn`).
+pub fn compile(program: &TProgram) -> Code {
+    let mut c = Compiler {
+        insns: Vec::new(),
+        strings: Vec::new(),
+        break_patches: Vec::new(),
+        continue_patches: Vec::new(),
+    };
+    for s in &program.stmts {
+        c.stmt(s);
+    }
+    c.emit(Insn::RetVoid);
+
+    let mut funcs = Vec::with_capacity(program.funcs.len());
+    for f in &program.funcs {
+        let entry = c.here();
+        for s in &f.stmts {
+            c.stmt(s);
+        }
+        // Implicit return for falling off the end: zero for non-void (the
+        // C-ish permissive choice), plain return for void.
+        match &f.ret {
+            Ty::Void => {
+                c.emit(Insn::RetVoid);
+            }
+            Ty::Double => {
+                c.emit(Insn::ConstF(0.0));
+                c.emit(Insn::RetVal);
+            }
+            Ty::Char => {
+                c.emit(Insn::ConstC(0));
+                c.emit(Insn::RetVal);
+            }
+            Ty::Str => {
+                let idx = c.string_const("");
+                c.emit(Insn::ConstS(idx));
+                c.emit(Insn::RetVal);
+            }
+            _ => {
+                c.emit(Insn::ConstI(0));
+                c.emit(Insn::RetVal);
+            }
+        }
+        funcs.push(FnCode {
+            entry,
+            n_params: f.n_params as u32,
+            n_locals: f.n_locals as u32,
+        });
+    }
+
+    Code {
+        insns: c.insns,
+        strings: c.strings,
+        n_locals: program.n_locals,
+        n_roots: program.bindings.len(),
+        funcs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typeck::check;
+    use pbio::FormatBuilder;
+
+    fn compile_src(src: &str) -> Code {
+        let ast = parse(src).unwrap();
+        let fmt = FormatBuilder::record("R").int("x").build_arc().unwrap();
+        let tp = check(
+            &ast,
+            vec![Binding { name: "r".into(), format: fmt, writable: true }],
+        )
+        .unwrap();
+        compile(&tp)
+    }
+
+    #[test]
+    fn straight_line_code() {
+        let code = compile_src("int a = 1; int b = a + 2;");
+        assert!(code.insns.contains(&Insn::ConstI(1)));
+        assert!(code.insns.contains(&Insn::IArith(ArithOp::Add)));
+        assert_eq!(code.n_locals, 2);
+        assert_eq!(*code.insns.last().unwrap(), Insn::RetVoid);
+    }
+
+    #[test]
+    fn loops_produce_backward_jump() {
+        let code = compile_src("int i; for (i = 0; i < 3; i++) { r.x = i; }");
+        let has_backjump = code
+            .insns
+            .iter()
+            .enumerate()
+            .any(|(at, i)| matches!(i, Insn::Jmp(t) if (*t as usize) < at));
+        assert!(has_backjump);
+    }
+
+    #[test]
+    fn break_patched_to_loop_end() {
+        let code = compile_src("while (1) { break; } int x = 0;");
+        // All jumps must stay in range.
+        for i in &code.insns {
+            if let Insn::Jmp(t) | Insn::Jz(t) | Insn::Jnz(t) = i {
+                assert!((*t as usize) <= code.insns.len());
+            }
+        }
+    }
+
+    #[test]
+    fn string_pool_deduplicates() {
+        let code = compile_src(r#"string a = "x"; string b = "x"; string c = "y";"#);
+        assert_eq!(code.strings, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn paths_compile_to_fused_stores() {
+        let code = compile_src("r.x = 5;");
+        assert!(code.insns.iter().any(|i| matches!(
+            i,
+            Insn::Store { root: 0, segs, .. } if **segs == [CSeg::Field(0)]
+        )));
+    }
+
+    #[test]
+    fn dynamic_indices_evaluated_before_access() {
+        // `r.x` used as an index expression must not disturb the outer
+        // access (regression guard for the fused-path design).
+        let code = compile_src("int i = 0; i = r.x;");
+        let loads = code
+            .insns
+            .iter()
+            .filter(|i| matches!(i, Insn::Load { .. }))
+            .count();
+        assert_eq!(loads, 1);
+    }
+}

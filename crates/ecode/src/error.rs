@@ -1,0 +1,82 @@
+//! Error types for the Ecode language pipeline.
+
+use std::fmt;
+
+/// Source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from compiling or executing Ecode programs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcodeError {
+    /// Invalid token in the source text.
+    Lex {
+        /// Where the bad token starts.
+        pos: Pos,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The token stream does not match the grammar.
+    Parse {
+        /// Where parsing failed.
+        pos: Pos,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The program is grammatical but ill-typed (unknown field, bad operand
+    /// types, assignment to r-value, ...).
+    Type {
+        /// Where the ill-typed construct is.
+        pos: Pos,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A runtime failure while executing (division by zero, index out of
+    /// bounds on read, value/type shape mismatch against the bound format).
+    Runtime(String),
+}
+
+impl EcodeError {
+    pub(crate) fn lex(pos: Pos, msg: impl Into<String>) -> EcodeError {
+        EcodeError::Lex { pos, msg: msg.into() }
+    }
+
+    pub(crate) fn parse(pos: Pos, msg: impl Into<String>) -> EcodeError {
+        EcodeError::Parse { pos, msg: msg.into() }
+    }
+
+    pub(crate) fn ty(pos: Pos, msg: impl Into<String>) -> EcodeError {
+        EcodeError::Type { pos, msg: msg.into() }
+    }
+
+    pub(crate) fn runtime(msg: impl Into<String>) -> EcodeError {
+        EcodeError::Runtime(msg.into())
+    }
+}
+
+impl fmt::Display for EcodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcodeError::Lex { pos, msg } => write!(f, "lex error at {pos}: {msg}"),
+            EcodeError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            EcodeError::Type { pos, msg } => write!(f, "type error at {pos}: {msg}"),
+            EcodeError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EcodeError {}
+
+/// Convenience alias for Ecode results.
+pub type Result<T> = std::result::Result<T, EcodeError>;

@@ -1,0 +1,327 @@
+//! Constant folding over the typed AST — a small optimization pass run
+//! between type checking and code generation.
+//!
+//! Transformations are compiled once and run per message, so compile-time
+//! effort that shrinks the instruction stream pays for itself immediately.
+//! The pass evaluates operator trees whose leaves are literals, using
+//! exactly the VM's arithmetic (wrapping, C-truncating division), so folded
+//! and unfolded programs are bit-for-bit equivalent — a property the
+//! differential tests lean on.
+
+use crate::tast::*;
+
+/// Folds constants throughout a program. Statements with side effects and
+/// anything touching locals or roots are left untouched.
+pub fn fold_program(p: &mut TProgram) {
+    for f in &mut p.funcs {
+        for s in &mut f.stmts {
+            fold_stmt(s);
+        }
+    }
+    for s in &mut p.stmts {
+        fold_stmt(s);
+    }
+}
+
+fn fold_stmt(s: &mut TStmt) {
+    match s {
+        TStmt::Init(_, e) | TStmt::Expr(e) => fold_expr(e),
+        TStmt::If(c, t, f) => {
+            fold_expr(c);
+            fold_stmt(t);
+            if let Some(f) = f {
+                fold_stmt(f);
+            }
+        }
+        TStmt::Loop { cond, body, step } => {
+            if let Some(c) = cond {
+                fold_expr(c);
+            }
+            fold_stmt(body);
+            if let Some(e) = step {
+                fold_expr(e);
+            }
+        }
+        TStmt::Block(stmts) => {
+            for s in stmts {
+                fold_stmt(s);
+            }
+        }
+        TStmt::Return(Some(e)) => fold_expr(e),
+        TStmt::Return(None) | TStmt::Break | TStmt::Continue | TStmt::Empty => {}
+    }
+}
+
+/// The literal value of an expression, if it is one.
+fn literal(e: &TExpr) -> Option<Lit> {
+    match &e.kind {
+        TExprKind::ConstI(v) => Some(Lit::I(*v)),
+        TExprKind::ConstF(v) => Some(Lit::F(*v)),
+        TExprKind::ConstC(c) => Some(Lit::C(*c)),
+        TExprKind::ConstS(s) => Some(Lit::S(s.clone())),
+        _ => None,
+    }
+}
+
+#[derive(Clone, PartialEq)]
+enum Lit {
+    I(i64),
+    F(f64),
+    C(u8),
+    S(String),
+}
+
+fn lit_expr(l: Lit) -> TExprKind {
+    match l {
+        Lit::I(v) => TExprKind::ConstI(v),
+        Lit::F(v) => TExprKind::ConstF(v),
+        Lit::C(c) => TExprKind::ConstC(c),
+        Lit::S(s) => TExprKind::ConstS(s),
+    }
+}
+
+fn fold_expr(e: &mut TExpr) {
+    // Fold children first.
+    match &mut e.kind {
+        TExprKind::Assign { rhs, place, .. } => {
+            if let TPlace::Path { segs, .. } = place {
+                fold_segs(segs);
+            }
+            fold_expr(rhs);
+        }
+        TExprKind::Binary(_, l, r)
+        | TExprKind::LogicalAnd(l, r)
+        | TExprKind::LogicalOr(l, r) => {
+            fold_expr(l);
+            fold_expr(r);
+        }
+        TExprKind::NegI(x) | TExprKind::NegF(x) | TExprKind::Not(x) | TExprKind::Cast(_, x) => {
+            fold_expr(x)
+        }
+        TExprKind::Ternary(c, t, f) => {
+            fold_expr(c);
+            fold_expr(t);
+            fold_expr(f);
+        }
+        TExprKind::Call(_, args) | TExprKind::CallUser(_, args) => {
+            for a in args {
+                fold_expr(a);
+            }
+        }
+        TExprKind::ReadPath { segs, .. } | TExprKind::LenOf { segs, .. } => fold_segs(segs),
+        TExprKind::IncDec { place: TPlace::Path { segs, .. }, .. } => fold_segs(segs),
+        _ => {}
+    }
+
+    // Then try to fold this node.
+    let folded: Option<Lit> = match &e.kind {
+        TExprKind::Binary(op, l, r) => match (literal(l), literal(r)) {
+            (Some(a), Some(b)) => fold_binop(*op, a, b),
+            _ => None,
+        },
+        TExprKind::NegI(x) => match literal(x) {
+            Some(Lit::I(v)) => Some(Lit::I(v.wrapping_neg())),
+            _ => None,
+        },
+        TExprKind::NegF(x) => match literal(x) {
+            Some(Lit::F(v)) => Some(Lit::F(-v)),
+            _ => None,
+        },
+        TExprKind::Not(x) => match literal(x) {
+            Some(Lit::I(v)) => Some(Lit::I(i64::from(v == 0))),
+            _ => None,
+        },
+        TExprKind::Cast(kind, x) => match (kind, literal(x)) {
+            (CastKind::IntToDouble, Some(Lit::I(v))) => Some(Lit::F(v as f64)),
+            (CastKind::DoubleToInt, Some(Lit::F(v))) => Some(Lit::I(v as i64)),
+            (CastKind::CharToInt, Some(Lit::C(c))) => Some(Lit::I(i64::from(c))),
+            (CastKind::IntToChar, Some(Lit::I(v))) => Some(Lit::C(v as u8)),
+            (CastKind::DoubleToBool, Some(Lit::F(v))) => Some(Lit::I(i64::from(v != 0.0))),
+            _ => None,
+        },
+        TExprKind::LogicalAnd(l, r) => match (literal(l), literal(r)) {
+            (Some(Lit::I(a)), Some(Lit::I(b))) => Some(Lit::I(i64::from(a != 0 && b != 0))),
+            // `0 && anything` is 0 without evaluating the rhs — but the rhs
+            // may have side effects, so only fold when it is also literal.
+            _ => None,
+        },
+        TExprKind::LogicalOr(l, r) => match (literal(l), literal(r)) {
+            (Some(Lit::I(a)), Some(Lit::I(b))) => Some(Lit::I(i64::from(a != 0 || b != 0))),
+            _ => None,
+        },
+        TExprKind::Ternary(c, t, f) => match literal(c) {
+            // The discarded arm is dead code; dropping it is always safe.
+            Some(Lit::I(v)) => {
+                let take = if v != 0 { t } else { f };
+                Some(match literal(take) {
+                    Some(l) => l,
+                    None => {
+                        let kept = (**take).clone();
+                        *e = kept;
+                        return;
+                    }
+                })
+            }
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some(l) = folded {
+        e.kind = lit_expr(l);
+    }
+}
+
+fn fold_segs(segs: &mut [TSeg]) {
+    for seg in segs {
+        if let TSeg::Index(e) = seg {
+            fold_expr(e);
+        }
+    }
+}
+
+/// VM-exact arithmetic on literals. Division/modulo by zero is *not*
+/// folded — it must keep failing at run time, not at compile time.
+fn fold_binop(op: TBinOp, a: Lit, b: Lit) -> Option<Lit> {
+    use std::cmp::Ordering;
+    let cmp_to_lit = |c: CmpOp, ord: Option<Ordering>| -> Lit {
+        let r = match (c, ord) {
+            (CmpOp::Eq, Some(Ordering::Equal)) => true,
+            (CmpOp::Ne, Some(Ordering::Less | Ordering::Greater)) => true,
+            (CmpOp::Lt, Some(Ordering::Less)) => true,
+            (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
+            (CmpOp::Gt, Some(Ordering::Greater)) => true,
+            (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
+            _ => false,
+        };
+        Lit::I(i64::from(r))
+    };
+    match (op, a, b) {
+        (TBinOp::IArith(o), Lit::I(a), Lit::I(b)) => match o {
+            ArithOp::Add => Some(Lit::I(a.wrapping_add(b))),
+            ArithOp::Sub => Some(Lit::I(a.wrapping_sub(b))),
+            ArithOp::Mul => Some(Lit::I(a.wrapping_mul(b))),
+            ArithOp::Div if b != 0 => Some(Lit::I(a.wrapping_div(b))),
+            ArithOp::Mod if b != 0 => Some(Lit::I(a.wrapping_rem(b))),
+            _ => None,
+        },
+        (TBinOp::FArith(o), Lit::F(a), Lit::F(b)) => Some(Lit::F(match o {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => a / b,
+            ArithOp::Mod => a % b,
+        })),
+        (TBinOp::Concat, Lit::S(mut a), Lit::S(b)) => {
+            a.push_str(&b);
+            Some(Lit::S(a))
+        }
+        (TBinOp::ICmp(c), Lit::I(a), Lit::I(b)) => Some(cmp_to_lit(c, a.partial_cmp(&b))),
+        (TBinOp::FCmp(c), Lit::F(a), Lit::F(b)) => Some(cmp_to_lit(c, a.partial_cmp(&b))),
+        (TBinOp::SCmp(c), Lit::S(a), Lit::S(b)) => Some(cmp_to_lit(c, a.partial_cmp(&b))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::typeck::check;
+    use pbio::FormatBuilder;
+
+    fn checked(src: &str) -> TProgram {
+        let fmt = FormatBuilder::record("R").int("x").double("d").build_arc().unwrap();
+        check(
+            &parse(src).unwrap(),
+            vec![Binding { name: "r".into(), format: fmt, writable: true }],
+        )
+        .unwrap()
+    }
+
+    fn folded_rhs(src: &str) -> TExprKind {
+        let mut p = checked(src);
+        fold_program(&mut p);
+        // First statement is `r.x = <expr>;` (or r.d).
+        let TStmt::Expr(TExpr { kind: TExprKind::Assign { rhs, .. }, .. }) = &p.stmts[0] else {
+            panic!("expected assignment, got {:?}", p.stmts[0]);
+        };
+        rhs.kind.clone()
+    }
+
+    #[test]
+    fn folds_integer_trees() {
+        assert_eq!(folded_rhs("r.x = 1 + 2 * 3 - 4;"), TExprKind::ConstI(3));
+        assert_eq!(folded_rhs("r.x = (10 / 3) % 2;"), TExprKind::ConstI(1));
+        assert_eq!(folded_rhs("r.x = -(3 - 5);"), TExprKind::ConstI(2));
+        assert_eq!(folded_rhs("r.x = 3 < 5;"), TExprKind::ConstI(1));
+        assert_eq!(folded_rhs("r.x = !(1 == 1);"), TExprKind::ConstI(0));
+        assert_eq!(folded_rhs("r.x = 1 && 0;"), TExprKind::ConstI(0));
+        assert_eq!(folded_rhs("r.x = 0 || 7;"), TExprKind::ConstI(1));
+    }
+
+    #[test]
+    fn folds_floats_and_casts() {
+        assert_eq!(folded_rhs("r.d = 1.5 * 2.0;"), TExprKind::ConstF(3.0));
+        assert_eq!(folded_rhs("r.d = 1 + 0.5;"), TExprKind::ConstF(1.5));
+        assert_eq!(folded_rhs("r.x = 2.9 + 0.0;"), TExprKind::ConstI(2));
+    }
+
+    #[test]
+    fn folds_string_concat_and_compare() {
+        assert_eq!(
+            folded_rhs(r#"r.x = "ab" + "c" == "abc";"#),
+            TExprKind::ConstI(1)
+        );
+    }
+
+    #[test]
+    fn folds_constant_ternaries_keeping_live_arm() {
+        assert_eq!(folded_rhs("r.x = 1 ? 10 : 20;"), TExprKind::ConstI(10));
+        assert_eq!(folded_rhs("r.x = 0 ? 10 : 20;"), TExprKind::ConstI(20));
+        // Non-literal live arm survives as itself.
+        let k = folded_rhs("r.x = 1 ? r.x : 20;");
+        assert!(matches!(k, TExprKind::ReadPath { .. }), "{k:?}");
+    }
+
+    #[test]
+    fn never_folds_division_by_zero() {
+        assert!(matches!(folded_rhs("r.x = 1 / 0;"), TExprKind::Binary(..)));
+        assert!(matches!(folded_rhs("r.x = 1 % 0;"), TExprKind::Binary(..)));
+    }
+
+    #[test]
+    fn leaves_non_constant_trees_alone() {
+        assert!(matches!(folded_rhs("r.x = r.x + 1;"), TExprKind::Binary(..)));
+        // Partial folding still happens in subtrees.
+        let k = folded_rhs("r.x = r.x + (2 * 3);");
+        let TExprKind::Binary(_, _, rhs) = k else { panic!() };
+        assert_eq!(rhs.kind, TExprKind::ConstI(6));
+    }
+
+    #[test]
+    fn folds_inside_functions_and_loops() {
+        let mut p = checked(
+            "int f(int a) { return a + (2 + 3); }
+             int i;
+             while (1 == 1) { i = f(4 * 4); break; }",
+        );
+        fold_program(&mut p);
+        // Loop condition folded to 1.
+        fn find_loop(stmts: &[TStmt]) -> Option<&TStmt> {
+            for s in stmts {
+                match s {
+                    TStmt::Loop { .. } => return Some(s),
+                    TStmt::Block(inner) => {
+                        if let Some(l) = find_loop(inner) {
+                            return Some(l);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let Some(TStmt::Loop { cond: Some(c), .. }) = find_loop(&p.stmts) else { panic!() };
+        assert_eq!(c.kind, TExprKind::ConstI(1));
+    }
+}

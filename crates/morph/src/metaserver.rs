@@ -1,0 +1,475 @@
+//! The format server: PBIO's out-of-band meta-data distribution service.
+//!
+//! The paper assumes format descriptions and their retro-transformations
+//! reach receivers out of band ("the Protocol Y message meta-data includes
+//! a specification of how to transform it", §3.1). In deployed PBIO
+//! systems that job belongs to a *format server*: writers register their
+//! meta-data once; any receiver that sees an unknown [`FormatId`] asks the
+//! server and caches the answer.
+//!
+//! [`MetaServer`] and [`MetaClient`] implement that protocol over plain
+//! byte messages, so they run over any transport (the integration tests
+//! drive them over simulated-network request/response exchanges). The
+//! client plugs into a [`crate::MorphReceiver`] through
+//! [`MetaClient::resolve_into`] and [`process_with_resolution`].
+//!
+//! Wire protocol (all integers little-endian):
+//!
+//! ```text
+//! request  := 0x01 format_id(u64)            ; want format meta-data
+//!           | 0x02 format_id(u64)            ; want transformations FROM id
+//!           | 0x03 len(u32) format_meta      ; register a format
+//!           | 0x04 len(u32) xform_meta       ; register a transformation
+//! response := 0x81 len(u32) format_meta      ; format found
+//!           | 0x82 count(u32) {len(u32) xform_meta}*  ; transformations
+//!           | 0x8e                           ; not found
+//!           | 0x8f                           ; ack
+//! ```
+
+use std::sync::Arc;
+
+use pbio::{
+    deserialize_format, format_id, serialize_format, FormatId, FormatRegistry, RecordFormat,
+};
+
+use crate::error::{MorphError, Result};
+use crate::receiver::MorphReceiver;
+use crate::xform::{Transformation, TransformationRegistry};
+
+/// Request tag: fetch a format description by id.
+pub const REQ_FORMAT: u8 = 0x01;
+/// Request tag: fetch the transformations whose source is the given id.
+pub const REQ_XFORMS: u8 = 0x02;
+/// Request tag: register a format description.
+pub const REQ_REGISTER_FORMAT: u8 = 0x03;
+/// Request tag: register a transformation.
+pub const REQ_REGISTER_XFORM: u8 = 0x04;
+/// Response tag: a format description follows.
+pub const RESP_FORMAT: u8 = 0x81;
+/// Response tag: a list of transformations follows.
+pub const RESP_XFORMS: u8 = 0x82;
+/// Response tag: the id is unknown to the server.
+pub const RESP_NOT_FOUND: u8 = 0x8e;
+/// Response tag: registration accepted.
+pub const RESP_ACK: u8 = 0x8f;
+
+fn bad(msg: &str) -> MorphError {
+    MorphError::BadTransformation(format!("meta protocol: {msg}"))
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+    if *pos + 4 > bytes.len() {
+        return Err(bad("truncated length"));
+    }
+    let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+    *pos += 4;
+    Ok(v)
+}
+
+fn take_chunk<'b>(bytes: &'b [u8], pos: &mut usize) -> Result<&'b [u8]> {
+    let len = take_u32(bytes, pos)? as usize;
+    if *pos + len > bytes.len() {
+        return Err(bad("truncated chunk"));
+    }
+    let s = &bytes[*pos..*pos + len];
+    *pos += len;
+    Ok(s)
+}
+
+fn put_chunk(out: &mut Vec<u8>, chunk: &[u8]) {
+    out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+    out.extend_from_slice(chunk);
+}
+
+/// The server side: a registry of formats and transformations answering
+/// byte-encoded requests. Transport-agnostic and purely request/response.
+#[derive(Debug, Default)]
+pub struct MetaServer {
+    formats: FormatRegistry,
+    xforms: TransformationRegistry,
+    served: u64,
+}
+
+impl MetaServer {
+    /// Creates an empty server.
+    pub fn new() -> MetaServer {
+        MetaServer::default()
+    }
+
+    /// Registers a format directly (server-side bootstrap).
+    pub fn register_format(&mut self, format: Arc<RecordFormat>) -> FormatId {
+        self.formats.register(format)
+    }
+
+    /// Registers a transformation directly (server-side bootstrap). Both
+    /// endpoint formats become known.
+    pub fn register_transformation(&mut self, t: Transformation) {
+        self.formats.register(Arc::clone(t.from_format()));
+        self.formats.register(Arc::clone(t.to_format()));
+        self.xforms.register(t);
+    }
+
+    /// Number of requests answered so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served
+    }
+
+    /// Handles one request message, producing the response message.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only for *malformed* requests; lookups that miss
+    /// answer with [`RESP_NOT_FOUND`].
+    pub fn handle(&mut self, request: &[u8]) -> Result<Vec<u8>> {
+        self.served += 1;
+        let (&tag, rest) = request.split_first().ok_or_else(|| bad("empty request"))?;
+        match tag {
+            REQ_FORMAT => {
+                if rest.len() != 8 {
+                    return Err(bad("REQ_FORMAT wants exactly a u64 id"));
+                }
+                let id = FormatId(u64::from_le_bytes(rest.try_into().expect("8 bytes")));
+                match self.formats.lookup(id) {
+                    Ok(fmt) => {
+                        let mut out = vec![RESP_FORMAT];
+                        put_chunk(&mut out, &serialize_format(&fmt));
+                        Ok(out)
+                    }
+                    Err(_) => Ok(vec![RESP_NOT_FOUND]),
+                }
+            }
+            REQ_XFORMS => {
+                if rest.len() != 8 {
+                    return Err(bad("REQ_XFORMS wants exactly a u64 id"));
+                }
+                let id = FormatId(u64::from_le_bytes(rest.try_into().expect("8 bytes")));
+                let ts = self.xforms.outgoing(id);
+                let mut out = vec![RESP_XFORMS];
+                out.extend_from_slice(&(ts.len() as u32).to_le_bytes());
+                for t in ts {
+                    put_chunk(&mut out, &t.serialize());
+                }
+                Ok(out)
+            }
+            REQ_REGISTER_FORMAT => {
+                let mut pos = 0;
+                let meta = take_chunk(rest, &mut pos)?;
+                let fmt = deserialize_format(meta)?;
+                self.formats.register(Arc::new(fmt));
+                Ok(vec![RESP_ACK])
+            }
+            REQ_REGISTER_XFORM => {
+                let mut pos = 0;
+                let meta = take_chunk(rest, &mut pos)?;
+                let t = Transformation::deserialize(meta)?;
+                self.register_transformation(t);
+                Ok(vec![RESP_ACK])
+            }
+            t => Err(bad(&format!("unknown request tag {t:#x}"))),
+        }
+    }
+}
+
+/// The client side: builds requests, parses responses, and installs the
+/// results into a [`MorphReceiver`].
+#[derive(Debug, Default)]
+pub struct MetaClient;
+
+impl MetaClient {
+    /// Request bytes asking for the format with this id.
+    pub fn want_format(id: FormatId) -> Vec<u8> {
+        let mut out = vec![REQ_FORMAT];
+        out.extend_from_slice(&id.0.to_le_bytes());
+        out
+    }
+
+    /// Request bytes asking for the transformations out of this id.
+    pub fn want_transformations(id: FormatId) -> Vec<u8> {
+        let mut out = vec![REQ_XFORMS];
+        out.extend_from_slice(&id.0.to_le_bytes());
+        out
+    }
+
+    /// Request bytes registering a format (writer-side announcement).
+    pub fn register_format(format: &RecordFormat) -> Vec<u8> {
+        let mut out = vec![REQ_REGISTER_FORMAT];
+        put_chunk(&mut out, &serialize_format(format));
+        out
+    }
+
+    /// Request bytes registering a transformation (writer-side
+    /// announcement of the retro-transformation shipped with a new format).
+    pub fn register_transformation(t: &Transformation) -> Vec<u8> {
+        let mut out = vec![REQ_REGISTER_XFORM];
+        put_chunk(&mut out, &t.serialize());
+        out
+    }
+
+    /// Parses a format response.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed responses; `Ok(None)` for
+    /// [`RESP_NOT_FOUND`].
+    pub fn parse_format(response: &[u8]) -> Result<Option<RecordFormat>> {
+        let (&tag, rest) = response.split_first().ok_or_else(|| bad("empty response"))?;
+        match tag {
+            RESP_NOT_FOUND => Ok(None),
+            RESP_FORMAT => {
+                let mut pos = 0;
+                let meta = take_chunk(rest, &mut pos)?;
+                Ok(Some(deserialize_format(meta)?))
+            }
+            t => Err(bad(&format!("unexpected response tag {t:#x}"))),
+        }
+    }
+
+    /// Parses a transformations response.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed responses.
+    pub fn parse_transformations(response: &[u8]) -> Result<Vec<Transformation>> {
+        let (&tag, rest) = response.split_first().ok_or_else(|| bad("empty response"))?;
+        if tag != RESP_XFORMS {
+            return Err(bad(&format!("unexpected response tag {tag:#x}")));
+        }
+        let mut pos = 0;
+        let n = take_u32(rest, &mut pos)? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(Transformation::deserialize(take_chunk(rest, &mut pos)?)?);
+        }
+        Ok(out)
+    }
+
+    /// Resolves an unknown wire format against a server (synchronously, via
+    /// the caller-supplied `exchange` transport closure) and installs the
+    /// format plus every transformation reachable from it into `rx`.
+    /// Returns how many transformations were installed, or `Ok(None)` if
+    /// the server does not know the format either.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and protocol errors from `exchange`.
+    pub fn resolve_into<E>(
+        rx: &mut MorphReceiver,
+        id: FormatId,
+        mut exchange: E,
+    ) -> Result<Option<usize>>
+    where
+        E: FnMut(Vec<u8>) -> Result<Vec<u8>>,
+    {
+        let resp = exchange(Self::want_format(id))?;
+        let Some(fmt) = Self::parse_format(&resp)? else {
+            return Ok(None);
+        };
+        let fmt = Arc::new(fmt);
+        rx.import_format(Arc::clone(&fmt));
+        // Pull the transformation closure breadth-first so multi-hop
+        // revision chains (Fig. 1) resolve in one pass.
+        let mut installed = 0;
+        let mut frontier = vec![format_id(&fmt)];
+        let mut seen = vec![format_id(&fmt)];
+        while let Some(cur) = frontier.pop() {
+            let resp = exchange(Self::want_transformations(cur))?;
+            for t in Self::parse_transformations(&resp)? {
+                let to = t.to_id();
+                rx.import_transformation(t);
+                installed += 1;
+                if !seen.contains(&to) {
+                    seen.push(to);
+                    frontier.push(to);
+                }
+            }
+        }
+        Ok(Some(installed))
+    }
+}
+
+/// Convenience wrapper: process a message, and on
+/// [`MorphError::UnknownWireFormat`] resolve the meta-data through
+/// `exchange` and retry once — the full "unseen format arrives, meta-data
+/// fetched out of band, morphing proceeds" flow.
+///
+/// # Errors
+///
+/// Propagates processing errors other than the first unknown-format miss,
+/// and transport errors from `exchange`.
+pub fn process_with_resolution<E>(
+    rx: &mut MorphReceiver,
+    msg: &[u8],
+    exchange: E,
+) -> Result<crate::receiver::Delivery>
+where
+    E: FnMut(Vec<u8>) -> Result<Vec<u8>>,
+{
+    match rx.process(msg) {
+        Err(MorphError::UnknownWireFormat(id)) => {
+            if MetaClient::resolve_into(rx, id, exchange)?.is_none() {
+                return Err(MorphError::UnknownWireFormat(id));
+            }
+            rx.process(msg)
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::Delivery;
+    use pbio::{Encoder, FormatBuilder, Value};
+    use std::sync::Mutex;
+
+    fn v2() -> Arc<RecordFormat> {
+        FormatBuilder::record("Msg").int("a").int("b").build_arc().unwrap()
+    }
+
+    fn v1() -> Arc<RecordFormat> {
+        FormatBuilder::record("Msg").int("sum").build_arc().unwrap()
+    }
+
+    fn xform() -> Transformation {
+        Transformation::new(v2(), v1(), "old.sum = new.a + new.b;")
+    }
+
+    #[test]
+    fn format_fetch_roundtrip() {
+        let mut server = MetaServer::new();
+        let id = server.register_format(v2());
+        let resp = server.handle(&MetaClient::want_format(id)).unwrap();
+        let fmt = MetaClient::parse_format(&resp).unwrap().unwrap();
+        assert_eq!(format_id(&fmt), id);
+        // Unknown id → NotFound, not an error.
+        let resp = server.handle(&MetaClient::want_format(FormatId(42))).unwrap();
+        assert!(MetaClient::parse_format(&resp).unwrap().is_none());
+        assert_eq!(server.requests_served(), 2);
+    }
+
+    #[test]
+    fn registration_over_the_wire() {
+        let mut server = MetaServer::new();
+        let ack = server.handle(&MetaClient::register_format(&v2())).unwrap();
+        assert_eq!(ack, vec![RESP_ACK]);
+        let ack = server.handle(&MetaClient::register_transformation(&xform())).unwrap();
+        assert_eq!(ack, vec![RESP_ACK]);
+        // The transformation registration also made both formats known.
+        let resp = server.handle(&MetaClient::want_format(format_id(&v1()))).unwrap();
+        assert!(MetaClient::parse_format(&resp).unwrap().is_some());
+        let resp =
+            server.handle(&MetaClient::want_transformations(format_id(&v2()))).unwrap();
+        assert_eq!(MetaClient::parse_transformations(&resp).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_requests_error_cleanly() {
+        let mut server = MetaServer::new();
+        assert!(server.handle(&[]).is_err());
+        assert!(server.handle(&[0x55]).is_err());
+        assert!(server.handle(&[REQ_FORMAT, 1, 2]).is_err());
+        assert!(server.handle(&[REQ_REGISTER_FORMAT, 9, 0, 0, 0, 1]).is_err());
+        assert!(MetaClient::parse_format(&[]).is_err());
+        assert!(MetaClient::parse_format(&[0x55]).is_err());
+        assert!(MetaClient::parse_transformations(&[RESP_FORMAT]).is_err());
+    }
+
+    #[test]
+    fn unknown_format_resolved_through_server_then_morphed() {
+        // Writer side: announce the new format and its retro-transformation.
+        let server = Mutex::new(MetaServer::new());
+        server.lock().unwrap().handle(&MetaClient::register_format(&v2())).unwrap();
+        server
+            .lock()
+            .unwrap()
+            .handle(&MetaClient::register_transformation(&xform()))
+            .unwrap();
+
+        // Reader side: only knows v1; has NO local meta-data about v2.
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), move |v| sink.lock().unwrap().push(v));
+
+        let wire = Encoder::new(&v2())
+            .encode(&Value::Record(vec![Value::Int(30), Value::Int(12)]))
+            .unwrap();
+        // Direct processing fails: unknown wire format.
+        assert!(matches!(rx.process(&wire), Err(MorphError::UnknownWireFormat(_))));
+
+        // With resolution it succeeds — one fetch, then cached forever.
+        let d = process_with_resolution(&mut rx, &wire, |req| {
+            server.lock().unwrap().handle(&req)
+        })
+        .unwrap();
+        assert!(matches!(d, Delivery::Delivered(_)));
+        assert_eq!(got.lock().unwrap()[0], Value::Record(vec![Value::Int(42)]));
+
+        // Steady state: no more server traffic.
+        let before = server.lock().unwrap().requests_served();
+        for _ in 0..5 {
+            process_with_resolution(&mut rx, &wire, |req| {
+                server.lock().unwrap().handle(&req)
+            })
+            .unwrap();
+        }
+        assert_eq!(server.lock().unwrap().requests_served(), before);
+    }
+
+    #[test]
+    fn resolution_pulls_multi_hop_chains() {
+        let r0 = FormatBuilder::record("Msg").string("text").build_arc().unwrap();
+        let server = Mutex::new(MetaServer::new());
+        {
+            let mut s = server.lock().unwrap();
+            s.register_transformation(xform()); // v2 → v1
+            s.register_transformation(Transformation::new(
+                v1(),
+                r0.clone(),
+                r#"old.text = "sum=" + "" ; old.text = old.text;"#,
+            ));
+        }
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&r0, |_v| {});
+        let installed = MetaClient::resolve_into(&mut rx, format_id(&v2()), |req| {
+            server.lock().unwrap().handle(&req)
+        })
+        .unwrap();
+        assert_eq!(installed, Some(2), "both hops fetched in one resolution");
+    }
+
+    #[test]
+    fn transport_failures_propagate() {
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), |_v| {});
+        let err = MetaClient::resolve_into(&mut rx, FormatId(7), |_req| {
+            Err(MorphError::Config("link down".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, MorphError::Config(_)));
+        // And through the process wrapper.
+        let wire = Encoder::new(&v2())
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap();
+        let err = process_with_resolution(&mut rx, &wire, |_req| {
+            Err(MorphError::Config("link down".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, MorphError::Config(_)));
+    }
+
+    #[test]
+    fn resolution_miss_propagates_unknown_format() {
+        let server = Mutex::new(MetaServer::new());
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), |_v| {});
+        let wire = Encoder::new(&v2())
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap();
+        let err = process_with_resolution(&mut rx, &wire, |req| {
+            server.lock().unwrap().handle(&req)
+        })
+        .unwrap_err();
+        assert!(matches!(err, MorphError::UnknownWireFormat(_)));
+    }
+}

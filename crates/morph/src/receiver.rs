@@ -1,0 +1,900 @@
+//! Receiver-side message processing — the paper's Algorithm 2.
+//!
+//! A [`MorphReceiver`] owns the reader's registered formats and handlers,
+//! the out-of-band meta-data it has learned (wire formats and their
+//! retro-transformations), and a decision cache. The first message of an
+//! unseen format pays for MaxMatch, transformation compilation (dynamic
+//! code generation), and plan construction; every subsequent message of
+//! that format replays the cached, fully specialized decision (Algorithm 2
+//! lines 6–9).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pbio::{
+    format_id, parse_header, ConversionPlan, FormatId, FormatRegistry, RecordFormat, Value,
+};
+
+use crate::adapter::ValueAdapter;
+use crate::error::{MorphError, Result};
+use crate::matching::{max_match, MatchConfig, MatchQuality};
+use crate::weighted::{weighted_max_match, WeightProfile, WeightedConfig};
+use crate::xform::{CompiledChain, Transformation, TransformationRegistry};
+
+/// A message handler: receives the decoded (and possibly morphed) value,
+/// shaped by the reader format it was registered for.
+pub type Handler = Box<dyn FnMut(Value) + Send>;
+
+/// The default handler: receives messages no reader format admitted, along
+/// with the wire format they were decoded by.
+pub type DefaultHandler = Box<dyn FnMut(&Arc<RecordFormat>, Value) + Send>;
+
+/// How a processed message was disposed of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered to the handler registered for this reader format id.
+    Delivered(FormatId),
+    /// Delivered to the default handler.
+    DeliveredDefault,
+    /// No admissible match and no default handler — dropped.
+    Rejected,
+}
+
+/// A human-inspectable description of a cached Algorithm 2 decision —
+/// what the receiver will do with every further message of one format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Explanation {
+    /// Perfect match: decoded straight into this reader format.
+    Exact {
+        /// The reader format id messages are delivered as.
+        target: FormatId,
+    },
+    /// Near match: specialized plan fills defaults / drops extras.
+    NearMatch {
+        /// The reader format id messages are delivered as.
+        target: FormatId,
+    },
+    /// Full morph through a compiled transformation chain.
+    Morph {
+        /// The reader format id messages are delivered as.
+        target: FormatId,
+        /// Number of compiled transformation steps.
+        chain_len: usize,
+        /// Whether a final default-fill/extra-removal adapter runs after
+        /// the chain.
+        adapted: bool,
+    },
+    /// Routed to the default handler (decoded in the wire format).
+    DefaultHandler,
+    /// Dropped: no admissible match.
+    Rejected,
+}
+
+impl std::fmt::Display for Explanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Explanation::Exact { target } => write!(f, "exact match -> {target}"),
+            Explanation::NearMatch { target } => {
+                write!(f, "near match (defaults/removals) -> {target}")
+            }
+            Explanation::Morph { target, chain_len, adapted } => write!(
+                f,
+                "morph through {chain_len} transformation step(s){} -> {target}",
+                if *adapted { " + adapter" } else { "" }
+            ),
+            Explanation::DefaultHandler => write!(f, "default handler"),
+            Explanation::Rejected => write!(f, "rejected"),
+        }
+    }
+}
+
+/// A chosen (incoming, reader) pair, policy-independent.
+struct Selected {
+    from: usize,
+    to: usize,
+    perfect: bool,
+}
+
+/// Counters describing receiver activity (exposed for tests, examples, and
+/// the evaluation harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MorphStats {
+    /// Total messages processed.
+    pub messages: u64,
+    /// Messages whose format had a cached decision.
+    pub cache_hits: u64,
+    /// Decisions resolved as exact (perfect) matches.
+    pub exact_matches: u64,
+    /// Decisions that required a transformation chain (morphing proper).
+    pub morphs: u64,
+    /// Decisions resolved by near-match adaptation only (defaults/removal,
+    /// no transformation code).
+    pub near_matches: u64,
+    /// Decisions routed to the default handler.
+    pub defaults: u64,
+    /// Decisions to reject.
+    pub rejects: u64,
+    /// Transformation snippets compiled (dynamic code generation events).
+    pub compiles: u64,
+}
+
+/// The cached, specialized disposition for one wire format.
+enum Decision {
+    /// Single compiled plan straight from wire bytes to the reader format —
+    /// used when no transformation code is needed (perfect or near match).
+    Plan { plan: ConversionPlan, target: FormatId, exact: bool },
+    /// Full morph: decode to the wire format, run the compiled chain, then
+    /// (if the chain's end is a near match) adapt.
+    Morph {
+        decode: ConversionPlan,
+        chain: CompiledChain,
+        adapter: Option<ValueAdapter>,
+        target: FormatId,
+    },
+    /// Decode with the wire format and hand to the default handler.
+    Default { decode: ConversionPlan },
+    /// Drop messages of this format.
+    Reject,
+}
+
+/// The morphing receiver (Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use std::sync::{Arc, Mutex};
+/// use morph::MorphReceiver;
+/// use pbio::{Encoder, FormatBuilder, Value};
+///
+/// let fmt = FormatBuilder::record("Msg").int("load").build_arc()?;
+/// let got = Arc::new(Mutex::new(Vec::new()));
+/// let sink = Arc::clone(&got);
+///
+/// let mut rx = MorphReceiver::new();
+/// rx.register_handler(&fmt, move |v| sink.lock().unwrap().push(v));
+///
+/// let wire = Encoder::new(&fmt).encode(&Value::Record(vec![Value::Int(42)]))?;
+/// rx.process(&wire)?;
+/// assert_eq!(got.lock().unwrap().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct MorphReceiver {
+    config: MatchConfig,
+    /// When set, MaxMatch runs importance-weighted (the paper's §6 future
+    /// work) instead of field-count-based.
+    weights: Option<(WeightProfile, WeightedConfig)>,
+    /// Out-of-band meta-data: wire formats this receiver has learned.
+    known: FormatRegistry,
+    /// Out-of-band meta-data: retro-transformations keyed by source format.
+    xforms: TransformationRegistry,
+    /// Reader formats, in registration order.
+    readers: Vec<Arc<RecordFormat>>,
+    handlers: HashMap<FormatId, Handler>,
+    default_handler: Option<DefaultHandler>,
+    cache: HashMap<FormatId, Decision>,
+    stats: MorphStats,
+}
+
+impl std::fmt::Debug for MorphReceiver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MorphReceiver")
+            .field("config", &self.config)
+            .field("readers", &self.readers.iter().map(|r| r.name()).collect::<Vec<_>>())
+            .field("cached_decisions", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for MorphReceiver {
+    fn default() -> MorphReceiver {
+        MorphReceiver::new()
+    }
+}
+
+impl MorphReceiver {
+    /// Creates a receiver with the default [`MatchConfig`].
+    pub fn new() -> MorphReceiver {
+        MorphReceiver::with_config(MatchConfig::new())
+    }
+
+    /// Creates a receiver with explicit thresholds.
+    pub fn with_config(config: MatchConfig) -> MorphReceiver {
+        MorphReceiver {
+            config,
+            weights: None,
+            known: FormatRegistry::new(),
+            xforms: TransformationRegistry::new(),
+            readers: Vec::new(),
+            handlers: HashMap::new(),
+            default_handler: None,
+            cache: HashMap::new(),
+            stats: MorphStats::default(),
+        }
+    }
+
+    /// Registers a reader format and the handler invoked for (possibly
+    /// morphed) messages delivered in that format. Returns the format id.
+    pub fn register_handler(
+        &mut self,
+        format: &Arc<RecordFormat>,
+        handler: impl FnMut(Value) + Send + 'static,
+    ) -> FormatId {
+        let id = self.known.register(Arc::clone(format));
+        if !self.readers.iter().any(|r| format_id(r) == id) {
+            self.readers.push(Arc::clone(format));
+        }
+        self.handlers.insert(id, Box::new(handler));
+        self.cache.clear(); // decisions may change with a new reader format
+        id
+    }
+
+    /// Registers the default handler for messages no reader format admits.
+    pub fn register_default_handler(
+        &mut self,
+        handler: impl FnMut(&Arc<RecordFormat>, Value) + Send + 'static,
+    ) {
+        self.default_handler = Some(Box::new(handler));
+        self.cache.clear();
+    }
+
+    /// Learns a wire format (out-of-band meta-data arrival).
+    pub fn import_format(&mut self, format: Arc<RecordFormat>) -> FormatId {
+        self.known.register(format)
+    }
+
+    /// Learns a retro-transformation. Both endpoint formats become known.
+    pub fn import_transformation(&mut self, t: Transformation) {
+        self.known.register(Arc::clone(t.from_format()));
+        self.known.register(Arc::clone(t.to_format()));
+        self.xforms.register(t);
+        self.cache.clear(); // new transformations can unlock new matches
+    }
+
+    /// Imports serialized format meta-data (see [`FormatRegistry::export`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates meta-data decoding errors.
+    pub fn import_format_metadata(&mut self, bytes: &[u8]) -> Result<usize> {
+        Ok(self.known.import(bytes)?)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MorphStats {
+        self.stats
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> MatchConfig {
+        self.config
+    }
+
+    /// Number of distinct wire formats with cached decisions.
+    pub fn cached_decisions(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Explains the cached decision for a wire format id, if one exists
+    /// (i.e., at least one message of that format has been processed since
+    /// the last cache invalidation).
+    pub fn explain(&self, id: FormatId) -> Option<Explanation> {
+        Some(match self.cache.get(&id)? {
+            Decision::Plan { target, exact: true, .. } => Explanation::Exact { target: *target },
+            Decision::Plan { target, exact: false, .. } => {
+                Explanation::NearMatch { target: *target }
+            }
+            Decision::Morph { target, chain, adapter, .. } => Explanation::Morph {
+                target: *target,
+                chain_len: chain.steps().len(),
+                adapted: adapter.is_some(),
+            },
+            Decision::Default { .. } => Explanation::DefaultHandler,
+            Decision::Reject => Explanation::Rejected,
+        })
+    }
+
+    /// Switches format matching to the importance-weighted variant: fields
+    /// matching heavier patterns dominate admission and ranking decisions
+    /// (see [`crate::weighted`]). Clears cached decisions.
+    pub fn set_weight_profile(&mut self, profile: WeightProfile, config: WeightedConfig) {
+        self.weights = Some((profile, config));
+        self.cache.clear();
+    }
+
+    /// The paper's MaxMatch under the receiver's active policy (weighted or
+    /// unweighted). "Perfect" is always the structural (unweighted) notion,
+    /// so zero-weight differences still route through the adapting plan.
+    fn select(
+        &self,
+        set1: &[Arc<RecordFormat>],
+        set2: &[Arc<RecordFormat>],
+    ) -> Option<Selected> {
+        match &self.weights {
+            None => max_match(set1, set2, &self.config).map(|m| Selected {
+                from: m.from,
+                to: m.to,
+                perfect: m.quality.is_perfect(),
+            }),
+            Some((profile, wcfg)) => {
+                weighted_max_match(set1, set2, profile, wcfg).map(|m| Selected {
+                    from: m.from,
+                    to: m.to,
+                    perfect: MatchQuality::of(&set1[m.from], &set2[m.to]).is_perfect(),
+                })
+            }
+        }
+    }
+
+    /// Processes one incoming wire message (Algorithm 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::UnknownWireFormat`] when the message's format
+    /// id has no out-of-band meta-data, and propagates wire-decoding or
+    /// transformation-runtime failures. A *rejection* (no admissible match)
+    /// is not an error — it returns [`Delivery::Rejected`].
+    pub fn process(&mut self, msg: &[u8]) -> Result<Delivery> {
+        self.stats.messages += 1;
+        let header = parse_header(msg).map_err(MorphError::Pbio)?;
+        let id = header.format_id;
+
+        // Lines 6–9: cached information fast path.
+        if self.cache.contains_key(&id) {
+            self.stats.cache_hits += 1;
+            return self.apply_cached(id, msg);
+        }
+
+        let decision = self.decide(id)?;
+        self.cache.insert(id, decision);
+        self.apply_cached(id, msg)
+    }
+
+    /// Runs the slow path of Algorithm 2 (lines 11–27) to produce a
+    /// cacheable decision for format `id`.
+    fn decide(&mut self, id: FormatId) -> Result<Decision> {
+        let fm = self.known.lookup(id).map_err(|_| MorphError::UnknownWireFormat(id))?;
+
+        // Line 4: Fr = reader formats with the same name as fm.
+        let readers: Vec<Arc<RecordFormat>> = self
+            .readers
+            .iter()
+            .filter(|r| r.name() == fm.name())
+            .map(Arc::clone)
+            .collect();
+
+        // Line 11: MaxMatch(fm, Fr) — perfect match short-circuit.
+        if let Some(m) = self.select(std::slice::from_ref(&fm), &readers) {
+            if m.perfect {
+                self.stats.exact_matches += 1;
+                let target = &readers[m.to];
+                return Ok(Decision::Plan {
+                    plan: ConversionPlan::compile(&fm, target)?,
+                    target: format_id(target),
+                    exact: true,
+                });
+            }
+        }
+
+        // Line 5/16: Ft = formats reachable through transformations, incl. fm.
+        let reachable = self.xforms.closure(&fm);
+        let candidates: Vec<Arc<RecordFormat>> =
+            reachable.iter().map(|r| Arc::clone(&r.format)).collect();
+
+        // Line 16: MaxMatch(Ft, Fr).
+        let Some(m) = self.select(&candidates, &readers) else {
+            // Lines 17–19: reject (or default-deliver when a default handler
+            // exists — §3.2's "default handler (if any)").
+            if self.default_handler.is_some() {
+                self.stats.defaults += 1;
+                return Ok(Decision::Default { decode: ConversionPlan::identity(&fm)? });
+            }
+            self.stats.rejects += 1;
+            return Ok(Decision::Reject);
+        };
+
+        let chosen = &reachable[m.from];
+        let target = &readers[m.to];
+        let target_id = format_id(target);
+
+        if chosen.chain.is_empty() {
+            // No transformation code needed: one specialized wire→target
+            // plan covers decode + default-fill + extra-removal.
+            self.stats.near_matches += 1;
+            return Ok(Decision::Plan {
+                plan: ConversionPlan::compile(&fm, target)?,
+                target: target_id,
+                exact: false,
+            });
+        }
+
+        // Lines 21–24: dynamic code generation, once, cached.
+        let chain = CompiledChain::compile(&chosen.chain)?;
+        self.stats.compiles += chain.steps().len() as u64;
+        self.stats.morphs += 1;
+        let adapter = if m.perfect {
+            None
+        } else {
+            Some(ValueAdapter::compile(&chosen.format, target))
+        };
+        Ok(Decision::Morph {
+            decode: ConversionPlan::identity(&fm)?,
+            chain,
+            adapter,
+            target: target_id,
+        })
+    }
+
+    fn apply_cached(&mut self, id: FormatId, msg: &[u8]) -> Result<Delivery> {
+        // The decision is taken out of the map while the handler runs so the
+        // borrow checker allows `&mut self.handlers` access; it is restored
+        // afterwards. Handlers must not recursively call `process` (they
+        // receive values, not the receiver).
+        let decision = self.cache.remove(&id).expect("caller ensured presence");
+        let result = (|| -> Result<Delivery> {
+            match &decision {
+                Decision::Plan { plan, target, .. } => {
+                    let value = plan.execute(msg)?;
+                    self.invoke(*target, value);
+                    Ok(Delivery::Delivered(*target))
+                }
+                Decision::Morph { decode, chain, adapter, target } => {
+                    let value = decode.execute(msg)?;
+                    let value = chain.apply(value)?;
+                    let value = match adapter {
+                        Some(a) => a.apply(&value)?,
+                        None => value,
+                    };
+                    self.invoke(*target, value);
+                    Ok(Delivery::Delivered(*target))
+                }
+                Decision::Default { decode } => {
+                    let value = decode.execute(msg)?;
+                    let fmt = Arc::clone(decode.wire_format());
+                    if let Some(h) = self.default_handler.as_mut() {
+                        h(&fmt, value);
+                    }
+                    Ok(Delivery::DeliveredDefault)
+                }
+                Decision::Reject => Ok(Delivery::Rejected),
+            }
+        })();
+        self.cache.insert(id, decision);
+        result
+    }
+
+    fn invoke(&mut self, target: FormatId, value: Value) {
+        if let Some(h) = self.handlers.get_mut(&target) {
+            h(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio::{Encoder, FormatBuilder};
+    use std::sync::{Arc as SArc, Mutex};
+
+    type Sink = SArc<Mutex<Vec<Value>>>;
+
+    fn sink() -> (Sink, impl FnMut(Value) + Send + 'static) {
+        let s: Sink = SArc::new(Mutex::new(Vec::new()));
+        let c = SArc::clone(&s);
+        (s, move |v| c.lock().unwrap().push(v))
+    }
+
+    fn member(extra: bool) -> Arc<RecordFormat> {
+        let b = FormatBuilder::record("Member").string("info").int("ID");
+        let b = if extra { b.int("is_source").int("is_sink") } else { b };
+        b.build_arc().unwrap()
+    }
+
+    fn v2() -> Arc<RecordFormat> {
+        FormatBuilder::record("ChannelOpenResponse")
+            .int("member_count")
+            .var_array_of("member_list", member(true), "member_count")
+            .build_arc()
+            .unwrap()
+    }
+
+    fn v1() -> Arc<RecordFormat> {
+        FormatBuilder::record("ChannelOpenResponse")
+            .int("member_count")
+            .var_array_of("member_list", member(false), "member_count")
+            .int("src_count")
+            .var_array_of("src_list", member(false), "src_count")
+            .int("sink_count")
+            .var_array_of("sink_list", member(false), "sink_count")
+            .build_arc()
+            .unwrap()
+    }
+
+    /// The paper's Fig. 5 transformation source.
+    pub(crate) const FIG5: &str = r#"
+        int i;
+        int sink_count = 0;
+        int src_count = 0;
+        old.member_count = new.member_count;
+        for (i = 0; i < new.member_count; i++) {
+            old.member_list[i].info = new.member_list[i].info;
+            old.member_list[i].ID = new.member_list[i].ID;
+            if (new.member_list[i].is_source) {
+                old.src_list[src_count].info = new.member_list[i].info;
+                old.src_list[src_count].ID = new.member_list[i].ID;
+                src_count++;
+            }
+            if (new.member_list[i].is_sink) {
+                old.sink_list[sink_count].info = new.member_list[i].info;
+                old.sink_list[sink_count].ID = new.member_list[i].ID;
+                sink_count++;
+            }
+        }
+        old.src_count = src_count;
+        old.sink_count = sink_count;
+    "#;
+
+    fn v2_message(n: usize) -> Vec<u8> {
+        let members: Vec<Value> = (0..n)
+            .map(|i| {
+                Value::Record(vec![
+                    Value::str(format!("host-{i}:500{i}")),
+                    Value::Int(i as i64),
+                    Value::Int(i64::from(i % 2 == 0)),
+                    Value::Int(1),
+                ])
+            })
+            .collect();
+        let v = Value::Record(vec![Value::Int(n as i64), Value::Array(members)]);
+        Encoder::new(&v2()).encode(&v).unwrap()
+    }
+
+    #[test]
+    fn exact_match_delivers() {
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        let id = rx.register_handler(&v2(), h);
+        let d = rx.process(&v2_message(2)).unwrap();
+        assert_eq!(d, Delivery::Delivered(id));
+        assert_eq!(got.lock().unwrap().len(), 1);
+        assert_eq!(rx.stats().exact_matches, 1);
+        assert_eq!(rx.stats().morphs, 0);
+    }
+
+    #[test]
+    fn morphing_delivers_old_format_to_old_client() {
+        // The paper's headline scenario: a v1-only client receives a v2
+        // message via the writer-supplied Fig. 5 transformation.
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        let id1 = rx.register_handler(&v1(), h);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+
+        let d = rx.process(&v2_message(3)).unwrap();
+        assert_eq!(d, Delivery::Delivered(id1));
+        let vals = got.lock().unwrap();
+        let out = &vals[0];
+        out.check(&v1()).unwrap();
+        assert_eq!(out.field(&v1(), "member_count"), Some(&Value::Int(3)));
+        assert_eq!(out.field(&v1(), "src_count"), Some(&Value::Int(2))); // members 0, 2
+        assert_eq!(out.field(&v1(), "sink_count"), Some(&Value::Int(3)));
+        drop(vals);
+        assert_eq!(rx.stats().morphs, 1);
+        assert_eq!(rx.stats().compiles, 1);
+    }
+
+    #[test]
+    fn decisions_are_cached() {
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), h);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+        for _ in 0..5 {
+            rx.process(&v2_message(2)).unwrap();
+        }
+        assert_eq!(got.lock().unwrap().len(), 5);
+        let s = rx.stats();
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.compiles, 1, "DCG happens once, then the cache serves");
+    }
+
+    #[test]
+    fn unknown_format_errors_without_metadata() {
+        let mut rx = MorphReceiver::new();
+        let (_, h) = sink();
+        rx.register_handler(&v1(), h);
+        // No import of v2, no transformation: the wire id is unknown.
+        let err = rx.process(&v2_message(1)).unwrap_err();
+        assert!(matches!(err, MorphError::UnknownWireFormat(_)));
+    }
+
+    #[test]
+    fn near_match_fills_defaults_without_code() {
+        // Incoming has one extra field and misses one — no transformation
+        // registered, but thresholds admit the pair.
+        let incoming =
+            FormatBuilder::record("Load").int("cpu").int("net").int("extra").build_arc().unwrap();
+        let reader =
+            FormatBuilder::record("Load").int("cpu").int("net").int("mem").build_arc().unwrap();
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&reader, h);
+        rx.import_format(incoming.clone());
+        let wire = Encoder::new(&incoming)
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+            .unwrap();
+        let d = rx.process(&wire).unwrap();
+        assert!(matches!(d, Delivery::Delivered(_)));
+        assert_eq!(
+            got.lock().unwrap()[0],
+            Value::Record(vec![Value::Int(1), Value::Int(2), Value::Int(0)])
+        );
+        assert_eq!(rx.stats().near_matches, 1);
+    }
+
+    #[test]
+    fn exact_config_rejects_near_match() {
+        let incoming = FormatBuilder::record("Load").int("cpu").int("x").build_arc().unwrap();
+        let reader = FormatBuilder::record("Load").int("cpu").int("y").build_arc().unwrap();
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::with_config(MatchConfig::exact());
+        rx.register_handler(&reader, h);
+        rx.import_format(incoming.clone());
+        let wire = Encoder::new(&incoming)
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap();
+        assert_eq!(rx.process(&wire).unwrap(), Delivery::Rejected);
+        assert!(got.lock().unwrap().is_empty());
+        assert_eq!(rx.stats().rejects, 1);
+        // Rejection is cached too.
+        assert_eq!(rx.process(&wire).unwrap(), Delivery::Rejected);
+        assert_eq!(rx.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn default_handler_catches_unmatched() {
+        let incoming = FormatBuilder::record("Other").int("z").build_arc().unwrap();
+        let reader = FormatBuilder::record("Load").int("cpu").build_arc().unwrap();
+        let caught: SArc<Mutex<Vec<String>>> = SArc::new(Mutex::new(Vec::new()));
+        let c = SArc::clone(&caught);
+        let mut rx = MorphReceiver::new();
+        let (_, h) = sink();
+        rx.register_handler(&reader, h);
+        rx.register_default_handler(move |fmt, _v| c.lock().unwrap().push(fmt.name().into()));
+        rx.import_format(incoming.clone());
+        let wire =
+            Encoder::new(&incoming).encode(&Value::Record(vec![Value::Int(9)])).unwrap();
+        assert_eq!(rx.process(&wire).unwrap(), Delivery::DeliveredDefault);
+        assert_eq!(caught.lock().unwrap().as_slice(), ["Other"]);
+    }
+
+    #[test]
+    fn name_must_match_for_reader_set() {
+        // Same shape, different record name: Fr is empty (line 4 filters by
+        // name), so the message falls through to default/reject.
+        let incoming = FormatBuilder::record("A").int("x").build_arc().unwrap();
+        let reader = FormatBuilder::record("B").int("x").build_arc().unwrap();
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&reader, h);
+        rx.import_format(incoming.clone());
+        let wire =
+            Encoder::new(&incoming).encode(&Value::Record(vec![Value::Int(1)])).unwrap();
+        assert_eq!(rx.process(&wire).unwrap(), Delivery::Rejected);
+        assert!(got.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn two_step_chain_reaches_oldest_reader() {
+        let r2 = FormatBuilder::record("M").int("a").int("b").int("c").build_arc().unwrap();
+        let r1 = FormatBuilder::record("M").int("a").int("b").build_arc().unwrap();
+        let r0 = FormatBuilder::record("M").int("total").build_arc().unwrap();
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&r0, h);
+        rx.import_transformation(Transformation::new(
+            r2.clone(),
+            r1.clone(),
+            "old.a = new.a; old.b = new.b + new.c;",
+        ));
+        rx.import_transformation(Transformation::new(
+            r1,
+            r0.clone(),
+            "old.total = new.a + new.b;",
+        ));
+        let wire = Encoder::new(&r2)
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+            .unwrap();
+        let d = rx.process(&wire).unwrap();
+        assert!(matches!(d, Delivery::Delivered(_)));
+        assert_eq!(got.lock().unwrap()[0], Value::Record(vec![Value::Int(6)]));
+        assert_eq!(rx.stats().compiles, 2);
+    }
+
+    #[test]
+    fn newer_reader_preferred_over_morph() {
+        // A reader that understands v2 directly must win over the v1 +
+        // transformation route (perfect match short-circuit, line 12).
+        let (got2, h2) = sink();
+        let (got1, h1) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), h1);
+        let id2 = rx.register_handler(&v2(), h2);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+        let d = rx.process(&v2_message(2)).unwrap();
+        assert_eq!(d, Delivery::Delivered(id2));
+        assert_eq!(got2.lock().unwrap().len(), 1);
+        assert!(got1.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn registering_new_reader_invalidates_cache() {
+        let (got1, h1) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), h1);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+        rx.process(&v2_message(1)).unwrap();
+        assert_eq!(rx.cached_decisions(), 1);
+        // A v2-capable reader arrives; the next v2 message must go to it.
+        let (got2, h2) = sink();
+        let id2 = rx.register_handler(&v2(), h2);
+        assert_eq!(rx.cached_decisions(), 0);
+        let d = rx.process(&v2_message(1)).unwrap();
+        assert_eq!(d, Delivery::Delivered(id2));
+        assert_eq!(got1.lock().unwrap().len(), 1);
+        assert_eq!(got2.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn weighted_policy_changes_admission() {
+        use crate::weighted::{WeightProfile, WeightedConfig};
+        // The incoming format is missing the reader's critical field; only
+        // unimportant fields match.
+        let incoming = FormatBuilder::record("Load")
+            .int("debug_a")
+            .int("debug_b")
+            .int("debug_c")
+            .build_arc()
+            .unwrap();
+        let reader = FormatBuilder::record("Load")
+            .int("price")
+            .int("debug_a")
+            .int("debug_b")
+            .int("debug_c")
+            .build_arc()
+            .unwrap();
+        let wire = Encoder::new(&incoming)
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+            .unwrap();
+
+        // Unweighted, permissive thresholds: 1 missing field out of 4 -> Mr
+        // 0.25, admitted.
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::with_config(crate::matching::MatchConfig {
+            diff_threshold: 8,
+            mismatch_threshold: 0.3,
+        });
+        rx.register_handler(&reader, h);
+        rx.import_format(incoming.clone());
+        assert!(matches!(rx.process(&wire).unwrap(), Delivery::Delivered(_)));
+        assert_eq!(got.lock().unwrap().len(), 1);
+
+        // Weighted: price carries almost all the importance, so the same
+        // message is now inadmissible.
+        let (got2, h2) = sink();
+        let mut rx2 = MorphReceiver::new();
+        rx2.register_handler(&reader, h2);
+        rx2.import_format(incoming.clone());
+        rx2.set_weight_profile(
+            WeightProfile::new().weight("price", 100.0).weight("debug_*", 0.1),
+            WeightedConfig { diff_threshold: 8.0, mismatch_threshold: 0.3 },
+        );
+        assert_eq!(rx2.process(&wire).unwrap(), Delivery::Rejected);
+        assert!(got2.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn weighted_policy_still_short_circuits_perfect_matches() {
+        use crate::weighted::{WeightProfile, WeightedConfig};
+        let fmt = FormatBuilder::record("M").int("a").int("b").build_arc().unwrap();
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&fmt, h);
+        rx.set_weight_profile(
+            WeightProfile::new().weight("a", 5.0),
+            WeightedConfig { diff_threshold: 0.0, mismatch_threshold: 0.0 },
+        );
+        let wire = Encoder::new(&fmt)
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap();
+        assert!(matches!(rx.process(&wire).unwrap(), Delivery::Delivered(_)));
+        assert_eq!(rx.stats().exact_matches, 1);
+        drop(got);
+    }
+
+    #[test]
+    fn setting_weights_invalidates_cache() {
+        use crate::weighted::{WeightProfile, WeightedConfig};
+        let incoming = FormatBuilder::record("M").int("junk").int("keep").build_arc().unwrap();
+        let reader = FormatBuilder::record("M").int("keep").int("vital").build_arc().unwrap();
+        let wire = Encoder::new(&incoming)
+            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
+            .unwrap();
+        let (_, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&reader, h);
+        rx.import_format(incoming);
+        // Default policy admits (Mr = 0.5 at the default threshold).
+        assert!(matches!(rx.process(&wire).unwrap(), Delivery::Delivered(_)));
+        assert_eq!(rx.cached_decisions(), 1);
+        // Tight weighted policy: vital dominates -> reject from now on.
+        rx.set_weight_profile(
+            WeightProfile::new().weight("vital", 50.0),
+            WeightedConfig { diff_threshold: 10.0, mismatch_threshold: 0.2 },
+        );
+        assert_eq!(rx.cached_decisions(), 0);
+        assert_eq!(rx.process(&wire).unwrap(), Delivery::Rejected);
+    }
+
+    #[test]
+    fn explain_reports_every_decision_kind() {
+        use crate::receiver::Explanation;
+        let (_, h) = sink();
+        let mut rx = MorphReceiver::new();
+        let v1_id = rx.register_handler(&v1(), h);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+        let v2_id = pbio::format_id(&v2());
+        assert!(rx.explain(v2_id).is_none(), "nothing cached yet");
+
+        rx.process(&v2_message(1)).unwrap();
+        let e = rx.explain(v2_id).unwrap();
+        assert_eq!(e, Explanation::Morph { target: v1_id, chain_len: 1, adapted: false });
+        assert!(e.to_string().contains("morph through 1 transformation"));
+
+        // Exact decision for v1 messages.
+        let wire = Encoder::new(&v1())
+            .encode(&crate::receiver::tests::v1_value_of(&[]))
+            .unwrap();
+        rx.process(&wire).unwrap();
+        assert_eq!(
+            rx.explain(pbio::format_id(&v1())).unwrap(),
+            Explanation::Exact { target: v1_id }
+        );
+
+        // Rejection is explainable too.
+        let stranger = FormatBuilder::record("Other").int("z").build_arc().unwrap();
+        rx.import_format(stranger.clone());
+        let wire =
+            Encoder::new(&stranger).encode(&Value::Record(vec![Value::Int(1)])).unwrap();
+        rx.process(&wire).unwrap();
+        assert_eq!(
+            rx.explain(pbio::format_id(&stranger)).unwrap(),
+            Explanation::Rejected
+        );
+        assert_eq!(Explanation::Rejected.to_string(), "rejected");
+        assert_eq!(Explanation::DefaultHandler.to_string(), "default handler");
+    }
+
+    /// Helper building an empty v1 response value for the explain test.
+    pub(crate) fn v1_value_of(_: &[()]) -> Value {
+        Value::Record(vec![
+            Value::Int(0),
+            Value::Array(vec![]),
+            Value::Int(0),
+            Value::Array(vec![]),
+            Value::Int(0),
+            Value::Array(vec![]),
+        ])
+    }
+
+    #[test]
+    fn stats_start_zeroed() {
+        let rx = MorphReceiver::new();
+        assert_eq!(rx.stats(), MorphStats::default());
+        assert_eq!(rx.cached_decisions(), 0);
+        assert!(!format!("{rx:?}").is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the PBIO wire format.
+
+use std::fmt;
+
+/// Errors produced while declaring formats, encoding, or decoding PBIO
+/// records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbioError {
+    /// A format declaration is malformed (duplicate field, bad length-field
+    /// reference, empty record, ...).
+    BadFormat(String),
+    /// A value does not conform to the format it is being encoded with.
+    TypeMismatch {
+        /// Dotted path of the offending field.
+        path: String,
+        /// What the format expected.
+        expected: String,
+        /// What the value actually was.
+        found: String,
+    },
+    /// An integer value does not fit in the declared wire width.
+    IntOutOfRange {
+        /// Dotted path of the offending field.
+        path: String,
+        /// The offending value.
+        value: i64,
+        /// Declared width in bytes.
+        width: u8,
+    },
+    /// A variable-length array's element count disagrees with its length
+    /// field.
+    LengthMismatch {
+        /// Dotted path of the array field.
+        path: String,
+        /// Value of the length field.
+        declared: u64,
+        /// Actual number of elements present.
+        actual: u64,
+    },
+    /// The wire buffer ended before the record was fully decoded.
+    UnexpectedEof,
+    /// The wire header is not a PBIO header or uses an unsupported version.
+    BadHeader(String),
+    /// The wire message references a format that is not registered.
+    UnknownFormat(crate::FormatId),
+    /// Decoded bytes are not valid for the field type (bad UTF-8, bad char,
+    /// unknown enum discriminant, ...).
+    BadData(String),
+}
+
+impl fmt::Display for PbioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbioError::BadFormat(msg) => write!(f, "malformed format declaration: {msg}"),
+            PbioError::TypeMismatch { path, expected, found } => {
+                write!(f, "type mismatch at `{path}`: expected {expected}, found {found}")
+            }
+            PbioError::IntOutOfRange { path, value, width } => {
+                write!(f, "integer {value} at `{path}` does not fit in {width} bytes")
+            }
+            PbioError::LengthMismatch { path, declared, actual } => write!(
+                f,
+                "array `{path}` has {actual} elements but its length field says {declared}"
+            ),
+            PbioError::UnexpectedEof => write!(f, "unexpected end of wire buffer"),
+            PbioError::BadHeader(msg) => write!(f, "bad wire header: {msg}"),
+            PbioError::UnknownFormat(id) => write!(f, "unknown format id {id}"),
+            PbioError::BadData(msg) => write!(f, "invalid wire data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PbioError {}
+
+/// Convenience alias for PBIO results.
+pub type Result<T> = std::result::Result<T, PbioError>;

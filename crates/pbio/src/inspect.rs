@@ -1,0 +1,211 @@
+//! Human-readable wire-message inspection — the `pbio_dump`-style debugging
+//! aid every binary protocol eventually needs.
+
+use std::fmt::Write as _;
+
+use crate::decode::decode_payload;
+use crate::encode::{parse_header, ByteOrder, HEADER_LEN};
+use crate::error::Result;
+use crate::registry::FormatRegistry;
+use crate::types::{FieldType, RecordFormat};
+use crate::value::Value;
+
+/// Renders a wire message for humans: the parsed header, and — when the
+/// registry knows the format — the field-by-field decoded value; otherwise
+/// a bounded hex dump of the payload.
+///
+/// # Errors
+///
+/// Returns header-parse errors; an *unknown format* is not an error (the
+/// dump degrades to hex).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pbio::PbioError> {
+/// use pbio::{describe_message, Encoder, FormatBuilder, FormatRegistry, Value};
+///
+/// let fmt = FormatBuilder::record("Msg").int("load").string("host").build_arc()?;
+/// let registry = FormatRegistry::new();
+/// registry.register(fmt.clone());
+/// let wire = Encoder::new(&fmt)
+///     .encode(&Value::Record(vec![Value::Int(7), Value::str("n1")]))?;
+/// let dump = describe_message(&wire, &registry)?;
+/// assert!(dump.contains("format Msg"));
+/// assert!(dump.contains("load: 7"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn describe_message(buf: &[u8], registry: &FormatRegistry) -> Result<String> {
+    let h = parse_header(buf)?;
+    let mut out = String::with_capacity(256);
+    let order = match h.order {
+        ByteOrder::Little => "little-endian",
+        ByteOrder::Big => "big-endian",
+    };
+    let _ = writeln!(
+        out,
+        "pbio message: id={} payload={}B {order}",
+        h.format_id, h.payload_len
+    );
+    match registry.lookup(h.format_id) {
+        Ok(fmt) => {
+            let _ = writeln!(out, "format {} (weight {})", fmt.name(), fmt.weight());
+            match decode_payload(&fmt, buf) {
+                Ok(v) => render_record(&v, &fmt, 1, &mut out),
+                Err(e) => {
+                    let _ = writeln!(out, "  !! payload does not decode: {e}");
+                    hex_dump(&buf[HEADER_LEN..], &mut out);
+                }
+            }
+        }
+        Err(_) => {
+            let _ = writeln!(out, "format unknown to this registry");
+            hex_dump(&buf[HEADER_LEN..HEADER_LEN + h.payload_len], &mut out);
+        }
+    }
+    Ok(out)
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_record(v: &Value, fmt: &RecordFormat, depth: usize, out: &mut String) {
+    let Some(fields) = v.as_record() else { return };
+    for (fv, fd) in fields.iter().zip(fmt.fields()) {
+        indent(out, depth);
+        match (fd.ty(), fv) {
+            (FieldType::Record(r), v @ Value::Record(_)) => {
+                let _ = writeln!(out, "{}: record {} {{", fd.name(), r.name());
+                render_record(v, r, depth + 1, out);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+            (FieldType::Array { elem, .. }, Value::Array(es)) => {
+                let _ = writeln!(out, "{}: [{} element(s)]", fd.name(), es.len());
+                // Show at most the first three elements to keep dumps bounded.
+                for (i, e) in es.iter().take(3).enumerate() {
+                    match elem.as_ref() {
+                        FieldType::Record(r) => {
+                            indent(out, depth + 1);
+                            let _ = writeln!(out, "[{i}] {{");
+                            render_record(e, r, depth + 2, out);
+                            indent(out, depth + 1);
+                            out.push_str("}\n");
+                        }
+                        _ => {
+                            indent(out, depth + 1);
+                            let _ = writeln!(out, "[{i}] {e}");
+                        }
+                    }
+                }
+                if es.len() > 3 {
+                    indent(out, depth + 1);
+                    let _ = writeln!(out, "... {} more", es.len() - 3);
+                }
+            }
+            (_, scalar) => {
+                let _ = writeln!(out, "{}: {scalar}", fd.name());
+            }
+        }
+    }
+}
+
+/// A classic 16-bytes-per-row hex dump, capped at 256 bytes.
+fn hex_dump(bytes: &[u8], out: &mut String) {
+    const CAP: usize = 256;
+    for (row, chunk) in bytes.iter().take(CAP).collect::<Vec<_>>().chunks(16).enumerate() {
+        indent(out, 1);
+        let _ = write!(out, "{:04x}: ", row * 16);
+        for b in chunk {
+            let _ = write!(out, "{b:02x} ");
+        }
+        for _ in chunk.len()..16 {
+            out.push_str("   ");
+        }
+        out.push(' ');
+        for b in chunk {
+            let c = **b as char;
+            out.push(if c.is_ascii_graphic() || c == ' ' { c } else { '.' });
+        }
+        out.push('\n');
+    }
+    if bytes.len() > CAP {
+        indent(out, 1);
+        let _ = writeln!(out, "... {} more bytes", bytes.len() - CAP);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use crate::types::FormatBuilder;
+
+    fn wire_and_registry() -> (Vec<u8>, FormatRegistry) {
+        let member = FormatBuilder::record("Member")
+            .string("info")
+            .int("ID")
+            .build_arc()
+            .unwrap();
+        let fmt = FormatBuilder::record("Resp")
+            .int("count")
+            .var_array_of("list", member, "count")
+            .double("avg")
+            .build_arc()
+            .unwrap();
+        let v = Value::Record(vec![
+            Value::Int(5),
+            Value::Array(
+                (0..5)
+                    .map(|i| Value::Record(vec![Value::str(format!("m{i}")), Value::Int(i)]))
+                    .collect(),
+            ),
+            Value::Float(1.5),
+        ]);
+        let wire = Encoder::new(&fmt).encode(&v).unwrap();
+        let registry = FormatRegistry::new();
+        registry.register(fmt);
+        (wire, registry)
+    }
+
+    #[test]
+    fn known_format_renders_fields_and_caps_arrays() {
+        let (wire, registry) = wire_and_registry();
+        let dump = describe_message(&wire, &registry).unwrap();
+        assert!(dump.contains("format Resp"));
+        assert!(dump.contains("count: 5"));
+        assert!(dump.contains("list: [5 element(s)]"));
+        assert!(dump.contains("... 2 more"), "{dump}");
+        assert!(dump.contains("avg: 1.5"));
+        assert!(dump.contains("info: \"m0\""));
+    }
+
+    #[test]
+    fn unknown_format_hex_dumps() {
+        let (wire, _) = wire_and_registry();
+        let empty = FormatRegistry::new();
+        let dump = describe_message(&wire, &empty).unwrap();
+        assert!(dump.contains("format unknown"));
+        assert!(dump.contains("0000:"));
+    }
+
+    #[test]
+    fn corrupt_payload_reports_and_dumps() {
+        let (mut wire, registry) = wire_and_registry();
+        // Make the count absurd so decode fails.
+        wire[crate::encode::HEADER_LEN] = 0xff;
+        wire[crate::encode::HEADER_LEN + 1] = 0xff;
+        let dump = describe_message(&wire, &registry).unwrap();
+        assert!(dump.contains("does not decode"), "{dump}");
+    }
+
+    #[test]
+    fn bad_header_is_an_error() {
+        let registry = FormatRegistry::new();
+        assert!(describe_message(&[1, 2, 3], &registry).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Wire-level integration tests: exotic format shapes end-to-end through
+//! encode → header → decode → plan conversion.
+
+use std::sync::Arc;
+
+use pbio::{
+    decode_payload, format_id, BasicType, ByteOrder, ConversionPlan, Encoder, EnumVariant,
+    FieldType, FormatBuilder, FormatRegistry, GenericDecoder, PbioError, RecordFormat, Value,
+    Width, HEADER_LEN,
+};
+
+fn color_enum() -> BasicType {
+    BasicType::Enum {
+        name: "Color".into(),
+        variants: vec![
+            EnumVariant { name: "Red".into(), discriminant: 0 },
+            EnumVariant { name: "Green".into(), discriminant: 1 },
+            EnumVariant { name: "Blue".into(), discriminant: 7 },
+        ],
+    }
+}
+
+#[test]
+fn fixed_arrays_roundtrip() {
+    let fmt = FormatBuilder::record("Matrix")
+        .fixed_array("row", FieldType::Basic(BasicType::Float(Width::W8)), 3)
+        .fixed_array("tag", FieldType::Basic(BasicType::Char), 4)
+        .build_arc()
+        .unwrap();
+    let v = Value::Record(vec![
+        Value::Array(vec![Value::Float(1.0), Value::Float(2.5), Value::Float(-3.0)]),
+        Value::Array(vec![
+            Value::Char(b'a'),
+            Value::Char(b'b'),
+            Value::Char(b'c'),
+            Value::Char(b'd'),
+        ]),
+    ]);
+    let wire = Encoder::new(&fmt).encode(&v).unwrap();
+    // 3 doubles + 4 chars, no count on the wire (compile-time fixed).
+    assert_eq!(wire.len() - HEADER_LEN, 3 * 8 + 4);
+    assert_eq!(decode_payload(&fmt, &wire).unwrap(), v);
+
+    // Wrong element count rejected at encode time.
+    let bad = Value::Record(vec![
+        Value::Array(vec![Value::Float(1.0)]),
+        Value::Array(vec![Value::Char(0); 4]),
+    ]);
+    assert!(matches!(
+        Encoder::new(&fmt).encode(&bad),
+        Err(PbioError::LengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn enums_roundtrip_and_reject_unknown_discriminants() {
+    let fmt = FormatBuilder::record("Pixel")
+        .field("color", FieldType::Basic(color_enum()))
+        .build_arc()
+        .unwrap();
+    let v = Value::Record(vec![Value::Enum(7)]);
+    let wire = Encoder::new(&fmt).encode(&v).unwrap();
+    assert_eq!(decode_payload(&fmt, &wire).unwrap(), v);
+    assert!(matches!(
+        Encoder::new(&fmt).encode(&Value::Record(vec![Value::Enum(3)])),
+        Err(PbioError::BadData(_))
+    ));
+}
+
+#[test]
+fn nested_variable_arrays_roundtrip() {
+    // Members each carry their own variable-length tag list: nested count
+    // fields at the inner record level.
+    let member = FormatBuilder::record("Member")
+        .string("name")
+        .int("tag_count")
+        .var_array_basic("tags", BasicType::String, "tag_count")
+        .build_arc()
+        .unwrap();
+    let fmt = FormatBuilder::record("Group")
+        .int("n")
+        .var_array_of("members", member, "n")
+        .build_arc()
+        .unwrap();
+    let v = Value::Record(vec![
+        Value::Int(2),
+        Value::Array(vec![
+            Value::Record(vec![
+                Value::str("alice"),
+                Value::Int(3),
+                Value::Array(vec![Value::str("a"), Value::str("bb"), Value::str("ccc")]),
+            ]),
+            Value::Record(vec![Value::str("bob"), Value::Int(0), Value::Array(vec![])]),
+        ]),
+    ]);
+    v.check(&fmt).unwrap();
+    for order in [ByteOrder::Little, ByteOrder::Big] {
+        let wire = Encoder::with_order(&fmt, order).encode(&v).unwrap();
+        assert_eq!(decode_payload(&fmt, &wire).unwrap(), v, "{order:?}");
+        // And through a specialized plan.
+        let plan = ConversionPlan::identity(&fmt).unwrap();
+        assert_eq!(plan.execute(&wire).unwrap(), v, "{order:?}");
+    }
+}
+
+#[test]
+fn deeply_nested_records_roundtrip() {
+    let mut inner: Arc<RecordFormat> =
+        FormatBuilder::record("L0").int("x").build_arc().unwrap();
+    let mut value = Value::Record(vec![Value::Int(42)]);
+    for depth in 1..=6 {
+        inner = FormatBuilder::record(format!("L{depth}"))
+            .int("tag")
+            .nested("inner", inner)
+            .build_arc()
+            .unwrap();
+        value = Value::Record(vec![Value::Int(depth), value]);
+    }
+    let wire = Encoder::new(&inner).encode(&value).unwrap();
+    assert_eq!(decode_payload(&inner, &wire).unwrap(), value);
+    let plan = ConversionPlan::identity(&inner).unwrap();
+    assert_eq!(plan.execute(&wire).unwrap(), value);
+}
+
+#[test]
+fn plan_converts_enum_fields_between_formats() {
+    let from = FormatBuilder::record("R")
+        .field("color", FieldType::Basic(color_enum()))
+        .int("extra")
+        .build_arc()
+        .unwrap();
+    let to = FormatBuilder::record("R")
+        .field("color", FieldType::Basic(color_enum()))
+        .build_arc()
+        .unwrap();
+    let wire = Encoder::new(&from)
+        .encode(&Value::Record(vec![Value::Enum(1), Value::Int(9)]))
+        .unwrap();
+    let plan = ConversionPlan::compile(&from, &to).unwrap();
+    assert_eq!(plan.execute(&wire).unwrap(), Value::Record(vec![Value::Enum(1)]));
+    let gen = GenericDecoder::new(from, to);
+    assert_eq!(gen.decode(&wire).unwrap(), Value::Record(vec![Value::Enum(1)]));
+}
+
+#[test]
+fn enums_with_different_names_do_not_convert() {
+    let other_enum = BasicType::Enum {
+        name: "Shade".into(),
+        variants: vec![EnumVariant { name: "Dark".into(), discriminant: 0 }],
+    };
+    let from = FormatBuilder::record("R")
+        .field("color", FieldType::Basic(color_enum()))
+        .build_arc()
+        .unwrap();
+    let to = FormatBuilder::record("R")
+        .field("color", FieldType::Basic(other_enum))
+        .build_arc()
+        .unwrap();
+    let wire =
+        Encoder::new(&from).encode(&Value::Record(vec![Value::Enum(0)])).unwrap();
+    let plan = ConversionPlan::compile(&from, &to).unwrap();
+    // Unmatched (name differs): target takes the default first variant.
+    assert_eq!(plan.execute(&wire).unwrap(), Value::Record(vec![Value::Enum(0)]));
+    assert_ne!(format_id(&from), format_id(&to));
+}
+
+#[test]
+fn registry_is_usable_from_many_threads() {
+    let reg = Arc::new(FormatRegistry::new());
+    let mut handles = Vec::new();
+    for t in 0..8 {
+        let reg = Arc::clone(&reg);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..50 {
+                let fmt = FormatBuilder::record(format!("T{t}_{i}"))
+                    .int("a")
+                    .string("b")
+                    .build_arc()
+                    .unwrap();
+                let id = reg.register(fmt);
+                assert!(reg.lookup(id).is_ok());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(reg.len(), 8 * 50);
+    // Export/import of the whole population round-trips.
+    let other = FormatRegistry::new();
+    assert_eq!(other.import(&reg.export()).unwrap(), 400);
+}
+
+#[test]
+fn empty_variable_arrays_and_strings() {
+    let member = FormatBuilder::record("M").string("s").build_arc().unwrap();
+    let fmt = FormatBuilder::record("R")
+        .int("n")
+        .var_array_of("xs", member, "n")
+        .string("note")
+        .build_arc()
+        .unwrap();
+    let v = Value::Record(vec![Value::Int(0), Value::Array(vec![]), Value::Str(String::new())]);
+    let wire = Encoder::new(&fmt).encode(&v).unwrap();
+    // count(4) + empty array(0) + empty string(1 NUL)
+    assert_eq!(wire.len() - HEADER_LEN, 5);
+    assert_eq!(decode_payload(&fmt, &wire).unwrap(), v);
+}
+
+#[test]
+fn interior_nul_strings_rejected() {
+    let fmt = FormatBuilder::record("R").string("s").build_arc().unwrap();
+    let v = Value::Record(vec![Value::Str("a\0b".into())]);
+    assert!(matches!(Encoder::new(&fmt).encode(&v), Err(PbioError::BadData(_))));
+}
+
+#[test]
+fn unicode_strings_roundtrip() {
+    let fmt = FormatBuilder::record("R").string("s").build_arc().unwrap();
+    let v = Value::Record(vec![Value::str("héllo wörld ☃ — ユニコード")]);
+    let wire = Encoder::new(&fmt).encode(&v).unwrap();
+    assert_eq!(decode_payload(&fmt, &wire).unwrap(), v);
+}
+
+#[test]
+fn all_integer_widths_roundtrip_extremes() {
+    let fmt = FormatBuilder::record("R")
+        .field("i1", FieldType::Basic(BasicType::Int(Width::W1)))
+        .field("i2", FieldType::Basic(BasicType::Int(Width::W2)))
+        .field("i4", FieldType::Basic(BasicType::Int(Width::W4)))
+        .field("i8", FieldType::Basic(BasicType::Int(Width::W8)))
+        .field("u1", FieldType::Basic(BasicType::UInt(Width::W1)))
+        .field("u8", FieldType::Basic(BasicType::UInt(Width::W8)))
+        .build_arc()
+        .unwrap();
+    let v = Value::Record(vec![
+        Value::Int(-128),
+        Value::Int(32767),
+        Value::Int(i64::from(i32::MIN)),
+        Value::Int(i64::MAX),
+        Value::UInt(255),
+        Value::UInt(u64::MAX),
+    ]);
+    for order in [ByteOrder::Little, ByteOrder::Big] {
+        let wire = Encoder::with_order(&fmt, order).encode(&v).unwrap();
+        assert_eq!(decode_payload(&fmt, &wire).unwrap(), v, "{order:?}");
+    }
+}
+
+#[test]
+fn format_id_distinguishes_width_and_kind() {
+    let a = FormatBuilder::record("R")
+        .field("x", FieldType::Basic(BasicType::Int(Width::W4)))
+        .build()
+        .unwrap();
+    let b = FormatBuilder::record("R")
+        .field("x", FieldType::Basic(BasicType::Int(Width::W8)))
+        .build()
+        .unwrap();
+    let c = FormatBuilder::record("R")
+        .field("x", FieldType::Basic(BasicType::UInt(Width::W4)))
+        .build()
+        .unwrap();
+    assert_ne!(format_id(&a), format_id(&b));
+    assert_ne!(format_id(&a), format_id(&c));
+    assert_ne!(format_id(&b), format_id(&c));
+}

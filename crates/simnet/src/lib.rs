@@ -1,0 +1,485 @@
+//! # simnet — deterministic simulated network
+//!
+//! A small discrete-event network simulator standing in for the paper's
+//! testbed LAN (see DESIGN.md "Substitutions"). Nodes exchange byte
+//! messages over links with configurable latency and bandwidth; time is
+//! virtual, so message-size effects on delivery latency — the motivation
+//! behind the paper's Table 1 — are measurable exactly and reproducibly.
+//!
+//! ```
+//! # fn main() -> Result<(), simnet::NetError> {
+//! use simnet::{LinkParams, Network};
+//!
+//! let mut net = Network::new();
+//! let a = net.add_node("client");
+//! let b = net.add_node("server");
+//! net.connect(a, b, LinkParams::lan());
+//! net.send(a, b, b"hello".to_vec())?;
+//! let d = net.step().expect("one message in flight");
+//! assert_eq!(d.to, b);
+//! assert_eq!(d.payload, b"hello");
+//! assert!(net.now_ns() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// Identifies a node within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Link characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// One-way propagation latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Bandwidth in bytes per second (0 means infinite).
+    pub bandwidth_bps: u64,
+}
+
+impl LinkParams {
+    /// A switched-LAN-like link: 100 µs latency, 100 MB/s.
+    pub fn lan() -> LinkParams {
+        LinkParams { latency_ns: 100_000, bandwidth_bps: 100_000_000 }
+    }
+
+    /// A WAN-like link: 40 ms latency, 1 MB/s.
+    pub fn wan() -> LinkParams {
+        LinkParams { latency_ns: 40_000_000, bandwidth_bps: 1_000_000 }
+    }
+
+    /// A constrained wireless-like link: 5 ms latency, 100 KB/s — the
+    /// "low bandwidths of newly employed wireless links" of the paper's
+    /// introduction.
+    pub fn wireless() -> LinkParams {
+        LinkParams { latency_ns: 5_000_000, bandwidth_bps: 100_000 }
+    }
+
+    /// Zero-latency, infinite-bandwidth link (pure functional testing).
+    pub fn ideal() -> LinkParams {
+        LinkParams { latency_ns: 0, bandwidth_bps: 0 }
+    }
+
+    /// Transmission (serialization) time for `len` bytes, in nanoseconds.
+    pub fn tx_time_ns(&self, len: usize) -> u64 {
+        if self.bandwidth_bps == 0 {
+            0
+        } else {
+            (len as u128 * 1_000_000_000u128 / self.bandwidth_bps as u128) as u64
+        }
+    }
+}
+
+impl Default for LinkParams {
+    fn default() -> LinkParams {
+        LinkParams::ideal()
+    }
+}
+
+/// Errors from the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Referenced node does not exist.
+    UnknownNode(NodeId),
+    /// No link between the two nodes.
+    NoRoute(NodeId, NodeId),
+    /// The link exists but is administratively down (partition modeling).
+    LinkDown(NodeId, NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::NoRoute(a, b) => write!(f, "no link between {a} and {b}"),
+            NetError::LinkDown(a, b) => write!(f, "link between {a} and {b} is down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Message bytes.
+    pub payload: Vec<u8>,
+    /// Virtual delivery time in nanoseconds.
+    pub at_ns: u64,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    deliver_at: u64,
+    seq: u64,
+    from: NodeId,
+    to: NodeId,
+    payload: Vec<u8>,
+}
+
+// Ordered by (deliver_at, seq); used through `Reverse` for a min-heap.
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct LinkState {
+    params: LinkParams,
+    /// Earliest virtual time the link's transmitter is free.
+    next_free_ns: u64,
+    /// Bytes carried (for traffic accounting).
+    bytes: u64,
+    /// Messages carried.
+    messages: u64,
+    /// Administratively down (sends fail; in-flight messages still arrive).
+    down: bool,
+}
+
+/// Per-link traffic statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Total payload bytes carried.
+    pub bytes: u64,
+    /// Messages carried.
+    pub messages: u64,
+}
+
+/// The simulated network: nodes, links, a virtual clock, and an event queue.
+#[derive(Debug, Default)]
+pub struct Network {
+    names: Vec<String>,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    queue: BinaryHeap<Reverse<InFlight>>,
+    inboxes: Vec<VecDeque<Delivery>>,
+    now_ns: u64,
+    seq: u64,
+}
+
+impl Network {
+    /// Creates an empty network at virtual time zero.
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.names.push(name.into());
+        self.inboxes.push(VecDeque::new());
+        NodeId(self.names.len() - 1)
+    }
+
+    /// The node's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Connects two nodes bidirectionally with the same parameters.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.links.insert((a, b), LinkState { params, ..LinkState::default() });
+        self.links.insert((b, a), LinkState { params, ..LinkState::default() });
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Queues a message for delivery, returning its delivery time. The time
+    /// accounts for link serialization (bandwidth), propagation latency, and
+    /// queueing behind earlier messages on the same directed link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::UnknownNode`] / [`NetError::NoRoute`].
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<u64, NetError> {
+        if from.0 >= self.names.len() {
+            return Err(NetError::UnknownNode(from));
+        }
+        if to.0 >= self.names.len() {
+            return Err(NetError::UnknownNode(to));
+        }
+        let link = self.links.get_mut(&(from, to)).ok_or(NetError::NoRoute(from, to))?;
+        if link.down {
+            return Err(NetError::LinkDown(from, to));
+        }
+        let depart = self.now_ns.max(link.next_free_ns);
+        let tx = link.params.tx_time_ns(payload.len());
+        let deliver_at = depart + tx + link.params.latency_ns;
+        link.next_free_ns = depart + tx;
+        link.bytes += payload.len() as u64;
+        link.messages += 1;
+        self.seq += 1;
+        self.queue.push(Reverse(InFlight { deliver_at, seq: self.seq, from, to, payload }));
+        Ok(deliver_at)
+    }
+
+    /// Delivers the next in-flight message, advancing the clock to its
+    /// delivery time and depositing it in the receiver's inbox. Returns
+    /// `None` when nothing is in flight.
+    pub fn step(&mut self) -> Option<Delivery> {
+        let Reverse(m) = self.queue.pop()?;
+        self.now_ns = self.now_ns.max(m.deliver_at);
+        let d = Delivery { from: m.from, to: m.to, payload: m.payload, at_ns: m.deliver_at };
+        self.inboxes[d.to.0].push_back(d.clone());
+        Some(d)
+    }
+
+    /// Drains the inbox of `node` (messages already delivered by
+    /// [`Network::step`]).
+    pub fn recv(&mut self, node: NodeId) -> Option<Delivery> {
+        self.inboxes.get_mut(node.0)?.pop_front()
+    }
+
+    /// True when no messages are in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Steps until idle, invoking `on_delivery` for each message (inboxes
+    /// are bypassed). The callback may send more messages through the
+    /// provided `&mut Network`. Returns the number of deliveries.
+    pub fn run<F>(&mut self, mut on_delivery: F) -> usize
+    where
+        F: FnMut(&mut Network, Delivery),
+    {
+        let mut n = 0;
+        while let Some(d) = self.step() {
+            self.inboxes[d.to.0].pop_back();
+            on_delivery(self, d);
+            n += 1;
+        }
+        n
+    }
+
+    /// Administratively raises or lowers the (bidirectional) link between
+    /// two nodes — partition modeling. Messages already in flight are still
+    /// delivered; new sends fail with [`NetError::LinkDown`] while lowered.
+    /// No-op for nonexistent links.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId, up: bool) {
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.down = !up;
+            }
+        }
+    }
+
+    /// True if a usable (existing and up) directed link `from → to` exists.
+    pub fn link_is_up(&self, from: NodeId, to: NodeId) -> bool {
+        self.links.get(&(from, to)).is_some_and(|l| !l.down)
+    }
+
+    /// Traffic statistics for the directed link `from → to`.
+    pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
+        self.links
+            .get(&(from, to))
+            .map(|l| LinkStats { bytes: l.bytes, messages: l.messages })
+    }
+
+    /// Total bytes carried across all directed links.
+    pub fn total_bytes(&self) -> u64 {
+        self.links.values().map(|l| l.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(params: LinkParams) -> (Network, NodeId, NodeId) {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect(a, b, params);
+        (net, a, b)
+    }
+
+    #[test]
+    fn delivery_time_accounts_for_latency_and_bandwidth() {
+        // 1000 bytes at 1 MB/s = 1 ms tx; + 1 ms latency = 2 ms.
+        let (mut net, a, b) =
+            pair(LinkParams { latency_ns: 1_000_000, bandwidth_bps: 1_000_000 });
+        let at = net.send(a, b, vec![0u8; 1000]).unwrap();
+        assert_eq!(at, 2_000_000);
+        let d = net.step().unwrap();
+        assert_eq!(d.at_ns, 2_000_000);
+        assert_eq!(net.now_ns(), 2_000_000);
+    }
+
+    #[test]
+    fn messages_queue_behind_each_other() {
+        let (mut net, a, b) = pair(LinkParams { latency_ns: 0, bandwidth_bps: 1_000_000 });
+        let t1 = net.send(a, b, vec![0u8; 1000]).unwrap(); // tx 1 ms
+        let t2 = net.send(a, b, vec![0u8; 1000]).unwrap(); // queued behind
+        assert_eq!(t1, 1_000_000);
+        assert_eq!(t2, 2_000_000);
+    }
+
+    #[test]
+    fn deliveries_are_fifo_per_link() {
+        let (mut net, a, b) = pair(LinkParams::ideal());
+        net.send(a, b, vec![1]).unwrap();
+        net.send(a, b, vec![2]).unwrap();
+        assert_eq!(net.step().unwrap().payload, vec![1]);
+        assert_eq!(net.step().unwrap().payload, vec![2]);
+        assert!(net.step().is_none());
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        // The Table 1 motivation: a 12× larger (XML) message needs 12× the
+        // wire time on the same link.
+        let params = LinkParams { latency_ns: 0, bandwidth_bps: 1_000_000 };
+        let (mut net, a, b) = pair(params);
+        let small = net.send(a, b, vec![0u8; 1_000]).unwrap();
+        let mut net2 = Network::new();
+        let a2 = net2.add_node("a");
+        let b2 = net2.add_node("b");
+        net2.connect(a2, b2, params);
+        let large = net2.send(a2, b2, vec![0u8; 12_000]).unwrap();
+        assert_eq!(large, 12 * small);
+    }
+
+    #[test]
+    fn no_route_and_unknown_node_errors() {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        assert_eq!(net.send(a, b, vec![]).unwrap_err(), NetError::NoRoute(a, b));
+        let ghost = NodeId(99);
+        assert_eq!(net.send(ghost, a, vec![]).unwrap_err(), NetError::UnknownNode(ghost));
+        assert_eq!(net.send(a, ghost, vec![]).unwrap_err(), NetError::UnknownNode(ghost));
+    }
+
+    #[test]
+    fn run_allows_reactive_sends() {
+        // b answers every message from a once.
+        let (mut net, a, b) = pair(LinkParams::lan());
+        net.send(a, b, b"ping".to_vec()).unwrap();
+        let mut log = Vec::new();
+        net.run(|net, d| {
+            log.push((d.from, d.to, d.payload.clone()));
+            if d.to == b {
+                net.send(b, a, b"pong".to_vec()).unwrap();
+            }
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[1].2, b"pong");
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn recv_drains_inbox_in_order() {
+        let (mut net, a, b) = pair(LinkParams::ideal());
+        net.send(a, b, vec![1]).unwrap();
+        net.send(a, b, vec![2]).unwrap();
+        net.step();
+        net.step();
+        assert_eq!(net.recv(b).unwrap().payload, vec![1]);
+        assert_eq!(net.recv(b).unwrap().payload, vec![2]);
+        assert!(net.recv(b).is_none());
+        assert!(net.recv(a).is_none());
+    }
+
+    #[test]
+    fn stats_account_bytes_and_messages() {
+        let (mut net, a, b) = pair(LinkParams::lan());
+        net.send(a, b, vec![0u8; 10]).unwrap();
+        net.send(a, b, vec![0u8; 20]).unwrap();
+        let s = net.link_stats(a, b).unwrap();
+        assert_eq!(s.bytes, 30);
+        assert_eq!(s.messages, 2);
+        assert_eq!(net.link_stats(b, a).unwrap(), LinkStats::default());
+        assert_eq!(net.total_bytes(), 30);
+    }
+
+    #[test]
+    fn links_are_bidirectional_but_independent() {
+        let (mut net, a, b) = pair(LinkParams { latency_ns: 0, bandwidth_bps: 1_000 });
+        let t_ab = net.send(a, b, vec![0u8; 1000]).unwrap(); // 1 s tx
+        let t_ba = net.send(b, a, vec![0u8; 1000]).unwrap(); // not queued behind a→b
+        assert_eq!(t_ab, t_ba);
+    }
+
+    #[test]
+    fn node_names_and_count() {
+        let mut net = Network::new();
+        let a = net.add_node("alpha");
+        assert_eq!(net.node_name(a), "alpha");
+        assert_eq!(net.node_count(), 1);
+        assert_eq!(a.to_string(), "n0");
+    }
+
+    #[test]
+    fn link_down_blocks_new_sends_but_delivers_in_flight() {
+        let (mut net, a, b) = pair(LinkParams::lan());
+        net.send(a, b, vec![1]).unwrap();
+        net.set_link_up(a, b, false);
+        assert!(!net.link_is_up(a, b));
+        assert!(!net.link_is_up(b, a));
+        assert_eq!(net.send(a, b, vec![2]).unwrap_err(), NetError::LinkDown(a, b));
+        // The message sent before the partition still arrives.
+        assert_eq!(net.step().unwrap().payload, vec![1]);
+        assert!(net.step().is_none());
+        // Healing restores service.
+        net.set_link_up(a, b, true);
+        net.send(a, b, vec![3]).unwrap();
+        assert_eq!(net.step().unwrap().payload, vec![3]);
+    }
+
+    #[test]
+    fn set_link_up_on_missing_link_is_noop() {
+        let mut net = Network::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.set_link_up(a, b, false);
+        assert!(!net.link_is_up(a, b)); // still no link at all
+        assert_eq!(net.send(a, b, vec![]).unwrap_err(), NetError::NoRoute(a, b));
+    }
+
+    #[test]
+    fn tx_time_handles_infinite_bandwidth() {
+        assert_eq!(LinkParams::ideal().tx_time_ns(1 << 20), 0);
+        assert_eq!(
+            LinkParams { latency_ns: 0, bandwidth_bps: 1_000_000_000 }.tx_time_ns(1_000),
+            1_000
+        );
+    }
+}

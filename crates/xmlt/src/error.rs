@@ -1,0 +1,43 @@
+//! Error types for XML parsing and XSLT processing.
+
+use std::fmt;
+
+/// Errors from the XML/XSLT baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlError {
+    /// Malformed XML text.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A stylesheet uses unsupported or malformed XSLT.
+    Stylesheet(String),
+    /// An XPath expression is malformed or unsupported.
+    XPath(String),
+    /// Converting an XML tree back into a typed record failed.
+    Convert(String),
+}
+
+impl XmlError {
+    pub(crate) fn parse(offset: usize, msg: impl Into<String>) -> XmlError {
+        XmlError::Parse { offset, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { offset, msg } => write!(f, "XML parse error at byte {offset}: {msg}"),
+            XmlError::Stylesheet(msg) => write!(f, "bad stylesheet: {msg}"),
+            XmlError::XPath(msg) => write!(f, "bad XPath expression: {msg}"),
+            XmlError::Convert(msg) => write!(f, "XML-to-record conversion failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience alias for XML results.
+pub type Result<T> = std::result::Result<T, XmlError>;

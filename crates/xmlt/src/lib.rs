@@ -1,0 +1,46 @@
+//! # xmlt — XML + XSLT baseline
+//!
+//! The comparison technology of the paper's evaluation (§5): messages
+//! encoded as XML text (libxml2's role) and transformed with XSLT
+//! stylesheets (libxslt's role). Implemented from scratch so the evaluation
+//! runs offline; the cost *structure* matches the measured systems — text
+//! parse → DOM → (optional XSLT producing a second DOM) → tree-walk into a
+//! typed record — which is what the paper's Figures 8–10 measure.
+//!
+//! - [`parse`] / [`write::to_string`]: XML text ↔ [`Element`] DOM.
+//! - [`value_to_xml`] / [`xml_to_value`]: typed [`pbio::Value`] records ↔
+//!   XML (the paper's `sprintf`-style encoder and tree-walk decoder).
+//! - [`Stylesheet`]: an XSLT 1.0 subset engine with the XPath features the
+//!   evaluation's transformations need.
+//!
+//! ```
+//! # fn main() -> Result<(), xmlt::XmlError> {
+//! use xmlt::{parse, Stylesheet};
+//!
+//! let doc = parse("<order><item>widget</item><item>gadget</item></order>")?;
+//! let ss = Stylesheet::parse(r#"
+//!   <xsl:stylesheet>
+//!     <xsl:template match="/order">
+//!       <summary><n><xsl:value-of select="count(item)"/></n></summary>
+//!     </xsl:template>
+//!   </xsl:stylesheet>"#)?;
+//! assert_eq!(ss.transform(&doc)?.string_value(), "2");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dom;
+mod error;
+mod parse;
+mod ser;
+pub mod write;
+mod xslt;
+
+pub use dom::{Element, XmlNode};
+pub use error::{Result, XmlError};
+pub use parse::parse;
+pub use ser::{element_to_value, value_to_xml, value_to_xml_into, xml_to_value};
+pub use xslt::{parse_expr, parse_path, Cmp, Expr, Path, Stylesheet};

@@ -1,0 +1,329 @@
+//! XML parser: text → [`Element`] tree.
+//!
+//! Supports the subset of XML the evaluation needs (and that libxml2 spent
+//! its time on in the paper's measurements): elements, attributes, character
+//! data with the five predefined entities plus numeric references, comments,
+//! CDATA, processing instructions, and an optional XML declaration.
+
+use crate::dom::{Element, XmlNode};
+use crate::error::{Result, XmlError};
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(XmlError::parse(self.pos, msg))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &[u8]) -> bool {
+        self.src[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", c as char))
+        }
+    }
+
+    fn name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with(b"<?") {
+                // XML declaration / processing instruction.
+                match self.find(b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return self.err("unterminated processing instruction"),
+                }
+            } else if self.starts_with(b"<!--") {
+                match self.find(b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else if self.starts_with(b"<!DOCTYPE") {
+                // Skip to the closing `>` (no internal subsets supported).
+                match self.src[self.pos..].iter().position(|&c| c == b'>') {
+                    Some(off) => self.pos += off + 1,
+                    None => return self.err("unterminated DOCTYPE"),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn find(&self, needle: &[u8]) -> Option<usize> {
+        self.src[self.pos..]
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .map(|off| self.pos + off)
+    }
+
+    fn decode_entities(&self, raw: &[u8]) -> Result<String> {
+        let mut out = String::with_capacity(raw.len());
+        let mut i = 0;
+        while i < raw.len() {
+            if raw[i] == b'&' {
+                let end = raw[i..]
+                    .iter()
+                    .position(|&c| c == b';')
+                    .map(|off| i + off)
+                    .ok_or_else(|| XmlError::parse(self.pos, "unterminated entity reference"))?;
+                let ent = &raw[i + 1..end];
+                match ent {
+                    b"lt" => out.push('<'),
+                    b"gt" => out.push('>'),
+                    b"amp" => out.push('&'),
+                    b"quot" => out.push('"'),
+                    b"apos" => out.push('\''),
+                    _ if ent.first() == Some(&b'#') => {
+                        let text = std::str::from_utf8(&ent[1..]).map_err(|_| {
+                            XmlError::parse(self.pos, "bad numeric character reference")
+                        })?;
+                        let code = if let Some(hex) = text.strip_prefix('x') {
+                            u32::from_str_radix(hex, 16)
+                        } else {
+                            text.parse::<u32>()
+                        }
+                        .map_err(|_| {
+                            XmlError::parse(self.pos, "bad numeric character reference")
+                        })?;
+                        out.push(char::from_u32(code).ok_or_else(|| {
+                            XmlError::parse(self.pos, "invalid character reference")
+                        })?);
+                    }
+                    _ => {
+                        return Err(XmlError::parse(
+                            self.pos,
+                            format!(
+                                "unknown entity `&{};`",
+                                String::from_utf8_lossy(ent)
+                            ),
+                        ))
+                    }
+                }
+                i = end + 1;
+            } else {
+                // Raw UTF-8 byte: copy the full code point.
+                let s = std::str::from_utf8(&raw[i..])
+                    .map_err(|_| XmlError::parse(self.pos, "invalid UTF-8 in text"))?;
+                let ch = s.chars().next().expect("non-empty checked by loop bound");
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+        Ok(out)
+    }
+
+    fn attribute(&mut self) -> Result<(String, String)> {
+        let name = self.name()?;
+        self.skip_ws();
+        self.expect(b'=')?;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek() != Some(quote) {
+            return self.err("unterminated attribute value");
+        }
+        let value = self.decode_entities(&self.src[start..self.pos])?;
+        self.pos += 1;
+        Ok((name, value))
+    }
+
+    fn element(&mut self) -> Result<Element> {
+        self.expect(b'<')?;
+        let name = self.name()?;
+        let mut el = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(el); // self-closing
+                }
+                Some(_) => {
+                    el.attrs.push(self.attribute()?);
+                }
+                None => return self.err("unterminated start tag"),
+            }
+        }
+        // Content.
+        loop {
+            if self.starts_with(b"</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != el.name {
+                    return self.err(format!(
+                        "mismatched closing tag `</{close}>` for `<{}>`",
+                        el.name
+                    ));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                return Ok(el);
+            } else if self.starts_with(b"<!--") {
+                match self.find(b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return self.err("unterminated comment"),
+                }
+            } else if self.starts_with(b"<![CDATA[") {
+                self.pos += 9;
+                match self.find(b"]]>") {
+                    Some(end) => {
+                        let text = String::from_utf8_lossy(&self.src[self.pos..end]).into_owned();
+                        el.children.push(XmlNode::Text(text));
+                        self.pos = end + 3;
+                    }
+                    None => return self.err("unterminated CDATA section"),
+                }
+            } else if self.starts_with(b"<?") {
+                match self.find(b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return self.err("unterminated processing instruction"),
+                }
+            } else if self.peek() == Some(b'<') {
+                let child = self.element()?;
+                el.children.push(XmlNode::Element(child));
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = self.decode_entities(&self.src[start..self.pos])?;
+                if !text.is_empty() {
+                    el.children.push(XmlNode::Text(text));
+                }
+            } else {
+                return self.err(format!("unterminated element `<{}>`", el.name));
+            }
+        }
+    }
+}
+
+/// Parses an XML document, returning its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError::Parse`] with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Element> {
+    let mut p = Parser { src: text.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.src.len() {
+        return p.err("trailing content after document element");
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let e = parse("<a><b>hello</b><c/></a>").unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.elements().count(), 2);
+        assert_eq!(e.first_named("b").unwrap().string_value(), "hello");
+        assert!(e.first_named("c").unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn parses_attributes_both_quotes() {
+        let e = parse(r#"<a x="1" y='two &amp; three'/>"#).unwrap();
+        assert_eq!(e.attribute("x"), Some("1"));
+        assert_eq!(e.attribute("y"), Some("two & three"));
+    }
+
+    #[test]
+    fn decodes_entities_and_char_refs() {
+        let e = parse("<a>&lt;x&gt; &amp; &quot;q&quot; &apos;a&apos; &#65; &#x42;</a>").unwrap();
+        assert_eq!(e.string_value(), "<x> & \"q\" 'a' A B");
+    }
+
+    #[test]
+    fn skips_decl_comments_pi_doctype() {
+        let e = parse(
+            "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><?pi data?><!-- in -->x</a>",
+        )
+        .unwrap();
+        assert_eq!(e.string_value(), "x");
+    }
+
+    #[test]
+    fn cdata_preserved_verbatim() {
+        let e = parse("<a><![CDATA[<not & parsed>]]></a>").unwrap();
+        assert_eq!(e.string_value(), "<not & parsed>");
+    }
+
+    #[test]
+    fn unicode_text_roundtrips() {
+        let e = parse("<a>héllo wörld ☃</a>").unwrap();
+        assert_eq!(e.string_value(), "héllo wörld ☃");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a>&bogus;</a>").is_err());
+        assert!(parse("<a x=1/>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("plain text").is_err());
+        assert!(parse("<a><!-- unterminated</a>").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let src = r#"<order id="7"><item n="1">a&amp;b</item><empty/></order>"#;
+        let e = parse(src).unwrap();
+        let out = crate::write::to_string(&e);
+        let e2 = parse(&out).unwrap();
+        assert_eq!(e, e2);
+    }
+}

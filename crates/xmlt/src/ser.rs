@@ -1,0 +1,281 @@
+//! Typed record values ↔ XML, the counterpart of PBIO's encoder/decoder on
+//! the baseline side of the evaluation.
+//!
+//! Encoding builds the XML string directly (the paper's `sprintf`/`strcat`
+//! approach) without constructing a DOM. Decoding parses to a DOM and walks
+//! it back into a typed [`Value`] "data structure block", which is exactly
+//! the three-step cost structure the paper measures for XML.
+
+use pbio::{ArrayLen, BasicType, FieldType, RecordFormat, Value};
+
+use crate::dom::Element;
+use crate::error::{Result, XmlError};
+use crate::write::escape_into;
+
+// -- encoding -----------------------------------------------------------------
+
+fn push_basic(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            let mut buf = itoa_buf(*i);
+            out.push_str(&mut buf);
+        }
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => out.push_str(&f.to_string()),
+        Value::Char(c) => out.push_str(&i64::from(*c).to_string()),
+        Value::Enum(d) => out.push_str(&d.to_string()),
+        Value::Str(s) => escape_into(s, out),
+        Value::Record(_) | Value::Array(_) => {}
+    }
+}
+
+// Small decimal formatter to keep the fast path allocation-free for the
+// common integer case.
+fn itoa_buf(v: i64) -> String {
+    let mut s = String::with_capacity(20);
+    use std::fmt::Write as _;
+    let _ = write!(s, "{v}");
+    s
+}
+
+fn encode_field(name: &str, v: &Value, ty: &FieldType, out: &mut String) {
+    match (ty, v) {
+        (FieldType::Array { elem, .. }, Value::Array(es)) => {
+            for e in es {
+                encode_one(name, e, elem, out);
+            }
+        }
+        _ => encode_one(name, v, ty, out),
+    }
+}
+
+fn encode_one(name: &str, v: &Value, ty: &FieldType, out: &mut String) {
+    out.push('<');
+    out.push_str(name);
+    out.push('>');
+    match (ty, v) {
+        (FieldType::Record(r), Value::Record(_)) => encode_fields(v, r, out),
+        _ => push_basic(v, out),
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+fn encode_fields(v: &Value, format: &RecordFormat, out: &mut String) {
+    let Some(fields) = v.as_record() else { return };
+    for (fv, fd) in fields.iter().zip(format.fields()) {
+        encode_field(fd.name(), fv, fd.ty(), out);
+    }
+}
+
+/// Encodes a record value as an XML document string (root element named
+/// after the format).
+pub fn value_to_xml(value: &Value, format: &RecordFormat) -> String {
+    let mut out = String::with_capacity(256);
+    value_to_xml_into(value, format, &mut out);
+    out
+}
+
+/// As [`value_to_xml`], appending into a caller-provided buffer.
+pub fn value_to_xml_into(value: &Value, format: &RecordFormat, out: &mut String) {
+    out.push('<');
+    out.push_str(format.name());
+    out.push('>');
+    encode_fields(value, format, out);
+    out.push_str("</");
+    out.push_str(format.name());
+    out.push('>');
+}
+
+// -- decoding -----------------------------------------------------------------
+
+fn parse_basic(text: &str, b: &BasicType, field: &str) -> Result<Value> {
+    let t = text.trim();
+    let bad = |k: &str| XmlError::Convert(format!("field `{field}`: `{t}` is not a valid {k}"));
+    Ok(match b {
+        BasicType::Int(_) => Value::Int(t.parse::<i64>().map_err(|_| bad("integer"))?),
+        BasicType::UInt(_) => Value::UInt(t.parse::<u64>().map_err(|_| bad("unsigned"))?),
+        BasicType::Float(_) => Value::Float(t.parse::<f64>().map_err(|_| bad("float"))?),
+        BasicType::Char => Value::Char(t.parse::<i64>().map_err(|_| bad("char code"))? as u8),
+        BasicType::Enum { .. } => Value::Enum(t.parse::<i32>().map_err(|_| bad("enum"))?),
+        BasicType::String => Value::Str(text.to_string()),
+    })
+}
+
+fn decode_elem(el: &Element, ty: &FieldType, field: &str) -> Result<Value> {
+    match ty {
+        FieldType::Basic(b) => parse_basic(&el.string_value(), b, field),
+        FieldType::Record(r) => decode_record(el, r),
+        FieldType::Array { .. } => Err(XmlError::Convert(format!(
+            "field `{field}`: nested arrays-of-arrays are not representable in this mapping"
+        ))),
+    }
+}
+
+fn decode_record(el: &Element, format: &RecordFormat) -> Result<Value> {
+    let mut out = Vec::with_capacity(format.fields().len());
+    for fd in format.fields() {
+        let v = match fd.ty() {
+            FieldType::Array { elem, .. } => {
+                let mut es = Vec::new();
+                for child in el.elements_named(fd.name()) {
+                    es.push(decode_elem(child, elem, fd.name())?);
+                }
+                Value::Array(es)
+            }
+            ty => match el.first_named(fd.name()) {
+                Some(child) => decode_elem(child, ty, fd.name())?,
+                None => fd.default().cloned().unwrap_or_else(|| Value::default_for(ty)),
+            },
+        };
+        out.push(v);
+    }
+    let mut rec = Value::Record(out);
+    // Re-synchronize variable-length counts with what was actually present.
+    sync_counts(&mut rec, format);
+    Ok(rec)
+}
+
+fn sync_counts(rec: &mut Value, format: &RecordFormat) {
+    let Some(fields) = rec.as_record_mut() else { return };
+    let mut updates = Vec::new();
+    for (i, fd) in format.fields().iter().enumerate() {
+        if let FieldType::Array { len: ArrayLen::LengthField(name), .. } = fd.ty() {
+            if let (Some(n), Some(ci)) = (
+                fields.get(i).and_then(Value::as_array).map(<[Value]>::len),
+                format.field_index(name),
+            ) {
+                updates.push((ci, n as u64));
+            }
+        }
+    }
+    for (ci, n) in updates {
+        fields[ci] = match fields[ci] {
+            Value::UInt(_) => Value::UInt(n),
+            _ => Value::Int(n as i64),
+        };
+    }
+}
+
+/// Decodes an XML document string into a record value shaped by `format` —
+/// parse tree construction plus tree walk, the XML decode path of Fig. 9.
+///
+/// # Errors
+///
+/// Returns parse errors and [`XmlError::Convert`] for untypable field text.
+pub fn xml_to_value(text: &str, format: &RecordFormat) -> Result<Value> {
+    let root = crate::parse::parse(text)?;
+    element_to_value(&root, format)
+}
+
+/// Decodes an already-parsed element into a record value (the tree-walk half
+/// of [`xml_to_value`], used after XSLT has produced a new tree).
+///
+/// # Errors
+///
+/// Returns [`XmlError::Convert`] for untypable field text.
+pub fn element_to_value(el: &Element, format: &RecordFormat) -> Result<Value> {
+    decode_record(el, format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio::FormatBuilder;
+    use std::sync::Arc;
+
+    fn member() -> Arc<RecordFormat> {
+        FormatBuilder::record("Member").string("info").int("ID").build_arc().unwrap()
+    }
+
+    fn resp() -> Arc<RecordFormat> {
+        FormatBuilder::record("Resp")
+            .int("count")
+            .var_array_of("list", member(), "count")
+            .build_arc()
+            .unwrap()
+    }
+
+    fn sample() -> Value {
+        Value::Record(vec![
+            Value::Int(2),
+            Value::Array(vec![
+                Value::Record(vec![Value::str("alpha"), Value::Int(1)]),
+                Value::Record(vec![Value::str("beta<&>"), Value::Int(2)]),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn encode_shape() {
+        let xml = value_to_xml(&sample(), &resp());
+        assert!(xml.starts_with("<Resp><count>2</count><list><info>alpha</info><ID>1</ID></list>"));
+        assert!(xml.contains("beta&lt;&amp;&gt;"));
+        assert!(xml.ends_with("</Resp>"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let fmt = resp();
+        let xml = value_to_xml(&sample(), &fmt);
+        let back = xml_to_value(&xml, &fmt).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        let fmt = FormatBuilder::record("S")
+            .int("i")
+            .uint("u")
+            .double("d")
+            .char("c")
+            .string("s")
+            .build_arc()
+            .unwrap();
+        let v = Value::Record(vec![
+            Value::Int(-5),
+            Value::UInt(7),
+            Value::Float(2.5),
+            Value::Char(65),
+            Value::str("hi there"),
+        ]);
+        let xml = value_to_xml(&v, &fmt);
+        assert_eq!(xml_to_value(&xml, &fmt).unwrap(), v);
+    }
+
+    #[test]
+    fn missing_fields_take_defaults() {
+        let fmt = FormatBuilder::record("S").int("a").int("b").build_arc().unwrap();
+        let v = xml_to_value("<S><a>3</a></S>", &fmt).unwrap();
+        assert_eq!(v, Value::Record(vec![Value::Int(3), Value::Int(0)]));
+    }
+
+    #[test]
+    fn count_resyncs_to_actual_elements() {
+        let fmt = resp();
+        // count says 5 but only one member present.
+        let xml = "<Resp><count>5</count><list><info>x</info><ID>1</ID></list></Resp>";
+        let v = xml_to_value(xml, &fmt).unwrap();
+        assert_eq!(v.field(&fmt, "count"), Some(&Value::Int(1)));
+        v.check(&fmt).unwrap();
+    }
+
+    #[test]
+    fn untypable_text_is_error() {
+        let fmt = FormatBuilder::record("S").int("a").build_arc().unwrap();
+        assert!(matches!(
+            xml_to_value("<S><a>not-a-number</a></S>", &fmt),
+            Err(XmlError::Convert(_))
+        ));
+    }
+
+    #[test]
+    fn xml_is_much_larger_than_pbio() {
+        // Table 1's qualitative claim: XML encoding inflates messages.
+        let fmt = resp();
+        let xml = value_to_xml(&sample(), &fmt);
+        let pbio_wire = pbio::Encoder::new(&fmt).encode(&sample()).unwrap();
+        assert!(xml.len() > 2 * pbio_wire.len());
+    }
+}

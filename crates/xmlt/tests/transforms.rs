@@ -1,0 +1,292 @@
+//! Stylesheet-level integration tests: realistic document transformations
+//! of the kind the paper's B2B scenario runs through the broker.
+
+use xmlt::{parse, parse_expr, value_to_xml, xml_to_value, Element, Stylesheet, XmlNode};
+
+fn order_doc() -> Element {
+    parse(
+        r#"<Order currency="USD">
+             <order_id>PO-77</order_id>
+             <customer>ACME</customer>
+             <lines><sku>A-1</sku><qty>2</qty><price>100</price></lines>
+             <lines><sku>B-9</sku><qty>1</qty><price>250</price></lines>
+             <lines><sku>C-4</sku><qty>7</qty><price>10</price></lines>
+           </Order>"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn reshape_with_predicates_and_counts() {
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order">
+               <Summary ref="{order_id}" cur="{@currency}">
+                 <big_lines><xsl:value-of select="count(lines[price &gt;= 100])"/></big_lines>
+                 <xsl:for-each select="lines[qty &gt; 1]">
+                   <bulk sku="{sku}"><xsl:value-of select="qty"/></bulk>
+                 </xsl:for-each>
+               </Summary>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    assert_eq!(out.name, "Summary");
+    assert_eq!(out.attribute("ref"), Some("PO-77"));
+    assert_eq!(out.attribute("cur"), Some("USD"));
+    assert_eq!(out.first_named("big_lines").unwrap().string_value(), "2");
+    let bulk: Vec<(&str, String)> = out
+        .elements_named("bulk")
+        .map(|e| (e.attribute("sku").unwrap(), e.string_value()))
+        .collect();
+    assert_eq!(bulk, vec![("A-1", "2".to_string()), ("C-4", "7".to_string())]);
+}
+
+#[test]
+fn choose_inside_for_each() {
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order">
+               <Tiers>
+                 <xsl:for-each select="lines">
+                   <t><xsl:choose>
+                     <xsl:when test="price &gt;= 200">premium</xsl:when>
+                     <xsl:when test="price &gt;= 50">standard</xsl:when>
+                     <xsl:otherwise>budget</xsl:otherwise>
+                   </xsl:choose></t>
+                 </xsl:for-each>
+               </Tiers>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    let tiers: Vec<String> = out.elements_named("t").map(|e| e.string_value()).collect();
+    assert_eq!(tiers, ["standard", "premium", "budget"]);
+}
+
+#[test]
+fn identityish_template_dispatch() {
+    // Per-element templates compose a new document from pieces.
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order">
+               <Flat><xsl:apply-templates/></Flat>
+             </xsl:template>
+             <xsl:template match="order_id"><id><xsl:value-of select="."/></id></xsl:template>
+             <xsl:template match="customer"><who><xsl:value-of select="."/></who></xsl:template>
+             <xsl:template match="lines"><sku><xsl:value-of select="sku"/></sku></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    let names: Vec<&str> = out.elements().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["id", "who", "sku", "sku", "sku"]);
+}
+
+#[test]
+fn deep_paths_and_dot() {
+    let doc = parse("<a><b><c><d>leaf</d></c></b></a>").unwrap();
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/a">
+               <out>
+                 <one><xsl:value-of select="b/c/d"/></one>
+                 <xsl:for-each select="b/c"><two><xsl:value-of select="d"/></two></xsl:for-each>
+                 <xsl:for-each select="b/c/d"><three><xsl:value-of select="."/></three></xsl:for-each>
+               </out>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&doc).unwrap();
+    for tag in ["one", "two", "three"] {
+        assert_eq!(out.first_named(tag).unwrap().string_value(), "leaf", "{tag}");
+    }
+}
+
+#[test]
+fn absolute_paths_from_nested_context() {
+    // Inside a for-each, absolute paths still address the document root.
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order">
+               <R><xsl:for-each select="lines">
+                 <l><xsl:value-of select="sku"/>@<xsl:value-of select="/Order/order_id"/></l>
+               </xsl:for-each></R>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    let first = out.elements_named("l").next().unwrap();
+    assert_eq!(first.string_value(), "A-1@PO-77");
+}
+
+#[test]
+fn escaping_survives_the_whole_pipeline() {
+    let fmt = pbio::FormatBuilder::record("Msg").string("text").build_arc().unwrap();
+    let nasty = "a<b>&c \"quoted\" 'single' \u{00e9}\u{2603}";
+    let v = pbio::Value::Record(vec![pbio::Value::str(nasty)]);
+    let xml = value_to_xml(&v, &fmt);
+    // Through a pass-through stylesheet and back to a typed value.
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Msg"><Msg><text><xsl:value-of select="text"/></text></Msg></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let doc = parse(&xml).unwrap();
+    let out = ss.transform(&doc).unwrap();
+    let back = xmlt::element_to_value(&out, &fmt).unwrap();
+    assert_eq!(back, v);
+    let _ = xml_to_value(&xml, &fmt).unwrap();
+}
+
+#[test]
+fn numeric_vs_string_comparison_semantics() {
+    // '10' > '9' numerically but not lexicographically; engine must pick
+    // numeric when both sides are numeric.
+    let doc = parse("<a><v>10</v><w>nine</w></a>").unwrap();
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/a">
+               <r>
+                 <xsl:if test="v &gt; 9">NUM</xsl:if>
+                 <xsl:if test="w = 'nine'">STR</xsl:if>
+               </r>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    assert_eq!(ss.transform(&doc).unwrap().string_value(), "NUMSTR");
+}
+
+#[test]
+fn empty_node_sets_behave() {
+    let doc = parse("<a><b>1</b></a>").unwrap();
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/a">
+               <r>
+                 <missing><xsl:value-of select="nope"/></missing>
+                 <count><xsl:value-of select="count(nope)"/></count>
+                 <xsl:if test="not(nope)">ABSENT</xsl:if>
+                 <xsl:for-each select="nope"><never/></xsl:for-each>
+               </r>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&doc).unwrap();
+    assert_eq!(out.first_named("missing").unwrap().string_value(), "");
+    assert_eq!(out.first_named("count").unwrap().string_value(), "0");
+    assert!(out.string_value().contains("ABSENT"));
+    assert!(out.first_named("never").is_none());
+}
+
+#[test]
+fn expression_parser_corner_cases() {
+    assert!(parse_expr("a/b[c = 'x' and d &gt; 2]").is_err()); // entities are XML-level, not XPath
+    assert!(parse_expr("a/b[c = 'x' and d > 2]").is_ok());
+    assert!(parse_expr("not(count(a) = 0) or b = 1.5").is_ok());
+    assert!(parse_expr("'unterminated").is_err());
+    assert!(parse_expr("a b").is_err());
+}
+
+#[test]
+fn text_nodes_preserved_in_literal_bodies() {
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/a"><r>pre <xsl:value-of select="b"/> post</r></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&parse("<a><b>X</b></a>").unwrap()).unwrap();
+    assert_eq!(out.string_value(), "pre X post");
+    // Compact writer round-trips the mixed content (adjacent text nodes
+    // coalesce on reparse, so compare string values, not node structure).
+    let text = xmlt::write::to_string(&out);
+    assert_eq!(parse(&text).unwrap().string_value(), out.string_value());
+    assert!(matches!(out.children[0], XmlNode::Text(_)));
+}
+
+#[test]
+fn position_and_last() {
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order">
+               <R><xsl:for-each select="lines">
+                 <l n="{position()}" of="{last()}"><xsl:value-of select="sku"/></l>
+               </xsl:for-each></R>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    let tags: Vec<(String, String)> = out
+        .elements_named("l")
+        .map(|e| (e.attribute("n").unwrap().to_string(), e.attribute("of").unwrap().to_string()))
+        .collect();
+    assert_eq!(
+        tags,
+        vec![
+            ("1".to_string(), "3".to_string()),
+            ("2".to_string(), "3".to_string()),
+            ("3".to_string(), "3".to_string())
+        ]
+    );
+}
+
+#[test]
+fn numeric_predicates_are_position_tests() {
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order">
+               <R>
+                 <second><xsl:value-of select="lines[2]/sku"/></second>
+                 <lastone><xsl:value-of select="lines[position() = last()]/sku"/></lastone>
+                 <tail><xsl:value-of select="count(lines[position() &gt; 1])"/></tail>
+               </R>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    assert_eq!(out.first_named("second").unwrap().string_value(), "B-9");
+    assert_eq!(out.first_named("lastone").unwrap().string_value(), "C-4");
+    assert_eq!(out.first_named("tail").unwrap().string_value(), "2");
+}
+
+#[test]
+fn copy_of_deep_copies_subtrees() {
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order">
+               <Kept><xsl:copy-of select="lines[qty &gt; 1]"/></Kept>
+             </xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    let kept: Vec<&Element> = out.elements_named("lines").collect();
+    assert_eq!(kept.len(), 2);
+    // Deep copy: nested structure intact, including untouched children.
+    assert_eq!(kept[0].first_named("sku").unwrap().string_value(), "A-1");
+    assert_eq!(kept[0].first_named("price").unwrap().string_value(), "100");
+}
+
+#[test]
+fn position_inside_apply_templates() {
+    let ss = Stylesheet::parse(
+        r#"<xsl:stylesheet>
+             <xsl:template match="/Order"><R><xsl:apply-templates select="lines"/></R></xsl:template>
+             <xsl:template match="lines"><n><xsl:value-of select="position()"/></n></xsl:template>
+           </xsl:stylesheet>"#,
+    )
+    .unwrap();
+    let out = ss.transform(&order_doc()).unwrap();
+    let ns: Vec<String> = out.elements_named("n").map(|e| e.string_value()).collect();
+    assert_eq!(ns, ["1", "2", "3"]);
+}

@@ -1,0 +1,129 @@
+//! Compatibility-space expansion with MaxMatch thresholds.
+//!
+//! A monitoring station collects `Msg {load, mem, net}` reports (the
+//! paper's Fig. 2 format) from a fleet of agents. Over time, agents were
+//! rebuilt by different teams and now speak *four* different dialects:
+//! some reordered fields, some added fields, some renamed half the record.
+//! No transformations were ever written — this example shows how far the
+//! *automatic* part of morphing (MaxMatch + default fill + extra removal)
+//! stretches the compatibility space, and how the thresholds bound it.
+//!
+//! Run with: `cargo run --example load_monitor`
+
+use std::sync::{Arc, Mutex};
+
+use message_morphing::prelude::*;
+use morph::Delivery;
+use pbio::RecordFormat;
+use std::sync::Arc as SArc;
+
+fn station_format() -> SArc<RecordFormat> {
+    FormatBuilder::record("Msg").int("load").int("mem").int("net").build_arc().expect("static")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let station_fmt = station_format();
+
+    // Dialect A: the original format — exact match.
+    let a = station_fmt.clone();
+    // Dialect B: same fields, different order — plan-level reordering.
+    let b = FormatBuilder::record("Msg").int("net").int("load").int("mem").build_arc()?;
+    // Dialect C: extra diagnostics fields — extras dropped, still admissible.
+    let c = FormatBuilder::record("Msg")
+        .int("load")
+        .int("mem")
+        .int("net")
+        .int("iowait")
+        .double("temperature")
+        .build_arc()?;
+    // Dialect D: a rogue rewrite that shares only one field name — the
+    // Mismatch Ratio rejects it (defaults would dominate the record).
+    let d = FormatBuilder::record("Msg")
+        .int("load")
+        .string("hostname")
+        .string("kernel")
+        .build_arc()?;
+
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&received);
+    let rejected = Arc::new(Mutex::new(0usize));
+    let rej = Arc::clone(&rejected);
+
+    // Thresholds: tolerate a couple of dropped fields, but require that at
+    // least ~2/3 of the station's record has a real source.
+    let mut station = MorphReceiver::with_config(MatchConfig {
+        diff_threshold: 4,
+        mismatch_threshold: 0.34,
+    });
+    station.register_handler(&station_fmt, move |v| sink.lock().unwrap().push(v));
+    station.register_default_handler(move |fmt, _v| {
+        println!("  -> default handler caught a `{}` message", fmt.name());
+        *rej.lock().unwrap() += 1;
+    });
+    for fmt in [&b, &c, &d] {
+        station.import_format(SArc::clone(fmt));
+    }
+
+    let send = |station: &mut MorphReceiver, fmt: &SArc<RecordFormat>, fields: Vec<Value>| {
+        let wire = Encoder::new(fmt).encode(&Value::Record(fields)).expect("encode");
+        station.process(&wire).expect("process")
+    };
+
+    println!("dialect A (identical):");
+    let d1 = send(&mut station, &a, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+    println!("  delivery: {d1:?}");
+
+    println!("dialect B (reordered fields):");
+    let d2 = send(&mut station, &b, vec![Value::Int(30), Value::Int(10), Value::Int(20)]);
+    println!("  delivery: {d2:?}");
+
+    println!("dialect C (extra fields):");
+    let d3 = send(
+        &mut station,
+        &c,
+        vec![
+            Value::Int(100),
+            Value::Int(200),
+            Value::Int(300),
+            Value::Int(5),
+            Value::Float(58.5),
+        ],
+    );
+    println!("  delivery: {d3:?}");
+
+    println!("dialect D (mostly renamed — inadmissible):");
+    let d4 = send(
+        &mut station,
+        &d,
+        vec![Value::Int(7), Value::str("node-9"), Value::str("2.4.20")],
+    );
+    println!("  delivery: {d4:?}");
+
+    let got = received.lock().unwrap();
+    assert_eq!(got.len(), 3, "A, B, C delivered");
+    // B arrived reordered but lands station-shaped.
+    assert_eq!(got[1], Value::Record(vec![Value::Int(10), Value::Int(20), Value::Int(30)]));
+    // C's extras are gone.
+    assert_eq!(got[2], Value::Record(vec![Value::Int(100), Value::Int(200), Value::Int(300)]));
+    drop(got);
+    assert_eq!(*rejected.lock().unwrap(), 1, "D fell to the default handler");
+    assert_eq!(d4, Delivery::DeliveredDefault);
+
+    // The quantitative view: diff / Mr per dialect against the station.
+    println!("\nMaxMatch arithmetic vs the station format:");
+    for (name, fmt) in [("A", &a), ("B", &b), ("C", &c), ("D", &d)] {
+        println!(
+            "  dialect {name}: diff(in, station)={} diff(station, in)={} Mr={:.2}",
+            diff(fmt, &station_fmt),
+            diff(&station_fmt, fmt),
+            mismatch_ratio(fmt, &station_fmt),
+        );
+    }
+
+    let s = station.stats();
+    println!(
+        "\nstation stats: messages={} exact={} near={} defaults={} (0 transformations written)",
+        s.messages, s.exact_matches, s.near_matches, s.defaults
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: the minimal message-morphing round trip.
+//!
+//! A "new" server encodes messages in an evolved format; an "old" client
+//! that only understands the original format still receives every message,
+//! because the new format ships with a retro-transformation that the
+//! client's morphing receiver compiles (once) and applies (per message).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::{Arc, Mutex};
+
+use message_morphing::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -- The old protocol: a flat load report (paper Fig. 2). -------------
+    let v1 = FormatBuilder::record("LoadReport")
+        .int("load")
+        .int("mem")
+        .int("net")
+        .build_arc()?;
+
+    // -- The protocol evolves: finer-grained fields, new layout. ----------
+    let v2 = FormatBuilder::record("LoadReport")
+        .int("load_user")
+        .int("load_system")
+        .int("mem")
+        .int("net_rx")
+        .int("net_tx")
+        .build_arc()?;
+
+    // The v2 designers attach a retro-transformation (Ecode, a C subset)
+    // describing how a v2 report collapses into a v1 report.
+    let retro = Transformation::new(
+        v2.clone(),
+        v1.clone(),
+        r#"
+            old.load = new.load_user + new.load_system;
+            old.mem  = new.mem;
+            old.net  = new.net_rx + new.net_tx;
+        "#,
+    );
+
+    // -- The old client: registers only the v1 format. --------------------
+    let received = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&received);
+    let mut client = MorphReceiver::new();
+    client.register_handler(&v1, move |v| sink.lock().unwrap().push(v));
+    // Out-of-band meta-data arrival (format server / handshake).
+    client.import_transformation(retro);
+
+    // -- The new server sends v2 messages to everyone. ---------------------
+    let server = Encoder::new(&v2);
+    for i in 0..5i64 {
+        let report = Value::Record(vec![
+            Value::Int(10 + i), // load_user
+            Value::Int(5),      // load_system
+            Value::Int(4096),   // mem
+            Value::Int(100 * i), // net_rx
+            Value::Int(50 * i),  // net_tx
+        ]);
+        let wire = server.encode(&report)?;
+        client.process(&wire)?;
+    }
+
+    // -- The old client saw v1-shaped values, none the wiser. -------------
+    println!("old client received {} reports:", received.lock().unwrap().len());
+    for v in received.lock().unwrap().iter() {
+        println!(
+            "  load={} mem={} net={}",
+            v.field(&v1, "load").unwrap(),
+            v.field(&v1, "mem").unwrap(),
+            v.field(&v1, "net").unwrap(),
+        );
+    }
+
+    let stats = client.stats();
+    println!(
+        "\nmorphing stats: {} messages, {} cache hits, {} transformation compile(s)",
+        stats.messages, stats.cache_hits, stats.compiles
+    );
+    assert_eq!(stats.messages, 5);
+    assert_eq!(stats.cache_hits, 4, "DCG ran once; the cache served the rest");
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Importance-weighted MaxMatch — the paper's §6 future work, implemented.
+//!
+//! Plain MaxMatch counts fields: ten matching debug counters outweigh one
+//! missing business-critical field. A `WeightProfile` fixes the arithmetic:
+//! each field carries an importance, `diff` and the Mismatch Ratio count
+//! importance mass, and the thresholds bound how much *importance* may be
+//! dropped or defaulted.
+//!
+//! Run with: `cargo run --example weighted_matching`
+
+use std::sync::{Arc, Mutex};
+
+use message_morphing::prelude::*;
+use morph::weighted::{wdiff, wmismatch_ratio, WeightProfile, WeightedConfig};
+use morph::Delivery;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The billing system's record: one field that matters, much telemetry.
+    let billing = FormatBuilder::record("Invoice")
+        .int("amount_cents") // ← the only field anyone actually bills from
+        .int("trace_a")
+        .int("trace_b")
+        .int("trace_c")
+        .int("trace_d")
+        .build_arc()?;
+
+    // A rewritten upstream service: kept all the telemetry, renamed the
+    // money field. Syntactically a 4/5 match; semantically a disaster.
+    let rogue = FormatBuilder::record("Invoice")
+        .int("amount") // renamed!
+        .int("trace_a")
+        .int("trace_b")
+        .int("trace_c")
+        .int("trace_d")
+        .build_arc()?;
+
+    let profile = WeightProfile::new()
+        .weight("amount_cents", 100.0)
+        .weight("trace_*", 0.1);
+
+    println!("match arithmetic, rogue → billing:");
+    println!(
+        "  unweighted: diff = {}   Mr = {:.2}   (looks nearly perfect)",
+        morph::diff(&rogue, &billing),
+        morph::mismatch_ratio(&rogue, &billing),
+    );
+    println!(
+        "  weighted:   wdiff = {:.1} wMr = {:.2} (the money is missing)",
+        wdiff(&rogue, &billing, &profile),
+        wmismatch_ratio(&rogue, &billing, &profile),
+    );
+
+    let rogue_wire = Encoder::new(&rogue).encode(&Value::Record(vec![
+        Value::Int(99_00), // would be silently zeroed by a naive match!
+        Value::Int(1),
+        Value::Int(2),
+        Value::Int(3),
+        Value::Int(4),
+    ]))?;
+
+    // -- Receiver 1: stock thresholds, field-count matching. ----------------
+    let naive_got = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&naive_got);
+    let mut naive = MorphReceiver::with_config(MatchConfig {
+        diff_threshold: 4,
+        mismatch_threshold: 0.25,
+    });
+    naive.register_handler(&billing, move |v| sink.lock().unwrap().push(v));
+    naive.import_format(rogue.clone());
+    let d1 = naive.process(&rogue_wire)?;
+    println!("\nfield-count receiver: {d1:?}");
+    if let Some(v) = naive_got.lock().unwrap().first() {
+        println!(
+            "  delivered invoice with amount_cents = {} (silently defaulted!)",
+            v.field(&billing, "amount_cents").unwrap()
+        );
+    }
+
+    // -- Receiver 2: same message, importance-weighted policy. -------------
+    let weighted_got: Arc<Mutex<Vec<Value>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&weighted_got);
+    let mut weighted = MorphReceiver::new();
+    weighted.register_handler(&billing, move |v| sink.lock().unwrap().push(v));
+    weighted.import_format(rogue.clone());
+    weighted.set_weight_profile(
+        profile,
+        WeightedConfig { diff_threshold: 10.0, mismatch_threshold: 0.25 },
+    );
+    let d2 = weighted.process(&rogue_wire)?;
+    println!("weighted receiver:    {d2:?} (refuses to invent a zero amount)");
+
+    assert!(matches!(d1, Delivery::Delivered(_)));
+    assert_eq!(d2, Delivery::Rejected);
+
+    // The proper fix is, as always in this paper, a transformation — once
+    // someone writes the semantic mapping, the weighted receiver accepts.
+    weighted.import_transformation(Transformation::new(
+        rogue,
+        billing.clone(),
+        "old.amount_cents = new.amount;
+         old.trace_a = new.trace_a; old.trace_b = new.trace_b;
+         old.trace_c = new.trace_c; old.trace_d = new.trace_d;",
+    ));
+    let d3 = weighted.process(&rogue_wire)?;
+    println!("after a transformation is supplied: {d3:?}");
+    assert!(matches!(d3, Delivery::Delivered(_)));
+    let v = weighted_got.lock().unwrap().pop().unwrap();
+    assert_eq!(v.field(&billing, "amount_cents"), Some(&Value::Int(9900)));
+    println!(
+        "  amount_cents = {} — recovered semantically, not defaulted",
+        v.field(&billing, "amount_cents").unwrap()
+    );
+    Ok(())
+}

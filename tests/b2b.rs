@@ -1,0 +1,195 @@
+//! Integration: the B2B broker scenario (paper §4.2) — the morphing
+//! architecture and the XML/XSLT architecture must produce semantically
+//! identical supplier-side records, while the broker's work collapses to
+//! pure forwarding under morphing.
+
+use std::sync::{Arc, Mutex};
+
+use message_morphing::prelude::*;
+use pbio::RecordFormat;
+
+fn retailer_order() -> Arc<RecordFormat> {
+    FormatBuilder::record("Order")
+        .string("order_id")
+        .int("line_count")
+        .var_array_of(
+            "lines",
+            FormatBuilder::record("Line")
+                .string("sku")
+                .int("quantity")
+                .build_arc()
+                .unwrap(),
+            "line_count",
+        )
+        .build_arc()
+        .unwrap()
+}
+
+fn supplier_order() -> Arc<RecordFormat> {
+    FormatBuilder::record("Order")
+        .string("reference")
+        .int("item_count")
+        .var_array_of(
+            "items",
+            FormatBuilder::record("Item").string("part").int("qty").build_arc().unwrap(),
+            "item_count",
+        )
+        .build_arc()
+        .unwrap()
+}
+
+const ECODE: &str = r#"
+    int i;
+    old.reference = new.order_id;
+    old.item_count = new.line_count;
+    for (i = 0; i < new.line_count; i++) {
+        old.items[i].part = new.lines[i].sku;
+        old.items[i].qty = new.lines[i].quantity;
+    }
+"#;
+
+const XSL: &str = r#"
+  <xsl:stylesheet>
+    <xsl:template match="/Order">
+      <Order>
+        <reference><xsl:value-of select="order_id"/></reference>
+        <item_count><xsl:value-of select="line_count"/></item_count>
+        <xsl:for-each select="lines">
+          <items>
+            <part><xsl:value-of select="sku"/></part>
+            <qty><xsl:value-of select="quantity"/></qty>
+          </items>
+        </xsl:for-each>
+      </Order>
+    </xsl:template>
+  </xsl:stylesheet>"#;
+
+fn order(lines: usize) -> Value {
+    Value::Record(vec![
+        Value::str("ORD-1"),
+        Value::Int(lines as i64),
+        Value::Array(
+            (0..lines)
+                .map(|i| {
+                    Value::Record(vec![Value::str(format!("SKU-{i}")), Value::Int(i as i64 + 1)])
+                })
+                .collect(),
+        ),
+    ])
+}
+
+/// Converts one order via the XSLT-at-broker pipeline.
+fn via_xslt(v: &Value) -> Value {
+    let xml = value_to_xml(v, &retailer_order());
+    let doc = xmlt::parse(&xml).unwrap();
+    let ss = Stylesheet::parse(XSL).unwrap();
+    let out = ss.transform(&doc).unwrap();
+    xmlt::element_to_value(&out, &supplier_order()).unwrap()
+}
+
+/// Converts one order via the morphing-at-receiver pipeline.
+fn via_morphing(v: &Value) -> Value {
+    let got = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&got);
+    let mut rx = MorphReceiver::new();
+    rx.register_handler(&supplier_order(), move |v| *sink.lock().unwrap() = Some(v));
+    rx.import_transformation(Transformation::new(retailer_order(), supplier_order(), ECODE));
+    let wire = Encoder::new(&retailer_order()).encode(v).unwrap();
+    rx.process(&wire).unwrap();
+    let out = got.lock().unwrap().take().expect("delivered");
+    out
+}
+
+#[test]
+fn both_architectures_agree() {
+    for lines in [0, 1, 5, 37] {
+        let v = order(lines);
+        assert_eq!(via_xslt(&v), via_morphing(&v), "lines = {lines}");
+    }
+}
+
+#[test]
+fn outputs_conform_to_supplier_format() {
+    let v = order(12);
+    via_morphing(&v).check(&supplier_order()).unwrap();
+    via_xslt(&v).check(&supplier_order()).unwrap();
+}
+
+/// Under morphing the broker forwards the retailer's bytes untouched — the
+/// supplier's receiver accepts them directly (no broker re-encoding step
+/// can have occurred).
+#[test]
+fn broker_forwards_bytes_untouched() {
+    let wire = Encoder::new(&retailer_order()).encode(&order(3)).unwrap();
+    let forwarded = wire.clone(); // the broker's entire data path
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    let mut rx = MorphReceiver::new();
+    rx.register_handler(&supplier_order(), move |v| sink.lock().unwrap().push(v));
+    rx.import_transformation(Transformation::new(retailer_order(), supplier_order(), ECODE));
+    rx.process(&forwarded).unwrap();
+    assert_eq!(got.lock().unwrap().len(), 1);
+    assert_eq!(wire, forwarded);
+}
+
+/// Adding a new vendor is one transformation import, not a broker rebuild:
+/// a second supplier with yet another format starts understanding the same
+/// retailer stream.
+#[test]
+fn new_vendor_is_one_transformation() {
+    let vendor2 = FormatBuilder::record("Order")
+        .string("po_number")
+        .int("n")
+        .build_arc()
+        .unwrap();
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    let mut rx = MorphReceiver::new();
+    let v2 = vendor2.clone();
+    rx.register_handler(&vendor2, move |v| {
+        sink.lock().unwrap().push(v.field(&v2, "n").unwrap().as_i64().unwrap())
+    });
+    rx.import_transformation(Transformation::new(
+        retailer_order(),
+        vendor2,
+        "old.po_number = new.order_id; old.n = new.line_count;",
+    ));
+    let wire = Encoder::new(&retailer_order()).encode(&order(4)).unwrap();
+    rx.process(&wire).unwrap();
+    assert_eq!(*got.lock().unwrap(), vec![4]);
+}
+
+/// End-to-end over the simulated network: retailer → broker → supplier,
+/// with the broker doing byte forwarding only.
+#[test]
+fn b2b_over_simnet() {
+    let mut net = Network::new();
+    let retailer = net.add_node("retailer");
+    let broker = net.add_node("broker");
+    let supplier = net.add_node("supplier");
+    net.connect(retailer, broker, LinkParams::lan());
+    net.connect(broker, supplier, LinkParams::wan());
+
+    let wire = Encoder::new(&retailer_order()).encode(&order(7)).unwrap();
+    net.send(retailer, broker, wire).unwrap();
+
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    let mut rx = MorphReceiver::new();
+    rx.register_handler(&supplier_order(), move |v| sink.lock().unwrap().push(v));
+    rx.import_transformation(Transformation::new(retailer_order(), supplier_order(), ECODE));
+
+    net.run(|net, d| {
+        if d.to == broker {
+            net.send(broker, supplier, d.payload).unwrap(); // pure forwarding
+        } else if d.to == supplier {
+            rx.process(&d.payload).unwrap();
+        }
+    });
+    let got = got.lock().unwrap();
+    assert_eq!(got.len(), 1);
+    assert_eq!(
+        got[0].field(&supplier_order(), "item_count"),
+        Some(&Value::Int(7))
+    );
+}

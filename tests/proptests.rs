@@ -1,0 +1,517 @@
+//! Property-based tests over the core data structures and invariants:
+//! wire-format round trips, specialized-plan vs meta-data-driven decode
+//! agreement, MaxMatch arithmetic, Ecode VM vs interpreter equivalence, and
+//! XML round trips.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use message_morphing::prelude::*;
+use morph::MatchQuality;
+use pbio::{decode_payload, BasicType, FieldType, GenericDecoder, RecordFormat, Width};
+
+// -- random formats and conforming values --------------------------------------
+
+const NAME_POOL: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "count", "load", "mem", "net", "info", "id", "flag",
+    "value", "rate", "name",
+];
+
+#[derive(Debug, Clone)]
+enum FieldKind {
+    Int(usize),
+    UInt(usize),
+    Double,
+    Float,
+    Char,
+    Str,
+    Nested(Vec<(usize, FieldKind)>),
+    VarArray(Vec<(usize, FieldKind)>),
+    FixedArray(Vec<(usize, FieldKind)>, usize),
+}
+
+fn arb_scalar_kind() -> impl Strategy<Value = FieldKind> {
+    prop_oneof![
+        (0usize..4).prop_map(FieldKind::Int),
+        (0usize..4).prop_map(FieldKind::UInt),
+        Just(FieldKind::Double),
+        Just(FieldKind::Float),
+        Just(FieldKind::Char),
+        Just(FieldKind::Str),
+    ]
+}
+
+fn arb_fields(depth: u32) -> impl Strategy<Value = Vec<(usize, FieldKind)>> {
+    let kind = if depth == 0 {
+        arb_scalar_kind().boxed()
+    } else {
+        prop_oneof![
+            4 => arb_scalar_kind(),
+            1 => arb_fields(depth - 1).prop_map(FieldKind::Nested),
+            1 => arb_fields(depth - 1).prop_map(FieldKind::VarArray),
+        ]
+        .boxed()
+    };
+    // Unique name indices: sample a subset of the pool.
+    (proptest::sample::subsequence((0..NAME_POOL.len()).collect::<Vec<_>>(), 1..6), kind)
+        .prop_flat_map(move |(names, _)| {
+            let n = names.len();
+            (Just(names), proptest::collection::vec(arb_scalar_or(depth), n))
+        })
+        .prop_map(|(names, kinds)| names.into_iter().zip(kinds).collect())
+}
+
+fn arb_scalar_or(depth: u32) -> BoxedStrategy<FieldKind> {
+    if depth == 0 {
+        arb_scalar_kind().boxed()
+    } else {
+        prop_oneof![
+            5 => arb_scalar_kind(),
+            1 => arb_fields(depth - 1).prop_map(FieldKind::Nested),
+            1 => arb_fields(depth - 1).prop_map(FieldKind::VarArray),
+            1 => (arb_fields(depth - 1), 0usize..4)
+                .prop_map(|(f, n)| FieldKind::FixedArray(f, n)),
+        ]
+        .boxed()
+    }
+}
+
+fn widths() -> [Width; 4] {
+    [Width::W1, Width::W2, Width::W4, Width::W8]
+}
+
+/// Materializes a kind list into a format. Variable arrays get a dedicated
+/// count field inserted before them.
+fn build_format(name: &str, fields: &[(usize, FieldKind)]) -> Arc<RecordFormat> {
+    let mut b = FormatBuilder::record(name);
+    for (ni, kind) in fields {
+        let fname = NAME_POOL[*ni];
+        b = match kind {
+            FieldKind::Int(w) => b.field(
+                fname,
+                FieldType::Basic(BasicType::Int(widths()[*w])),
+            ),
+            FieldKind::UInt(w) => b.field(
+                fname,
+                FieldType::Basic(BasicType::UInt(widths()[*w])),
+            ),
+            FieldKind::Double => b.double(fname),
+            FieldKind::Float => b.float(fname),
+            FieldKind::Char => b.char(fname),
+            FieldKind::Str => b.string(fname),
+            FieldKind::Nested(inner) => {
+                b.nested(fname, build_format(&format!("N_{fname}"), inner))
+            }
+            FieldKind::VarArray(inner) => {
+                let count = format!("{fname}_count");
+                b.long(count.clone()).var_array_of(
+                    fname,
+                    build_format(&format!("E_{fname}"), inner),
+                    count,
+                )
+            }
+            FieldKind::FixedArray(inner, n) => b.fixed_array(
+                fname,
+                FieldType::Record(build_format(&format!("F_{fname}"), inner)),
+                *n,
+            ),
+        };
+    }
+    b.build_arc().expect("generated formats are valid")
+}
+
+/// A random value conforming to `fmt`, derived from a seed.
+fn value_for(fmt: &RecordFormat, rng: &mut SmallRng) -> Value {
+    let mut fields = Vec::with_capacity(fmt.fields().len());
+    // Variable-array counts must agree with the arrays; generate arrays
+    // first, then fix the counts.
+    for fd in fmt.fields() {
+        fields.push(value_for_type(fd.ty(), rng));
+    }
+    let mut v = Value::Record(fields);
+    pbio::sync_length_fields(&mut v, fmt);
+    v
+}
+
+fn value_for_type(ty: &FieldType, rng: &mut SmallRng) -> Value {
+    match ty {
+        FieldType::Basic(b) => match b {
+            BasicType::Int(w) => {
+                let bits = w.bytes() as u32 * 8 - 1;
+                let bound = if bits >= 63 { i64::MAX } else { (1i64 << bits) - 1 };
+                Value::Int(rng.gen_range(-bound..=bound))
+            }
+            BasicType::UInt(w) => {
+                let bits = w.bytes() as u32 * 8;
+                let bound = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                Value::UInt(rng.gen_range(0..=bound))
+            }
+            BasicType::Float(Width::W4) => Value::Float(f64::from(rng.gen::<f32>())),
+            BasicType::Float(_) => Value::Float(rng.gen::<f64>() * 1e6),
+            BasicType::Char => Value::Char(rng.gen()),
+            BasicType::Enum { variants, .. } => {
+                Value::Enum(variants[rng.gen_range(0..variants.len())].discriminant)
+            }
+            BasicType::String => {
+                let n = rng.gen_range(0..12);
+                Value::Str((0..n).map(|_| rng.gen_range('a'..='z')).collect())
+            }
+        },
+        FieldType::Record(r) => value_for(r, rng),
+        FieldType::Array { elem, len } => {
+            let n = match len {
+                pbio::ArrayLen::Fixed(n) => *n,
+                pbio::ArrayLen::LengthField(_) => rng.gen_range(0..4),
+            };
+            Value::Array((0..n).map(|_| value_for_type(elem, rng)).collect())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity, in both byte orders.
+    #[test]
+    fn pbio_roundtrip(fields in arb_fields(2), seed in any::<u64>()) {
+        let fmt = build_format("R", &fields);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = value_for(&fmt, &mut rng);
+        v.check(&fmt).unwrap();
+        for order in [pbio::ByteOrder::Little, pbio::ByteOrder::Big] {
+            let wire = pbio::Encoder::with_order(&fmt, order).encode(&v).unwrap();
+            let back = decode_payload(&fmt, &wire).unwrap();
+            prop_assert_eq!(&back, &v);
+        }
+    }
+
+    /// The specialized conversion plan computes exactly what the fully
+    /// meta-data-driven decoder computes, for arbitrary format pairs.
+    #[test]
+    fn plan_matches_generic_decoder(
+        from_fields in arb_fields(1),
+        to_fields in arb_fields(1),
+        seed in any::<u64>(),
+    ) {
+        let from = build_format("R", &from_fields);
+        let to = build_format("R", &to_fields);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = value_for(&from, &mut rng);
+        let wire = pbio::Encoder::new(&from).encode(&v).unwrap();
+        let plan = ConversionPlan::compile(&from, &to).unwrap();
+        let generic = GenericDecoder::new(from, to.clone());
+        let a = plan.execute(&wire).unwrap();
+        let b = generic.decode(&wire).unwrap();
+        prop_assert_eq!(&a, &b);
+        a.check(&to).unwrap();
+    }
+
+    /// Format meta-data serialization round-trips and preserves identity.
+    #[test]
+    fn format_metadata_roundtrip(fields in arb_fields(2)) {
+        let fmt = build_format("R", &fields);
+        let bytes = pbio::serialize_format(&fmt);
+        let back = pbio::deserialize_format(&bytes).unwrap();
+        prop_assert_eq!(format_id(&back), format_id(&fmt));
+        prop_assert_eq!(&back, &*fmt);
+    }
+
+    /// Algorithm 1 invariants: diff(f, f) = 0; diff is bounded by the
+    /// format weight; the Mismatch Ratio lies in [0, 1].
+    #[test]
+    fn diff_invariants(a_fields in arb_fields(1), b_fields in arb_fields(1)) {
+        let a = build_format("R", &a_fields);
+        let b = build_format("R", &b_fields);
+        prop_assert_eq!(diff(&a, &a), 0);
+        prop_assert_eq!(diff(&b, &b), 0);
+        prop_assert!(diff(&a, &b) <= a.weight());
+        prop_assert!(diff(&b, &a) <= b.weight());
+        let mr = mismatch_ratio(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&mr), "Mr = {}", mr);
+        let q = MatchQuality::of(&a, &b);
+        prop_assert_eq!(q.diff_fwd, diff(&a, &b));
+        prop_assert_eq!(q.diff_bwd, diff(&b, &a));
+    }
+
+    /// A perfect pair (diff = 0 both ways) is always found by MaxMatch when
+    /// the identical format is among the candidates.
+    #[test]
+    fn max_match_finds_identity(fields in arb_fields(1)) {
+        let f = build_format("R", &fields);
+        let m = max_match(
+            std::slice::from_ref(&f),
+            std::slice::from_ref(&f),
+            &MatchConfig::exact(),
+        ).expect("identity must match");
+        prop_assert!(m.quality.is_perfect());
+    }
+
+    /// Morphing delivery: for a format with strictly fewer fields on the
+    /// reader side, the plan-delivered value equals the runtime-converted
+    /// value.
+    #[test]
+    fn near_match_delivery_is_convert_record(
+        fields in arb_fields(1),
+        keep in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let from = build_format("R", &fields);
+        // Project a pseudo-random subset of top-level fields.
+        let kept: Vec<_> = fields
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (keep >> (i % 64)) & 1 == 1)
+            .map(|(_, f)| f.clone())
+            .collect();
+        prop_assume!(!kept.is_empty());
+        let to = build_format("R", &kept);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = value_for(&from, &mut rng);
+        let wire = pbio::Encoder::new(&from).encode(&v).unwrap();
+        let plan = ConversionPlan::compile(&from, &to).unwrap();
+        let got = plan.execute(&wire).unwrap();
+        prop_assert_eq!(got, pbio::convert_record(&v, &from, &to));
+    }
+
+    /// XML serialization round-trips typed records.
+    #[test]
+    fn xml_roundtrip(fields in arb_fields(1), seed in any::<u64>()) {
+        let fmt = build_format("R", &fields);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v = value_for(&fmt, &mut rng);
+        let xml = value_to_xml(&v, &fmt);
+        let back = xml_to_value(&xml, &fmt).unwrap();
+        // Floats survive because Rust's f64 Display is shortest-roundtrip.
+        prop_assert_eq!(&back, &v);
+    }
+
+    /// XML text escaping round-trips arbitrary strings.
+    #[test]
+    fn xml_escaping_roundtrip(s in "\\PC*") {
+        prop_assume!(!s.contains('\r')); // XML newline normalization is out of scope
+        let fmt = FormatBuilder::record("S").string("x").build_arc().unwrap();
+        let v = Value::Record(vec![Value::Str(s)]);
+        let xml = value_to_xml(&v, &fmt);
+        let back = xml_to_value(&xml, &fmt).unwrap();
+        prop_assert_eq!(back, v);
+    }
+}
+
+// -- Ecode differential testing -------------------------------------------------
+
+/// A random arithmetic/logic expression over three int locals, guaranteed
+/// division-safe.
+fn arb_int_expr(depth: u32) -> BoxedStrategy<String> {
+    if depth == 0 {
+        prop_oneof![
+            (-100i64..100).prop_map(|v| format!("({v})")),
+            prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(String::from),
+        ]
+        .boxed()
+    } else {
+        let sub = arb_int_expr(depth - 1);
+        prop_oneof![
+            2 => arb_int_expr(0),
+            1 => (sub.clone(), sub.clone(), prop_oneof![Just("+"), Just("-"), Just("*")])
+                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+            1 => (sub.clone(), sub.clone())
+                .prop_map(|(l, r)| format!("({l} / (({r}) % 7 + 8))")),
+            1 => (sub.clone(), sub.clone(), prop_oneof![
+                    Just("<"), Just("<="), Just(">"), Just(">="), Just("=="), Just("!=")
+                ])
+                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+            1 => (sub.clone(), sub.clone(), prop_oneof![Just("&&"), Just("||")])
+                .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
+            1 => (sub.clone(), sub).prop_map(|(c, t)| format!("(({c}) ? ({t}) : (0 - {t}))")),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The bytecode VM and the reference interpreter agree on arbitrary
+    /// expressions (results and wrap-around arithmetic included).
+    #[test]
+    fn vm_matches_interpreter(
+        e in arb_int_expr(4),
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+        c in -1000i64..1000,
+    ) {
+        let src = format!("int a = {a}; int b = {b}; int c = {c}; return {e};");
+        let fmt = FormatBuilder::record("R").int("x").build_arc().unwrap();
+        let prog = EcodeCompiler::new().bind_output("r", &fmt).compile(&src).unwrap();
+        let mut roots_vm = vec![Value::default_record(&fmt)];
+        let mut roots_it = vec![Value::default_record(&fmt)];
+        let vm = prog.run_with_fuel(&mut roots_vm, 1_000_000).unwrap();
+        let it = prog.run_interp_with_fuel(&mut roots_it, 1_000_000).unwrap();
+        prop_assert_eq!(vm, it);
+        prop_assert_eq!(roots_vm, roots_it);
+    }
+
+    /// Loops with data-dependent control flow agree between the engines.
+    #[test]
+    fn vm_matches_interpreter_loops(
+        n in 0i64..50,
+        step in 1i64..5,
+        brk in 0i64..60,
+    ) {
+        let src = format!(
+            "int s = 0; int i;
+             for (i = 0; i < {n}; i += {step}) {{
+                 if (i == {brk}) break;
+                 if (i % 3 == 0) continue;
+                 s += i;
+             }}
+             return s;"
+        );
+        let fmt = FormatBuilder::record("R").int("x").build_arc().unwrap();
+        let prog = EcodeCompiler::new().bind_output("r", &fmt).compile(&src).unwrap();
+        let mut r1 = vec![Value::default_record(&fmt)];
+        let mut r2 = vec![Value::default_record(&fmt)];
+        let vm = prog.run_with_fuel(&mut r1, 1_000_000).unwrap();
+        let it = prog.run_interp_with_fuel(&mut r2, 1_000_000).unwrap();
+        prop_assert_eq!(vm, it);
+    }
+
+    /// A compiled transformation applied via the VM equals the interpreter
+    /// on random inputs (the whole Fig. 5 shape, variable-size input).
+    #[test]
+    fn transformation_vm_matches_interp(seed in any::<u64>(), n in 0usize..8) {
+        let member = FormatBuilder::record("M")
+            .string("info").int("ID").int("is_source").int("is_sink")
+            .build_arc().unwrap();
+        let from = FormatBuilder::record("R")
+            .int("member_count")
+            .var_array_of("member_list", member.clone(), "member_count")
+            .build_arc().unwrap();
+        let member_v1 = FormatBuilder::record("M").string("info").int("ID")
+            .build_arc().unwrap();
+        let to = FormatBuilder::record("R")
+            .int("member_count")
+            .var_array_of("member_list", member_v1.clone(), "member_count")
+            .int("src_count")
+            .var_array_of("src_list", member_v1, "src_count")
+            .build_arc().unwrap();
+        let src = r#"
+            int i; int sc = 0;
+            old.member_count = new.member_count;
+            for (i = 0; i < new.member_count; i++) {
+                old.member_list[i].info = new.member_list[i].info;
+                old.member_list[i].ID = new.member_list[i].ID;
+                if (new.member_list[i].is_source) {
+                    old.src_list[sc].info = new.member_list[i].info;
+                    old.src_list[sc].ID = new.member_list[i].ID;
+                    sc++;
+                }
+            }
+            old.src_count = sc;
+        "#;
+        let t = Transformation::new(from.clone(), to, src);
+        let cx = t.compile().unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let members: Vec<Value> = (0..n).map(|i| Value::Record(vec![
+            Value::str(format!("m{i}")),
+            Value::Int(i as i64),
+            Value::Int(i64::from(rng.gen::<bool>())),
+            Value::Int(i64::from(rng.gen::<bool>())),
+        ])).collect();
+        let input = Value::Record(vec![Value::Int(n as i64), Value::Array(members)]);
+        input.check(&from).unwrap();
+        prop_assert_eq!(cx.apply(&input).unwrap(), cx.apply_interp(&input).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Constant folding is semantics-preserving: the optimized and
+    /// unoptimized compilations of the same program agree (and both agree
+    /// with the interpreter, which runs the folded AST).
+    #[test]
+    fn folding_preserves_semantics(
+        e in arb_int_expr(4),
+        a in -50i64..50,
+        b in -50i64..50,
+        c in -50i64..50,
+    ) {
+        let src = format!("int a = {a}; int b = {b}; int c = {c}; return ({e}) + ({e});");
+        let fmt = FormatBuilder::record("R").int("x").build_arc().unwrap();
+        let compiler = EcodeCompiler::new().bind_output("r", &fmt);
+        let opt = compiler.compile(&src).unwrap();
+        let unopt = compiler.compile_unoptimized(&src).unwrap();
+        prop_assert!(opt.code().len() <= unopt.code().len());
+        let mut r1 = vec![Value::default_record(&fmt)];
+        let mut r2 = vec![Value::default_record(&fmt)];
+        let v1 = opt.run_with_fuel(&mut r1, 1_000_000).unwrap();
+        let v2 = unopt.run_with_fuel(&mut r2, 1_000_000).unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Programs routed through a user-defined function agree across both
+    /// engines and with direct inlining.
+    #[test]
+    fn functions_are_transparent(
+        e in arb_int_expr(3),
+        x in -100i64..100,
+    ) {
+        let fmt = FormatBuilder::record("R").int("x").build_arc().unwrap();
+        let compiler = EcodeCompiler::new().bind_output("r", &fmt);
+        let via_fn = format!(
+            "int f(int a, int b, int c) {{ return {e}; }} return f({x}, {x} + 1, {x} - 1);"
+        );
+        let inline = format!(
+            "int a = {x}; int b = {x} + 1; int c = {x} - 1; return {e};"
+        );
+        let pf = compiler.compile(&via_fn).unwrap();
+        let pi = compiler.compile(&inline).unwrap();
+        let mut r1 = vec![Value::default_record(&fmt)];
+        let mut r2 = vec![Value::default_record(&fmt)];
+        let v1 = pf.run_with_fuel(&mut r1, 1_000_000).unwrap();
+        let v2 = pi.run_with_fuel(&mut r2, 1_000_000).unwrap();
+        prop_assert_eq!(&v1, &v2);
+        // And the interpreter agrees with the VM on the function version.
+        let mut r3 = vec![Value::default_record(&fmt)];
+        let v3 = pf.run_interp_with_fuel(&mut r3, 1_000_000).unwrap();
+        prop_assert_eq!(v1, v3);
+    }
+
+    /// Weighted matching degenerates to unweighted under an empty profile
+    /// for arbitrary format pairs.
+    #[test]
+    fn weighted_degenerates_to_unweighted(
+        a_fields in arb_fields(1),
+        b_fields in arb_fields(1),
+    ) {
+        use morph::weighted::{wdiff, wmismatch_ratio, WeightProfile};
+        let a = build_format("R", &a_fields);
+        let b = build_format("R", &b_fields);
+        let p = WeightProfile::new();
+        prop_assert_eq!(wdiff(&a, &b, &p), diff(&a, &b) as f64);
+        let wm = wmismatch_ratio(&a, &b, &p);
+        let um = mismatch_ratio(&a, &b);
+        prop_assert!((wm - um).abs() < 1e-12, "wMr {} vs Mr {}", wm, um);
+    }
+
+    /// Transformation meta-data round-trips for arbitrary generated format
+    /// pairs (source text is fixed; formats vary).
+    #[test]
+    fn transformation_metadata_roundtrips(
+        from_fields in arb_fields(1),
+        to_fields in arb_fields(1),
+    ) {
+        use morph::Transformation;
+        let from = build_format("A", &from_fields);
+        let to = build_format("B", &to_fields);
+        let t = Transformation::new(from, to, "/* no-op */");
+        let back = Transformation::deserialize(&t.serialize()).unwrap();
+        prop_assert_eq!(back.from_id(), t.from_id());
+        prop_assert_eq!(back.to_id(), t.to_id());
+        prop_assert_eq!(back.source(), t.source());
+    }
+}

@@ -1,0 +1,162 @@
+//! Adversarial-input robustness: whatever bytes arrive off the wire, the
+//! decoding stack must return an error — never panic, never hang, never
+//! read out of bounds. A deployed morphing receiver faces exactly this
+//! (§3.1's failure scenario is *why* morphing exists; crashing on the
+//! mismatch would be worse than rejecting it).
+
+use proptest::prelude::*;
+
+use message_morphing::prelude::*;
+use morph::Transformation;
+use pbio::RecordFormat;
+use std::sync::Arc;
+
+fn response_v2() -> Arc<RecordFormat> {
+    let member = FormatBuilder::record("Member")
+        .string("info")
+        .int("ID")
+        .int("is_source")
+        .int("is_sink")
+        .build_arc()
+        .unwrap();
+    FormatBuilder::record("ChannelOpenResponse")
+        .int("member_count")
+        .var_array_of("member_list", member, "member_count")
+        .build_arc()
+        .unwrap()
+}
+
+fn response_v1() -> Arc<RecordFormat> {
+    let member = FormatBuilder::record("Member").string("info").int("ID").build_arc().unwrap();
+    FormatBuilder::record("ChannelOpenResponse")
+        .int("member_count")
+        .var_array_of("member_list", member.clone(), "member_count")
+        .int("src_count")
+        .var_array_of("src_list", member, "src_count")
+        .build_arc()
+        .unwrap()
+}
+
+fn sample_wire() -> Vec<u8> {
+    let fmt = response_v2();
+    let v = Value::Record(vec![
+        Value::Int(2),
+        Value::Array(vec![
+            Value::Record(vec![Value::str("a:1"), Value::Int(1), Value::Int(1), Value::Int(0)]),
+            Value::Record(vec![Value::str("b:2"), Value::Int(2), Value::Int(0), Value::Int(1)]),
+        ]),
+    ]);
+    Encoder::new(&fmt).encode(&v).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random garbage never panics the raw decoder or a conversion plan.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let fmt = response_v2();
+        let _ = pbio::decode_payload(&fmt, &bytes);
+        let plan = ConversionPlan::identity(&fmt).unwrap();
+        let _ = plan.execute(&bytes);
+        let _ = pbio::parse_header(&bytes);
+        let _ = pbio::deserialize_format(&bytes);
+        let _ = Transformation::deserialize(&bytes);
+    }
+
+    /// Single-byte corruptions of a valid message never panic anything in
+    /// the receive path (they may decode to a different valid value, or
+    /// fail cleanly).
+    #[test]
+    fn corrupted_wire_never_panics(pos in 0usize..100, byte in any::<u8>()) {
+        let mut wire = sample_wire();
+        let idx = pos % wire.len();
+        wire[idx] = byte;
+        let fmt = response_v2();
+        let _ = pbio::decode_payload(&fmt, &wire);
+        let _ = ConversionPlan::identity(&fmt).unwrap().execute(&wire);
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&response_v1(), |_v| {});
+        rx.import_transformation(Transformation::new(
+            response_v2(),
+            response_v1(),
+            r#"
+                int i; int sc = 0;
+                old.member_count = new.member_count;
+                for (i = 0; i < new.member_count; i++) {
+                    old.member_list[i].info = new.member_list[i].info;
+                    old.member_list[i].ID = new.member_list[i].ID;
+                    if (new.member_list[i].is_source) {
+                        old.src_list[sc].info = new.member_list[i].info;
+                        old.src_list[sc].ID = new.member_list[i].ID;
+                        sc++;
+                    }
+                }
+                old.src_count = sc;
+            "#,
+        ));
+        let _ = rx.process(&wire);
+    }
+
+    /// Truncations at every length never panic.
+    #[test]
+    fn truncated_wire_never_panics(cut in 0usize..100) {
+        let wire = sample_wire();
+        let cut = cut % (wire.len() + 1);
+        let fmt = response_v2();
+        let _ = pbio::decode_payload(&fmt, &wire[..cut]);
+        let _ = ConversionPlan::identity(&fmt).unwrap().execute(&wire[..cut]);
+    }
+
+    /// A lying length field (count much larger than the actual payload)
+    /// fails with an error instead of over-allocating or panicking.
+    #[test]
+    fn hostile_length_fields_rejected(count in 3i64..i64::from(i32::MAX)) {
+        let fmt = response_v2();
+        let mut wire = sample_wire();
+        // Patch the member_count field (first 4 payload bytes) to a lie.
+        let c = (count as i32).to_le_bytes();
+        wire[pbio::HEADER_LEN..pbio::HEADER_LEN + 4].copy_from_slice(&c);
+        prop_assert!(pbio::decode_payload(&fmt, &wire).is_err());
+        prop_assert!(ConversionPlan::identity(&fmt).unwrap().execute(&wire).is_err());
+    }
+
+    /// Random text never panics the XML parser or stylesheet parser.
+    #[test]
+    fn random_text_never_panics_xml(s in "\\PC*") {
+        let _ = xmlt::parse(&s);
+        let _ = xmlt::Stylesheet::parse(&s);
+        let _ = xmlt::parse_expr(&s);
+        let _ = xmlt::parse_path(&s);
+    }
+
+    /// Random text never panics the Ecode front end.
+    #[test]
+    fn random_text_never_panics_ecode(s in "\\PC*") {
+        let fmt = response_v2();
+        let _ = EcodeCompiler::new().bind_input("new", &fmt).compile(&s);
+    }
+
+    /// Almost-valid Ecode (mutations of Fig. 5) never panics the compiler.
+    #[test]
+    fn mutated_fig5_never_panics(pos in 0usize..400, byte in 32u8..127) {
+        let src = r#"
+            int i; int sc = 0;
+            old.member_count = new.member_count;
+            for (i = 0; i < new.member_count; i++) {
+                old.member_list[i].info = new.member_list[i].info;
+                if (new.member_list[i].is_source) { sc++; }
+            }
+            old.src_count = sc;
+        "#;
+        let mut mutated = src.as_bytes().to_vec();
+        let idx = pos % mutated.len();
+        mutated[idx] = byte;
+        if let Ok(text) = String::from_utf8(mutated) {
+            let _ = EcodeCompiler::new()
+                .bind_input("new", &response_v2())
+                .bind_output("old", &response_v1())
+                .compile(&text);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 gate for this repository. The root workspace has zero external
+# dependencies, so everything up to the bench step runs with no network
+# access. The bench harness is a separate workspace (crates/bench) whose
+# `criterion` dev-dependency needs a reachable crates.io registry; its
+# tests run only when resolution succeeds and are skipped gracefully
+# offline.
+#
+# Usage: ./ci.sh
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo build --release (offline-capable)"
+cargo build --release
+
+echo "==> cargo test -q (root workspace: units, integration, properties)"
+cargo test -q
+
+echo "==> bench workspace (needs registry access for criterion)"
+if (cd crates/bench && cargo metadata --format-version 1 >/dev/null 2>&1); then
+    (cd crates/bench && cargo test -q)
+else
+    echo "    registry unreachable — skipping bench workspace tests"
+fi
+
+echo "==> OK"

@@ -26,21 +26,17 @@ fn ablate_maxmatch(c: &mut Criterion) {
     for set_size in [1usize, 4, 16, 64] {
         let incoming = family(1, 24);
         let readers = family(set_size, 24);
-        g.bench_with_input(
-            BenchmarkId::new("reader_set", set_size),
-            &readers,
-            |b, readers| b.iter(|| max_match(&incoming, readers, &config)),
-        );
+        g.bench_with_input(BenchmarkId::new("reader_set", set_size), &readers, |b, readers| {
+            b.iter(|| max_match(&incoming, readers, &config))
+        });
     }
     // Field-count scaling at a fixed set size.
     for n_fields in [8usize, 64, 256] {
         let incoming = family(1, n_fields);
         let readers = family(8, n_fields);
-        g.bench_with_input(
-            BenchmarkId::new("field_count", n_fields),
-            &readers,
-            |b, readers| b.iter(|| max_match(&incoming, readers, &config)),
-        );
+        g.bench_with_input(BenchmarkId::new("field_count", n_fields), &readers, |b, readers| {
+            b.iter(|| max_match(&incoming, readers, &config))
+        });
     }
     g.finish();
 }

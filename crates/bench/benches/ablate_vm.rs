@@ -11,11 +11,9 @@ fn ablate_vm(c: &mut Criterion) {
     for target in [1_000usize, 100_000] {
         let msg = v2_message(members_for_size(target));
         let wire = p.encode_pbio(&msg);
-        g.bench_with_input(
-            BenchmarkId::new("compiled_vm", size_label(target)),
-            &wire,
-            |b, w| b.iter(|| p.morph_pbio(w)),
-        );
+        g.bench_with_input(BenchmarkId::new("compiled_vm", size_label(target)), &wire, |b, w| {
+            b.iter(|| p.morph_pbio(w))
+        });
         g.bench_with_input(
             BenchmarkId::new("ast_interpreter", size_label(target)),
             &wire,

@@ -15,16 +15,12 @@ fn fig10(c: &mut Criterion) {
         let wire = p.encode_pbio(&msg);
         let xml = p.encode_xml(&msg);
         g.throughput(Throughput::Bytes(target as u64));
-        g.bench_with_input(
-            BenchmarkId::new("pbio_morph", size_label(target)),
-            &wire,
-            |b, w| b.iter(|| p.morph_pbio(w)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("xml_xslt", size_label(target)),
-            &xml,
-            |b, x| b.iter(|| p.morph_xml(x)),
-        );
+        g.bench_with_input(BenchmarkId::new("pbio_morph", size_label(target)), &wire, |b, w| {
+            b.iter(|| p.morph_pbio(w))
+        });
+        g.bench_with_input(BenchmarkId::new("xml_xslt", size_label(target)), &xml, |b, x| {
+            b.iter(|| p.morph_xml(x))
+        });
     }
     g.finish();
 }

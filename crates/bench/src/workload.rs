@@ -14,11 +14,7 @@ use pbio::{FormatBuilder, RecordFormat, Value};
 
 /// The v1.0 member entry (info + ID).
 pub fn member_v1() -> Arc<RecordFormat> {
-    FormatBuilder::record("Member")
-        .string("info")
-        .int("ID")
-        .build_arc()
-        .expect("static format")
+    FormatBuilder::record("Member").string("info").int("ID").build_arc().expect("static format")
 }
 
 /// The v2.0 member entry (info + ID + role flags). The flags are C
@@ -130,10 +126,7 @@ fn member_value(i: usize) -> Value {
 
 /// Builds a v2.0 response with `n` members.
 pub fn v2_message(n: usize) -> Value {
-    Value::Record(vec![
-        Value::Int(n as i64),
-        Value::Array((0..n).map(member_value).collect()),
-    ])
+    Value::Record(vec![Value::Int(n as i64), Value::Array((0..n).map(member_value).collect())])
 }
 
 /// The unencoded native size (bytes) of a v2 message with `n` members.

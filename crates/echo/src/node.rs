@@ -160,8 +160,7 @@ impl NodeState {
         role: Role,
     ) -> Result<&[MemberInfo], EchoError> {
         let id = self.next_member_id;
-        let members =
-            self.owned.get_mut(&channel).ok_or(EchoError::NotChannelOwner(channel))?;
+        let members = self.owned.get_mut(&channel).ok_or(EchoError::NotChannelOwner(channel))?;
         match members.iter_mut().find(|m| m.contact == contact) {
             Some(m) => {
                 m.is_source |= role.source;
@@ -196,8 +195,7 @@ impl NodeState {
     /// Builds this node's version of the `ChannelOpenResponse` wire message
     /// for an owned channel.
     pub fn encode_response(&self, channel: ChannelId) -> Result<Vec<u8>, EchoError> {
-        let members =
-            self.owned.get(&channel).ok_or(EchoError::NotChannelOwner(channel))?;
+        let members = self.owned.get(&channel).ok_or(EchoError::NotChannelOwner(channel))?;
         let (fmt, value) = match self.version {
             EchoVersion::V1 => {
                 (proto::channel_open_response_v1(), proto::response_v1_value(channel, members))
@@ -211,8 +209,7 @@ impl NodeState {
 
     /// Processes one incoming network frame, returning follow-up messages.
     pub fn handle_frame(&mut self, bytes: &[u8]) -> Result<Vec<Outgoing>, EchoError> {
-        let (kind, channel, msg) =
-            proto::unframe(bytes).ok_or(EchoError::MalformedFrame)?;
+        let (kind, channel, msg) = proto::unframe(bytes).ok_or(EchoError::MalformedFrame)?;
         match kind {
             proto::FRAME_CONTROL => self.handle_control(msg),
             proto::FRAME_EVENT => {
@@ -230,8 +227,7 @@ impl NodeState {
         let mut out = Vec::new();
 
         // Requests: only meaningful at channel creators.
-        let reqs: Vec<Value> =
-            self.requests.lock().expect("inbox lock").drain(..).collect();
+        let reqs: Vec<Value> = self.requests.lock().expect("inbox lock").drain(..).collect();
         for req in reqs {
             let fmt = proto::channel_open_request();
             let channel = proto::channel_of(&req, &fmt).ok_or(EchoError::MalformedFrame)?;
@@ -270,8 +266,7 @@ impl NodeState {
         }
 
         // Responses: refresh membership views.
-        let resps: Vec<Value> =
-            self.responses.lock().expect("inbox lock").drain(..).collect();
+        let resps: Vec<Value> = self.responses.lock().expect("inbox lock").drain(..).collect();
         for resp in resps {
             let (fmt, members) = match self.version {
                 EchoVersion::V1 => {
@@ -291,10 +286,7 @@ impl NodeState {
     /// membership view, or the authoritative list for owned channels),
     /// excluding itself.
     pub fn sinks_of(&self, channel: ChannelId) -> Vec<String> {
-        let list = self
-            .owned
-            .get(&channel)
-            .or_else(|| self.memberships.get(&channel));
+        let list = self.owned.get(&channel).or_else(|| self.memberships.get(&channel));
         list.map(|ms| {
             ms.iter()
                 .filter(|m| m.is_sink && m.contact != self.name)
@@ -317,5 +309,16 @@ impl NodeState {
     /// Event-plane morphing statistics for one channel.
     pub fn event_stats(&self, channel: ChannelId) -> Option<MorphStats> {
         self.event_rx.get(&channel).map(MorphReceiver::stats)
+    }
+
+    /// The observability registry behind the control-plane receiver.
+    pub fn control_registry(&self) -> &Arc<obs::Registry> {
+        self.control_rx.registry()
+    }
+
+    /// The observability registry behind the event-plane receiver on
+    /// `channel`, if one exists.
+    pub fn event_registry(&self, channel: ChannelId) -> Option<&Arc<obs::Registry>> {
+        self.event_rx.get(&channel).map(MorphReceiver::registry)
     }
 }

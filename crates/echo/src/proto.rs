@@ -119,11 +119,7 @@ pub const RESPONSE_V2_TO_V1: &str = r#"
 /// The writer-supplied retro-transformation v2.0 → v1.0 (out-of-band
 /// meta-data attached to the v2 response format).
 pub fn response_retro_transformation() -> Transformation {
-    Transformation::new(
-        channel_open_response_v2(),
-        channel_open_response_v1(),
-        RESPONSE_V2_TO_V1,
-    )
+    Transformation::new(channel_open_response_v2(), channel_open_response_v1(), RESPONSE_V2_TO_V1)
 }
 
 /// The forward transformation v1.0 → v2.0, also shipped with the v2.0
@@ -158,18 +154,13 @@ pub const RESPONSE_V1_TO_V2: &str = r#"
 
 /// The forward transformation as out-of-band meta-data.
 pub fn response_forward_transformation() -> Transformation {
-    Transformation::new(
-        channel_open_response_v1(),
-        channel_open_response_v2(),
-        RESPONSE_V1_TO_V2,
-    )
+    Transformation::new(channel_open_response_v1(), channel_open_response_v2(), RESPONSE_V1_TO_V2)
 }
 
 /// Builds a v1.0 response value from a member list.
 pub fn response_v1_value(channel: ChannelId, members: &[MemberInfo]) -> Value {
-    let entry = |m: &MemberInfo| {
-        Value::Record(vec![Value::str(m.contact.clone()), Value::Int(m.id)])
-    };
+    let entry =
+        |m: &MemberInfo| Value::Record(vec![Value::str(m.contact.clone()), Value::Int(m.id)]);
     let all: Vec<Value> = members.iter().map(entry).collect();
     let srcs: Vec<Value> = members.iter().filter(|m| m.is_source).map(entry).collect();
     let sinks: Vec<Value> = members.iter().filter(|m| m.is_sink).map(entry).collect();

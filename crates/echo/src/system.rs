@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use morph::{CompiledXform, MorphStats, Transformation};
+use obs::{Counter, Registry};
 use pbio::{Encoder, RecordFormat, Value};
 use simnet::{LinkParams, Network, NodeId};
 
@@ -15,6 +16,51 @@ use crate::EchoError;
 /// Handle to an ECho process within an [`EchoSystem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProcessId(usize);
+
+/// Per-channel counter handles, created lazily on first traffic.
+#[derive(Debug)]
+struct ChannelCounters {
+    published: Arc<Counter>,
+    delivered: Arc<Counter>,
+    filtered: Arc<Counter>,
+}
+
+/// Cached handles into the system-level registry.
+///
+/// The registry runs on the network's *virtual* clock, so it must hold
+/// only deterministic values: event counters and simnet traffic totals.
+/// Wall-clock latency histograms live in the per-receiver registries
+/// instead (see [`EchoSystem::control_registry`]).
+#[derive(Debug)]
+struct SysMetrics {
+    registry: Arc<Registry>,
+    published: Arc<Counter>,
+    delivered: Arc<Counter>,
+    filtered: Arc<Counter>,
+    derived_compiled: Arc<Counter>,
+    per_channel: HashMap<ChannelId, ChannelCounters>,
+}
+
+impl SysMetrics {
+    fn new(registry: Arc<Registry>) -> SysMetrics {
+        SysMetrics {
+            published: registry.counter("echo.events.published"),
+            delivered: registry.counter("echo.events.delivered"),
+            filtered: registry.counter("echo.events.filtered"),
+            derived_compiled: registry.counter("echo.derived.compiled"),
+            per_channel: HashMap::new(),
+            registry,
+        }
+    }
+
+    fn channel(&mut self, ch: ChannelId) -> &ChannelCounters {
+        self.per_channel.entry(ch).or_insert_with(|| ChannelCounters {
+            published: self.registry.counter(&format!("echo.ch.{}.published", ch.0)),
+            delivered: self.registry.counter(&format!("echo.ch.{}.delivered", ch.0)),
+            filtered: self.registry.counter(&format!("echo.ch.{}.filtered", ch.0)),
+        })
+    }
+}
 
 /// A complete simulated ECho deployment: processes, the network connecting
 /// them, and the channel directory.
@@ -53,6 +99,7 @@ pub struct EchoSystem {
     /// source-side filter/transformation.
     derived: HashMap<(ChannelId, String), CompiledXform>,
     next_channel: u32,
+    metrics: SysMetrics,
 }
 
 impl Default for EchoSystem {
@@ -76,14 +123,21 @@ impl EchoSystem {
     /// retro-transformation (paper Fig. 5) is pre-distributed as out-of-band
     /// meta-data, as the v2.0 release would ship it.
     pub fn new() -> EchoSystem {
+        let mut net = Network::new();
+        // The system registry stamps snapshots with *virtual* time and
+        // mirrors the network's traffic totals, so two identical runs
+        // produce byte-identical snapshots.
+        let registry = Arc::new(Registry::with_clock(Arc::new(net.virtual_clock())));
+        net.attach_registry(Arc::clone(&registry));
         EchoSystem {
-            net: Network::new(),
+            net,
             nodes: Vec::new(),
             net_ids: Vec::new(),
             by_contact: HashMap::new(),
             directory: HashMap::new(),
             derived: HashMap::new(),
             next_channel: 1,
+            metrics: SysMetrics::new(registry),
         }
     }
 
@@ -95,10 +149,7 @@ impl EchoSystem {
         // Ship the standard control-plane meta-data with every process.
         node.import_metadata(
             &[proto::channel_open_response_v1(), proto::channel_open_response_v2()],
-            &[
-                proto::response_retro_transformation(),
-                proto::response_forward_transformation(),
-            ],
+            &[proto::response_retro_transformation(), proto::response_forward_transformation()],
         );
         let net_id = self.net.add_node(name.clone());
         self.nodes.push(node);
@@ -239,6 +290,7 @@ impl EchoSystem {
         let xform =
             Transformation::new(Arc::clone(source_format), Arc::clone(derived_format), code)
                 .compile()?;
+        self.metrics.derived_compiled.inc();
         self.subscribe(proc, channel, Role::sink(), Some(derived_format))?;
         let contact = self.nodes[proc.0].name.clone();
         self.derived.insert((channel, contact), xform);
@@ -267,6 +319,8 @@ impl EchoSystem {
         if !is_owner && !is_source {
             return Err(EchoError::NotSubscribed(channel));
         }
+        self.metrics.published.inc();
+        self.metrics.channel(channel).published.inc();
         let sinks = node.sinks_of(channel);
         let mut raw_frame: Option<Vec<u8>> = None;
         let mut sent = 0;
@@ -276,7 +330,12 @@ impl EchoSystem {
                 Some(xform) if xform.from_format() == format => {
                     // Source-side derivation: filter/reshape per subscriber.
                     match xform.apply_filtered(event)? {
-                        None => continue, // filtered out — nothing travels
+                        None => {
+                            // Filtered out — nothing travels.
+                            self.metrics.filtered.inc();
+                            self.metrics.channel(channel).filtered.inc();
+                            continue;
+                        }
                         Some(derived) => {
                             let msg = Encoder::new(xform.to_format()).encode(&derived)?;
                             proto::frame(proto::FRAME_EVENT, channel, &msg)
@@ -313,11 +372,12 @@ impl EchoSystem {
             let Some(d) = self.net.step() else { break };
             // Drop the inbox copy; dispatch directly.
             let _ = self.net.recv(d.to);
-            let idx = self
-                .net_ids
-                .iter()
-                .position(|&n| n == d.to)
-                .expect("delivery to a known node");
+            let idx =
+                self.net_ids.iter().position(|&n| n == d.to).expect("delivery to a known node");
+            if let Some((proto::FRAME_EVENT, channel, _)) = proto::unframe(&d.payload) {
+                self.metrics.delivered.inc();
+                self.metrics.channel(channel).delivered.inc();
+            }
             let outgoing = self.nodes[idx]
                 .handle_frame(&d.payload)
                 .unwrap_or_else(|e| panic!("process `{}`: {e}", self.nodes[idx].name));
@@ -355,6 +415,26 @@ impl EchoSystem {
         self.nodes[proc.0].event_stats(channel)
     }
 
+    /// The system-level observability registry: `echo.*` event counters
+    /// plus the network's `simnet.*` traffic totals, stamped with virtual
+    /// time. Snapshots of this registry are deterministic across runs.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
+    }
+
+    /// The registry behind a process's control-plane morphing receiver:
+    /// `morph.*` and `pbio.*` metrics, including wall-clock latency
+    /// histograms (`morph.decide_ns`, `pbio.plan.compile_ns`, …).
+    pub fn control_registry(&self, proc: ProcessId) -> &Arc<Registry> {
+        self.nodes[proc.0].control_registry()
+    }
+
+    /// The registry behind a process's event-plane receiver on `channel`,
+    /// if the process expects events there.
+    pub fn event_registry(&self, proc: ProcessId, channel: ChannelId) -> Option<&Arc<Registry>> {
+        self.nodes[proc.0].event_registry(channel)
+    }
+
     /// Current virtual time (nanoseconds).
     pub fn now_ns(&self) -> u64 {
         self.net.now_ns()
@@ -385,7 +465,10 @@ mod tests {
     }
 
     /// Builds creator + two subscribers, fully connected.
-    fn three(creator_v: EchoVersion, sub_v: EchoVersion) -> (EchoSystem, ProcessId, ProcessId, ProcessId) {
+    fn three(
+        creator_v: EchoVersion,
+        sub_v: EchoVersion,
+    ) -> (EchoSystem, ProcessId, ProcessId, ProcessId) {
         let mut sys = EchoSystem::new();
         let c = sys.add_process("creator", creator_v);
         let s1 = sys.add_process("pub-1", EchoVersion::V2);
@@ -490,11 +573,7 @@ mod tests {
         // A newer publisher ships richer events; an old sink still works.
         let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
         let old_fmt = FormatBuilder::record("Reading").int("value").build_arc().unwrap();
-        let new_fmt = FormatBuilder::record("Reading")
-            .int("raw")
-            .int("scale")
-            .build_arc()
-            .unwrap();
+        let new_fmt = FormatBuilder::record("Reading").int("raw").int("scale").build_arc().unwrap();
         sys.distribute_metadata(
             &[old_fmt.clone(), new_fmt.clone()],
             &[Transformation::new(
@@ -507,8 +586,7 @@ mod tests {
         sys.subscribe(s1, ch, Role::source(), None).unwrap();
         sys.subscribe(s2, ch, Role::sink(), Some(&old_fmt)).unwrap();
         sys.run();
-        sys.publish(s1, ch, &new_fmt, &Value::Record(vec![Value::Int(6), Value::Int(7)]))
-            .unwrap();
+        sys.publish(s1, ch, &new_fmt, &Value::Record(vec![Value::Int(6), Value::Int(7)])).unwrap();
         sys.run();
         let events = sys.take_events(s2);
         assert_eq!(events, vec![(ch, Value::Record(vec![Value::Int(42)]))]);
@@ -550,10 +628,8 @@ mod tests {
         }
         sys.run();
         let events = sys.take_events(s2);
-        let seqs: Vec<i64> = events
-            .iter()
-            .map(|(_, v)| v.field(&derived, "n").unwrap().as_i64().unwrap())
-            .collect();
+        let seqs: Vec<i64> =
+            events.iter().map(|(_, v)| v.field(&derived, "n").unwrap().as_i64().unwrap()).collect();
         assert_eq!(seqs, vec![0, 2, 4]);
     }
 
@@ -671,10 +747,71 @@ mod tests {
         let ch = sys.create_channel(c);
         let fmt = tick_format();
         let dfmt = FormatBuilder::record("T").int("n").build_arc().unwrap();
-        let err = sys
-            .subscribe_derived(s2, ch, &fmt, &dfmt, "old.nosuch = 1;")
-            .unwrap_err();
+        let err = sys.subscribe_derived(s2, ch, &fmt, &dfmt, "old.nosuch = 1;").unwrap_err();
         assert!(matches!(err, EchoError::Morph(_)));
+    }
+
+    #[test]
+    fn system_registry_counts_events() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let plain = sys.add_process("plain-sink", EchoVersion::V2);
+        sys.connect_all(LinkParams::lan());
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(plain, ch, Role::sink(), Some(&fmt)).unwrap();
+        let dfmt = FormatBuilder::record("T").int("n").build_arc().unwrap();
+        sys.subscribe_derived(s2, ch, &fmt, &dfmt, "if (new.n < 2) return 0; old.n = new.n;")
+            .unwrap();
+        sys.run();
+        for n in 0..4 {
+            sys.publish(s1, ch, &fmt, &tick(n)).unwrap();
+        }
+        sys.run();
+        let snap = sys.registry().snapshot();
+        // 4 publish() calls; each reaches the plain sink, and 2 of 4 pass
+        // the derived filter at the source.
+        assert_eq!(snap.counter("echo.events.published"), Some(4));
+        assert_eq!(snap.counter("echo.events.filtered"), Some(2));
+        assert_eq!(snap.counter("echo.events.delivered"), Some(6));
+        assert_eq!(snap.counter("echo.derived.compiled"), Some(1));
+        assert_eq!(snap.counter(&format!("echo.ch.{}.published", ch.0)), Some(4));
+        assert_eq!(snap.counter(&format!("echo.ch.{}.delivered", ch.0)), Some(6));
+        // The attached network mirrors its traffic into the same registry,
+        // and the snapshot is stamped with virtual time.
+        assert!(snap.counter("simnet.messages").unwrap_or(0) > 0);
+        assert_eq!(snap.at_ns, sys.now_ns());
+        // Identical runs produce identical snapshots: the registry holds
+        // only virtual-time-deterministic values.
+        let rerun = || {
+            let (mut sys, c, s1, _s2) = three(EchoVersion::V2, EchoVersion::V2);
+            let ch = sys.create_channel(c);
+            let fmt = tick_format();
+            sys.subscribe(s1, ch, Role::source(), None).unwrap();
+            sys.run();
+            sys.publish(s1, ch, &fmt, &tick(1)).unwrap();
+            sys.run();
+            sys.registry().snapshot().to_text()
+        };
+        assert_eq!(rerun(), rerun());
+    }
+
+    #[test]
+    fn per_receiver_registries_exposed() {
+        let (mut sys, c, _s1, s2) = three(EchoVersion::V2, EchoVersion::V1);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        // The v1 subscriber morphed the creator's v2 response: its
+        // control-plane registry saw the cold path.
+        let snap = sys.control_registry(s2).snapshot();
+        assert!(snap.counter("morph.decision.miss").unwrap_or(0) >= 1);
+        assert!(snap.counter("morph.decision.morph").unwrap_or(0) >= 1);
+        // The event-plane receiver exists for the subscribed channel only.
+        assert!(sys.event_registry(s2, ch).is_some());
+        assert!(sys.event_registry(s2, ChannelId(99)).is_none());
+        assert!(sys.event_registry(c, ch).is_none());
     }
 
     #[test]

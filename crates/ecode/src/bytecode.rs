@@ -173,11 +173,8 @@ impl Code {
         for (pc, insn) in self.insns.iter().enumerate() {
             for (fi, f) in self.funcs.iter().enumerate() {
                 if f.entry as usize == pc {
-                    let _ = writeln!(
-                        out,
-                        "fn#{fi}: ; {} params, {} locals",
-                        f.n_params, f.n_locals
-                    );
+                    let _ =
+                        writeln!(out, "fn#{fi}: ; {} params, {} locals", f.n_params, f.n_locals);
                 }
             }
             let _ = match insn {

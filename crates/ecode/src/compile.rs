@@ -396,11 +396,7 @@ pub fn compile(program: &TProgram) -> Code {
                 c.emit(Insn::RetVal);
             }
         }
-        funcs.push(FnCode {
-            entry,
-            n_params: f.n_params as u32,
-            n_locals: f.n_locals as u32,
-        });
+        funcs.push(FnCode { entry, n_params: f.n_params as u32, n_locals: f.n_locals as u32 });
     }
 
     Code {
@@ -422,11 +418,8 @@ mod tests {
     fn compile_src(src: &str) -> Code {
         let ast = parse(src).unwrap();
         let fmt = FormatBuilder::record("R").int("x").build_arc().unwrap();
-        let tp = check(
-            &ast,
-            vec![Binding { name: "r".into(), format: fmt, writable: true }],
-        )
-        .unwrap();
+        let tp =
+            check(&ast, vec![Binding { name: "r".into(), format: fmt, writable: true }]).unwrap();
         compile(&tp)
     }
 
@@ -481,11 +474,7 @@ mod tests {
         // `r.x` used as an index expression must not disturb the outer
         // access (regression guard for the fused-path design).
         let code = compile_src("int i = 0; i = r.x;");
-        let loads = code
-            .insns
-            .iter()
-            .filter(|i| matches!(i, Insn::Load { .. }))
-            .count();
+        let loads = code.insns.iter().filter(|i| matches!(i, Insn::Load { .. })).count();
         assert_eq!(loads, 1);
     }
 }

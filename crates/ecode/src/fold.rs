@@ -89,9 +89,7 @@ fn fold_expr(e: &mut TExpr) {
             }
             fold_expr(rhs);
         }
-        TExprKind::Binary(_, l, r)
-        | TExprKind::LogicalAnd(l, r)
-        | TExprKind::LogicalOr(l, r) => {
+        TExprKind::Binary(_, l, r) | TExprKind::LogicalAnd(l, r) | TExprKind::LogicalOr(l, r) => {
             fold_expr(l);
             fold_expr(r);
         }
@@ -231,11 +229,8 @@ mod tests {
 
     fn checked(src: &str) -> TProgram {
         let fmt = FormatBuilder::record("R").int("x").double("d").build_arc().unwrap();
-        check(
-            &parse(src).unwrap(),
-            vec![Binding { name: "r".into(), format: fmt, writable: true }],
-        )
-        .unwrap()
+        check(&parse(src).unwrap(), vec![Binding { name: "r".into(), format: fmt, writable: true }])
+            .unwrap()
     }
 
     fn folded_rhs(src: &str) -> TExprKind {
@@ -268,10 +263,7 @@ mod tests {
 
     #[test]
     fn folds_string_concat_and_compare() {
-        assert_eq!(
-            folded_rhs(r#"r.x = "ab" + "c" == "abc";"#),
-            TExprKind::ConstI(1)
-        );
+        assert_eq!(folded_rhs(r#"r.x = "ab" + "c" == "abc";"#), TExprKind::ConstI(1));
     }
 
     #[test]

@@ -266,8 +266,7 @@ impl<'p> Interp<'p> {
                 let is_char = e.ty == Ty::Char;
                 let old = cur.as_i64().ok_or_else(|| rt_err("++/-- on non-integer place"))?;
                 let new = if *inc { old.wrapping_add(1) } else { old.wrapping_sub(1) };
-                let stored =
-                    if is_char { Value::Char(new as u8) } else { Value::Int(new) };
+                let stored = if is_char { Value::Char(new as u8) } else { Value::Int(new) };
                 self.write_place(roots, place, stored)?;
                 let result = if *post { old } else { new };
                 Ok(if is_char { Value::Char(result as u8) } else { Value::Int(result) })
@@ -280,9 +279,7 @@ impl<'p> Interp<'p> {
                     (CastKind::CharToInt, Value::Char(c)) => Value::Int(i64::from(c)),
                     (CastKind::IntToChar, Value::Int(v)) => Value::Char(v as u8),
                     (CastKind::DoubleToBool, Value::Float(v)) => Value::Int(i64::from(v != 0.0)),
-                    (k, v) => {
-                        return Err(rt_err(format!("bad cast {k:?} on {}", v.kind_name())))
-                    }
+                    (k, v) => return Err(rt_err(format!("bad cast {k:?} on {}", v.kind_name()))),
                 })
             }
             TExprKind::Call(builtin, args) => {
@@ -424,15 +421,11 @@ fn binop(op: TBinOp, a: Value, b: Value) -> Result<Value> {
             Ok(Value::Str(a))
         }
         (TBinOp::ICmp(o), Value::Int(a), Value::Int(b)) => Ok(Value::Int(cmp(o, &a, &b))),
-        (TBinOp::FCmp(o), Value::Float(a), Value::Float(b)) => {
-            Ok(Value::Int(fcmp_val(o, a, b)))
-        }
+        (TBinOp::FCmp(o), Value::Float(a), Value::Float(b)) => Ok(Value::Int(fcmp_val(o, a, b))),
         (TBinOp::SCmp(o), Value::Str(a), Value::Str(b)) => Ok(Value::Int(cmp(o, &a, &b))),
-        (op, a, b) => Err(rt_err(format!(
-            "bad operands for {op:?}: {} and {}",
-            a.kind_name(),
-            b.kind_name()
-        ))),
+        (op, a, b) => {
+            Err(rt_err(format!("bad operands for {op:?}: {} and {}", a.kind_name(), b.kind_name())))
+        }
     }
 }
 
@@ -532,11 +525,7 @@ pub fn run(program: &TProgram, roots: &mut [Value]) -> Result<Option<Value>> {
 /// # Errors
 ///
 /// As [`run`], plus fuel exhaustion.
-pub fn run_with_fuel(
-    program: &TProgram,
-    roots: &mut [Value],
-    fuel: u64,
-) -> Result<Option<Value>> {
+pub fn run_with_fuel(program: &TProgram, roots: &mut [Value], fuel: u64) -> Result<Option<Value>> {
     if roots.len() != program.bindings.len() {
         return Err(rt_err(format!(
             "program expects {} root record(s), got {}",
@@ -544,8 +533,7 @@ pub fn run_with_fuel(
             roots.len()
         )));
     }
-    let mut it =
-        Interp { program, locals: vec![Value::Int(0); program.n_locals], fuel, depth: 0 };
+    let mut it = Interp { program, locals: vec![Value::Int(0); program.n_locals], fuel, depth: 0 };
     for s in &program.stmts {
         match it.exec(roots, s)? {
             Flow::Normal => {}

@@ -394,7 +394,9 @@ impl<'a> Lexer<'a> {
                     return Err(EcodeError::lex(here, "expected `||` (Ecode has no bitwise ops)"));
                 }
             }
-            c => return Err(EcodeError::lex(here, format!("unexpected character `{}`", c as char))),
+            c => {
+                return Err(EcodeError::lex(here, format!("unexpected character `{}`", c as char)))
+            }
         })
     }
 }
@@ -491,10 +493,20 @@ mod tests {
                 Tok::Eof
             ]
         );
-        assert_eq!(toks("<= >= == != && || += -="), vec![
-            Tok::Le, Tok::Ge, Tok::Eq, Tok::Ne, Tok::AndAnd, Tok::OrOr,
-            Tok::PlusAssign, Tok::MinusAssign, Tok::Eof
-        ]);
+        assert_eq!(
+            toks("<= >= == != && || += -="),
+            vec![
+                Tok::Le,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::PlusAssign,
+                Tok::MinusAssign,
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

@@ -192,13 +192,7 @@ mod tests {
     use pbio::FormatBuilder;
 
     fn scalar_fmt() -> Arc<RecordFormat> {
-        FormatBuilder::record("S")
-            .int("i")
-            .double("d")
-            .string("s")
-            .char("c")
-            .build_arc()
-            .unwrap()
+        FormatBuilder::record("S").int("i").double("d").string("s").char("c").build_arc().unwrap()
     }
 
     /// Runs `src` with a single writable root of `scalar_fmt`, on both the
@@ -206,10 +200,10 @@ mod tests {
     /// and the return value.
     fn run_both(src: &str) -> (Value, Option<Value>) {
         let fmt = scalar_fmt();
-        let prog =
-            EcodeCompiler::new().bind_output("r", &fmt).compile(src).unwrap_or_else(|e| {
-                panic!("compile failed: {e}\n{src}")
-            });
+        let prog = EcodeCompiler::new()
+            .bind_output("r", &fmt)
+            .compile(src)
+            .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
         let mut roots_vm = vec![Value::default_record(&fmt)];
         let ret_vm = prog.run(&mut roots_vm).unwrap();
         let mut roots_it = vec![Value::default_record(&fmt)];
@@ -268,10 +262,7 @@ mod tests {
             ret_int("int s = 0; int i = 0; while (i < 5) { i++; if (i == 3) continue; s += i; } return s;"),
             12
         );
-        assert_eq!(
-            ret_int("int i; for (i = 0; ; i++) { if (i == 7) break; } return i;"),
-            7
-        );
+        assert_eq!(ret_int("int i; for (i = 0; ; i++) { if (i == 7) break; } return i;"), 7);
     }
 
     #[test]
@@ -359,14 +350,12 @@ mod tests {
     #[test]
     fn division_by_zero_is_runtime_error() {
         let fmt = scalar_fmt();
-        let prog =
-            EcodeCompiler::new().bind_output("r", &fmt).compile("return 1 / 0;").unwrap();
+        let prog = EcodeCompiler::new().bind_output("r", &fmt).compile("return 1 / 0;").unwrap();
         let mut roots = vec![Value::default_record(&fmt)];
         assert!(matches!(prog.run(&mut roots), Err(EcodeError::Runtime(_))));
         let mut roots = vec![Value::default_record(&fmt)];
         assert!(matches!(prog.run_interp(&mut roots), Err(EcodeError::Runtime(_))));
-        let prog2 =
-            EcodeCompiler::new().bind_output("r", &fmt).compile("return 1 % 0;").unwrap();
+        let prog2 = EcodeCompiler::new().bind_output("r", &fmt).compile("return 1 % 0;").unwrap();
         let mut roots = vec![Value::default_record(&fmt)];
         assert!(prog2.run(&mut roots).is_err());
     }
@@ -480,8 +469,7 @@ mod tests {
 
     #[test]
     fn len_builtin_runs() {
-        let member =
-            FormatBuilder::record("M").string("info").int("ID").build_arc().unwrap();
+        let member = FormatBuilder::record("M").string("info").int("ID").build_arc().unwrap();
         let fmt = FormatBuilder::record("R")
             .int("count")
             .var_array_of("list", member, "count")
@@ -508,10 +496,8 @@ mod tests {
             .var_array_of("list", member, "count")
             .build_arc()
             .unwrap();
-        let read = EcodeCompiler::new()
-            .bind_output("r", &fmt)
-            .compile("return r.list[5].ID;")
-            .unwrap();
+        let read =
+            EcodeCompiler::new().bind_output("r", &fmt).compile("return r.list[5].ID;").unwrap();
         let mut roots = vec![Value::default_record(&fmt)];
         assert!(read.run(&mut roots).is_err());
         assert!(read.run_interp(&mut roots).is_err());
@@ -531,15 +517,11 @@ mod tests {
     #[test]
     fn user_functions_basic() {
         assert_eq!(ret_int("int add(int a, int b) { return a + b; } return add(2, 3);"), 5);
-        assert_eq!(
-            ret_int("int twice(int x) { return x * 2; } return twice(twice(twice(1)));"),
-            8
-        );
+        assert_eq!(ret_int("int twice(int x) { return x * 2; } return twice(twice(twice(1)));"), 8);
         let (_, r) = run_both("double half(double x) { return x / 2.0; } return half(5);");
         assert_eq!(r, Some(Value::Float(2.5)));
-        let (_, r) = run_both(
-            r#"string greet(string who) { return "hi " + who; } return greet("bob");"#,
-        );
+        let (_, r) =
+            run_both(r#"string greet(string who) { return "hi " + who; } return greet("bob");"#);
         assert_eq!(r, Some(Value::str("hi bob")));
     }
 

@@ -164,8 +164,7 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let then = Box::new(self.stmt()?);
-                let els =
-                    if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
+                let els = if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
                 StmtKind::If(cond, then, els)
             }
             Tok::KwWhile => {
@@ -266,10 +265,7 @@ impl Parser {
         let then = self.expr()?;
         self.expect(&Tok::Colon)?;
         let els = self.ternary()?;
-        Ok(Expr {
-            pos,
-            kind: ExprKind::Ternary(Box::new(cond), Box::new(then), Box::new(els)),
-        })
+        Ok(Expr { pos, kind: ExprKind::Ternary(Box::new(cond), Box::new(then), Box::new(els)) })
     }
 
     fn binary_level<F>(&mut self, next: F, table: &[(Tok, BinOp)]) -> Result<Expr>
@@ -283,10 +279,7 @@ impl Parser {
                     let pos = self.peek_pos();
                     self.bump();
                     let rhs = next(self)?;
-                    lhs = Expr {
-                        pos,
-                        kind: ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)),
-                    };
+                    lhs = Expr { pos, kind: ExprKind::Binary(*op, Box::new(lhs), Box::new(rhs)) };
                     continue 'outer;
                 }
             }

@@ -76,11 +76,11 @@ impl<'a> Checker<'a> {
     fn declare(&mut self, name: &str, ty: Ty) -> usize {
         let slot = self.n_locals;
         self.n_locals += 1;
-        self.scopes
-            .last_mut()
-            .expect("scope stack never empty")
-            .names
-            .push((name.to_string(), slot, ty));
+        self.scopes.last_mut().expect("scope stack never empty").names.push((
+            name.to_string(),
+            slot,
+            ty,
+        ));
         slot
     }
 
@@ -93,10 +93,8 @@ impl<'a> Checker<'a> {
             (Ty::Int, Ty::Double) => CastKind::IntToDouble,
             (Ty::Char, Ty::Double) => {
                 // char → int → double
-                let as_int = TExpr {
-                    ty: Ty::Int,
-                    kind: TExprKind::Cast(CastKind::CharToInt, Box::new(e)),
-                };
+                let as_int =
+                    TExpr { ty: Ty::Int, kind: TExprKind::Cast(CastKind::CharToInt, Box::new(e)) };
                 return Ok(TExpr {
                     ty: Ty::Double,
                     kind: TExprKind::Cast(CastKind::IntToDouble, Box::new(as_int)),
@@ -149,9 +147,7 @@ impl<'a> Checker<'a> {
                         let te = self.coerce(te, &Ty::Int, pos)?;
                         Ok(TExpr { ty: Ty::Int, kind: TExprKind::NegI(Box::new(te)) })
                     }
-                    Ty::Double => {
-                        Ok(TExpr { ty: Ty::Double, kind: TExprKind::NegF(Box::new(te)) })
-                    }
+                    Ty::Double => Ok(TExpr { ty: Ty::Double, kind: TExprKind::NegF(Box::new(te)) }),
                     ref other => {
                         Err(EcodeError::ty(pos, format!("cannot negate a value of type {other}")))
                     }
@@ -183,10 +179,7 @@ impl<'a> Checker<'a> {
                     ));
                 };
                 let ty = tt.ty.clone();
-                Ok(TExpr {
-                    ty,
-                    kind: TExprKind::Ternary(Box::new(tc), Box::new(tt), Box::new(tf)),
-                })
+                Ok(TExpr { ty, kind: TExprKind::Ternary(Box::new(tc), Box::new(tt), Box::new(tf)) })
             }
             ExprKind::PostIncDec(target, inc) => self.incdec(pos, target, *inc, true),
             ExprKind::PreIncDec(target, inc) => self.incdec(pos, target, *inc, false),
@@ -198,9 +191,7 @@ impl<'a> Checker<'a> {
     /// root path read.
     fn read_of_place_like(&mut self, e: &Expr) -> Result<TExpr> {
         match self.resolve_place(e)? {
-            (TPlace::Local(slot), ty) => {
-                Ok(TExpr { ty, kind: TExprKind::ReadLocal(slot) })
-            }
+            (TPlace::Local(slot), ty) => Ok(TExpr { ty, kind: TExprKind::ReadLocal(slot) }),
             (TPlace::Path { root, segs }, ty) => {
                 Ok(TExpr { ty, kind: TExprKind::ReadPath { root, segs } })
             }
@@ -230,10 +221,7 @@ impl<'a> Checker<'a> {
                     ));
                 };
                 let idx = fmt.field_index(field).ok_or_else(|| {
-                    EcodeError::ty(
-                        e.pos,
-                        format!("record `{}` has no field `{field}`", fmt.name()),
-                    )
+                    EcodeError::ty(e.pos, format!("record `{}` has no field `{field}`", fmt.name()))
                 })?;
                 let fty = ty_of_field_type(fmt.fields()[idx].ty());
                 match place {
@@ -305,10 +293,7 @@ impl<'a> Checker<'a> {
             Some(TBinOp::FArith(_)) => self.coerce(trhs, &Ty::Double, pos)?,
             _ => self.coerce_assignable(trhs, &lty, pos)?,
         };
-        Ok(TExpr {
-            ty: lty,
-            kind: TExprKind::Assign { place, op: bin, rhs: Box::new(trhs) },
-        })
+        Ok(TExpr { ty: lty, kind: TExprKind::Assign { place, op: bin, rhs: Box::new(trhs) } })
     }
 
     /// Coercion rules for plain assignment: numeric casts plus structural
@@ -373,7 +358,10 @@ impl<'a> Checker<'a> {
             if tl.ty != Ty::Str || tr.ty != Ty::Str {
                 return Err(EcodeError::ty(
                     pos,
-                    format!("cannot combine {} and {} (strings only pair with strings)", tl.ty, tr.ty),
+                    format!(
+                        "cannot combine {} and {} (strings only pair with strings)",
+                        tl.ty, tr.ty
+                    ),
                 ));
             }
             return match op {
@@ -624,11 +612,7 @@ impl<'a> Checker<'a> {
                 if let Some(i) = tinit {
                     out.push(i);
                 }
-                out.push(TStmt::Loop {
-                    cond: tcond,
-                    body: Box::new(tbody),
-                    step: tstep,
-                });
+                out.push(TStmt::Loop { cond: tcond, body: Box::new(tbody), step: tstep });
                 Ok(TStmt::Block(out))
             }
             StmtKind::Block(stmts) => {
@@ -784,8 +768,7 @@ mod tests {
             .var_array_of("member_list", member.clone(), "member_count")
             .build_arc()
             .unwrap();
-        let memv1 =
-            FormatBuilder::record("MemberV1").string("info").int("ID").build_arc().unwrap();
+        let memv1 = FormatBuilder::record("MemberV1").string("info").int("ID").build_arc().unwrap();
         let oldf = FormatBuilder::record("Old")
             .int("member_count")
             .var_array_of("member_list", memv1.clone(), "member_count")

@@ -139,10 +139,9 @@ fn gather_indices(stack: &mut Vec<Value>, k: usize, scratch: &mut Vec<usize>) ->
         match v {
             Value::Int(n) if n >= 0 => Ok(n as usize),
             Value::Int(n) => Err(rt_err(format!("negative array index {n}"))),
-            other => Err(rt_err(format!(
-                "array index is not an int (found {})",
-                other.kind_name()
-            ))),
+            other => {
+                Err(rt_err(format!("array index is not an int (found {})", other.kind_name())))
+            }
         }
     };
     if k == 1 {
@@ -151,10 +150,7 @@ fn gather_indices(stack: &mut Vec<Value>, k: usize, scratch: &mut Vec<usize>) ->
         scratch.push(to_usize(v)?);
         return Ok(());
     }
-    let start = stack
-        .len()
-        .checked_sub(k)
-        .ok_or_else(|| rt_err("value stack underflow"))?;
+    let start = stack.len().checked_sub(k).ok_or_else(|| rt_err("value stack underflow"))?;
     for v in stack.drain(start..) {
         scratch.push(to_usize(v)?);
     }
@@ -162,12 +158,7 @@ fn gather_indices(stack: &mut Vec<Value>, k: usize, scratch: &mut Vec<usize>) ->
 }
 
 /// Navigates a fused path for reading; returns a reference to the value.
-fn nav<'v>(
-    roots: &'v [Value],
-    root: u8,
-    segs: &[CSeg],
-    idx: &[usize],
-) -> Result<&'v Value> {
+fn nav<'v>(roots: &'v [Value], root: u8, segs: &[CSeg], idx: &[usize]) -> Result<&'v Value> {
     let mut cur: &Value =
         roots.get(root as usize).ok_or_else(|| rt_err(format!("no root #{root}")))?;
     let mut it = idx.iter();
@@ -209,8 +200,7 @@ fn write_path(
     value: Value,
 ) -> Result<()> {
     let root_idx = root as usize;
-    let binding =
-        bindings.get(root_idx).ok_or_else(|| rt_err(format!("no root #{root}")))?;
+    let binding = bindings.get(root_idx).ok_or_else(|| rt_err(format!("no root #{root}")))?;
     let mut cur: &mut Value =
         roots.get_mut(root_idx).ok_or_else(|| rt_err(format!("no root #{root}")))?;
     let mut ty = TyRef::Rec(&binding.format);

@@ -7,11 +7,7 @@ use ecode::{EcodeCompiler, EcodeError, EcodeProgram};
 use pbio::{FormatBuilder, RecordFormat, Value};
 
 fn scratch() -> Arc<RecordFormat> {
-    let item = FormatBuilder::record("Item")
-        .string("key")
-        .int("val")
-        .build_arc()
-        .unwrap();
+    let item = FormatBuilder::record("Item").string("key").int("val").build_arc().unwrap();
     FormatBuilder::record("Scratch")
         .int("n")
         .var_array_of("items", item, "n")
@@ -222,10 +218,7 @@ fn fuel_bounds_function_heavy_programs() {
     "#;
     let prog = compile(src);
     let mut roots = vec![empty_scratch(0)];
-    assert!(matches!(
-        prog.run_with_fuel(&mut roots, 100_000),
-        Err(EcodeError::Runtime(_))
-    ));
+    assert!(matches!(prog.run_with_fuel(&mut roots, 100_000), Err(EcodeError::Runtime(_))));
 }
 
 #[test]

@@ -95,10 +95,7 @@ fn compile_elem(from: &FieldType, to: &FieldType) -> Option<ElemAdapt> {
         (FieldType::Record(a), FieldType::Record(b)) => {
             Some(ElemAdapt::Nested(compile_record(a, b)))
         }
-        (
-            FieldType::Array { elem: a, len: la },
-            FieldType::Array { elem: b, len: lb },
-        ) => {
+        (FieldType::Array { elem: a, len: la }, FieldType::Array { elem: b, len: lb }) => {
             // Length discipline is part of the type (mirrors
             // `pbio::ConversionPlan`): fixed↔variable conversions would
             // break the target's length invariant.
@@ -199,11 +196,7 @@ impl ValueAdapter {
     /// fields fall back to defaults (matching Algorithm 2, which only runs
     /// this step on pairs MaxMatch already admitted).
     pub fn compile(from: &Arc<RecordFormat>, to: &Arc<RecordFormat>) -> ValueAdapter {
-        ValueAdapter {
-            from: Arc::clone(from),
-            to: Arc::clone(to),
-            root: compile_record(from, to),
-        }
+        ValueAdapter { from: Arc::clone(from), to: Arc::clone(to), root: compile_record(from, to) }
     }
 
     /// Source format.
@@ -243,7 +236,8 @@ mod tests {
 
     #[test]
     fn drops_extras_fills_defaults_reorders() {
-        let from = FormatBuilder::record("M").int("a").string("extra").int("b").build_arc().unwrap();
+        let from =
+            FormatBuilder::record("M").int("a").string("extra").int("b").build_arc().unwrap();
         let to = FormatBuilder::record("M")
             .int("b")
             .int("a")
@@ -318,18 +312,8 @@ mod tests {
 
     #[test]
     fn agrees_with_generic_convert_record() {
-        let from = FormatBuilder::record("M")
-            .int("a")
-            .string("s")
-            .double("d")
-            .build_arc()
-            .unwrap();
-        let to = FormatBuilder::record("M")
-            .double("a")
-            .string("s")
-            .int("q")
-            .build_arc()
-            .unwrap();
+        let from = FormatBuilder::record("M").int("a").string("s").double("d").build_arc().unwrap();
+        let to = FormatBuilder::record("M").double("a").string("s").int("q").build_arc().unwrap();
         let v = Value::Record(vec![Value::Int(5), Value::str("hi"), Value::Float(2.5)]);
         let a = ValueAdapter::compile(&from, &to);
         assert_eq!(a.apply(&v).unwrap(), pbio::convert_record(&v, &from, &to));

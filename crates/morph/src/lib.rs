@@ -61,9 +61,7 @@ pub use matching::{
     diff, max_match, mismatch_ratio, type_weight, MatchConfig, MatchQuality, MaxMatch,
 };
 pub use metaserver::{process_with_resolution, MetaClient, MetaServer};
-pub use receiver::{
-    DefaultHandler, Delivery, Explanation, Handler, MorphReceiver, MorphStats,
-};
+pub use receiver::{DefaultHandler, Delivery, Explanation, Handler, MorphReceiver, MorphStats};
 pub use xform::{
     CompiledChain, CompiledXform, ReachableFormat, Transformation, TransformationRegistry,
 };

@@ -118,9 +118,7 @@ fn diff_types(t1: &FieldType, t2: &FieldType) -> usize {
         (FieldType::Array { elem: e1, .. }, FieldType::Array { elem: e2, .. }) => {
             diff_types(e1, e2)
         }
-        (FieldType::Basic(b1), FieldType::Basic(b2)) => {
-            usize::from(!b1.convertible_to(b2))
-        }
+        (FieldType::Basic(b1), FieldType::Basic(b2)) => usize::from(!b1.convertible_to(b2)),
         (t1, _) => type_weight(t1),
     }
 }
@@ -163,8 +161,7 @@ impl MatchQuality {
 
     /// Whether this pair passes the thresholds.
     pub fn admissible(&self, config: &MatchConfig) -> bool {
-        self.diff_fwd <= config.diff_threshold
-            && self.mismatch_ratio <= config.mismatch_threshold
+        self.diff_fwd <= config.diff_threshold && self.mismatch_ratio <= config.mismatch_threshold
     }
 
     /// The paper's preference order: least `Mr`, then least `diff(f1,f2)`.
@@ -308,7 +305,7 @@ mod tests {
         let d_21 = diff(&v2(), &v1()); // v2 fields missing from v1
         let d_12 = diff(&v1(), &v2()); // v1 fields missing from v2
         assert_eq!(d_21, 2); // is_source, is_sink
-        // src_count, sink_count, and the two lists (2 fields each).
+                             // src_count, sink_count, and the two lists (2 fields each).
         assert_eq!(d_12, 2 + 2 + 2);
         let mr = mismatch_ratio(&v2(), &v1());
         // W_v1 = member_count(1)+list(2)+src_count(1)+src(2)+sink_count(1)+sink(2) = 9
@@ -342,12 +339,8 @@ mod tests {
         let perfect = v2();
         let rollback = v1();
         let config = MatchConfig::new();
-        let m = max_match(
-            &[incoming.clone()],
-            &[rollback.clone(), perfect.clone()],
-            &config,
-        )
-        .unwrap();
+        let m =
+            max_match(&[incoming.clone()], &[rollback.clone(), perfect.clone()], &config).unwrap();
         assert_eq!(m.to, 1, "perfect match must win");
         assert!(m.quality.is_perfect());
     }
@@ -372,8 +365,7 @@ mod tests {
     #[test]
     fn tie_breaks_by_least_forward_diff() {
         // Two receiver formats with equal Mr but different diff(f1, f2).
-        let incoming =
-            FormatBuilder::record("M").int("a").int("b").int("c").build_arc().unwrap();
+        let incoming = FormatBuilder::record("M").int("a").int("b").int("c").build_arc().unwrap();
         // r1: drops one incoming field (diff_fwd 1), covers all of itself.
         let r1 = FormatBuilder::record("M").int("a").int("b").build_arc().unwrap();
         // r2: drops two incoming fields, covers all of itself (Mr 0 both).

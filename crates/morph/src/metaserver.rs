@@ -357,8 +357,7 @@ mod tests {
         // The transformation registration also made both formats known.
         let resp = server.handle(&MetaClient::want_format(format_id(&v1()))).unwrap();
         assert!(MetaClient::parse_format(&resp).unwrap().is_some());
-        let resp =
-            server.handle(&MetaClient::want_transformations(format_id(&v2()))).unwrap();
+        let resp = server.handle(&MetaClient::want_transformations(format_id(&v2()))).unwrap();
         assert_eq!(MetaClient::parse_transformations(&resp).unwrap().len(), 1);
     }
 
@@ -379,11 +378,7 @@ mod tests {
         // Writer side: announce the new format and its retro-transformation.
         let server = Mutex::new(MetaServer::new());
         server.lock().unwrap().handle(&MetaClient::register_format(&v2())).unwrap();
-        server
-            .lock()
-            .unwrap()
-            .handle(&MetaClient::register_transformation(&xform()))
-            .unwrap();
+        server.lock().unwrap().handle(&MetaClient::register_transformation(&xform())).unwrap();
 
         // Reader side: only knows v1; has NO local meta-data about v2.
         let got = Arc::new(Mutex::new(Vec::new()));
@@ -398,20 +393,16 @@ mod tests {
         assert!(matches!(rx.process(&wire), Err(MorphError::UnknownWireFormat(_))));
 
         // With resolution it succeeds — one fetch, then cached forever.
-        let d = process_with_resolution(&mut rx, &wire, |req| {
-            server.lock().unwrap().handle(&req)
-        })
-        .unwrap();
+        let d = process_with_resolution(&mut rx, &wire, |req| server.lock().unwrap().handle(&req))
+            .unwrap();
         assert!(matches!(d, Delivery::Delivered(_)));
         assert_eq!(got.lock().unwrap()[0], Value::Record(vec![Value::Int(42)]));
 
         // Steady state: no more server traffic.
         let before = server.lock().unwrap().requests_served();
         for _ in 0..5 {
-            process_with_resolution(&mut rx, &wire, |req| {
-                server.lock().unwrap().handle(&req)
-            })
-            .unwrap();
+            process_with_resolution(&mut rx, &wire, |req| server.lock().unwrap().handle(&req))
+                .unwrap();
         }
         assert_eq!(server.lock().unwrap().requests_served(), before);
     }
@@ -448,9 +439,8 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, MorphError::Config(_)));
         // And through the process wrapper.
-        let wire = Encoder::new(&v2())
-            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
-            .unwrap();
+        let wire =
+            Encoder::new(&v2()).encode(&Value::Record(vec![Value::Int(1), Value::Int(2)])).unwrap();
         let err = process_with_resolution(&mut rx, &wire, |_req| {
             Err(MorphError::Config("link down".into()))
         })
@@ -463,13 +453,11 @@ mod tests {
         let server = Mutex::new(MetaServer::new());
         let mut rx = MorphReceiver::new();
         rx.register_handler(&v1(), |_v| {});
-        let wire = Encoder::new(&v2())
-            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
-            .unwrap();
-        let err = process_with_resolution(&mut rx, &wire, |req| {
-            server.lock().unwrap().handle(&req)
-        })
-        .unwrap_err();
+        let wire =
+            Encoder::new(&v2()).encode(&Value::Record(vec![Value::Int(1), Value::Int(2)])).unwrap();
+        let err =
+            process_with_resolution(&mut rx, &wire, |req| server.lock().unwrap().handle(&req))
+                .unwrap_err();
         assert!(matches!(err, MorphError::UnknownWireFormat(_)));
     }
 }

@@ -11,8 +11,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use obs::{Clock, Counter, Histogram, Registry, Timer};
 use pbio::{
-    format_id, parse_header, ConversionPlan, FormatId, FormatRegistry, RecordFormat, Value,
+    format_id, parse_header, ConversionPlan, FormatId, FormatRegistry, PlanCache, RecordFormat,
+    Value,
 };
 
 use crate::adapter::ValueAdapter;
@@ -95,8 +97,14 @@ struct Selected {
     perfect: bool,
 }
 
-/// Counters describing receiver activity (exposed for tests, examples, and
-/// the evaluation harness).
+/// A point-in-time view of receiver activity (exposed for tests, examples,
+/// and the evaluation harness).
+///
+/// Since the observability rework this is a *snapshot* assembled from the
+/// receiver's registry-backed counters (see [`MorphReceiver::registry`]),
+/// not live storage: the counters of record are `morph.messages`,
+/// `morph.decision.hit`, `morph.decision.exact` and friends, catalogued in
+/// `OBSERVABILITY.md`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MorphStats {
     /// Total messages processed.
@@ -122,19 +130,66 @@ pub struct MorphStats {
 enum Decision {
     /// Single compiled plan straight from wire bytes to the reader format —
     /// used when no transformation code is needed (perfect or near match).
-    Plan { plan: ConversionPlan, target: FormatId, exact: bool },
+    Plan { plan: Arc<ConversionPlan>, target: FormatId, exact: bool },
     /// Full morph: decode to the wire format, run the compiled chain, then
     /// (if the chain's end is a near match) adapt.
     Morph {
-        decode: ConversionPlan,
+        decode: Arc<ConversionPlan>,
         chain: CompiledChain,
         adapter: Option<ValueAdapter>,
         target: FormatId,
     },
     /// Decode with the wire format and hand to the default handler.
-    Default { decode: ConversionPlan },
+    Default { decode: Arc<ConversionPlan> },
     /// Drop messages of this format.
     Reject,
+}
+
+/// Pre-fetched handles for the receiver's hot-path metrics (`morph.*` in
+/// `OBSERVABILITY.md`). Registry lookups lock; these are fetched once per
+/// registry and updated lock-free per message.
+struct RxMetrics {
+    clock: Arc<dyn Clock>,
+    messages: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    exact: Arc<Counter>,
+    near: Arc<Counter>,
+    morphs: Arc<Counter>,
+    defaults: Arc<Counter>,
+    rejects: Arc<Counter>,
+    compiles: Arc<Counter>,
+    maxmatch_candidates: Arc<Counter>,
+    decide_ns: Arc<Histogram>,
+    process_ns: Arc<Histogram>,
+    compile_ns: Arc<Histogram>,
+    maxmatch_ns: Arc<Histogram>,
+}
+
+impl RxMetrics {
+    fn new(registry: Arc<Registry>) -> RxMetrics {
+        RxMetrics {
+            clock: registry.clock(),
+            messages: registry.counter("morph.messages"),
+            hits: registry.counter("morph.decision.hit"),
+            misses: registry.counter("morph.decision.miss"),
+            exact: registry.counter("morph.decision.exact"),
+            near: registry.counter("morph.decision.near"),
+            morphs: registry.counter("morph.decision.morph"),
+            defaults: registry.counter("morph.decision.default"),
+            rejects: registry.counter("morph.decision.reject"),
+            compiles: registry.counter("morph.compile.count"),
+            maxmatch_candidates: registry.counter("morph.maxmatch.candidates"),
+            decide_ns: registry.histogram("morph.decide_ns"),
+            process_ns: registry.histogram("morph.process_ns"),
+            compile_ns: registry.histogram("morph.compile_ns"),
+            maxmatch_ns: registry.histogram("morph.maxmatch_ns"),
+        }
+    }
+
+    fn timer(&self, histogram: &Arc<Histogram>) -> Timer {
+        Timer::start(Arc::clone(histogram), Arc::clone(&self.clock))
+    }
 }
 
 /// The morphing receiver (Algorithm 2).
@@ -174,7 +229,9 @@ pub struct MorphReceiver {
     handlers: HashMap<FormatId, Handler>,
     default_handler: Option<DefaultHandler>,
     cache: HashMap<FormatId, Decision>,
-    stats: MorphStats,
+    /// Compiled conversion plans, shared across decision-cache rebuilds.
+    plans: PlanCache,
+    metrics: RxMetrics,
 }
 
 impl std::fmt::Debug for MorphReceiver {
@@ -183,7 +240,7 @@ impl std::fmt::Debug for MorphReceiver {
             .field("config", &self.config)
             .field("readers", &self.readers.iter().map(|r| r.name()).collect::<Vec<_>>())
             .field("cached_decisions", &self.cache.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -195,13 +252,25 @@ impl Default for MorphReceiver {
 }
 
 impl MorphReceiver {
-    /// Creates a receiver with the default [`MatchConfig`].
+    /// Creates a receiver with the default [`MatchConfig`], reporting into
+    /// a private wall-clock [`Registry`].
     pub fn new() -> MorphReceiver {
         MorphReceiver::with_config(MatchConfig::new())
     }
 
-    /// Creates a receiver with explicit thresholds.
+    /// Creates a receiver with explicit thresholds and a private registry.
     pub fn with_config(config: MatchConfig) -> MorphReceiver {
+        MorphReceiver::with_config_and_registry(config, Arc::new(Registry::new()))
+    }
+
+    /// Creates a receiver reporting into an external registry (e.g. one on
+    /// a simulator's virtual clock, or shared with other components).
+    pub fn with_registry(registry: Arc<Registry>) -> MorphReceiver {
+        MorphReceiver::with_config_and_registry(MatchConfig::new(), registry)
+    }
+
+    /// Creates a receiver with explicit thresholds and registry.
+    pub fn with_config_and_registry(config: MatchConfig, registry: Arc<Registry>) -> MorphReceiver {
         MorphReceiver {
             config,
             weights: None,
@@ -211,8 +280,43 @@ impl MorphReceiver {
             handlers: HashMap::new(),
             default_handler: None,
             cache: HashMap::new(),
-            stats: MorphStats::default(),
+            plans: PlanCache::new(Arc::clone(&registry)),
+            metrics: RxMetrics::new(registry),
         }
+    }
+
+    /// The registry this receiver's `morph.*` / `pbio.plan.*` metrics
+    /// report into (names catalogued in `OBSERVABILITY.md`).
+    ///
+    /// ```
+    /// # fn main() -> Result<(), morph::MorphError> {
+    /// use morph::MorphReceiver;
+    /// use pbio::{Encoder, FormatBuilder, Value};
+    ///
+    /// let fmt = FormatBuilder::record("Tick").int("n").build_arc()?;
+    /// let mut rx = MorphReceiver::new();
+    /// rx.register_handler(&fmt, |_| {});
+    /// let wire = Encoder::new(&fmt).encode(&Value::Record(vec![1.into()]))?;
+    /// rx.process(&wire)?;
+    /// rx.process(&wire)?;
+    ///
+    /// // Algorithm 2: one cold decision, then cache hits only.
+    /// let snap = rx.registry().snapshot();
+    /// assert_eq!(snap.counter("morph.decision.miss"), Some(1));
+    /// assert_eq!(snap.counter("morph.decision.hit"), Some(1));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.plans.registry()
+    }
+
+    /// Redirects all future metric updates into `registry`, re-fetching
+    /// every handle. Totals already accumulated stay in the old registry;
+    /// compiled plans are kept.
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        self.plans.set_registry(Arc::clone(&registry));
+        self.metrics = RxMetrics::new(registry);
     }
 
     /// Registers a reader format and the handler invoked for (possibly
@@ -262,9 +366,19 @@ impl MorphReceiver {
         Ok(self.known.import(bytes)?)
     }
 
-    /// Activity counters.
+    /// Activity counters, assembled from the registry-backed metrics.
     pub fn stats(&self) -> MorphStats {
-        self.stats
+        let m = &self.metrics;
+        MorphStats {
+            messages: m.messages.get(),
+            cache_hits: m.hits.get(),
+            exact_matches: m.exact.get(),
+            morphs: m.morphs.get(),
+            near_matches: m.near.get(),
+            defaults: m.defaults.get(),
+            rejects: m.rejects.get(),
+            compiles: m.compiles.get(),
+        }
     }
 
     /// The configured thresholds.
@@ -307,11 +421,11 @@ impl MorphReceiver {
     /// The paper's MaxMatch under the receiver's active policy (weighted or
     /// unweighted). "Perfect" is always the structural (unweighted) notion,
     /// so zero-weight differences still route through the adapting plan.
-    fn select(
-        &self,
-        set1: &[Arc<RecordFormat>],
-        set2: &[Arc<RecordFormat>],
-    ) -> Option<Selected> {
+    fn select(&self, set1: &[Arc<RecordFormat>], set2: &[Arc<RecordFormat>]) -> Option<Selected> {
+        // Search cost scales with the candidate cross-product (every
+        // (incoming, reader) pair is diffed), so that is what we count.
+        self.metrics.maxmatch_candidates.add((set1.len() * set2.len()) as u64);
+        let _span = self.metrics.timer(&self.metrics.maxmatch_ns);
         match &self.weights {
             None => max_match(set1, set2, &self.config).map(|m| Selected {
                 from: m.from,
@@ -337,17 +451,25 @@ impl MorphReceiver {
     /// transformation-runtime failures. A *rejection* (no admissible match)
     /// is not an error — it returns [`Delivery::Rejected`].
     pub fn process(&mut self, msg: &[u8]) -> Result<Delivery> {
-        self.stats.messages += 1;
+        self.metrics.messages.inc();
         let header = parse_header(msg).map_err(MorphError::Pbio)?;
         let id = header.format_id;
 
-        // Lines 6–9: cached information fast path.
+        // Lines 6–9: cached information fast path. `morph.process_ns`
+        // deliberately covers only warm replays, so its distribution is the
+        // steady-state per-message cost the paper's Fig. 10 compares against
+        // the XML baseline; the cold path is `morph.decide_ns`.
         if self.cache.contains_key(&id) {
-            self.stats.cache_hits += 1;
+            self.metrics.hits.inc();
+            let _span = self.metrics.timer(&self.metrics.process_ns);
             return self.apply_cached(id, msg);
         }
 
-        let decision = self.decide(id)?;
+        self.metrics.misses.inc();
+        let decision = {
+            let _span = self.metrics.timer(&self.metrics.decide_ns);
+            self.decide(id)?
+        };
         self.cache.insert(id, decision);
         self.apply_cached(id, msg)
     }
@@ -358,20 +480,16 @@ impl MorphReceiver {
         let fm = self.known.lookup(id).map_err(|_| MorphError::UnknownWireFormat(id))?;
 
         // Line 4: Fr = reader formats with the same name as fm.
-        let readers: Vec<Arc<RecordFormat>> = self
-            .readers
-            .iter()
-            .filter(|r| r.name() == fm.name())
-            .map(Arc::clone)
-            .collect();
+        let readers: Vec<Arc<RecordFormat>> =
+            self.readers.iter().filter(|r| r.name() == fm.name()).map(Arc::clone).collect();
 
         // Line 11: MaxMatch(fm, Fr) — perfect match short-circuit.
         if let Some(m) = self.select(std::slice::from_ref(&fm), &readers) {
             if m.perfect {
-                self.stats.exact_matches += 1;
+                self.metrics.exact.inc();
                 let target = &readers[m.to];
                 return Ok(Decision::Plan {
-                    plan: ConversionPlan::compile(&fm, target)?,
+                    plan: self.plans.get_or_compile(&fm, target)?,
                     target: format_id(target),
                     exact: true,
                 });
@@ -388,10 +506,10 @@ impl MorphReceiver {
             // Lines 17–19: reject (or default-deliver when a default handler
             // exists — §3.2's "default handler (if any)").
             if self.default_handler.is_some() {
-                self.stats.defaults += 1;
-                return Ok(Decision::Default { decode: ConversionPlan::identity(&fm)? });
+                self.metrics.defaults.inc();
+                return Ok(Decision::Default { decode: self.plans.get_or_compile(&fm, &fm)? });
             }
-            self.stats.rejects += 1;
+            self.metrics.rejects.inc();
             return Ok(Decision::Reject);
         };
 
@@ -402,25 +520,24 @@ impl MorphReceiver {
         if chosen.chain.is_empty() {
             // No transformation code needed: one specialized wire→target
             // plan covers decode + default-fill + extra-removal.
-            self.stats.near_matches += 1;
+            self.metrics.near.inc();
             return Ok(Decision::Plan {
-                plan: ConversionPlan::compile(&fm, target)?,
+                plan: self.plans.get_or_compile(&fm, target)?,
                 target: target_id,
                 exact: false,
             });
         }
 
         // Lines 21–24: dynamic code generation, once, cached.
+        let compile_span = self.metrics.timer(&self.metrics.compile_ns);
         let chain = CompiledChain::compile(&chosen.chain)?;
-        self.stats.compiles += chain.steps().len() as u64;
-        self.stats.morphs += 1;
-        let adapter = if m.perfect {
-            None
-        } else {
-            Some(ValueAdapter::compile(&chosen.format, target))
-        };
+        compile_span.stop();
+        self.metrics.compiles.add(chain.steps().len() as u64);
+        self.metrics.morphs.inc();
+        let adapter =
+            if m.perfect { None } else { Some(ValueAdapter::compile(&chosen.format, target)) };
         Ok(Decision::Morph {
-            decode: ConversionPlan::identity(&fm)?,
+            decode: self.plans.get_or_compile(&fm, &fm)?,
             chain,
             adapter,
             target: target_id,
@@ -665,8 +782,7 @@ mod tests {
         rx.register_handler(&reader, h);
         rx.register_default_handler(move |fmt, _v| c.lock().unwrap().push(fmt.name().into()));
         rx.import_format(incoming.clone());
-        let wire =
-            Encoder::new(&incoming).encode(&Value::Record(vec![Value::Int(9)])).unwrap();
+        let wire = Encoder::new(&incoming).encode(&Value::Record(vec![Value::Int(9)])).unwrap();
         assert_eq!(rx.process(&wire).unwrap(), Delivery::DeliveredDefault);
         assert_eq!(caught.lock().unwrap().as_slice(), ["Other"]);
     }
@@ -681,8 +797,7 @@ mod tests {
         let mut rx = MorphReceiver::new();
         rx.register_handler(&reader, h);
         rx.import_format(incoming.clone());
-        let wire =
-            Encoder::new(&incoming).encode(&Value::Record(vec![Value::Int(1)])).unwrap();
+        let wire = Encoder::new(&incoming).encode(&Value::Record(vec![Value::Int(1)])).unwrap();
         assert_eq!(rx.process(&wire).unwrap(), Delivery::Rejected);
         assert!(got.lock().unwrap().is_empty());
     }
@@ -700,11 +815,7 @@ mod tests {
             r1.clone(),
             "old.a = new.a; old.b = new.b + new.c;",
         ));
-        rx.import_transformation(Transformation::new(
-            r1,
-            r0.clone(),
-            "old.total = new.a + new.b;",
-        ));
+        rx.import_transformation(Transformation::new(r1, r0.clone(), "old.total = new.a + new.b;"));
         let wire = Encoder::new(&r2)
             .encode(&Value::Record(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
             .unwrap();
@@ -807,9 +918,8 @@ mod tests {
             WeightProfile::new().weight("a", 5.0),
             WeightedConfig { diff_threshold: 0.0, mismatch_threshold: 0.0 },
         );
-        let wire = Encoder::new(&fmt)
-            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
-            .unwrap();
+        let wire =
+            Encoder::new(&fmt).encode(&Value::Record(vec![Value::Int(1), Value::Int(2)])).unwrap();
         assert!(matches!(rx.process(&wire).unwrap(), Delivery::Delivered(_)));
         assert_eq!(rx.stats().exact_matches, 1);
         drop(got);
@@ -855,9 +965,7 @@ mod tests {
         assert!(e.to_string().contains("morph through 1 transformation"));
 
         // Exact decision for v1 messages.
-        let wire = Encoder::new(&v1())
-            .encode(&crate::receiver::tests::v1_value_of(&[]))
-            .unwrap();
+        let wire = Encoder::new(&v1()).encode(&crate::receiver::tests::v1_value_of(&[])).unwrap();
         rx.process(&wire).unwrap();
         assert_eq!(
             rx.explain(pbio::format_id(&v1())).unwrap(),
@@ -867,13 +975,9 @@ mod tests {
         // Rejection is explainable too.
         let stranger = FormatBuilder::record("Other").int("z").build_arc().unwrap();
         rx.import_format(stranger.clone());
-        let wire =
-            Encoder::new(&stranger).encode(&Value::Record(vec![Value::Int(1)])).unwrap();
+        let wire = Encoder::new(&stranger).encode(&Value::Record(vec![Value::Int(1)])).unwrap();
         rx.process(&wire).unwrap();
-        assert_eq!(
-            rx.explain(pbio::format_id(&stranger)).unwrap(),
-            Explanation::Rejected
-        );
+        assert_eq!(rx.explain(pbio::format_id(&stranger)).unwrap(), Explanation::Rejected);
         assert_eq!(Explanation::Rejected.to_string(), "rejected");
         assert_eq!(Explanation::DefaultHandler.to_string(), "default handler");
     }

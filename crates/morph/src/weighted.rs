@@ -134,11 +134,7 @@ fn join(prefix: &str, name: &str) -> String {
 }
 
 fn wweight_at(format: &RecordFormat, profile: &WeightProfile, prefix: &str) -> f64 {
-    format
-        .fields()
-        .iter()
-        .map(|f| type_wweight(f.ty(), profile, &join(prefix, f.name())))
-        .sum()
+    format.fields().iter().map(|f| type_wweight(f.ty(), profile, &join(prefix, f.name()))).sum()
 }
 
 fn type_wweight(ty: &FieldType, profile: &WeightProfile, path: &str) -> f64 {
@@ -269,8 +265,7 @@ pub fn weighted_max_match(
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    mr < b.mismatch_ratio
-                        || (mr == b.mismatch_ratio && diff_fwd < b.diff_fwd)
+                    mr < b.mismatch_ratio || (mr == b.mismatch_ratio && diff_fwd < b.diff_fwd)
                 }
             };
             if better {

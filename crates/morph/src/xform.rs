@@ -90,8 +90,8 @@ impl Transformation {
                     "truncated transformation meta-data".into(),
                 ));
             }
-            let len = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"))
-                as usize;
+            let len =
+                u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes")) as usize;
             *pos += 4;
             if *pos + len > bytes.len() {
                 return Err(MorphError::BadTransformation(
@@ -282,8 +282,7 @@ impl TransformationRegistry {
             if pos + 4 > bytes.len() {
                 return Err(MorphError::BadTransformation("truncated registry export".into()));
             }
-            let len =
-                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + len > bytes.len() {
                 return Err(MorphError::BadTransformation("truncated registry export".into()));
@@ -301,10 +300,7 @@ impl TransformationRegistry {
     pub fn closure(&self, start: &Arc<RecordFormat>) -> Vec<ReachableFormat> {
         let start_id = format_id(start);
         let mut seen: HashMap<FormatId, usize> = HashMap::new();
-        let mut out = vec![ReachableFormat {
-            format: Arc::clone(start),
-            chain: Vec::new(),
-        }];
+        let mut out = vec![ReachableFormat { format: Arc::clone(start), chain: Vec::new() }];
         seen.insert(start_id, 0);
         let mut queue = VecDeque::new();
         queue.push_back(0usize);
@@ -427,11 +423,7 @@ mod tests {
         let r1 = fmt("M", &["a", "b"]);
         let r0 = fmt("M", &["a"]);
         let mut reg = TransformationRegistry::new();
-        reg.register(Transformation::new(
-            r2.clone(),
-            r1.clone(),
-            "old.a = new.a; old.b = new.b;",
-        ));
+        reg.register(Transformation::new(r2.clone(), r1.clone(), "old.a = new.a; old.b = new.b;"));
         reg.register(Transformation::new(r1.clone(), r0.clone(), "old.a = new.a;"));
         let reach = reg.closure(&r2);
         assert_eq!(reach.len(), 3);
@@ -467,9 +459,8 @@ mod tests {
         ];
         let cc = CompiledChain::compile(&chain).unwrap();
         assert_eq!(cc.steps().len(), 2);
-        let out = cc
-            .apply(Value::Record(vec![Value::Int(4), Value::Int(0), Value::Int(0)]))
-            .unwrap();
+        let out =
+            cc.apply(Value::Record(vec![Value::Int(4), Value::Int(0), Value::Int(0)])).unwrap();
         assert_eq!(out, Value::Record(vec![Value::Int(50)]));
     }
 
@@ -482,10 +473,7 @@ mod tests {
             Transformation::new(a.clone(), b, "old.b = new.a;"),
             Transformation::new(a, c, "old.c = new.a;"),
         ];
-        assert!(matches!(
-            CompiledChain::compile(&chain),
-            Err(MorphError::BadTransformation(_))
-        ));
+        assert!(matches!(CompiledChain::compile(&chain), Err(MorphError::BadTransformation(_))));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Time sources for metrics and timers.
+//!
+//! Everything in `obs` that stamps or measures time goes through the
+//! [`Clock`] trait, so the same instrumentation works against wall-clock
+//! time ([`MonotonicClock`]) and against a simulator's virtual time
+//! ([`VirtualClock`] — deterministic, advanced explicitly by whoever owns
+//! the simulation loop, e.g. `simnet`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+///
+/// Implementations must be cheap to query and never go backwards.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's epoch.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock time relative to the clock's creation instant.
+///
+/// The default clock of a [`crate::Registry`]; suitable for measuring real
+/// compile/convert latencies.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> MonotonicClock {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // u64 nanoseconds cover ~584 years of process uptime.
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// An explicitly advanced virtual-time clock.
+///
+/// Clones share the same underlying time cell, so a simulator can hold one
+/// handle and advance it while registries and timers read another.
+///
+/// # Examples
+///
+/// ```
+/// use obs::{Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// let observer = clock.clone();
+/// clock.advance_ns(1_500);
+/// assert_eq!(observer.now_ns(), 1_500);
+/// clock.set_ns(10_000); // jump, e.g. to a simulator's event time
+/// assert_eq!(observer.now_ns(), 10_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Sets the clock to an absolute time. Never moves backwards: setting
+    /// an earlier time than the current reading is a no-op, preserving the
+    /// monotonicity contract of [`Clock`].
+    pub fn set_ns(&self, ns: u64) {
+        self.now.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Advances the clock by a delta.
+    pub fn advance_ns(&self, delta: u64) {
+        self.now.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_is_shared_and_monotone() {
+        let c = VirtualClock::new();
+        let view = c.clone();
+        assert_eq!(view.now_ns(), 0);
+        c.advance_ns(5);
+        c.set_ns(100);
+        assert_eq!(view.now_ns(), 100);
+        c.set_ns(50); // backwards set is ignored
+        assert_eq!(view.now_ns(), 100);
+    }
+}

@@ -1,0 +1,416 @@
+//! The metric registry: named handles, scoped timers, and snapshots.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// A registry of named metrics sharing one [`Clock`].
+///
+/// Names are dot-separated lowercase paths (`morph.decision.hit`); see
+/// `OBSERVABILITY.md` at the repository root for the full catalogue. Handle
+/// lookup takes a lock, so hot paths should fetch their handles once and
+/// keep the `Arc`s; updates on the handles themselves are lock-free.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+///
+/// let reg = Arc::new(obs::Registry::new());
+/// let hits = reg.counter("cache.hit");
+/// hits.inc();
+/// {
+///     let _span = reg.timer("work_ns"); // records elapsed ns on drop
+/// }
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("cache.hit"), Some(1));
+/// assert_eq!(snap.histogram("work_ns").unwrap().count, 1);
+/// println!("{}", snap.to_text());
+/// ```
+pub struct Registry {
+    clock: RwLock<Arc<dyn Clock>>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.counters.lock().expect("registry lock").len())
+            .field("gauges", &self.gauges.lock().expect("registry lock").len())
+            .field("histograms", &self.histograms.lock().expect("registry lock").len())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates a registry on wall-clock ([`MonotonicClock`]) time.
+    pub fn new() -> Registry {
+        Registry::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Creates a registry on an explicit clock (e.g. a
+    /// [`crate::VirtualClock`] advanced by a deterministic simulator).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Registry {
+        Registry {
+            clock: RwLock::new(clock),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Replaces the clock. Timers started before the swap finish on the
+    /// clock they started with.
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.clock.write().expect("registry clock lock") = clock;
+    }
+
+    /// The registry clock's current time.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.read().expect("registry clock lock").now_ns()
+    }
+
+    /// The current clock handle. Hot paths cache this alongside their
+    /// metric handles so they can start [`Timer`]s without registry locks.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&*self.clock.read().expect("registry clock lock"))
+    }
+
+    /// Returns (creating on first use) the counter with this name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating on first use) the gauge with this name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Returns (creating on first use) the histogram with this name.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("registry lock");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Starts a scoped timer that records its elapsed nanoseconds into the
+    /// histogram `name` when dropped (or explicitly [`Timer::stop`]ped).
+    pub fn timer(&self, name: &str) -> Timer {
+        Timer::start(self.histogram(name), Arc::clone(&*self.clock.read().expect("clock lock")))
+    }
+
+    /// A point-in-time copy of every metric, stamped with the registry
+    /// clock. Entries are sorted by name, so two registries that saw the
+    /// same updates under the same (virtual) clock produce identical
+    /// snapshots — the determinism the integration tests rely on.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            at_ns: self.now_ns(),
+            counters: self
+                .counters
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A scoped timer: measures from construction to [`Timer::stop`] (or drop)
+/// on the clock it was started with, recording into one histogram.
+pub struct Timer {
+    histogram: Arc<Histogram>,
+    clock: Arc<dyn Clock>,
+    start_ns: u64,
+    stopped: bool,
+}
+
+impl std::fmt::Debug for Timer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Timer").field("start_ns", &self.start_ns).finish()
+    }
+}
+
+impl Timer {
+    /// Starts a timer against an explicit histogram and clock.
+    pub fn start(histogram: Arc<Histogram>, clock: Arc<dyn Clock>) -> Timer {
+        let start_ns = clock.now_ns();
+        Timer { histogram, clock, start_ns, stopped: false }
+    }
+
+    /// Stops the timer, records the elapsed nanoseconds, and returns them.
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    /// Abandons the timer without recording anything.
+    pub fn cancel(mut self) {
+        self.stopped = true;
+    }
+
+    fn finish(&mut self) -> u64 {
+        self.stopped = true;
+        let elapsed = self.clock.now_ns().saturating_sub(self.start_ns);
+        self.histogram.record(elapsed);
+        elapsed
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if !self.stopped {
+            self.finish();
+        }
+    }
+}
+
+/// Starts a scoped timer on a registry; the span ends (and the elapsed
+/// nanoseconds are recorded into the named histogram) when the returned
+/// guard goes out of scope.
+///
+/// ```
+/// let reg = obs::Registry::new();
+/// {
+///     obs::span!(reg, "phase_ns");
+/// }
+/// assert_eq!(reg.snapshot().histogram("phase_ns").unwrap().count, 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        let _obs_span_guard = $registry.timer($name);
+    };
+}
+
+/// A point-in-time copy of a [`Registry`], ready for export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The registry clock's time when the snapshot was taken.
+    pub at_ns: u64,
+    /// `(name, total)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The snapshot of a histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as aligned human-readable text. Histograms
+    /// print summary statistics plus one line per non-empty power-of-two
+    /// bucket with a proportional bar.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# snapshot at {} ns", self.at_ns);
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter  {name:<width$}  {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge    {name:<width$}  {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name}  count={} min={} mean={} p50={} p99={} max={} (ns)",
+                h.count,
+                h.min,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max,
+            );
+            let peak = h.buckets.iter().map(|&(_, n)| n).max().unwrap_or(1);
+            for &(upper, n) in &h.buckets {
+                let bar = "#".repeat(((n * 40).div_ceil(peak)) as usize);
+                let _ = writeln!(out, "    <= {upper:>12} ns  {n:>8}  {bar}");
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a self-contained JSON object (hand-rolled;
+    /// metric names contain no characters needing escapes beyond `"` and
+    /// `\`, which are handled).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{{\"at_ns\":{},\"counters\":{{", self.at_ns);
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\"{}\":{v}", esc(name));
+        }
+        let _ = write!(out, "}},\"gauges\":{{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\"{}\":{v}", esc(name));
+        }
+        let _ = write!(out, "}},\"histograms\":{{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                esc(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max
+            );
+            for (j, &(upper, n)) in h.buckets.iter().enumerate() {
+                let sep = if j == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}[{upper},{n}]");
+            }
+            let _ = write!(out, "]}}");
+        }
+        let _ = write!(out, "}}}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.counter("a").inc();
+        assert_eq!(reg.counter("a").get(), 2);
+        reg.gauge("g").set(7);
+        assert_eq!(reg.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn timer_records_virtual_elapsed() {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = Registry::with_clock(Arc::<VirtualClock>::clone(&clock));
+        let t = reg.timer("op_ns");
+        clock.advance_ns(1234);
+        assert_eq!(t.stop(), 1234);
+        let snap = reg.snapshot();
+        let h = snap.histogram("op_ns").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.min, 1234);
+        assert_eq!(snap.at_ns, 1234);
+    }
+
+    #[test]
+    fn cancelled_timer_records_nothing() {
+        let reg = Registry::new();
+        reg.timer("x_ns").cancel();
+        assert!(reg.snapshot().histogram("x_ns").unwrap().count == 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_queriable() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(3);
+        let s = reg.snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(s.counter("a"), Some(3));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("missing"), None);
+    }
+
+    #[test]
+    fn exporters_cover_every_metric() {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = Registry::with_clock(clock.clone());
+        reg.counter("events.total").add(5);
+        reg.gauge("depth").set(-2);
+        reg.histogram("lat_ns").record(3);
+        reg.histogram("lat_ns").record(70_000);
+        clock.set_ns(42);
+
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("# snapshot at 42 ns"));
+        assert!(text.contains("events.total"));
+        assert!(text.contains("depth"));
+        assert!(text.contains("histogram lat_ns"));
+        assert!(text.contains("count=2"));
+
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"at_ns\":42"));
+        assert!(json.contains("\"events.total\":5"));
+        assert!(json.contains("\"depth\":-2"));
+        assert!(json.contains("\"lat_ns\":{\"count\":2"));
+        // Crude structural sanity: balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn identical_update_sequences_snapshot_identically() {
+        let build = || {
+            let clock = Arc::new(VirtualClock::new());
+            let reg = Registry::with_clock(clock.clone());
+            for i in 0..10u64 {
+                reg.counter("n").inc();
+                reg.histogram("h").record(i * 100);
+                clock.advance_ns(50);
+            }
+            reg.snapshot()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b);
+        assert_eq!(a.to_text(), b.to_text());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

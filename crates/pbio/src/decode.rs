@@ -77,9 +77,7 @@ impl<'a> Cursor<'a> {
     pub(crate) fn read_float(&mut self, width: usize) -> Result<f64> {
         let b = self.scalar(width)?;
         if width == 4 {
-            Ok(f64::from(f32::from_bits(u32::from_le_bytes(
-                b[..4].try_into().expect("4 bytes"),
-            ))))
+            Ok(f64::from(f32::from_bits(u32::from_le_bytes(b[..4].try_into().expect("4 bytes")))))
         } else {
             Ok(f64::from_bits(u64::from_le_bytes(b)))
         }
@@ -95,10 +93,7 @@ impl<'a> Cursor<'a> {
 
     pub(crate) fn read_string(&mut self) -> Result<String> {
         let rest = &self.buf[self.pos..];
-        let n = rest
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or(PbioError::UnexpectedEof)?;
+        let n = rest.iter().position(|&b| b == 0).ok_or(PbioError::UnexpectedEof)?;
         let bytes = self.take(n)?;
         self.pos += 1; // the NUL terminator
         String::from_utf8(bytes.to_vec())
@@ -107,10 +102,7 @@ impl<'a> Cursor<'a> {
 
     pub(crate) fn skip_string(&mut self) -> Result<()> {
         let rest = &self.buf[self.pos..];
-        let n = rest
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or(PbioError::UnexpectedEof)?;
+        let n = rest.iter().position(|&b| b == 0).ok_or(PbioError::UnexpectedEof)?;
         self.pos += n + 1;
         Ok(())
     }
@@ -257,10 +249,7 @@ fn field_types_match(from: &FieldType, to: &FieldType) -> bool {
     match (from, to) {
         (FieldType::Basic(a), FieldType::Basic(b)) => a.convertible_to(b),
         (FieldType::Record(_), FieldType::Record(_)) => true,
-        (
-            FieldType::Array { elem: a, len: la },
-            FieldType::Array { elem: b, len: lb },
-        ) => {
+        (FieldType::Array { elem: a, len: la }, FieldType::Array { elem: b, len: lb }) => {
             // Length discipline is part of the type (see the plan's
             // `types_match`): fixed↔variable conversions would break the
             // target's length invariant.
@@ -464,16 +453,12 @@ mod tests {
             .encode(&Value::Record(vec![Value::Int(7), Value::str("hi")]))
             .unwrap();
         let out = GenericDecoder::new(wire_fmt, native_fmt).decode(&wire).unwrap();
-        assert_eq!(
-            out,
-            Value::Record(vec![Value::str("hi"), Value::Int(7), Value::Int(42)])
-        );
+        assert_eq!(out, Value::Record(vec![Value::str("hi"), Value::Int(7), Value::Int(42)]));
     }
 
     #[test]
     fn generic_decoder_drops_unknown_fields() {
-        let wire_fmt =
-            FormatBuilder::record("R").int("a").string("extra").build_arc().unwrap();
+        let wire_fmt = FormatBuilder::record("R").int("a").string("extra").build_arc().unwrap();
         let native_fmt = FormatBuilder::record("R").int("a").build_arc().unwrap();
         let wire = Encoder::new(&wire_fmt)
             .encode(&Value::Record(vec![Value::Int(3), Value::str("junk")]))
@@ -486,8 +471,7 @@ mod tests {
     fn generic_decoder_widens_int_to_float() {
         let wire_fmt = FormatBuilder::record("R").int("x").build_arc().unwrap();
         let native_fmt = FormatBuilder::record("R").double("x").build_arc().unwrap();
-        let wire =
-            Encoder::new(&wire_fmt).encode(&Value::Record(vec![Value::Int(9)])).unwrap();
+        let wire = Encoder::new(&wire_fmt).encode(&Value::Record(vec![Value::Int(9)])).unwrap();
         let out = GenericDecoder::new(wire_fmt, native_fmt).decode(&wire).unwrap();
         assert_eq!(out, Value::Record(vec![Value::Float(9.0)]));
     }

@@ -436,10 +436,7 @@ mod tests {
     fn length_mismatch_rejected() {
         let fmt = response();
         let v = Value::Record(vec![Value::Int(2), Value::Array(vec![])]);
-        assert!(matches!(
-            Encoder::new(&fmt).encode(&v),
-            Err(PbioError::LengthMismatch { .. })
-        ));
+        assert!(matches!(Encoder::new(&fmt).encode(&v), Err(PbioError::LengthMismatch { .. })));
     }
 
     #[test]

@@ -43,11 +43,7 @@ pub fn describe_message(buf: &[u8], registry: &FormatRegistry) -> Result<String>
         ByteOrder::Little => "little-endian",
         ByteOrder::Big => "big-endian",
     };
-    let _ = writeln!(
-        out,
-        "pbio message: id={} payload={}B {order}",
-        h.format_id, h.payload_len
-    );
+    let _ = writeln!(out, "pbio message: id={} payload={}B {order}", h.format_id, h.payload_len);
     match registry.lookup(h.format_id) {
         Ok(fmt) => {
             let _ = writeln!(out, "format {} (weight {})", fmt.name(), fmt.weight());
@@ -146,11 +142,7 @@ mod tests {
     use crate::types::FormatBuilder;
 
     fn wire_and_registry() -> (Vec<u8>, FormatRegistry) {
-        let member = FormatBuilder::record("Member")
-            .string("info")
-            .int("ID")
-            .build_arc()
-            .unwrap();
+        let member = FormatBuilder::record("Member").string("info").int("ID").build_arc().unwrap();
         let fmt = FormatBuilder::record("Resp")
             .int("count")
             .var_array_of("list", member, "count")

@@ -49,6 +49,7 @@ mod encode;
 mod error;
 mod inspect;
 mod meta;
+mod observe;
 mod plan;
 mod registry;
 mod types;
@@ -61,6 +62,7 @@ pub use encode::{
 pub use error::{PbioError, Result};
 pub use inspect::describe_message;
 pub use meta::{deserialize_format, format_id, serialize_format, FormatId};
+pub use observe::{CodecMetrics, PlanCache};
 pub use plan::ConversionPlan;
 pub use registry::FormatRegistry;
 pub use types::{

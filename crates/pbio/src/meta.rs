@@ -273,10 +273,8 @@ mod tests {
     fn id_is_stable_and_sensitive() {
         let f = nested_format();
         assert_eq!(format_id(&f), format_id(&nested_format()));
-        let renamed = FormatBuilder::record("ChannelOpenResponse")
-            .int("member_count")
-            .build()
-            .unwrap();
+        let renamed =
+            FormatBuilder::record("ChannelOpenResponse").int("member_count").build().unwrap();
         assert_ne!(format_id(&f), format_id(&renamed));
     }
 

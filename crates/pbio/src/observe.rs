@@ -1,0 +1,288 @@
+//! Instrumented entry points: the plan cache and observed encode/decode.
+//!
+//! PBIO's performance story is *amortization* — pay for meta-data analysis
+//! and plan compilation once per format pair, then convert every message
+//! with a straight-line routine. This module makes that amortization
+//! measurable: [`PlanCache`] counts plan hits/misses and times compilations
+//! (`pbio.plan.*`), while [`CodecMetrics`] carries pre-fetched handles for
+//! the per-message encode/decode counters and latency histograms
+//! (`pbio.encode.*` / `pbio.decode.*`). All metric names are catalogued in
+//! `OBSERVABILITY.md` at the repository root.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use obs::{Clock, Counter, Histogram, Registry, Timer};
+
+use crate::encode::Encoder;
+use crate::error::Result;
+use crate::meta::{format_id, FormatId};
+use crate::plan::ConversionPlan;
+use crate::types::RecordFormat;
+use crate::value::Value;
+
+/// A memoizing store of compiled [`ConversionPlan`]s, keyed by
+/// (wire format, native format) identity, with cache behaviour exported
+/// through an [`obs::Registry`].
+///
+/// The morphing receiver's *decision* cache (Algorithm 2) can be
+/// invalidated wholesale — by a new reader format or transformation — but
+/// the conversion plans it referenced are still valid for their format
+/// pairs. Keeping plans here means a decision-cache rebuild shows up as
+/// `pbio.plan.hit` rather than a recompile, which is exactly the
+/// distinction the paper's cost model cares about.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), pbio::PbioError> {
+/// use std::sync::Arc;
+/// use pbio::{FormatBuilder, PlanCache};
+///
+/// let cache = PlanCache::new(Arc::new(obs::Registry::new()));
+/// let fmt = FormatBuilder::record("M").int("a").build_arc()?;
+/// let p1 = cache.get_or_compile(&fmt, &fmt)?; // miss: compiles
+/// let p2 = cache.get_or_compile(&fmt, &fmt)?; // hit: shared Arc
+/// assert!(Arc::ptr_eq(&p1, &p2));
+/// let snap = cache.registry().snapshot();
+/// assert_eq!(snap.counter("pbio.plan.miss"), Some(1));
+/// assert_eq!(snap.counter("pbio.plan.hit"), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PlanCache {
+    registry: Arc<Registry>,
+    clock: Arc<dyn Clock>,
+    plans: Mutex<HashMap<(FormatId, FormatId), Arc<ConversionPlan>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    compile_ns: Arc<Histogram>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache reporting into `registry`.
+    pub fn new(registry: Arc<Registry>) -> PlanCache {
+        PlanCache {
+            clock: registry.clock(),
+            hits: registry.counter("pbio.plan.hit"),
+            misses: registry.counter("pbio.plan.miss"),
+            compile_ns: registry.histogram("pbio.plan.compile_ns"),
+            plans: Mutex::new(HashMap::new()),
+            registry,
+        }
+    }
+
+    /// The registry this cache reports into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Redirects future cache metrics into `registry`, re-fetching every
+    /// handle. Cached plans are kept; totals already accumulated stay in
+    /// the old registry.
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        self.clock = registry.clock();
+        self.hits = registry.counter("pbio.plan.hit");
+        self.misses = registry.counter("pbio.plan.miss");
+        self.compile_ns = registry.histogram("pbio.plan.compile_ns");
+        self.registry = registry;
+    }
+
+    /// Returns the cached plan for this format pair, compiling (and timing
+    /// the compilation as `pbio.plan.compile_ns`) on first use.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConversionPlan::compile`].
+    pub fn get_or_compile(
+        &self,
+        wire: &Arc<RecordFormat>,
+        native: &Arc<RecordFormat>,
+    ) -> Result<Arc<ConversionPlan>> {
+        let key = (format_id(wire), format_id(native));
+        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&key) {
+            self.hits.inc();
+            return Ok(Arc::clone(plan));
+        }
+        self.misses.inc();
+        let timer = Timer::start(Arc::clone(&self.compile_ns), Arc::clone(&self.clock));
+        let plan = Arc::new(ConversionPlan::compile(wire, native)?);
+        timer.stop();
+        Ok(Arc::clone(self.plans.lock().expect("plan cache lock").entry(key).or_insert(plan)))
+    }
+
+    /// Number of distinct format pairs with compiled plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().expect("plan cache lock").len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan. Counters are cumulative and unaffected.
+    pub fn clear(&self) {
+        self.plans.lock().expect("plan cache lock").clear();
+    }
+}
+
+/// Pre-fetched metric handles for the per-message encode/decode hot paths.
+///
+/// Registry lookups take a lock; a codec constructs one `CodecMetrics` up
+/// front and every subsequent [`Encoder::encode_observed`] /
+/// [`ConversionPlan::execute_observed`] call touches only lock-free atomics
+/// (plus one clock read per timing span).
+#[derive(Debug, Clone)]
+pub struct CodecMetrics {
+    clock: Arc<dyn Clock>,
+    encode_bytes: Arc<Counter>,
+    encode_messages: Arc<Counter>,
+    encode_ns: Arc<Histogram>,
+    decode_bytes: Arc<Counter>,
+    decode_messages: Arc<Counter>,
+    decode_ns: Arc<Histogram>,
+}
+
+impl CodecMetrics {
+    /// Fetches the `pbio.encode.*` / `pbio.decode.*` handles from `registry`.
+    pub fn new(registry: &Registry) -> CodecMetrics {
+        CodecMetrics {
+            clock: registry.clock(),
+            encode_bytes: registry.counter("pbio.encode.bytes"),
+            encode_messages: registry.counter("pbio.encode.messages"),
+            encode_ns: registry.histogram("pbio.encode_ns"),
+            decode_bytes: registry.counter("pbio.decode.bytes"),
+            decode_messages: registry.counter("pbio.decode.messages"),
+            decode_ns: registry.histogram("pbio.decode_ns"),
+        }
+    }
+}
+
+impl Encoder {
+    /// [`Encoder::encode`], also recording message count, output bytes, and
+    /// elapsed nanoseconds into `metrics`. Failed encodes record nothing.
+    ///
+    /// # Errors
+    ///
+    /// See [`Encoder::encode`].
+    pub fn encode_observed(&self, value: &Value, metrics: &CodecMetrics) -> Result<Vec<u8>> {
+        let timer = Timer::start(Arc::clone(&metrics.encode_ns), Arc::clone(&metrics.clock));
+        match self.encode(value) {
+            Ok(wire) => {
+                timer.stop();
+                metrics.encode_messages.inc();
+                metrics.encode_bytes.add(wire.len() as u64);
+                Ok(wire)
+            }
+            Err(e) => {
+                timer.cancel();
+                Err(e)
+            }
+        }
+    }
+}
+
+impl ConversionPlan {
+    /// [`ConversionPlan::execute`], also recording message count, input
+    /// bytes, and elapsed nanoseconds into `metrics`. Failed decodes record
+    /// nothing.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConversionPlan::execute`].
+    pub fn execute_observed(&self, buf: &[u8], metrics: &CodecMetrics) -> Result<Value> {
+        let timer = Timer::start(Arc::clone(&metrics.decode_ns), Arc::clone(&metrics.clock));
+        match self.execute(buf) {
+            Ok(value) => {
+                timer.stop();
+                metrics.decode_messages.inc();
+                metrics.decode_bytes.add(buf.len() as u64);
+                Ok(value)
+            }
+            Err(e) => {
+                timer.cancel();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FormatBuilder;
+
+    fn fmt(name: &str) -> Arc<RecordFormat> {
+        FormatBuilder::record(name).int("a").string("s").build_arc().unwrap()
+    }
+
+    #[test]
+    fn plan_cache_compiles_once_per_pair() {
+        let cache = PlanCache::new(Arc::new(Registry::new()));
+        let f = fmt("M");
+        let g = FormatBuilder::record("M").int("a").build_arc().unwrap();
+        let p1 = cache.get_or_compile(&f, &g).unwrap();
+        let p2 = cache.get_or_compile(&f, &g).unwrap();
+        let p3 = cache.get_or_compile(&f, &f).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.len(), 2);
+        let snap = cache.registry().snapshot();
+        assert_eq!(snap.counter("pbio.plan.hit"), Some(1));
+        assert_eq!(snap.counter("pbio.plan.miss"), Some(2));
+        assert_eq!(snap.histogram("pbio.plan.compile_ns").unwrap().count, 2);
+    }
+
+    #[test]
+    fn plan_cache_clear_keeps_counters() {
+        let cache = PlanCache::new(Arc::new(Registry::new()));
+        let f = fmt("M");
+        cache.get_or_compile(&f, &f).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_compile(&f, &f).unwrap();
+        let snap = cache.registry().snapshot();
+        assert_eq!(snap.counter("pbio.plan.miss"), Some(2), "recompile after clear");
+    }
+
+    #[test]
+    fn observed_codec_counts_bytes_messages_and_time() {
+        let reg = Registry::new();
+        let m = CodecMetrics::new(&reg);
+        let f = fmt("M");
+        let v = Value::Record(vec![Value::Int(7), Value::str("hello")]);
+        let enc = Encoder::new(&f);
+        let wire = enc.encode_observed(&v, &m).unwrap();
+        let plan = ConversionPlan::identity(&f).unwrap();
+        let back = plan.execute_observed(&wire, &m).unwrap();
+        assert_eq!(back, v);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pbio.encode.messages"), Some(1));
+        assert_eq!(snap.counter("pbio.decode.messages"), Some(1));
+        assert_eq!(snap.counter("pbio.encode.bytes"), Some(wire.len() as u64));
+        assert_eq!(snap.counter("pbio.decode.bytes"), Some(wire.len() as u64));
+        assert_eq!(snap.histogram("pbio.encode_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("pbio.decode_ns").unwrap().count, 1);
+    }
+
+    #[test]
+    fn failed_operations_record_nothing() {
+        let reg = Registry::new();
+        let m = CodecMetrics::new(&reg);
+        let f = fmt("M");
+        // Wrong shape: encode fails.
+        assert!(Encoder::new(&f).encode_observed(&Value::Int(1), &m).is_err());
+        // Garbage bytes: decode fails.
+        let plan = ConversionPlan::identity(&f).unwrap();
+        assert!(plan.execute_observed(b"not a message", &m).is_err());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pbio.encode.messages").unwrap_or(0), 0);
+        assert_eq!(snap.counter("pbio.decode.messages").unwrap_or(0), 0);
+        assert_eq!(snap.histogram("pbio.encode_ns").unwrap().count, 0);
+        assert_eq!(snap.histogram("pbio.decode_ns").unwrap().count, 0);
+    }
+}

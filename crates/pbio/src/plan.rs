@@ -198,10 +198,7 @@ fn types_match(wire: &FieldType, native: &FieldType) -> bool {
     match (wire, native) {
         (FieldType::Basic(a), FieldType::Basic(b)) => a.convertible_to(b),
         (FieldType::Record(_), FieldType::Record(_)) => true,
-        (
-            FieldType::Array { elem: a, len: la },
-            FieldType::Array { elem: b, len: lb },
-        ) => {
+        (FieldType::Array { elem: a, len: la }, FieldType::Array { elem: b, len: lb }) => {
             // The length discipline is part of the type: converting a
             // variable array into a fixed one (or fixed arrays of different
             // lengths) cannot preserve the target's length invariant, so
@@ -247,9 +244,7 @@ fn compile_record(wire: &RecordFormat, native: &RecordFormat) -> Result<RecordPl
         .iter()
         .enumerate()
         .filter(|(i, _)| !taken[*i])
-        .map(|(i, fd)| {
-            (i, fd.default().cloned().unwrap_or_else(|| Value::default_for(fd.ty())))
-        })
+        .map(|(i, fd)| (i, fd.default().cloned().unwrap_or_else(|| Value::default_for(fd.ty()))))
         .collect();
 
     let len_syncs = native
@@ -329,9 +324,10 @@ fn compile_skip_record(wire: &RecordFormat) -> Result<RecordPlan> {
 // that information lives at the record level. Patch it here.
 fn patch_var_lens(plan: &mut RecordPlan, wire: &RecordFormat) {
     for (step, wf) in plan.steps.iter_mut().zip(wire.fields()) {
-        if let (ElemPlan::Array { len: len_plan @ LenPlan::WireField(_), .. },
-                FieldType::Array { len: ArrayLen::LengthField(name), .. }) =
-            (&mut step.elem, wf.ty())
+        if let (
+            ElemPlan::Array { len: len_plan @ LenPlan::WireField(_), .. },
+            FieldType::Array { len: ArrayLen::LengthField(name), .. },
+        ) = (&mut step.elem, wf.ty())
         {
             if let Some(idx) = wire.field_index(name) {
                 *len_plan = LenPlan::WireField(idx);
@@ -463,9 +459,7 @@ fn patch_tree(plan: &mut RecordPlan, wire: &RecordFormat) {
 fn patch_elem(elem: &mut ElemPlan, wire_ty: &FieldType) {
     match (elem, wire_ty) {
         (ElemPlan::Record(rp), FieldType::Record(wr)) => patch_tree(rp, wr),
-        (ElemPlan::Array { elem, .. }, FieldType::Array { elem: we, .. }) => {
-            patch_elem(elem, we)
-        }
+        (ElemPlan::Array { elem, .. }, FieldType::Array { elem: we, .. }) => patch_elem(elem, we),
         _ => {}
     }
 }
@@ -562,9 +556,8 @@ mod tests {
     fn plan_reorders_fields() {
         let from = FormatBuilder::record("R").int("a").int("b").build_arc().unwrap();
         let to = FormatBuilder::record("R").int("b").int("a").build_arc().unwrap();
-        let wire = Encoder::new(&from)
-            .encode(&Value::Record(vec![Value::Int(1), Value::Int(2)]))
-            .unwrap();
+        let wire =
+            Encoder::new(&from).encode(&Value::Record(vec![Value::Int(1), Value::Int(2)])).unwrap();
         let plan = ConversionPlan::compile(&from, &to).unwrap();
         assert_eq!(plan.execute(&wire).unwrap(), Value::Record(vec![Value::Int(2), Value::Int(1)]));
     }

@@ -136,8 +136,7 @@ impl FormatRegistry {
             if pos + 4 > bytes.len() {
                 return Err(PbioError::UnexpectedEof);
             }
-            let len =
-                u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
             pos += 4;
             if pos + len > bytes.len() {
                 return Err(PbioError::UnexpectedEof);

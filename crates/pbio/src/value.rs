@@ -291,11 +291,9 @@ impl Value {
     /// Native size of a full record (see [`Value::native_size`]).
     pub fn native_record_size(&self, format: &RecordFormat) -> usize {
         match self.as_record() {
-            Some(fields) => fields
-                .iter()
-                .zip(format.fields())
-                .map(|(v, f)| v.native_size(f.ty()))
-                .sum(),
+            Some(fields) => {
+                fields.iter().zip(format.fields()).map(|(v, f)| v.native_size(f.ty())).sum()
+            }
             None => 0,
         }
     }
@@ -460,11 +458,7 @@ mod tests {
     #[test]
     fn default_record_uses_declared_defaults() {
         let fmt = FormatBuilder::record("R")
-            .field_with_default(
-                "mode",
-                FieldType::Basic(BasicType::Int(Width::W4)),
-                Value::Int(7),
-            )
+            .field_with_default("mode", FieldType::Basic(BasicType::Int(Width::W4)), Value::Int(7))
             .string("tag")
             .build()
             .unwrap();

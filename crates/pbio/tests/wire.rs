@@ -46,10 +46,7 @@ fn fixed_arrays_roundtrip() {
         Value::Array(vec![Value::Float(1.0)]),
         Value::Array(vec![Value::Char(0); 4]),
     ]);
-    assert!(matches!(
-        Encoder::new(&fmt).encode(&bad),
-        Err(PbioError::LengthMismatch { .. })
-    ));
+    assert!(matches!(Encoder::new(&fmt).encode(&bad), Err(PbioError::LengthMismatch { .. })));
 }
 
 #[test]
@@ -105,8 +102,7 @@ fn nested_variable_arrays_roundtrip() {
 
 #[test]
 fn deeply_nested_records_roundtrip() {
-    let mut inner: Arc<RecordFormat> =
-        FormatBuilder::record("L0").int("x").build_arc().unwrap();
+    let mut inner: Arc<RecordFormat> = FormatBuilder::record("L0").int("x").build_arc().unwrap();
     let mut value = Value::Record(vec![Value::Int(42)]);
     for depth in 1..=6 {
         inner = FormatBuilder::record(format!("L{depth}"))
@@ -133,9 +129,8 @@ fn plan_converts_enum_fields_between_formats() {
         .field("color", FieldType::Basic(color_enum()))
         .build_arc()
         .unwrap();
-    let wire = Encoder::new(&from)
-        .encode(&Value::Record(vec![Value::Enum(1), Value::Int(9)]))
-        .unwrap();
+    let wire =
+        Encoder::new(&from).encode(&Value::Record(vec![Value::Enum(1), Value::Int(9)])).unwrap();
     let plan = ConversionPlan::compile(&from, &to).unwrap();
     assert_eq!(plan.execute(&wire).unwrap(), Value::Record(vec![Value::Enum(1)]));
     let gen = GenericDecoder::new(from, to);
@@ -156,8 +151,7 @@ fn enums_with_different_names_do_not_convert() {
         .field("color", FieldType::Basic(other_enum))
         .build_arc()
         .unwrap();
-    let wire =
-        Encoder::new(&from).encode(&Value::Record(vec![Value::Enum(0)])).unwrap();
+    let wire = Encoder::new(&from).encode(&Value::Record(vec![Value::Enum(0)])).unwrap();
     let plan = ConversionPlan::compile(&from, &to).unwrap();
     // Unmatched (name differs): target takes the default first variant.
     assert_eq!(plan.execute(&wire).unwrap(), Value::Record(vec![Value::Enum(0)]));

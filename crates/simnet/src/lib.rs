@@ -29,6 +29,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
+
+use obs::{Counter, Registry, VirtualClock};
 
 /// Identifies a node within a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -173,6 +176,16 @@ pub struct LinkStats {
     pub messages: u64,
 }
 
+/// Cached `simnet.*` counter handles for an attached registry.
+#[derive(Debug)]
+struct NetMetrics {
+    registry: Arc<Registry>,
+    total_bytes: Arc<Counter>,
+    total_messages: Arc<Counter>,
+    /// Per directed link `(bytes, messages)`, created on first send.
+    per_link: HashMap<(NodeId, NodeId), (Arc<Counter>, Arc<Counter>)>,
+}
+
 /// The simulated network: nodes, links, a virtual clock, and an event queue.
 #[derive(Debug, Default)]
 pub struct Network {
@@ -182,6 +195,10 @@ pub struct Network {
     inboxes: Vec<VecDeque<Delivery>>,
     now_ns: u64,
     seq: u64,
+    /// Mirror of `now_ns` readable by observers ([`obs::Clock`]); advanced
+    /// on every step so registries on this clock stamp virtual time.
+    clock: VirtualClock,
+    metrics: Option<NetMetrics>,
 }
 
 impl Network {
@@ -222,6 +239,28 @@ impl Network {
         self.now_ns
     }
 
+    /// A [`VirtualClock`] view of this network's virtual time. Handles are
+    /// shared: build an [`obs::Registry`] on it (`Registry::with_clock`)
+    /// and every snapshot and timer follows simulation time, making metric
+    /// output fully deterministic.
+    pub fn virtual_clock(&self) -> VirtualClock {
+        self.clock.clone()
+    }
+
+    /// Attaches a registry to receive traffic counters: totals
+    /// (`simnet.bytes`, `simnet.messages`) and per directed link
+    /// (`simnet.link.<from>-><to>.bytes` / `.messages`, named by node
+    /// names). Counting starts at attachment; link handles are created on
+    /// first send over each link.
+    pub fn attach_registry(&mut self, registry: Arc<Registry>) {
+        self.metrics = Some(NetMetrics {
+            total_bytes: registry.counter("simnet.bytes"),
+            total_messages: registry.counter("simnet.messages"),
+            per_link: HashMap::new(),
+            registry,
+        });
+    }
+
     /// Queues a message for delivery, returning its delivery time. The time
     /// accounts for link serialization (bandwidth), propagation latency, and
     /// queueing behind earlier messages on the same directed link.
@@ -246,6 +285,20 @@ impl Network {
         link.next_free_ns = depart + tx;
         link.bytes += payload.len() as u64;
         link.messages += 1;
+        if let Some(m) = &mut self.metrics {
+            let (bytes, messages) = m.per_link.entry((from, to)).or_insert_with(|| {
+                let link_name =
+                    format!("simnet.link.{}->{}", &self.names[from.0], &self.names[to.0]);
+                (
+                    m.registry.counter(&format!("{link_name}.bytes")),
+                    m.registry.counter(&format!("{link_name}.messages")),
+                )
+            });
+            bytes.add(payload.len() as u64);
+            messages.inc();
+            m.total_bytes.add(payload.len() as u64);
+            m.total_messages.inc();
+        }
         self.seq += 1;
         self.queue.push(Reverse(InFlight { deliver_at, seq: self.seq, from, to, payload }));
         Ok(deliver_at)
@@ -257,6 +310,7 @@ impl Network {
     pub fn step(&mut self) -> Option<Delivery> {
         let Reverse(m) = self.queue.pop()?;
         self.now_ns = self.now_ns.max(m.deliver_at);
+        self.clock.set_ns(self.now_ns);
         let d = Delivery { from: m.from, to: m.to, payload: m.payload, at_ns: m.deliver_at };
         self.inboxes[d.to.0].push_back(d.clone());
         Some(d)
@@ -308,9 +362,7 @@ impl Network {
 
     /// Traffic statistics for the directed link `from → to`.
     pub fn link_stats(&self, from: NodeId, to: NodeId) -> Option<LinkStats> {
-        self.links
-            .get(&(from, to))
-            .map(|l| LinkStats { bytes: l.bytes, messages: l.messages })
+        self.links.get(&(from, to)).map(|l| LinkStats { bytes: l.bytes, messages: l.messages })
     }
 
     /// Total bytes carried across all directed links.
@@ -334,8 +386,7 @@ mod tests {
     #[test]
     fn delivery_time_accounts_for_latency_and_bandwidth() {
         // 1000 bytes at 1 MB/s = 1 ms tx; + 1 ms latency = 2 ms.
-        let (mut net, a, b) =
-            pair(LinkParams { latency_ns: 1_000_000, bandwidth_bps: 1_000_000 });
+        let (mut net, a, b) = pair(LinkParams { latency_ns: 1_000_000, bandwidth_bps: 1_000_000 });
         let at = net.send(a, b, vec![0u8; 1000]).unwrap();
         assert_eq!(at, 2_000_000);
         let d = net.step().unwrap();
@@ -472,6 +523,26 @@ mod tests {
         net.set_link_up(a, b, false);
         assert!(!net.link_is_up(a, b)); // still no link at all
         assert_eq!(net.send(a, b, vec![]).unwrap_err(), NetError::NoRoute(a, b));
+    }
+
+    #[test]
+    fn attached_registry_mirrors_traffic_and_virtual_time() {
+        let (mut net, a, b) = pair(LinkParams::lan());
+        let reg = Arc::new(Registry::with_clock(Arc::new(net.virtual_clock())));
+        net.attach_registry(Arc::clone(&reg));
+        net.send(a, b, vec![0u8; 10]).unwrap();
+        net.send(a, b, vec![0u8; 20]).unwrap();
+        net.step();
+        net.step();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("simnet.bytes"), Some(30));
+        assert_eq!(snap.counter("simnet.messages"), Some(2));
+        assert_eq!(snap.counter("simnet.link.a->b.bytes"), Some(30));
+        assert_eq!(snap.counter("simnet.link.a->b.messages"), Some(2));
+        assert_eq!(snap.counter("simnet.link.b->a.bytes"), None, "no reverse traffic");
+        // The registry clock follows the simulation.
+        assert!(net.now_ns() > 0);
+        assert_eq!(snap.at_ns, net.now_ns());
     }
 
     #[test]

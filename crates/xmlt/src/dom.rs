@@ -140,10 +140,7 @@ mod tests {
 
     #[test]
     fn string_value_concatenates_descendants() {
-        let e = Element::new("a")
-            .text("x")
-            .child(Element::new("b").text("y"))
-            .text("z");
+        let e = Element::new("a").text("x").child(Element::new("b").text("y")).text("z");
         assert_eq!(e.string_value(), "xyz");
         assert_eq!(XmlNode::Element(e).string_value(), "xyz");
         assert_eq!(XmlNode::Text("t".into()).string_value(), "t");

@@ -43,7 +43,8 @@ impl<'a> Parser<'a> {
 
     fn name(&mut self) -> Result<String> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.')) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.'))
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -90,11 +91,10 @@ impl<'a> Parser<'a> {
         let mut i = 0;
         while i < raw.len() {
             if raw[i] == b'&' {
-                let end = raw[i..]
-                    .iter()
-                    .position(|&c| c == b';')
-                    .map(|off| i + off)
-                    .ok_or_else(|| XmlError::parse(self.pos, "unterminated entity reference"))?;
+                let end =
+                    raw[i..].iter().position(|&c| c == b';').map(|off| i + off).ok_or_else(
+                        || XmlError::parse(self.pos, "unterminated entity reference"),
+                    )?;
                 let ent = &raw[i + 1..end];
                 match ent {
                     b"lt" => out.push('<'),
@@ -121,10 +121,7 @@ impl<'a> Parser<'a> {
                     _ => {
                         return Err(XmlError::parse(
                             self.pos,
-                            format!(
-                                "unknown entity `&{};`",
-                                String::from_utf8_lossy(ent)
-                            ),
+                            format!("unknown entity `&{};`", String::from_utf8_lossy(ent)),
                         ))
                     }
                 }
@@ -194,10 +191,8 @@ impl<'a> Parser<'a> {
                 self.pos += 2;
                 let close = self.name()?;
                 if close != el.name {
-                    return self.err(format!(
-                        "mismatched closing tag `</{close}>` for `<{}>`",
-                        el.name
-                    ));
+                    return self
+                        .err(format!("mismatched closing tag `</{close}>` for `<{}>`", el.name));
                 }
                 self.skip_ws();
                 self.expect(b'>')?;
@@ -288,10 +283,9 @@ mod tests {
 
     #[test]
     fn skips_decl_comments_pi_doctype() {
-        let e = parse(
-            "<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><?pi data?><!-- in -->x</a>",
-        )
-        .unwrap();
+        let e =
+            parse("<?xml version=\"1.0\"?><!DOCTYPE a><!-- hi --><a><?pi data?><!-- in -->x</a>")
+                .unwrap();
         assert_eq!(e.string_value(), "x");
     }
 

@@ -68,10 +68,7 @@ mod tests {
     fn escapes_text_and_attributes() {
         let e = Element::new("a").attr("q", "a\"b<c").text("1 < 2 & 3 > 'x'");
         let s = to_string(&e);
-        assert_eq!(
-            s,
-            r#"<a q="a&quot;b&lt;c">1 &lt; 2 &amp; 3 &gt; &apos;x&apos;</a>"#
-        );
+        assert_eq!(s, r#"<a q="a&quot;b&lt;c">1 &lt; 2 &amp; 3 &gt; &apos;x&apos;</a>"#);
     }
 
     #[test]

@@ -122,7 +122,8 @@ impl<'a> ExprParser<'a> {
 
     fn name(&mut self) -> Option<String> {
         let start = self.pos;
-        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':')) {
+        while matches!(self.src.get(self.pos), Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':'))
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -438,8 +439,7 @@ fn select<'a>(path: &Path, ctx: Ctx<'a>) -> Result<Vec<&'a Element>> {
         }
         match &path.steps[0].0 {
             Step::Child(name) if name == &ctx.root.name => {
-                let filtered =
-                    apply_predicate(vec![ctx.root], &path.steps[0].1, ctx)?;
+                let filtered = apply_predicate(vec![ctx.root], &path.steps[0].1, ctx)?;
                 return apply_steps(&path.steps[1..], filtered, ctx);
             }
             _ => return Ok(Vec::new()),
@@ -539,12 +539,8 @@ fn eval<'a>(expr: &Expr, ctx: Ctx<'a>) -> Result<XVal<'a>> {
         }
         Expr::Count(p) => XVal::Num(select(p, ctx)?.len() as f64),
         Expr::Not(e) => XVal::Bool(!eval(e, ctx)?.truthy()),
-        Expr::And(l, r) => {
-            XVal::Bool(eval(l, ctx)?.truthy() && eval(r, ctx)?.truthy())
-        }
-        Expr::Or(l, r) => {
-            XVal::Bool(eval(l, ctx)?.truthy() || eval(r, ctx)?.truthy())
-        }
+        Expr::And(l, r) => XVal::Bool(eval(l, ctx)?.truthy() && eval(r, ctx)?.truthy()),
+        Expr::Or(l, r) => XVal::Bool(eval(l, ctx)?.truthy() || eval(r, ctx)?.truthy()),
         Expr::Cmp(op, l, r) => {
             let lv = eval(l, ctx)?;
             let rv = eval(r, ctx)?;
@@ -690,9 +686,8 @@ fn parse_body(el: &Element) -> Result<Vec<Instr>> {
 }
 
 fn required_attr<'e>(el: &'e Element, name: &str) -> Result<&'e str> {
-    el.attribute(name).ok_or_else(|| {
-        XmlError::Stylesheet(format!("<{}> requires a `{name}` attribute", el.name))
-    })
+    el.attribute(name)
+        .ok_or_else(|| XmlError::Stylesheet(format!("<{}> requires a `{name}` attribute", el.name)))
 }
 
 fn parse_instr(el: &Element) -> Result<Instr> {
@@ -702,10 +697,9 @@ fn parse_instr(el: &Element) -> Result<Instr> {
             select: parse_path(required_attr(el, "select")?)?,
             body: parse_body(el)?,
         }),
-        Some("if") => Ok(Instr::If {
-            test: parse_expr(required_attr(el, "test")?)?,
-            body: parse_body(el)?,
-        }),
+        Some("if") => {
+            Ok(Instr::If { test: parse_expr(required_attr(el, "test")?)?, body: parse_body(el)? })
+        }
         Some("choose") => {
             let mut whens = Vec::new();
             let mut otherwise = Vec::new();
@@ -729,9 +723,7 @@ fn parse_instr(el: &Element) -> Result<Instr> {
         }),
         Some("copy-of") => Ok(Instr::CopyOf { select: parse_path(required_attr(el, "select")?)? }),
         Some("text") => Ok(Instr::Text(el.string_value())),
-        Some(other) => {
-            Err(XmlError::Stylesheet(format!("unsupported instruction <xsl:{other}>")))
-        }
+        Some(other) => Err(XmlError::Stylesheet(format!("unsupported instruction <xsl:{other}>"))),
         None => {
             let mut attrs = Vec::new();
             for (k, v) in &el.attrs {
@@ -794,17 +786,17 @@ impl Stylesheet {
             .iter()
             .find(|t| {
                 t.pattern == name
-                    || t.pattern
-                        .strip_prefix('/')
-                        .is_some_and(|p| p == name && is_root)
+                    || t.pattern.strip_prefix('/').is_some_and(|p| p == name && is_root)
             })
-            .or_else(|| {
-                if is_root {
-                    self.templates.iter().find(|t| t.pattern == "/")
-                } else {
-                    None
-                }
-            })
+            .or_else(
+                || {
+                    if is_root {
+                        self.templates.iter().find(|t| t.pattern == "/")
+                    } else {
+                        None
+                    }
+                },
+            )
             .or_else(|| self.templates.iter().find(|t| t.pattern == "*"))
     }
 
@@ -1018,9 +1010,7 @@ mod tests {
         )
         .unwrap();
         let run = |n: i32| {
-            ss.transform(&parse(&format!("<a><n>{n}</n></a>")).unwrap())
-                .unwrap()
-                .string_value()
+            ss.transform(&parse(&format!("<a><n>{n}</n></a>")).unwrap()).unwrap().string_value()
         };
         assert_eq!(run(9), "big");
         assert_eq!(run(4), "mid");
@@ -1093,9 +1083,7 @@ mod tests {
         )
         .unwrap();
         // `mid` has no template: built-in rule recurses into it.
-        let out = ss
-            .transform(&parse("<root><mid><leaf/></mid></root>").unwrap())
-            .unwrap();
+        let out = ss.transform(&parse("<root><mid><leaf/></mid></root>").unwrap()).unwrap();
         assert_eq!(out.elements().count(), 1);
         assert_eq!(out.elements().next().unwrap().name, "hit");
     }

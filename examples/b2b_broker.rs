@@ -51,11 +51,7 @@ fn supplier_order() -> Arc<RecordFormat> {
 }
 
 fn supplier_item() -> Arc<RecordFormat> {
-    FormatBuilder::record("Item")
-        .string("part")
-        .int("qty")
-        .build_arc()
-        .expect("static format")
+    FormatBuilder::record("Item").string("part").int("qty").build_arc().expect("static format")
 }
 
 /// Ecode the broker associates with retailer orders: retailer → supplier.

@@ -36,9 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.run();
 
     println!("channel membership as seen by each process:");
-    for &(p, name) in
-        &[(creator, "creator"), (sim, "sim"), (viz, "viz"), (logger, "logger")]
-    {
+    for &(p, name) in &[(creator, "creator"), (sim, "sim"), (viz, "viz"), (logger, "logger")] {
         let members = sys.members(p, ch).unwrap_or_default();
         let desc: Vec<String> = members
             .iter()
@@ -61,9 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The v1.0 subscribers did the morphing; the creator did nothing extra.
     println!("\ncontrol-plane morphing activity:");
-    for &(p, name) in
-        &[(creator, "creator"), (sim, "sim"), (viz, "viz"), (logger, "logger")]
-    {
+    for &(p, name) in &[(creator, "creator"), (sim, "sim"), (viz, "viz"), (logger, "logger")] {
         let s = sys.control_stats(p);
         println!(
             "  {name:10} messages={} morphs={} compiles={} cache_hits={}",

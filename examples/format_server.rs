@@ -30,13 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -- Year 1: the v2 rollout. Its deployment pipeline registers the new
     //    format and the rollback recipe, then moves on.
     server.lock().unwrap().handle(&MetaClient::register_format(&v2))?;
-    server.lock().unwrap().handle(&MetaClient::register_transformation(
-        &Transformation::new(
-            v2.clone(),
-            v1.clone(),
-            "old.symbol = new.symbol; old.cents = new.cents;",
-        ),
-    ))?;
+    server.lock().unwrap().handle(&MetaClient::register_transformation(&Transformation::new(
+        v2.clone(),
+        v1.clone(),
+        "old.symbol = new.symbol; old.cents = new.cents;",
+    )))?;
     println!("writer registered v2 + retro-transformation at the format server");
 
     // -- Year 2: an old v1 consumer, installed long before v2 existed,
@@ -66,10 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         server.lock().unwrap().handle(&request)
     })?;
     println!("after resolution: {delivery:?}");
-    println!(
-        "decision now cached: {}",
-        consumer.explain(pbio::format_id(&v2)).expect("cached")
-    );
+    println!("decision now cached: {}", consumer.explain(pbio::format_id(&v2)).expect("cached"));
 
     // Steady state: a thousand more ticks, zero server requests.
     let served_before = server.lock().unwrap().requests_served();
@@ -85,10 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })?;
     }
     let served_after = server.lock().unwrap().requests_served();
-    println!(
-        "1000 further ticks: {} additional server request(s)",
-        served_after - served_before
-    );
+    println!("1000 further ticks: {} additional server request(s)", served_after - served_before);
     assert_eq!(served_after, served_before);
     assert_eq!(got.lock().unwrap().len(), 1001);
     let last = got.lock().unwrap().pop().unwrap();

@@ -38,11 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build_arc()?;
     // Dialect D: a rogue rewrite that shares only one field name — the
     // Mismatch Ratio rejects it (defaults would dominate the record).
-    let d = FormatBuilder::record("Msg")
-        .int("load")
-        .string("hostname")
-        .string("kernel")
-        .build_arc()?;
+    let d =
+        FormatBuilder::record("Msg").int("load").string("hostname").string("kernel").build_arc()?;
 
     let received = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&received);
@@ -51,10 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Thresholds: tolerate a couple of dropped fields, but require that at
     // least ~2/3 of the station's record has a real source.
-    let mut station = MorphReceiver::with_config(MatchConfig {
-        diff_threshold: 4,
-        mismatch_threshold: 0.34,
-    });
+    let mut station =
+        MorphReceiver::with_config(MatchConfig { diff_threshold: 4, mismatch_threshold: 0.34 });
     station.register_handler(&station_fmt, move |v| sink.lock().unwrap().push(v));
     station.register_default_handler(move |fmt, _v| {
         println!("  -> default handler caught a `{}` message", fmt.name());
@@ -81,22 +76,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d3 = send(
         &mut station,
         &c,
-        vec![
-            Value::Int(100),
-            Value::Int(200),
-            Value::Int(300),
-            Value::Int(5),
-            Value::Float(58.5),
-        ],
+        vec![Value::Int(100), Value::Int(200), Value::Int(300), Value::Int(5), Value::Float(58.5)],
     );
     println!("  delivery: {d3:?}");
 
     println!("dialect D (mostly renamed — inadmissible):");
-    let d4 = send(
-        &mut station,
-        &d,
-        vec![Value::Int(7), Value::str("node-9"), Value::str("2.4.20")],
-    );
+    let d4 =
+        send(&mut station, &d, vec![Value::Int(7), Value::str("node-9"), Value::str("2.4.20")]);
     println!("  delivery: {d4:?}");
 
     let got = received.lock().unwrap();

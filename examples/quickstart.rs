@@ -13,11 +13,7 @@ use message_morphing::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -- The old protocol: a flat load report (paper Fig. 2). -------------
-    let v1 = FormatBuilder::record("LoadReport")
-        .int("load")
-        .int("mem")
-        .int("net")
-        .build_arc()?;
+    let v1 = FormatBuilder::record("LoadReport").int("load").int("mem").int("net").build_arc()?;
 
     // -- The protocol evolves: finer-grained fields, new layout. ----------
     let v2 = FormatBuilder::record("LoadReport")
@@ -52,9 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = Encoder::new(&v2);
     for i in 0..5i64 {
         let report = Value::Record(vec![
-            Value::Int(10 + i), // load_user
-            Value::Int(5),      // load_system
-            Value::Int(4096),   // mem
+            Value::Int(10 + i),  // load_user
+            Value::Int(5),       // load_system
+            Value::Int(4096),    // mem
             Value::Int(100 * i), // net_rx
             Value::Int(50 * i),  // net_tx
         ]);

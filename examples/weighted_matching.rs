@@ -34,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .int("trace_d")
         .build_arc()?;
 
-    let profile = WeightProfile::new()
-        .weight("amount_cents", 100.0)
-        .weight("trace_*", 0.1);
+    let profile = WeightProfile::new().weight("amount_cents", 100.0).weight("trace_*", 0.1);
 
     println!("match arithmetic, rogue → billing:");
     println!(
@@ -61,10 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // -- Receiver 1: stock thresholds, field-count matching. ----------------
     let naive_got = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&naive_got);
-    let mut naive = MorphReceiver::with_config(MatchConfig {
-        diff_threshold: 4,
-        mismatch_threshold: 0.25,
-    });
+    let mut naive =
+        MorphReceiver::with_config(MatchConfig { diff_threshold: 4, mismatch_threshold: 0.25 });
     naive.register_handler(&billing, move |v| sink.lock().unwrap().push(v));
     naive.import_format(rogue.clone());
     let d1 = naive.process(&rogue_wire)?;

@@ -17,6 +17,8 @@
 //! - [`simnet`] — a deterministic virtual-time network simulator.
 //! - [`echo`] — ECho-style publish/subscribe middleware demonstrating
 //!   mixed-version interoperability (paper §4.1).
+//! - [`obs`] — zero-dependency observability: counters, histograms, and
+//!   scoped timers behind every morphing hot path (see `OBSERVABILITY.md`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction of every table and figure.
@@ -55,20 +57,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub use ecode;
 pub use echo;
+pub use ecode;
 pub use morph;
+pub use obs;
 pub use pbio;
 pub use simnet;
 pub use xmlt;
 
 /// Commonly used items from every subsystem.
 pub mod prelude {
-    pub use ecode::{EcodeCompiler, EcodeProgram};
     pub use echo::{ChannelId, EchoSystem, EchoVersion, Role};
-    pub use morph::{
-        diff, max_match, mismatch_ratio, MatchConfig, MorphReceiver, Transformation,
-    };
+    pub use ecode::{EcodeCompiler, EcodeProgram};
+    pub use morph::{diff, max_match, mismatch_ratio, MatchConfig, MorphReceiver, Transformation};
+    pub use obs::{Registry, Snapshot};
     pub use pbio::{
         format_id, ConversionPlan, Encoder, FormatBuilder, FormatRegistry, RecordFormat, Value,
     };

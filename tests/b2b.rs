@@ -14,11 +14,7 @@ fn retailer_order() -> Arc<RecordFormat> {
         .int("line_count")
         .var_array_of(
             "lines",
-            FormatBuilder::record("Line")
-                .string("sku")
-                .int("quantity")
-                .build_arc()
-                .unwrap(),
+            FormatBuilder::record("Line").string("sku").int("quantity").build_arc().unwrap(),
             "line_count",
         )
         .build_arc()
@@ -137,11 +133,7 @@ fn broker_forwards_bytes_untouched() {
 /// retailer stream.
 #[test]
 fn new_vendor_is_one_transformation() {
-    let vendor2 = FormatBuilder::record("Order")
-        .string("po_number")
-        .int("n")
-        .build_arc()
-        .unwrap();
+    let vendor2 = FormatBuilder::record("Order").string("po_number").int("n").build_arc().unwrap();
     let got = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&got);
     let mut rx = MorphReceiver::new();
@@ -188,8 +180,5 @@ fn b2b_over_simnet() {
     });
     let got = got.lock().unwrap();
     assert_eq!(got.len(), 1);
-    assert_eq!(
-        got[0].field(&supplier_order(), "item_count"),
-        Some(&Value::Int(7))
-    );
+    assert_eq!(got[0].field(&supplier_order(), "item_count"), Some(&Value::Int(7)));
 }

@@ -186,10 +186,7 @@ fn v2_cuts_wire_traffic() {
     // Total traffic includes identical request messages in both runs, so
     // the aggregate ratio is below the per-response ratio; it must still
     // show a clear reduction.
-    assert!(
-        v2_bytes < v1_bytes,
-        "v2 traffic {v2_bytes} should be below v1 traffic {v1_bytes}"
-    );
+    assert!(v2_bytes < v1_bytes, "v2 traffic {v2_bytes} should be below v1 traffic {v1_bytes}");
 
     // The response *message* itself shrinks by more than half ("reduced the
     // size of the response message by more than half", §4.1).

@@ -14,12 +14,7 @@ use pbio::RecordFormat;
 use simnet::{LinkParams, Network};
 
 fn new_fmt() -> Arc<RecordFormat> {
-    FormatBuilder::record("Reading")
-        .int("raw")
-        .int("scale")
-        .string("unit")
-        .build_arc()
-        .unwrap()
+    FormatBuilder::record("Reading").int("raw").int("scale").string("unit").build_arc().unwrap()
 }
 
 fn old_fmt() -> Arc<RecordFormat> {
@@ -67,12 +62,10 @@ fn meta_data_resolves_across_the_network() {
     let mut server = MetaServer::new();
 
     // Phase 1: the writer announces its meta-data (then "leaves").
-    for req in [
-        MetaClient::register_format(&new_fmt()),
-        MetaClient::register_transformation(&retro()),
-    ] {
-        let resp =
-            exchange_over(&mut net, writer, server_node, &mut server, req).unwrap();
+    for req in
+        [MetaClient::register_format(&new_fmt()), MetaClient::register_transformation(&retro())]
+    {
+        let resp = exchange_over(&mut net, writer, server_node, &mut server, req).unwrap();
         assert_eq!(resp, vec![metaserver::RESP_ACK]);
     }
 
@@ -135,10 +128,8 @@ fn resolution_cost_is_paid_once_per_format_not_per_message() {
         .unwrap();
 
     for _ in 0..100 {
-        morph::process_with_resolution(&mut rx, &wire, |req| {
-            server.lock().unwrap().handle(&req)
-        })
-        .unwrap();
+        morph::process_with_resolution(&mut rx, &wire, |req| server.lock().unwrap().handle(&req))
+            .unwrap();
     }
     // 1 format fetch + 2 closure queries (one per discovered node).
     assert!(

@@ -1,0 +1,117 @@
+//! End-to-end checks of the observability layer (`crates/obs`) against the
+//! paper's claims:
+//!
+//! - Algorithm 2 lines 6–9: the **first** message in an unknown format pays
+//!   the full cold path (decision-cache miss, MaxMatch, transformation
+//!   compile, conversion-plan compile); every identical message after it is
+//!   a pure decision-cache hit.
+//! - Registries driven by simnet's virtual clock produce **deterministic**
+//!   snapshots: identical runs render byte-identical text and JSON.
+
+use std::sync::Arc;
+
+use echo::{EchoSystem, EchoVersion, Role};
+use morph::{MorphReceiver, Transformation};
+use obs::{Registry, VirtualClock};
+use pbio::{Encoder, FormatBuilder, Value};
+
+/// v2 format, v1 receiver: exactly one miss, then only hits.
+#[test]
+fn first_message_cold_rest_warm() {
+    let v2 = FormatBuilder::record("Load").int("cpu").int("mem").int("net").build_arc().unwrap();
+    let v1 = FormatBuilder::record("Load").int("cpu").int("mem").build_arc().unwrap();
+
+    let mut rx = MorphReceiver::new();
+    rx.register_handler(&v1, |_| {});
+    rx.import_transformation(Transformation::new(
+        v2.clone(),
+        v1.clone(),
+        "old.cpu = new.cpu; old.mem = new.mem;",
+    ));
+    let wire = Encoder::new(&v2)
+        .encode(&Value::Record(vec![Value::Int(1), Value::Int(2), Value::Int(3)]))
+        .unwrap();
+
+    // Cold: the first v2 message misses the decision cache and records one
+    // sample in every compile histogram.
+    rx.process(&wire).unwrap();
+    let cold = rx.registry().snapshot();
+    assert_eq!(cold.counter("morph.decision.miss"), Some(1));
+    assert_eq!(cold.counter("morph.decision.hit"), Some(0));
+    assert_eq!(cold.counter("morph.decision.morph"), Some(1));
+    assert_eq!(cold.counter("morph.compile.count"), Some(1));
+    assert_eq!(cold.histogram("morph.decide_ns").unwrap().count, 1);
+    assert_eq!(cold.histogram("morph.compile_ns").unwrap().count, 1);
+    assert_eq!(cold.histogram("pbio.plan.compile_ns").unwrap().count, 1);
+    assert!(cold.counter("morph.maxmatch.candidates").unwrap() >= 1);
+
+    // Warm: the next 100 messages only hit the cache — no new misses,
+    // no new compiles, one process_ns sample each.
+    for _ in 0..100 {
+        rx.process(&wire).unwrap();
+    }
+    let warm = rx.registry().snapshot();
+    assert_eq!(warm.counter("morph.decision.miss"), Some(1), "no second miss");
+    assert_eq!(warm.counter("morph.decision.hit"), Some(100));
+    assert_eq!(warm.counter("morph.compile.count"), Some(1), "no recompiles");
+    assert_eq!(warm.histogram("morph.decide_ns").unwrap().count, 1);
+    assert_eq!(warm.histogram("morph.compile_ns").unwrap().count, 1);
+    assert_eq!(warm.histogram("morph.process_ns").unwrap().count, 100);
+    assert_eq!(warm.counter("morph.messages"), Some(101));
+}
+
+/// A registry on a virtual clock is fully deterministic: counters count,
+/// timers measure virtual time, and two identical runs render identical
+/// snapshots.
+#[test]
+fn virtual_time_snapshots_are_deterministic() {
+    let run = || {
+        let clock = VirtualClock::new();
+        let registry = Registry::with_clock(Arc::new(clock.clone()));
+        let sent = registry.counter("app.sent");
+        let phase = registry.histogram("app.phase_ns");
+        for step in 1..=5u64 {
+            let timer = obs::Timer::start(Arc::clone(&phase), registry.clock());
+            clock.advance_ns(step * 1_000);
+            drop(timer);
+            sent.inc();
+        }
+        let snap = registry.snapshot();
+        (snap.to_text(), snap.to_json())
+    };
+    let (text_a, json_a) = run();
+    let (text_b, json_b) = run();
+    assert_eq!(text_a, text_b);
+    assert_eq!(json_a, json_b);
+    assert!(text_a.contains("# snapshot at 15000 ns"), "virtual time stamps: {text_a}");
+    assert!(text_a.contains("app.sent"));
+}
+
+/// The echo system registry runs on the network's virtual clock, so a whole
+/// pub/sub interop run — version morphing included — snapshots identically
+/// across repeats.
+#[test]
+fn echo_system_snapshots_are_deterministic() {
+    let run = || {
+        let mut sys = EchoSystem::new();
+        let creator = sys.add_process("creator", EchoVersion::V2);
+        let publisher = sys.add_process("pub", EchoVersion::V2);
+        let sink = sys.add_process("sink", EchoVersion::V1);
+        sys.connect_all(simnet::LinkParams::lan());
+        let fmt = FormatBuilder::record("Tick").int("n").build_arc().unwrap();
+        let ch = sys.create_channel(creator);
+        sys.subscribe(publisher, ch, Role::source(), None).unwrap();
+        sys.subscribe(sink, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        for n in 0..10 {
+            sys.publish(publisher, ch, &fmt, &Value::Record(vec![Value::Int(n)])).unwrap();
+        }
+        sys.run();
+        assert_eq!(sys.take_events(sink).len(), 10);
+        sys.registry().snapshot().to_text()
+    };
+    let a = run();
+    assert_eq!(a, run());
+    assert!(a.contains("echo.events.delivered"));
+    assert!(a.contains("simnet.bytes"));
+}

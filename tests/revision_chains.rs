@@ -26,11 +26,8 @@ fn rev1() -> Arc<RecordFormat> {
 
 /// Rev 2.0: readings as a variable list, calibrated pressure.
 fn rev2() -> Arc<RecordFormat> {
-    let reading = FormatBuilder::record("Reading")
-        .string("sensor")
-        .int("celsius")
-        .build_arc()
-        .unwrap();
+    let reading =
+        FormatBuilder::record("Reading").string("sensor").int("celsius").build_arc().unwrap();
     FormatBuilder::record("Telemetry")
         .int("reading_count")
         .var_array_of("readings", reading, "reading_count")
@@ -135,10 +132,7 @@ fn every_reader_generation_accepts_every_writer_generation() {
     // Writers of each revision; readers of each revision. Every pairing
     // where a chain (or identity) exists must deliver.
     let writers: Vec<(Arc<RecordFormat>, Value)> = vec![
-        (
-            rev0(),
-            Value::Record(vec![Value::Int(42), Value::Int(100)]),
-        ),
+        (rev0(), Value::Record(vec![Value::Int(42), Value::Int(100)])),
         (
             rev1(),
             Value::Record(vec![

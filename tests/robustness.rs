@@ -3,13 +3,77 @@
 //! read out of bounds. A deployed morphing receiver faces exactly this
 //! (§3.1's failure scenario is *why* morphing exists; crashing on the
 //! mismatch would be worse than rejecting it).
-
-use proptest::prelude::*;
+//!
+//! Inputs come from the same dependency-free xorshift64* scheme as
+//! `proptests.rs`: fixed seeds, so every run fuzzes the same corpus.
 
 use message_morphing::prelude::*;
 use morph::Transformation;
 use pbio::RecordFormat;
 use std::sync::Arc;
+
+const CASES: u64 = 256;
+
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> XorShift64 {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64 { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    fn bytes(&mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_u64() as u8).collect()
+    }
+
+    /// Random printable-ish unicode text, biased toward XML/Ecode
+    /// metacharacters so parsers see structure, not just noise.
+    fn text(&mut self, max_len: usize) -> String {
+        const SPICE: &[char] =
+            &['<', '>', '&', '"', '\'', '/', '{', '}', '(', ')', ';', '=', '%', '\n', 'é', '中'];
+        let n = self.below(max_len as u64 + 1) as usize;
+        (0..n)
+            .map(|_| {
+                if self.below(4) == 0 {
+                    SPICE[self.below(SPICE.len() as u64) as usize]
+                } else {
+                    char::from_u32(0x20 + self.below(0x5F) as u32).unwrap()
+                }
+            })
+            .collect()
+    }
+}
+
+fn for_cases(property: &str, mut body: impl FnMut(&mut XorShift64)) {
+    for case in 0..CASES {
+        let seed = 0xBAD_F00D ^ (case << 32) ^ case;
+        let mut rng = XorShift64::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            body(&mut rng);
+        }));
+        if let Err(e) = result {
+            eprintln!("property `{property}` failed at case {case} (seed {seed:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
 
 fn response_v2() -> Arc<RecordFormat> {
     let member = FormatBuilder::record("Member")
@@ -49,12 +113,12 @@ fn sample_wire() -> Vec<u8> {
     Encoder::new(&fmt).encode(&v).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Random garbage never panics the raw decoder or a conversion plan.
-    #[test]
-    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Random garbage never panics the raw decoder or a conversion plan.
+#[test]
+fn random_bytes_never_panic() {
+    for_cases("random_bytes_never_panic", |rng| {
+        let n = rng.below(256) as usize;
+        let bytes = rng.bytes(n);
         let fmt = response_v2();
         let _ = pbio::decode_payload(&fmt, &bytes);
         let plan = ConversionPlan::identity(&fmt).unwrap();
@@ -62,16 +126,18 @@ proptest! {
         let _ = pbio::parse_header(&bytes);
         let _ = pbio::deserialize_format(&bytes);
         let _ = Transformation::deserialize(&bytes);
-    }
+    });
+}
 
-    /// Single-byte corruptions of a valid message never panic anything in
-    /// the receive path (they may decode to a different valid value, or
-    /// fail cleanly).
-    #[test]
-    fn corrupted_wire_never_panics(pos in 0usize..100, byte in any::<u8>()) {
+/// Single-byte corruptions of a valid message never panic anything in
+/// the receive path (they may decode to a different valid value, or
+/// fail cleanly).
+#[test]
+fn corrupted_wire_never_panics() {
+    for_cases("corrupted_wire_never_panics", |rng| {
         let mut wire = sample_wire();
-        let idx = pos % wire.len();
-        wire[idx] = byte;
+        let idx = rng.below(wire.len() as u64) as usize;
+        wire[idx] = rng.next_u64() as u8;
         let fmt = response_v2();
         let _ = pbio::decode_payload(&fmt, &wire);
         let _ = ConversionPlan::identity(&fmt).unwrap().execute(&wire);
@@ -96,50 +162,62 @@ proptest! {
             "#,
         ));
         let _ = rx.process(&wire);
-    }
+    });
+}
 
-    /// Truncations at every length never panic.
-    #[test]
-    fn truncated_wire_never_panics(cut in 0usize..100) {
-        let wire = sample_wire();
-        let cut = cut % (wire.len() + 1);
-        let fmt = response_v2();
+/// Truncations at every length never panic.
+#[test]
+fn truncated_wire_never_panics() {
+    let wire = sample_wire();
+    let fmt = response_v2();
+    for cut in 0..=wire.len() {
         let _ = pbio::decode_payload(&fmt, &wire[..cut]);
         let _ = ConversionPlan::identity(&fmt).unwrap().execute(&wire[..cut]);
     }
+}
 
-    /// A lying length field (count much larger than the actual payload)
-    /// fails with an error instead of over-allocating or panicking.
-    #[test]
-    fn hostile_length_fields_rejected(count in 3i64..i64::from(i32::MAX)) {
+/// A lying length field (count much larger than the actual payload)
+/// fails with an error instead of over-allocating or panicking.
+#[test]
+fn hostile_length_fields_rejected() {
+    for_cases("hostile_length_fields_rejected", |rng| {
+        let count = 3 + rng.below(i32::MAX as u64 - 3) as i64;
         let fmt = response_v2();
         let mut wire = sample_wire();
         // Patch the member_count field (first 4 payload bytes) to a lie.
         let c = (count as i32).to_le_bytes();
         wire[pbio::HEADER_LEN..pbio::HEADER_LEN + 4].copy_from_slice(&c);
-        prop_assert!(pbio::decode_payload(&fmt, &wire).is_err());
-        prop_assert!(ConversionPlan::identity(&fmt).unwrap().execute(&wire).is_err());
-    }
+        assert!(pbio::decode_payload(&fmt, &wire).is_err());
+        assert!(ConversionPlan::identity(&fmt).unwrap().execute(&wire).is_err());
+    });
+}
 
-    /// Random text never panics the XML parser or stylesheet parser.
-    #[test]
-    fn random_text_never_panics_xml(s in "\\PC*") {
+/// Random text never panics the XML parser or stylesheet parser.
+#[test]
+fn random_text_never_panics_xml() {
+    for_cases("random_text_never_panics_xml", |rng| {
+        let s = rng.text(64);
         let _ = xmlt::parse(&s);
         let _ = xmlt::Stylesheet::parse(&s);
         let _ = xmlt::parse_expr(&s);
         let _ = xmlt::parse_path(&s);
-    }
+    });
+}
 
-    /// Random text never panics the Ecode front end.
-    #[test]
-    fn random_text_never_panics_ecode(s in "\\PC*") {
+/// Random text never panics the Ecode front end.
+#[test]
+fn random_text_never_panics_ecode() {
+    for_cases("random_text_never_panics_ecode", |rng| {
+        let s = rng.text(64);
         let fmt = response_v2();
         let _ = EcodeCompiler::new().bind_input("new", &fmt).compile(&s);
-    }
+    });
+}
 
-    /// Almost-valid Ecode (mutations of Fig. 5) never panics the compiler.
-    #[test]
-    fn mutated_fig5_never_panics(pos in 0usize..400, byte in 32u8..127) {
+/// Almost-valid Ecode (mutations of Fig. 5) never panics the compiler.
+#[test]
+fn mutated_fig5_never_panics() {
+    for_cases("mutated_fig5_never_panics", |rng| {
         let src = r#"
             int i; int sc = 0;
             old.member_count = new.member_count;
@@ -150,13 +228,13 @@ proptest! {
             old.src_count = sc;
         "#;
         let mut mutated = src.as_bytes().to_vec();
-        let idx = pos % mutated.len();
-        mutated[idx] = byte;
+        let idx = rng.below(mutated.len() as u64) as usize;
+        mutated[idx] = 32 + rng.below(95) as u8;
         if let Ok(text) = String::from_utf8(mutated) {
             let _ = EcodeCompiler::new()
                 .bind_input("new", &response_v2())
                 .bind_output("old", &response_v1())
                 .compile(&text);
         }
-    }
+    });
 }

@@ -13,11 +13,17 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
 echo "==> cargo build --release (offline-capable)"
 cargo build --release
 
 echo "==> cargo test -q (root workspace: units, integration, properties)"
 cargo test -q
+
+echo "==> chaos suite (seeded fault injection; deterministic per seed)"
+cargo test -q --test chaos
 
 echo "==> bench workspace (needs registry access for criterion)"
 if (cd crates/bench && cargo metadata --format-version 1 >/dev/null 2>&1); then

@@ -24,7 +24,7 @@ mod system;
 use std::fmt;
 
 pub use node::{EchoVersion, Role};
-pub use proto::{ChannelId, MemberInfo};
+pub use proto::{ChannelId, Frame, FrameError, MemberInfo};
 pub use system::{EchoSystem, ProcessId};
 
 /// Errors from the ECho middleware.

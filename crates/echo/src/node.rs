@@ -1,14 +1,22 @@
 //! ECho process state: channel bookkeeping plus the morphing receivers for
 //! control messages and per-channel events.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use morph::{MorphReceiver, MorphStats, Transformation};
+use morph::{deadletter, DeadLetterQueue, DeadReason, MorphReceiver, MorphStats, Transformation};
 use pbio::{Encoder, RecordFormat, Value};
 
-use crate::proto::{self, ChannelId, MemberInfo};
+use crate::proto::{self, ChannelId, FrameError, MemberInfo};
 use crate::EchoError;
+
+/// How many recently seen sender sequence numbers a node remembers for
+/// duplicate suppression.
+const DEDUP_WINDOW: usize = 4096;
+
+/// How many quarantined messages a node keeps (counters track the true
+/// totals beyond this bound).
+const DLQ_CAPACITY: usize = 256;
 
 /// Which historical ECho release a process runs (determines which
 /// `ChannelOpenResponse` format it emits and understands natively).
@@ -53,6 +61,32 @@ pub(crate) struct Outgoing {
     pub bytes: Vec<u8>,
 }
 
+/// What became of one incoming frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Disposition {
+    /// Verified, fresh, and processed (kind, channel).
+    Handled(u8, ChannelId),
+    /// Verified but already seen (duplicate suppression by sender seq).
+    Duplicate(u8, ChannelId),
+    /// Quarantined in the node's dead-letter queue, never decoded or
+    /// already failed decoding/delivery.
+    Quarantined(DeadReason),
+}
+
+/// The result of [`NodeState::handle_frame`]: the frame's fate plus any
+/// follow-up messages to put on the wire.
+#[derive(Debug)]
+pub(crate) struct FrameOutcome {
+    pub disposition: Disposition,
+    pub outgoing: Vec<Outgoing>,
+}
+
+impl FrameOutcome {
+    fn settled(disposition: Disposition) -> FrameOutcome {
+        FrameOutcome { disposition, outgoing: Vec::new() }
+    }
+}
+
 type ControlInbox = Arc<Mutex<Vec<Value>>>;
 type EventInbox = Arc<Mutex<Vec<(ChannelId, Value)>>>;
 
@@ -75,6 +109,14 @@ pub(crate) struct NodeState {
     /// Transformations to seed into future per-channel event receivers.
     shared_xforms: Vec<Transformation>,
     shared_formats: Vec<Arc<RecordFormat>>,
+    /// Next outgoing frame sequence number. The system seeds each node a
+    /// disjoint range, making (implicitly) sender-unique sequence numbers.
+    pub(crate) next_seq: u64,
+    /// Recently seen incoming sequence numbers, for duplicate suppression.
+    seen_seqs: HashSet<u64>,
+    seen_order: VecDeque<u64>,
+    /// Quarantine for frames that could not be delivered.
+    dlq: DeadLetterQueue,
 }
 
 impl NodeState {
@@ -94,6 +136,11 @@ impl NodeState {
         control_rx.register_handler(&resp_fmt, move |v| {
             resp_sink.lock().expect("inbox lock").push(v);
         });
+        let dlq = DeadLetterQueue::with_registry(
+            DLQ_CAPACITY,
+            control_rx.registry(),
+            "echo.node.deadletter",
+        );
         NodeState {
             name,
             version,
@@ -108,7 +155,56 @@ impl NodeState {
             next_member_id: 1,
             shared_xforms: Vec::new(),
             shared_formats: Vec::new(),
+            next_seq: 0,
+            seen_seqs: HashSet::new(),
+            seen_order: VecDeque::new(),
+            dlq,
         }
+    }
+
+    /// Allocates the next outgoing frame sequence number.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Records an incoming sequence number; returns false if it was seen
+    /// before (a duplicate). The memory is a bounded sliding window.
+    fn note_seq(&mut self, seq: u64) -> bool {
+        if !self.seen_seqs.insert(seq) {
+            return false;
+        }
+        self.seen_order.push_back(seq);
+        if self.seen_order.len() > DEDUP_WINDOW {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen_seqs.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Classifies a processing failure for quarantine.
+    fn quarantine(&mut self, err: &EchoError, bytes: &[u8]) -> Disposition {
+        let reason = match err {
+            EchoError::Morph(e) => deadletter::reason_for(e),
+            EchoError::Pbio(_) => DeadReason::Undecodable,
+            EchoError::MalformedFrame | EchoError::UnknownFrameKind(_) => DeadReason::Malformed,
+            _ => DeadReason::TransformFailed,
+        };
+        self.dlq.push(reason, bytes, err.to_string());
+        Disposition::Quarantined(reason)
+    }
+
+    /// The node's dead-letter queue (quarantined frames + totals).
+    pub fn dead_letters(&self) -> &DeadLetterQueue {
+        &self.dlq
+    }
+
+    /// Quarantines an *outgoing* frame whose delivery was abandoned after
+    /// the retry budget ran out.
+    pub fn quarantine_send(&mut self, bytes: &[u8], detail: &str) {
+        self.dlq.push(DeadReason::RetryExhausted, bytes, detail);
     }
 
     /// Learns out-of-band meta-data (formats + transformations), seeding
@@ -133,7 +229,7 @@ impl NodeState {
     /// Registers the event format this node expects on `channel`; received
     /// (possibly morphed) events land in the node's event log.
     pub fn expect_events(&mut self, channel: ChannelId, format: &Arc<RecordFormat>) {
-        let rx = self.event_rx.entry(channel).or_insert_with(MorphReceiver::new);
+        let rx = self.event_rx.entry(channel).or_default();
         let sink = Arc::clone(&self.events);
         rx.register_handler(format, move |v| {
             sink.lock().expect("event lock").push((channel, v));
@@ -207,18 +303,46 @@ impl NodeState {
         Ok(Encoder::new(&fmt).encode(&value)?)
     }
 
-    /// Processes one incoming network frame, returning follow-up messages.
-    pub fn handle_frame(&mut self, bytes: &[u8]) -> Result<Vec<Outgoing>, EchoError> {
-        let (kind, channel, msg) = proto::unframe(bytes).ok_or(EchoError::MalformedFrame)?;
+    /// Processes one incoming network frame. Never fails: frames that
+    /// cannot be verified, decoded, or delivered are quarantined in the
+    /// node's dead-letter queue — a process on a hostile network degrades,
+    /// it does not crash.
+    pub fn handle_frame(&mut self, bytes: &[u8]) -> FrameOutcome {
+        let frame = match proto::unframe(bytes) {
+            Ok(f) => f,
+            Err(FrameError::Truncated) => {
+                self.dlq.push(DeadReason::Malformed, bytes, "frame shorter than header");
+                return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Malformed));
+            }
+            Err(FrameError::BadChecksum) => {
+                // Corruption is *detected and rejected* — the damaged bytes
+                // never reach a PBIO decoder.
+                self.dlq.push(DeadReason::Corrupt, bytes, "frame checksum mismatch");
+                return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Corrupt));
+            }
+        };
+        if !self.note_seq(frame.seq) {
+            return FrameOutcome::settled(Disposition::Duplicate(frame.kind, frame.channel));
+        }
+        let (kind, channel, msg) = (frame.kind, frame.channel, frame.payload);
         match kind {
-            proto::FRAME_CONTROL => self.handle_control(msg),
+            proto::FRAME_CONTROL => match self.handle_control(msg) {
+                Ok(outgoing) => {
+                    FrameOutcome { disposition: Disposition::Handled(kind, channel), outgoing }
+                }
+                Err(e) => FrameOutcome::settled(self.quarantine(&e, bytes)),
+            },
             proto::FRAME_EVENT => {
                 if let Some(rx) = self.event_rx.get_mut(&channel) {
-                    rx.process(msg)?;
+                    if let Err(e) = rx.process(msg) {
+                        let reason = deadletter::reason_for(&e);
+                        self.dlq.push(reason, bytes, e.to_string());
+                        return FrameOutcome::settled(Disposition::Quarantined(reason));
+                    }
                 }
-                Ok(Vec::new())
+                FrameOutcome::settled(Disposition::Handled(kind, channel))
             }
-            k => Err(EchoError::UnknownFrameKind(k)),
+            k => FrameOutcome::settled(self.quarantine(&EchoError::UnknownFrameKind(k), bytes)),
         }
     }
 
@@ -257,9 +381,10 @@ impl NodeState {
             let members = self.owned[&channel].clone();
             for m in &members {
                 if m.contact != self.name {
+                    let seq = self.alloc_seq();
                     out.push(Outgoing {
                         to_contact: m.contact.clone(),
-                        bytes: proto::frame(proto::FRAME_CONTROL, channel, &resp),
+                        bytes: proto::frame(proto::FRAME_CONTROL, channel, seq, &resp),
                     });
                 }
             }

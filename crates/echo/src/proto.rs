@@ -260,24 +260,96 @@ pub const FRAME_CONTROL: u8 = 0;
 /// Frame kind: an event on a channel.
 pub const FRAME_EVENT: u8 = 1;
 
-/// Wraps a PBIO message in an ECho network frame.
-pub fn frame(kind: u8, channel: ChannelId, pbio_msg: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(5 + pbio_msg.len());
+/// Frame header size: kind (1) + channel (4) + seq (8) + crc32 (4).
+pub const FRAME_HEADER_LEN: usize = 17;
+
+/// A parsed (and checksum-verified) ECho network frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// [`FRAME_CONTROL`] or [`FRAME_EVENT`].
+    pub kind: u8,
+    /// Routing channel.
+    pub channel: ChannelId,
+    /// Sender-assigned sequence number (unique per sender; used for
+    /// duplicate suppression).
+    pub seq: u64,
+    /// The PBIO message bytes.
+    pub payload: &'a [u8],
+}
+
+/// Why a frame was rejected before reaching any decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed header.
+    Truncated,
+    /// The CRC-32 did not match: the frame was damaged in flight.
+    BadChecksum,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame shorter than header"),
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`, starting from `seed`
+/// (pass the return of a previous call to continue a running checksum;
+/// start with 0).
+fn crc32(seed: u32, bytes: &[u8]) -> u32 {
+    let mut crc = !seed;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Wraps a PBIO message in an ECho network frame:
+/// `[kind u8][channel u32][seq u64][crc32 u32][payload]`, all
+/// little-endian. The CRC-32 covers kind, channel, seq, and payload, so
+/// any single-byte damage anywhere in the frame is detected by
+/// [`unframe`].
+pub fn frame(kind: u8, channel: ChannelId, seq: u64, pbio_msg: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + pbio_msg.len());
     out.push(kind);
     out.extend_from_slice(&channel.0.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    let crc = crc32(crc32(0, &out), pbio_msg);
+    out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(pbio_msg);
     out
 }
 
-/// Splits a frame into (kind, channel, PBIO message bytes). Returns `None`
-/// for malformed frames.
-pub fn unframe(bytes: &[u8]) -> Option<(u8, ChannelId, &[u8])> {
-    if bytes.len() < 5 {
-        return None;
+/// Parses and checksum-verifies a frame. Corrupted frames are rejected
+/// here — damaged bytes never reach a PBIO decoder.
+///
+/// # Errors
+///
+/// [`FrameError::Truncated`] for short input, [`FrameError::BadChecksum`]
+/// when the frame was damaged in flight.
+pub fn unframe(bytes: &[u8]) -> Result<Frame<'_>, FrameError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(FrameError::Truncated);
     }
     let kind = bytes[0];
-    let channel = ChannelId(u32::from_le_bytes(bytes[1..5].try_into().ok()?));
-    Some((kind, channel, &bytes[5..]))
+    let channel = ChannelId(u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]));
+    let seq = u64::from_le_bytes([
+        bytes[5], bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11], bytes[12],
+    ]);
+    let stored = u32::from_le_bytes([bytes[13], bytes[14], bytes[15], bytes[16]]);
+    let payload = &bytes[FRAME_HEADER_LEN..];
+    if crc32(crc32(0, &bytes[..13]), payload) != stored {
+        return Err(FrameError::BadChecksum);
+    }
+    Ok(Frame { kind, channel, seq, payload })
 }
 
 #[cfg(test)]
@@ -354,12 +426,44 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        let framed = frame(FRAME_EVENT, ChannelId(3), b"xyz");
-        let (k, ch, body) = unframe(&framed).unwrap();
-        assert_eq!(k, FRAME_EVENT);
-        assert_eq!(ch, ChannelId(3));
-        assert_eq!(body, b"xyz");
-        assert!(unframe(&[1, 2]).is_none());
+        let framed = frame(FRAME_EVENT, ChannelId(3), 42, b"xyz");
+        let f = unframe(&framed).unwrap();
+        assert_eq!(f.kind, FRAME_EVENT);
+        assert_eq!(f.channel, ChannelId(3));
+        assert_eq!(f.seq, 42);
+        assert_eq!(f.payload, b"xyz");
+        assert_eq!(unframe(&[1, 2]), Err(FrameError::Truncated));
+        assert_eq!(unframe(&framed[..FRAME_HEADER_LEN - 1]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn any_single_byte_flip_fails_the_checksum() {
+        // The chaos fault model flips exactly one byte; CRC-32 must catch
+        // every such flip wherever it lands — header or payload.
+        let framed = frame(FRAME_EVENT, ChannelId(7), 9, b"payload bytes");
+        assert!(unframe(&framed).is_ok());
+        for i in 0..framed.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut damaged = framed.clone();
+                damaged[i] ^= flip;
+                assert_eq!(
+                    unframe(&damaged),
+                    Err(FrameError::BadChecksum),
+                    "flip {flip:#x} at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_payload_frames_checksum_too() {
+        let framed = frame(FRAME_CONTROL, ChannelId(0), 0, b"");
+        assert_eq!(framed.len(), FRAME_HEADER_LEN);
+        let f = unframe(&framed).unwrap();
+        assert_eq!(f.payload, b"");
+        let mut damaged = framed;
+        damaged[0] ^= 1;
+        assert_eq!(unframe(&damaged), Err(FrameError::BadChecksum));
     }
 
     #[test]

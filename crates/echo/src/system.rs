@@ -4,12 +4,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use morph::{CompiledXform, MorphStats, Transformation};
+use morph::{CompiledXform, DeadLetter, DeadReason, MorphStats, RetryPolicy, Transformation};
 use obs::{Counter, Registry};
 use pbio::{Encoder, RecordFormat, Value};
-use simnet::{LinkParams, Network, NodeId};
+use simnet::{FaultPlan, FaultStats, LinkParams, NetError, Network, NodeId};
 
-use crate::node::{EchoVersion, NodeState, Role};
+use crate::node::{Disposition, EchoVersion, NodeState, Role};
 use crate::proto::{self, ChannelId, MemberInfo};
 use crate::EchoError;
 
@@ -38,6 +38,13 @@ struct SysMetrics {
     delivered: Arc<Counter>,
     filtered: Arc<Counter>,
     derived_compiled: Arc<Counter>,
+    dedup_dropped: Arc<Counter>,
+    deadletter_total: Arc<Counter>,
+    deadletter_by_reason: [Arc<Counter>; DeadReason::ALL.len()],
+    retry_enqueued: Arc<Counter>,
+    retry_attempts: Arc<Counter>,
+    retry_delivered: Arc<Counter>,
+    retry_giveup: Arc<Counter>,
     per_channel: HashMap<ChannelId, ChannelCounters>,
 }
 
@@ -48,9 +55,23 @@ impl SysMetrics {
             delivered: registry.counter("echo.events.delivered"),
             filtered: registry.counter("echo.events.filtered"),
             derived_compiled: registry.counter("echo.derived.compiled"),
+            dedup_dropped: registry.counter("echo.dedup.dropped"),
+            deadletter_total: registry.counter("echo.deadletter.total"),
+            deadletter_by_reason: DeadReason::ALL
+                .map(|r| registry.counter(&format!("echo.deadletter.{}", r.label()))),
+            retry_enqueued: registry.counter("echo.retry.enqueued"),
+            retry_attempts: registry.counter("echo.retry.attempts"),
+            retry_delivered: registry.counter("echo.retry.delivered"),
+            retry_giveup: registry.counter("echo.retry.giveup"),
             per_channel: HashMap::new(),
             registry,
         }
+    }
+
+    fn quarantined(&self, reason: DeadReason) {
+        self.deadletter_total.inc();
+        let idx = DeadReason::ALL.iter().position(|&r| r == reason).unwrap_or(0);
+        self.deadletter_by_reason[idx].inc();
     }
 
     fn channel(&mut self, ch: ChannelId) -> &ChannelCounters {
@@ -100,6 +121,23 @@ pub struct EchoSystem {
     derived: HashMap<(ChannelId, String), CompiledXform>,
     next_channel: u32,
     metrics: SysMetrics,
+    /// Frames refused by a down/partitioned link, awaiting re-send.
+    pending: Vec<PendingFrame>,
+    /// Backoff/budget policy for those re-sends.
+    retry: RetryPolicy,
+}
+
+/// A frame whose send was refused (link down); retried with backoff until
+/// the budget runs out.
+#[derive(Debug)]
+struct PendingFrame {
+    from: usize,
+    to: usize,
+    bytes: Vec<u8>,
+    /// Retries already spent.
+    attempts: u32,
+    /// Virtual time before which no re-send is attempted.
+    next_attempt_ns: u64,
 }
 
 impl Default for EchoSystem {
@@ -138,6 +176,8 @@ impl EchoSystem {
             derived: HashMap::new(),
             next_channel: 1,
             metrics: SysMetrics::new(registry),
+            pending: Vec::new(),
+            retry: RetryPolicy::with_seed(0xEC40),
         }
     }
 
@@ -151,6 +191,8 @@ impl EchoSystem {
             &[proto::channel_open_response_v1(), proto::channel_open_response_v2()],
             &[proto::response_retro_transformation(), proto::response_forward_transformation()],
         );
+        // Disjoint 2^48-wide sequence ranges make frame seqs sender-unique.
+        node.next_seq = (self.nodes.len() as u64) << 48;
         let net_id = self.net.add_node(name.clone());
         self.nodes.push(node);
         self.net_ids.push(net_id);
@@ -230,8 +272,9 @@ impl EchoSystem {
             Value::Int(i64::from(role.sink)),
         ]);
         let msg = Encoder::new(&fmt).encode(&req)?;
-        let framed = proto::frame(proto::FRAME_CONTROL, channel, &msg);
-        self.net.send(self.net_ids[proc.0], self.net_ids[creator_idx], framed)?;
+        let seq = self.nodes[proc.0].alloc_seq();
+        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, &msg);
+        self.send_with_retry(proc.0, creator_idx, framed)?;
         Ok(())
     }
 
@@ -261,8 +304,9 @@ impl EchoSystem {
             Value::Int(0),
         ]);
         let msg = Encoder::new(&fmt).encode(&req)?;
-        let framed = proto::frame(proto::FRAME_CONTROL, channel, &msg);
-        self.net.send(self.net_ids[proc.0], self.net_ids[creator_idx], framed)?;
+        let seq = self.nodes[proc.0].alloc_seq();
+        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, &msg);
+        self.send_with_retry(proc.0, creator_idx, framed)?;
         Ok(())
     }
 
@@ -338,54 +382,141 @@ impl EchoSystem {
                         }
                         Some(derived) => {
                             let msg = Encoder::new(xform.to_format()).encode(&derived)?;
-                            proto::frame(proto::FRAME_EVENT, channel, &msg)
+                            let seq = self.nodes[proc.0].alloc_seq();
+                            proto::frame(proto::FRAME_EVENT, channel, seq, &msg)
                         }
                     }
                 }
                 // Different source format (or no derivation): send the raw
-                // event; the sink's own morphing receiver reconciles.
+                // event; the sink's own morphing receiver reconciles. One
+                // seq serves every recipient of the same frame — dedup is
+                // per receiver.
                 _ => {
                     if raw_frame.is_none() {
                         let msg = Encoder::new(format).encode(event)?;
-                        raw_frame = Some(proto::frame(proto::FRAME_EVENT, channel, &msg));
+                        let seq = self.nodes[proc.0].alloc_seq();
+                        raw_frame = Some(proto::frame(proto::FRAME_EVENT, channel, seq, &msg));
                     }
                     raw_frame.clone().expect("filled above")
                 }
             };
-            self.net.send(self.net_ids[proc.0], self.net_ids[dst], frame)?;
+            self.send_with_retry(proc.0, dst, frame)?;
             sent += 1;
         }
         Ok(sent)
     }
 
+    /// Sends a frame, absorbing link-down refusals into the retry queue:
+    /// the frame waits out a backoff (capped exponential, jittered by the
+    /// system [`RetryPolicy`]) and is re-sent by [`EchoSystem::run`] until
+    /// it gets through or the budget is spent. Other network errors
+    /// propagate — an unknown or unrouted peer is a configuration bug, not
+    /// an operational fault.
+    fn send_with_retry(&mut self, from: usize, to: usize, bytes: Vec<u8>) -> Result<(), EchoError> {
+        match self.net.send(self.net_ids[from], self.net_ids[to], bytes.clone()) {
+            Ok(_) => Ok(()),
+            Err(NetError::LinkDown(_, _)) => {
+                self.metrics.retry_enqueued.inc();
+                let next_attempt_ns = self.net.now_ns() + self.retry.backoff_ns(0);
+                self.pending.push(PendingFrame { from, to, bytes, attempts: 0, next_attempt_ns });
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Re-attempts every due pending frame once. Returns the earliest
+    /// not-yet-due attempt time, if any frames remain queued.
+    fn pump_pending(&mut self) -> Option<u64> {
+        let now = self.net.now_ns();
+        let mut still_pending = Vec::new();
+        for mut p in std::mem::take(&mut self.pending) {
+            if p.next_attempt_ns > now {
+                still_pending.push(p);
+                continue;
+            }
+            self.metrics.retry_attempts.inc();
+            match self.net.send(self.net_ids[p.from], self.net_ids[p.to], p.bytes.clone()) {
+                Ok(_) => self.metrics.retry_delivered.inc(),
+                Err(NetError::LinkDown(_, _)) => {
+                    p.attempts += 1;
+                    if p.attempts > self.retry.budget {
+                        // Budget spent: quarantine at the sender.
+                        self.metrics.retry_giveup.inc();
+                        self.metrics.quarantined(DeadReason::RetryExhausted);
+                        self.nodes[p.from].quarantine_send(
+                            &p.bytes,
+                            &format!("gave up after {} retries", self.retry.budget),
+                        );
+                    } else {
+                        p.next_attempt_ns = now + self.retry.backoff_ns(p.attempts);
+                        still_pending.push(p);
+                    }
+                }
+                // The peer disappeared from the topology — config bug;
+                // surface it via the sender's quarantine, not a panic.
+                Err(e) => {
+                    self.metrics.retry_giveup.inc();
+                    self.metrics.quarantined(DeadReason::RetryExhausted);
+                    self.nodes[p.from].quarantine_send(&p.bytes, &e.to_string());
+                }
+            }
+        }
+        let earliest = still_pending.iter().map(|p| p.next_attempt_ns).min();
+        self.pending = still_pending;
+        earliest
+    }
+
     /// Runs the network to quiescence, dispatching every delivery through
-    /// the receiving process (which may send follow-ups). Returns the number
-    /// of deliveries processed.
+    /// the receiving process (which may send follow-ups) and pumping the
+    /// retry queue: frames refused by a down link are re-sent with backoff,
+    /// waiting out partitions in virtual time if need be. Returns the
+    /// number of deliveries processed.
     ///
-    /// # Panics
-    ///
-    /// Panics if a process fails to handle a frame — in this simulated
-    /// deployment every failure is a bug, not an operational condition.
+    /// A process never fails on a received frame — corrupted, malformed, or
+    /// undeliverable frames are quarantined in its dead-letter queue and
+    /// counted (`echo.deadletter.*`), duplicates are suppressed and counted
+    /// (`echo.dedup.dropped`).
     pub fn run(&mut self) -> usize {
         let mut processed = 0;
         loop {
-            let Some(d) = self.net.step() else { break };
+            self.pump_pending();
+            let Some(d) = self.net.step() else {
+                // Idle wire. If retries are waiting on their backoff (or a
+                // partition window), jump virtual time to the next attempt.
+                match self.pump_pending() {
+                    Some(next_at) => {
+                        let now = self.net.now_ns();
+                        if next_at > now {
+                            self.net.advance_ns(next_at - now);
+                        }
+                        continue;
+                    }
+                    None if self.net.is_idle() => break,
+                    None => continue,
+                }
+            };
             // Drop the inbox copy; dispatch directly.
             let _ = self.net.recv(d.to);
             let idx =
                 self.net_ids.iter().position(|&n| n == d.to).expect("delivery to a known node");
-            if let Some((proto::FRAME_EVENT, channel, _)) = proto::unframe(&d.payload) {
-                self.metrics.delivered.inc();
-                self.metrics.channel(channel).delivered.inc();
+            let outcome = self.nodes[idx].handle_frame(&d.payload);
+            match outcome.disposition {
+                Disposition::Handled(kind, channel) => {
+                    if kind == proto::FRAME_EVENT {
+                        self.metrics.delivered.inc();
+                        self.metrics.channel(channel).delivered.inc();
+                    }
+                }
+                Disposition::Duplicate(_, _) => self.metrics.dedup_dropped.inc(),
+                Disposition::Quarantined(reason) => self.metrics.quarantined(reason),
             }
-            let outgoing = self.nodes[idx]
-                .handle_frame(&d.payload)
-                .unwrap_or_else(|e| panic!("process `{}`: {e}", self.nodes[idx].name));
-            for out in outgoing {
+            for out in outcome.outgoing {
                 if let Some(&dst) = self.by_contact.get(&out.to_contact) {
-                    self.net
-                        .send(self.net_ids[idx], self.net_ids[dst], out.bytes)
-                        .expect("members are connected");
+                    // Link-down refusals land in the retry queue; a member
+                    // with no route at all is dropped from this refresh (it
+                    // will resync on its next own request).
+                    let _ = self.send_with_retry(idx, dst, out.bytes);
                 }
             }
             processed += 1;
@@ -448,6 +579,55 @@ impl EchoSystem {
     /// The ECho version a process runs.
     pub fn version(&self, proc: ProcessId) -> EchoVersion {
         self.nodes[proc.0].version
+    }
+
+    /// Replaces the retry policy for link-down re-sends.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Attaches a [`FaultPlan`] to the (bidirectional) link between two
+    /// processes — see [`simnet::Network::set_fault_plan`].
+    pub fn set_fault_plan(&mut self, a: ProcessId, b: ProcessId, plan: FaultPlan) {
+        self.net.set_fault_plan(self.net_ids[a.0], self.net_ids[b.0], plan);
+    }
+
+    /// Removes any fault plan between two processes.
+    pub fn clear_fault_plan(&mut self, a: ProcessId, b: ProcessId) {
+        self.net.clear_fault_plan(self.net_ids[a.0], self.net_ids[b.0]);
+    }
+
+    /// Administratively raises/lowers the link between two processes
+    /// (partition modeling). Sends while down go to the retry queue.
+    pub fn set_link_up(&mut self, a: ProcessId, b: ProcessId, up: bool) {
+        self.net.set_link_up(self.net_ids[a.0], self.net_ids[b.0], up);
+    }
+
+    /// Advances virtual time without network activity (e.g. to move past a
+    /// scheduled partition window before calling [`EchoSystem::run`]).
+    pub fn advance_ns(&mut self, delta_ns: u64) {
+        self.net.advance_ns(delta_ns);
+    }
+
+    /// Aggregated fault-injection accounting across all links.
+    pub fn fault_totals(&self) -> FaultStats {
+        self.net.fault_totals()
+    }
+
+    /// The frames a process has quarantined (oldest first, bounded; the
+    /// `echo.deadletter.*` counters track unbounded totals).
+    pub fn dead_letters(&self, proc: ProcessId) -> Vec<DeadLetter> {
+        self.nodes[proc.0].dead_letters().letters().cloned().collect()
+    }
+
+    /// Total frames ever quarantined by a process.
+    pub fn dead_letter_total(&self, proc: ProcessId) -> u64 {
+        self.nodes[proc.0].dead_letters().total()
+    }
+
+    /// Frames currently waiting in the system retry queue.
+    pub fn pending_retries(&self) -> usize {
+        self.pending.len()
     }
 }
 

@@ -182,15 +182,15 @@ fn fold_segs(segs: &mut [TSeg]) {
 fn fold_binop(op: TBinOp, a: Lit, b: Lit) -> Option<Lit> {
     use std::cmp::Ordering;
     let cmp_to_lit = |c: CmpOp, ord: Option<Ordering>| -> Lit {
-        let r = match (c, ord) {
-            (CmpOp::Eq, Some(Ordering::Equal)) => true,
-            (CmpOp::Ne, Some(Ordering::Less | Ordering::Greater)) => true,
-            (CmpOp::Lt, Some(Ordering::Less)) => true,
-            (CmpOp::Le, Some(Ordering::Less | Ordering::Equal)) => true,
-            (CmpOp::Gt, Some(Ordering::Greater)) => true,
-            (CmpOp::Ge, Some(Ordering::Greater | Ordering::Equal)) => true,
-            _ => false,
-        };
+        // `None` (NaN comparison) is false for every operator, like the VM.
+        let r = ord.is_some_and(|ord| match c {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        });
         Lit::I(i64::from(r))
     };
     match (op, a, b) {

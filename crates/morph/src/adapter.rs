@@ -15,9 +15,9 @@ use crate::error::Result;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ConvKind {
-    ToInt(pbio::Width),
-    ToUInt(pbio::Width),
-    ToFloat,
+    Int(pbio::Width),
+    UInt(pbio::Width),
+    Float,
 }
 
 #[derive(Debug, Clone)]
@@ -83,9 +83,9 @@ fn compile_elem(from: &FieldType, to: &FieldType) -> Option<ElemAdapt> {
                 return None;
             }
             Some(match b {
-                BasicType::Int(w) => ElemAdapt::Convert(ConvKind::ToInt(*w)),
-                BasicType::UInt(w) => ElemAdapt::Convert(ConvKind::ToUInt(*w)),
-                BasicType::Float(_) => ElemAdapt::Convert(ConvKind::ToFloat),
+                BasicType::Int(w) => ElemAdapt::Convert(ConvKind::Int(*w)),
+                BasicType::UInt(w) => ElemAdapt::Convert(ConvKind::UInt(*w)),
+                BasicType::Float(_) => ElemAdapt::Convert(ConvKind::Float),
                 // Char/Enum/String only convert to themselves, and identical
                 // types were handled by the Copy fast path above — reaching
                 // here means widths/variants differ in a representable way.
@@ -157,9 +157,9 @@ fn apply_elem(adapt: &ElemAdapt, v: &Value) -> Value {
     match adapt {
         ElemAdapt::Copy => v.clone(),
         ElemAdapt::Convert(k) => match k {
-            ConvKind::ToInt(w) => Value::Int(w.wrap_i64(int_bits(v))),
-            ConvKind::ToUInt(w) => Value::UInt(w.wrap_u64(int_bits(v))),
-            ConvKind::ToFloat => Value::Float(v.as_f64().unwrap_or(0.0)),
+            ConvKind::Int(w) => Value::Int(w.wrap_i64(int_bits(v))),
+            ConvKind::UInt(w) => Value::UInt(w.wrap_u64(int_bits(v))),
+            ConvKind::Float => Value::Float(v.as_f64().unwrap_or(0.0)),
         },
         ElemAdapt::Nested(r) => apply_record(r, v),
         ElemAdapt::Array(e) => match v.as_array() {

@@ -1,0 +1,248 @@
+//! Bounded dead-letter queue: graceful degradation for messages that
+//! cannot be delivered.
+//!
+//! The paper's morphing receiver widens the compatibility space, but some
+//! messages remain beyond saving — damaged in flight, referencing
+//! meta-data nobody can supply, or failing their transformation. Erroring
+//! the subscriber for each one turns a lossy network into an unusable
+//! application; silently discarding them hides real faults. A
+//! [`DeadLetterQueue`] is the middle road: quarantine the raw bytes with a
+//! [`DeadReason`], count every admission in the observability registry,
+//! and keep memory bounded by evicting the oldest entry when full (the
+//! counters still record the true totals).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use obs::{Counter, Registry};
+
+use crate::error::MorphError;
+use crate::receiver::{Delivery, MorphReceiver};
+
+/// Why a message was quarantined instead of delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadReason {
+    /// Damaged in flight (checksum mismatch); the bytes never reached a
+    /// decoder.
+    Corrupt,
+    /// Structurally malformed (truncated frame or header).
+    Malformed,
+    /// Decoding failed: the bytes do not parse under their claimed format.
+    Undecodable,
+    /// The wire format's meta-data could not be obtained anywhere.
+    Unresolvable,
+    /// A transformation or adapter failed at delivery time.
+    TransformFailed,
+    /// A retry budget was exhausted before the message could be sent or
+    /// resolved.
+    RetryExhausted,
+}
+
+impl DeadReason {
+    /// Stable lowercase label, used as the metric-name suffix
+    /// (`<prefix>.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadReason::Corrupt => "corrupt",
+            DeadReason::Malformed => "malformed",
+            DeadReason::Undecodable => "undecodable",
+            DeadReason::Unresolvable => "unresolvable",
+            DeadReason::TransformFailed => "transform_failed",
+            DeadReason::RetryExhausted => "retry_exhausted",
+        }
+    }
+
+    /// Every reason, in metric-catalogue order.
+    pub const ALL: [DeadReason; 6] = [
+        DeadReason::Corrupt,
+        DeadReason::Malformed,
+        DeadReason::Undecodable,
+        DeadReason::Unresolvable,
+        DeadReason::TransformFailed,
+        DeadReason::RetryExhausted,
+    ];
+}
+
+impl fmt::Display for DeadReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One quarantined message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Why delivery was impossible.
+    pub reason: DeadReason,
+    /// The raw bytes as received (before any decoding).
+    pub bytes: Vec<u8>,
+    /// Human-readable detail (the error text, typically).
+    pub detail: String,
+}
+
+/// A bounded FIFO of [`DeadLetter`]s with per-reason counters.
+///
+/// Admissions beyond the capacity evict the oldest entry and count as
+/// `<prefix>.overflow`; totals (`<prefix>.total`, per-reason) always
+/// reflect every quarantined message, kept or evicted.
+#[derive(Debug)]
+pub struct DeadLetterQueue {
+    capacity: usize,
+    letters: VecDeque<DeadLetter>,
+    total: Arc<Counter>,
+    overflow: Arc<Counter>,
+    by_reason: [Arc<Counter>; DeadReason::ALL.len()],
+}
+
+impl DeadLetterQueue {
+    /// Creates a queue holding at most `capacity` letters, with counters
+    /// `<prefix>.total`, `<prefix>.overflow`, and `<prefix>.<reason>` in
+    /// `registry`.
+    pub fn with_registry(capacity: usize, registry: &Registry, prefix: &str) -> DeadLetterQueue {
+        DeadLetterQueue {
+            capacity: capacity.max(1),
+            letters: VecDeque::new(),
+            total: registry.counter(&format!("{prefix}.total")),
+            overflow: registry.counter(&format!("{prefix}.overflow")),
+            by_reason: DeadReason::ALL
+                .map(|r| registry.counter(&format!("{prefix}.{}", r.label()))),
+        }
+    }
+
+    /// Creates a queue with a private registry (tests, simple setups).
+    pub fn new(capacity: usize) -> DeadLetterQueue {
+        DeadLetterQueue::with_registry(capacity, &Registry::new(), "morph.deadletter")
+    }
+
+    /// Quarantines a message. O(1); evicts the oldest letter when full.
+    pub fn push(&mut self, reason: DeadReason, bytes: &[u8], detail: impl Into<String>) {
+        self.total.inc();
+        let idx = DeadReason::ALL.iter().position(|&r| r == reason).unwrap_or(0);
+        self.by_reason[idx].inc();
+        if self.letters.len() == self.capacity {
+            self.letters.pop_front();
+            self.overflow.inc();
+        }
+        self.letters.push_back(DeadLetter { reason, bytes: bytes.to_vec(), detail: detail.into() });
+    }
+
+    /// Letters currently held (oldest first).
+    pub fn letters(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.letters.iter()
+    }
+
+    /// Number of letters currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// True when nothing is quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// Total messages ever quarantined (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.get()
+    }
+
+    /// Messages quarantined for `reason` (including evicted ones).
+    pub fn count(&self, reason: DeadReason) -> u64 {
+        let idx = DeadReason::ALL.iter().position(|&r| r == reason).unwrap_or(0);
+        self.by_reason[idx].get()
+    }
+
+    /// Removes and returns the oldest letter (for reprocessing).
+    pub fn pop(&mut self) -> Option<DeadLetter> {
+        self.letters.pop_front()
+    }
+}
+
+/// Classifies a processing failure into the [`DeadReason`] it should be
+/// quarantined under.
+pub fn reason_for(err: &MorphError) -> DeadReason {
+    match err {
+        MorphError::Pbio(_) => DeadReason::Undecodable,
+        MorphError::UnknownWireFormat(_) => DeadReason::Unresolvable,
+        MorphError::RetryExhausted(_) => DeadReason::RetryExhausted,
+        _ => DeadReason::TransformFailed,
+    }
+}
+
+/// Processes `msg` through `rx`; on failure the message is quarantined in
+/// `dlq` instead of surfacing an error — the graceful-degradation path for
+/// subscribers that must survive hostile input. Returns the delivery
+/// outcome, [`Delivery::Rejected`] when quarantined.
+pub fn process_or_quarantine(
+    rx: &mut MorphReceiver,
+    msg: &[u8],
+    dlq: &mut DeadLetterQueue,
+) -> Delivery {
+    match rx.process(msg) {
+        Ok(d) => d,
+        Err(e) => {
+            dlq.push(reason_for(&e), msg, e.to_string());
+            Delivery::Rejected
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio::{Encoder, FormatBuilder, Value};
+
+    #[test]
+    fn bounded_with_overflow_accounting() {
+        let mut dlq = DeadLetterQueue::new(2);
+        dlq.push(DeadReason::Corrupt, b"a", "1");
+        dlq.push(DeadReason::Corrupt, b"b", "2");
+        dlq.push(DeadReason::Undecodable, b"c", "3");
+        assert_eq!(dlq.len(), 2, "capacity enforced");
+        assert_eq!(dlq.total(), 3, "totals count evicted letters");
+        assert_eq!(dlq.count(DeadReason::Corrupt), 2);
+        assert_eq!(dlq.count(DeadReason::Undecodable), 1);
+        // Oldest was evicted.
+        assert_eq!(dlq.pop().unwrap().bytes, b"b");
+        assert_eq!(dlq.pop().unwrap().reason, DeadReason::Undecodable);
+        assert!(dlq.is_empty());
+    }
+
+    #[test]
+    fn registry_counters_mirror_reasons() {
+        let reg = Registry::new();
+        let mut dlq = DeadLetterQueue::with_registry(8, &reg, "test.dlq");
+        dlq.push(DeadReason::Malformed, b"x", "short");
+        dlq.push(DeadReason::Malformed, b"y", "short");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("test.dlq.total"), Some(2));
+        assert_eq!(snap.counter("test.dlq.malformed"), Some(2));
+        assert_eq!(snap.counter("test.dlq.overflow"), Some(0));
+    }
+
+    #[test]
+    fn quarantine_instead_of_error() {
+        let v1 = FormatBuilder::record("M").int("x").build_arc().unwrap();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1, |_| {});
+        let mut dlq = DeadLetterQueue::new(4);
+
+        // Garbage bytes: undecodable, quarantined, no error.
+        let d = process_or_quarantine(&mut rx, &[0xFF; 24], &mut dlq);
+        assert_eq!(d, Delivery::Rejected);
+        assert_eq!(dlq.count(DeadReason::Undecodable), 1);
+
+        // Unknown format id: unresolvable.
+        let v9 = FormatBuilder::record("Other").string("s").build_arc().unwrap();
+        let wire = Encoder::new(&v9).encode(&Value::Record(vec![Value::str("hi")])).unwrap();
+        let d = process_or_quarantine(&mut rx, &wire, &mut dlq);
+        assert_eq!(d, Delivery::Rejected);
+        assert_eq!(dlq.count(DeadReason::Unresolvable), 1);
+
+        // A good message still flows.
+        let wire = Encoder::new(&v1).encode(&Value::Record(vec![Value::Int(1)])).unwrap();
+        assert!(matches!(process_or_quarantine(&mut rx, &wire, &mut dlq), Delivery::Delivered(_)));
+        assert_eq!(dlq.total(), 2);
+    }
+}

@@ -15,6 +15,11 @@ pub enum MorphError {
     UnknownWireFormat(FormatId),
     /// A registered transformation's source/target formats are inconsistent.
     BadTransformation(String),
+    /// A malformed meta-protocol message (truncated opcode/length/payload,
+    /// unknown tag) — adversarial or damaged bytes, never a panic.
+    Protocol(String),
+    /// A resolution retry budget was exhausted without success.
+    RetryExhausted(String),
     /// Configuration error (bad thresholds, duplicate handler, ...).
     Config(String),
 }
@@ -28,6 +33,8 @@ impl fmt::Display for MorphError {
                 write!(f, "no out-of-band meta-data for wire format {id}")
             }
             MorphError::BadTransformation(msg) => write!(f, "bad transformation: {msg}"),
+            MorphError::Protocol(msg) => write!(f, "meta protocol: {msg}"),
+            MorphError::RetryExhausted(msg) => write!(f, "retry budget exhausted: {msg}"),
             MorphError::Config(msg) => write!(f, "configuration error: {msg}"),
         }
     }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 
 mod adapter;
+pub mod deadletter;
 mod error;
 mod matching;
 pub mod metaserver;
@@ -56,11 +57,15 @@ pub mod weighted;
 mod xform;
 
 pub use adapter::ValueAdapter;
+pub use deadletter::{process_or_quarantine, DeadLetter, DeadLetterQueue, DeadReason};
 pub use error::{MorphError, Result};
 pub use matching::{
     diff, max_match, mismatch_ratio, type_weight, MatchConfig, MatchQuality, MaxMatch,
 };
-pub use metaserver::{process_with_resolution, MetaClient, MetaServer};
+pub use metaserver::{
+    process_with_resolution, process_with_resolution_retry, resolve_into_with_retry, MetaClient,
+    MetaServer, RetryPolicy,
+};
 pub use receiver::{DefaultHandler, Delivery, Explanation, Handler, MorphReceiver, MorphStats};
 pub use xform::{
     CompiledChain, CompiledXform, ReachableFormat, Transformation, TransformationRegistry,

@@ -54,24 +54,23 @@ pub const RESP_NOT_FOUND: u8 = 0x8e;
 pub const RESP_ACK: u8 = 0x8f;
 
 fn bad(msg: &str) -> MorphError {
-    MorphError::BadTransformation(format!("meta protocol: {msg}"))
+    MorphError::Protocol(msg.to_string())
 }
 
 fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32> {
-    if *pos + 4 > bytes.len() {
+    let Some(chunk) = bytes.get(*pos..*pos + 4) else {
         return Err(bad("truncated length"));
-    }
-    let v = u32::from_le_bytes(bytes[*pos..*pos + 4].try_into().expect("4 bytes"));
+    };
+    let v = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
     *pos += 4;
     Ok(v)
 }
 
 fn take_chunk<'b>(bytes: &'b [u8], pos: &mut usize) -> Result<&'b [u8]> {
     let len = take_u32(bytes, pos)? as usize;
-    if *pos + len > bytes.len() {
+    let Some(s) = len.checked_add(*pos).and_then(|end| bytes.get(*pos..end)) else {
         return Err(bad("truncated chunk"));
-    }
-    let s = &bytes[*pos..*pos + len];
+    };
     *pos += len;
     Ok(s)
 }
@@ -125,10 +124,10 @@ impl MetaServer {
         let (&tag, rest) = request.split_first().ok_or_else(|| bad("empty request"))?;
         match tag {
             REQ_FORMAT => {
-                if rest.len() != 8 {
+                let Ok(raw) = <[u8; 8]>::try_from(rest) else {
                     return Err(bad("REQ_FORMAT wants exactly a u64 id"));
-                }
-                let id = FormatId(u64::from_le_bytes(rest.try_into().expect("8 bytes")));
+                };
+                let id = FormatId(u64::from_le_bytes(raw));
                 match self.formats.lookup(id) {
                     Ok(fmt) => {
                         let mut out = vec![RESP_FORMAT];
@@ -139,10 +138,10 @@ impl MetaServer {
                 }
             }
             REQ_XFORMS => {
-                if rest.len() != 8 {
+                let Ok(raw) = <[u8; 8]>::try_from(rest) else {
                     return Err(bad("REQ_XFORMS wants exactly a u64 id"));
-                }
-                let id = FormatId(u64::from_le_bytes(rest.try_into().expect("8 bytes")));
+                };
+                let id = FormatId(u64::from_le_bytes(raw));
                 let ts = self.xforms.outgoing(id);
                 let mut out = vec![RESP_XFORMS];
                 out.extend_from_slice(&(ts.len() as u32).to_le_bytes());
@@ -284,6 +283,144 @@ impl MetaClient {
             }
         }
         Ok(Some(installed))
+    }
+}
+
+/// Retry policy for meta-data exchanges over lossy transports: a bounded
+/// number of re-attempts with capped exponential backoff and deterministic
+/// jitter.
+///
+/// The backoff for attempt `n` (0-based) is
+/// `min(max_backoff_ns, base_backoff_ns << n)` plus up to 50% jitter drawn
+/// from `jitter_seed` — deterministic, so simulated-time tests replay
+/// byte-for-byte, while distinct seeds (e.g. per node) still desynchronize
+/// retry storms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-attempts allowed after the first try (budget 0 = fail fast).
+    pub budget: u32,
+    /// Backoff before the first retry, in nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling, in nanoseconds.
+    pub max_backoff_ns: u64,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 8 retries, 1 ms base, 50 ms cap.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            budget: 8,
+            base_backoff_ns: 1_000_000,
+            max_backoff_ns: 50_000_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with a specific jitter seed.
+    pub fn with_seed(jitter_seed: u64) -> RetryPolicy {
+        RetryPolicy { jitter_seed, ..RetryPolicy::default() }
+    }
+
+    /// Backoff (including jitter) before retry number `attempt` (0-based).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let exp =
+            self.base_backoff_ns.checked_shl(attempt).unwrap_or(u64::MAX).min(self.max_backoff_ns);
+        // splitmix64 of (seed, attempt): stateless, deterministic jitter.
+        let mut z =
+            self.jitter_seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        exp + z % (exp / 2 + 1)
+    }
+}
+
+/// Like [`MetaClient::resolve_into`], but each round-trip of the exchange
+/// is retried under `policy`: a failed attempt waits out the backoff (the
+/// caller-supplied `sleep`, e.g. advancing a simulated clock) and tries
+/// again until the budget is spent. Progress is counted on the receiver's
+/// registry as `morph.resolve.attempts` / `.retries` / `.resolved` /
+/// `.failures`.
+///
+/// # Errors
+///
+/// [`MorphError::RetryExhausted`] once a single round-trip has failed
+/// `policy.budget + 1` times; protocol errors from response parsing
+/// propagate unchanged.
+pub fn resolve_into_with_retry<E, S>(
+    rx: &mut MorphReceiver,
+    id: FormatId,
+    policy: &RetryPolicy,
+    mut exchange: E,
+    mut sleep: S,
+) -> Result<Option<usize>>
+where
+    E: FnMut(Vec<u8>) -> Result<Vec<u8>>,
+    S: FnMut(u64),
+{
+    let registry = Arc::clone(rx.registry());
+    let attempts = registry.counter("morph.resolve.attempts");
+    let retries = registry.counter("morph.resolve.retries");
+    let resolved = registry.counter("morph.resolve.resolved");
+    let failures = registry.counter("morph.resolve.failures");
+    let result = MetaClient::resolve_into(rx, id, |req| {
+        let mut attempt = 0u32;
+        loop {
+            attempts.inc();
+            match exchange(req.clone()) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    if attempt >= policy.budget {
+                        return Err(MorphError::RetryExhausted(format!(
+                            "meta exchange failed {} times, last: {e}",
+                            attempt + 1
+                        )));
+                    }
+                    retries.inc();
+                    sleep(policy.backoff_ns(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    });
+    match &result {
+        Ok(Some(_)) => resolved.inc(),
+        Ok(None) => {}
+        Err(_) => failures.inc(),
+    }
+    result
+}
+
+/// [`process_with_resolution`] with a [`RetryPolicy`] on every meta-data
+/// round-trip — the resilient path for lossy or partitioned networks.
+///
+/// # Errors
+///
+/// As [`process_with_resolution`], plus [`MorphError::RetryExhausted`]
+/// when the transport stays broken past the budget.
+pub fn process_with_resolution_retry<E, S>(
+    rx: &mut MorphReceiver,
+    msg: &[u8],
+    policy: &RetryPolicy,
+    exchange: E,
+    sleep: S,
+) -> Result<crate::receiver::Delivery>
+where
+    E: FnMut(Vec<u8>) -> Result<Vec<u8>>,
+    S: FnMut(u64),
+{
+    match rx.process(msg) {
+        Err(MorphError::UnknownWireFormat(id)) => {
+            if resolve_into_with_retry(rx, id, policy, exchange, sleep)?.is_none() {
+                return Err(MorphError::UnknownWireFormat(id));
+            }
+            rx.process(msg)
+        }
+        other => other,
     }
 }
 
@@ -446,6 +583,86 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, MorphError::Config(_)));
+    }
+
+    #[test]
+    fn retry_survives_transient_failures_within_budget() {
+        let server = Mutex::new(MetaServer::new());
+        server.lock().unwrap().register_transformation(xform());
+
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&got);
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), move |v| sink.lock().unwrap().push(v));
+
+        let wire = Encoder::new(&v2())
+            .encode(&Value::Record(vec![Value::Int(40), Value::Int(2)]))
+            .unwrap();
+
+        // Every round-trip fails twice before getting through.
+        let policy = RetryPolicy { budget: 3, ..RetryPolicy::with_seed(11) }; // > 2 failures
+        let mut calls = 0u32;
+        let mut slept = 0u64;
+        let d = process_with_resolution_retry(
+            &mut rx,
+            &wire,
+            &policy,
+            |req| {
+                calls += 1;
+                if calls % 3 == 0 {
+                    server.lock().unwrap().handle(&req)
+                } else {
+                    Err(MorphError::Config("transient".into()))
+                }
+            },
+            |ns| slept += ns,
+        )
+        .unwrap();
+        assert!(matches!(d, Delivery::Delivered(_)));
+        assert_eq!(got.lock().unwrap()[0], Value::Record(vec![Value::Int(42)]));
+        assert!(slept > 0, "backoff consumed (virtual) time");
+
+        let snap = rx.registry().snapshot();
+        assert!(snap.counter("morph.resolve.retries").unwrap() > 0);
+        assert_eq!(snap.counter("morph.resolve.resolved"), Some(1));
+        assert_eq!(snap.counter("morph.resolve.failures"), Some(0));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_cleanly() {
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), |_v| {});
+        let policy = RetryPolicy { budget: 2, ..RetryPolicy::default() };
+        let mut calls = 0u32;
+        let err = resolve_into_with_retry(
+            &mut rx,
+            FormatId(7),
+            &policy,
+            |_req| {
+                calls += 1;
+                Err(MorphError::Config("down".into()))
+            },
+            |_ns| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, MorphError::RetryExhausted(_)));
+        assert_eq!(calls, 3, "one try + two retries");
+        assert_eq!(rx.registry().snapshot().counter("morph.resolve.failures"), Some(1));
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy { budget: 10, ..RetryPolicy::with_seed(3) };
+        let seq: Vec<u64> = (0..10).map(|a| p.backoff_ns(a)).collect();
+        assert_eq!(seq, (0..10).map(|a| p.backoff_ns(a)).collect::<Vec<_>>());
+        // Nominal value grows until the cap; jitter stays within +50%.
+        for (a, &b) in seq.iter().enumerate() {
+            let nominal = (p.base_backoff_ns << a.min(63) as u32).min(p.max_backoff_ns);
+            assert!(b >= nominal && b <= nominal + nominal / 2 + 1, "attempt {a}: {b}");
+        }
+        assert!(seq[9] <= p.max_backoff_ns + p.max_backoff_ns / 2 + 1, "capped");
+        // Huge attempt numbers never overflow.
+        let _ = p.backoff_ns(u32::MAX);
     }
 
     #[test]

@@ -199,11 +199,7 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// Arithmetic mean of the samples (0 when empty).
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// The bucket upper bound at or below which a fraction `q` (clamped to

@@ -77,7 +77,7 @@ impl<'a> Cursor<'a> {
     pub(crate) fn read_float(&mut self, width: usize) -> Result<f64> {
         let b = self.scalar(width)?;
         if width == 4 {
-            Ok(f64::from(f32::from_bits(u32::from_le_bytes(b[..4].try_into().expect("4 bytes")))))
+            Ok(f64::from(f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))))
         } else {
             Ok(f64::from_bits(u64::from_le_bytes(b)))
         }

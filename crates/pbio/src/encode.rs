@@ -356,8 +356,10 @@ pub fn parse_header(buf: &[u8]) -> Result<WireHeader> {
         return Err(PbioError::BadHeader(format!("unsupported wire version {}", buf[2])));
     }
     let order = if buf[3] & FLAG_BIG_ENDIAN != 0 { ByteOrder::Big } else { ByteOrder::Little };
-    let format_id = FormatId(u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes")));
-    let payload_len = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
+    let format_id = FormatId(u64::from_le_bytes([
+        buf[4], buf[5], buf[6], buf[7], buf[8], buf[9], buf[10], buf[11],
+    ]));
+    let payload_len = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]) as usize;
     if buf.len() < HEADER_LEN + payload_len {
         return Err(PbioError::UnexpectedEof);
     }

@@ -1,0 +1,230 @@
+//! Deterministic fault injection for simulated links.
+//!
+//! A [`FaultPlan`] describes how a link misbehaves: probabilistic drop,
+//! duplication, byte corruption, reordering, latency jitter, and scheduled
+//! partition windows. All randomness comes from a seeded xorshift64* PRNG
+//! (the same scheme as the repository's property tests), so a given
+//! `(plan, traffic)` pair always produces the identical fault sequence —
+//! chaos runs are replayable byte-for-byte.
+//!
+//! Probabilities are expressed in per-mille (0–1000) so fault decisions are
+//! integer comparisons, never floating-point, keeping cross-platform runs
+//! identical.
+
+/// xorshift64* — tiny, fast, deterministic; mirrors `tests/proptests.rs`.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (any value; zero is remapped).
+    pub fn new(seed: u64) -> XorShift64 {
+        // splitmix64 scramble so nearby seeds diverge immediately.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64 { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True with probability `pm`/1000.
+    pub fn chance_pm(&mut self, pm: u32) -> bool {
+        pm > 0 && self.below(1000) < u64::from(pm)
+    }
+}
+
+/// A seeded description of how a link misbehaves. Attach to a link with
+/// [`crate::Network::set_fault_plan`]; every fault drawn from the plan is
+/// counted in [`FaultStats`] and mirrored to any attached registry as
+/// `simnet.fault.*` counters.
+///
+/// ```
+/// use simnet::FaultPlan;
+///
+/// let plan = FaultPlan::new(42)
+///     .drop_per_mille(100)      // 10% loss
+///     .corrupt_per_mille(50)    // 5% single-byte corruption
+///     .duplicate_per_mille(30)  // 3% duplication
+///     .jitter_ns(250_000)       // up to 250 µs extra latency
+///     .partition(1_000_000, 5_000_000); // down from 1 ms to 5 ms
+/// assert!(plan.partitioned_at(2_000_000));
+/// assert!(!plan.partitioned_at(6_000_000));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub(crate) seed: u64,
+    pub(crate) drop_pm: u32,
+    pub(crate) corrupt_pm: u32,
+    pub(crate) duplicate_pm: u32,
+    pub(crate) reorder_pm: u32,
+    pub(crate) reorder_extra_ns: u64,
+    pub(crate) jitter_ns: u64,
+    pub(crate) partitions: Vec<(u64, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given PRNG seed and no faults enabled.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Probability (per-mille) that a message is silently lost in flight.
+    pub fn drop_per_mille(mut self, pm: u32) -> FaultPlan {
+        self.drop_pm = pm.min(1000);
+        self
+    }
+
+    /// Probability (per-mille) that one byte of a queued copy is flipped.
+    pub fn corrupt_per_mille(mut self, pm: u32) -> FaultPlan {
+        self.corrupt_pm = pm.min(1000);
+        self
+    }
+
+    /// Probability (per-mille) that a message is delivered twice.
+    pub fn duplicate_per_mille(mut self, pm: u32) -> FaultPlan {
+        self.duplicate_pm = pm.min(1000);
+        self
+    }
+
+    /// Probability (per-mille) that a message is held back by `extra_ns`,
+    /// letting later traffic overtake it.
+    pub fn reorder_per_mille(mut self, pm: u32, extra_ns: u64) -> FaultPlan {
+        self.reorder_pm = pm.min(1000);
+        self.reorder_extra_ns = extra_ns;
+        self
+    }
+
+    /// Uniform latency jitter in `[0, max_ns]` added to every delivery.
+    pub fn jitter_ns(mut self, max_ns: u64) -> FaultPlan {
+        self.jitter_ns = max_ns;
+        self
+    }
+
+    /// Schedules a partition window `[from_ns, until_ns)` in virtual time:
+    /// sends inside the window fail with [`crate::NetError::LinkDown`].
+    /// Multiple windows may be scheduled.
+    pub fn partition(mut self, from_ns: u64, until_ns: u64) -> FaultPlan {
+        self.partitions.push((from_ns, until_ns));
+        self
+    }
+
+    /// True if a scheduled partition covers virtual time `now_ns`.
+    pub fn partitioned_at(&self, now_ns: u64) -> bool {
+        self.partitions.iter().any(|&(from, until)| now_ns >= from && now_ns < until)
+    }
+
+    /// True if any probabilistic fault is enabled.
+    pub fn has_random_faults(&self) -> bool {
+        self.drop_pm > 0
+            || self.corrupt_pm > 0
+            || self.duplicate_pm > 0
+            || self.reorder_pm > 0
+            || self.jitter_ns > 0
+    }
+}
+
+/// Per-link fault accounting (see also the `simnet.fault.*` counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages silently lost in flight.
+    pub dropped: u64,
+    /// Queued copies with a flipped byte.
+    pub corrupted: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+    /// Messages held back to force reordering.
+    pub reordered: u64,
+    /// Sends refused because a scheduled partition window was active.
+    pub partition_blocked: u64,
+}
+
+impl FaultStats {
+    pub(crate) fn absorb(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.partition_blocked += other.partition_blocked;
+    }
+}
+
+/// Live per-link fault state: the plan plus its PRNG and counters.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    pub(crate) rng: XorShift64,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    /// Seeds the per-direction PRNG from the plan seed and the directed
+    /// link identity, so the two directions of a link fault independently.
+    pub(crate) fn new(plan: FaultPlan, from: usize, to: usize) -> FaultState {
+        let lane = ((from as u64) << 32) ^ (to as u64);
+        let rng = XorShift64::new(plan.seed ^ lane.wrapping_mul(0xA24B_AED4_963E_E407));
+        FaultState { plan, rng, stats: FaultStats::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prng_is_deterministic_and_seed_sensitive() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        let mut c = XorShift64::new(8);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn chance_pm_extremes() {
+        let mut rng = XorShift64::new(1);
+        assert!((0..100).all(|_| !rng.chance_pm(0)));
+        assert!((0..100).all(|_| rng.chance_pm(1000)));
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn partition_windows_cover_half_open_ranges() {
+        let plan = FaultPlan::new(0).partition(10, 20).partition(30, 40);
+        assert!(!plan.partitioned_at(9));
+        assert!(plan.partitioned_at(10));
+        assert!(plan.partitioned_at(19));
+        assert!(!plan.partitioned_at(20));
+        assert!(plan.partitioned_at(35));
+        assert!(!plan.partitioned_at(40));
+    }
+
+    #[test]
+    fn builder_clamps_and_flags() {
+        let plan = FaultPlan::new(1).drop_per_mille(5000);
+        assert_eq!(plan.drop_pm, 1000);
+        assert!(plan.has_random_faults());
+        assert!(!FaultPlan::new(1).partition(0, 5).has_random_faults());
+    }
+}

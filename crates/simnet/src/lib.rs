@@ -26,12 +26,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod fault;
+#[cfg(test)]
+mod partition_tests;
+
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
 use obs::{Counter, Registry, VirtualClock};
+
+use fault::FaultState;
+pub use fault::{FaultPlan, FaultStats, XorShift64};
 
 /// Identifies a node within a [`Network`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -165,6 +172,8 @@ struct LinkState {
     messages: u64,
     /// Administratively down (sends fail; in-flight messages still arrive).
     down: bool,
+    /// Fault-injection state, when a [`FaultPlan`] is attached.
+    fault: Option<FaultState>,
 }
 
 /// Per-link traffic statistics.
@@ -182,6 +191,11 @@ struct NetMetrics {
     registry: Arc<Registry>,
     total_bytes: Arc<Counter>,
     total_messages: Arc<Counter>,
+    fault_dropped: Arc<Counter>,
+    fault_corrupted: Arc<Counter>,
+    fault_duplicated: Arc<Counter>,
+    fault_reordered: Arc<Counter>,
+    fault_partition_blocked: Arc<Counter>,
     /// Per directed link `(bytes, messages)`, created on first send.
     per_link: HashMap<(NodeId, NodeId), (Arc<Counter>, Arc<Counter>)>,
 }
@@ -256,18 +270,79 @@ impl Network {
         self.metrics = Some(NetMetrics {
             total_bytes: registry.counter("simnet.bytes"),
             total_messages: registry.counter("simnet.messages"),
+            fault_dropped: registry.counter("simnet.fault.dropped"),
+            fault_corrupted: registry.counter("simnet.fault.corrupted"),
+            fault_duplicated: registry.counter("simnet.fault.duplicated"),
+            fault_reordered: registry.counter("simnet.fault.reordered"),
+            fault_partition_blocked: registry.counter("simnet.fault.partition_blocked"),
             per_link: HashMap::new(),
             registry,
         });
+    }
+
+    /// Attaches a [`FaultPlan`] to the (bidirectional) link between two
+    /// nodes. Each direction draws faults from its own PRNG, seeded from the
+    /// plan seed and the directed link identity, so runs are deterministic.
+    /// Replaces any previous plan (and resets its fault counters). No-op for
+    /// nonexistent links.
+    pub fn set_fault_plan(&mut self, a: NodeId, b: NodeId, plan: FaultPlan) {
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.fault = Some(FaultState::new(plan.clone(), key.0 .0, key.1 .0));
+            }
+        }
+    }
+
+    /// Removes any fault plan from the (bidirectional) link.
+    pub fn clear_fault_plan(&mut self, a: NodeId, b: NodeId) {
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.fault = None;
+            }
+        }
+    }
+
+    /// Fault accounting for the directed link `from → to`, if a plan is (or
+    /// was) attached.
+    pub fn fault_stats(&self, from: NodeId, to: NodeId) -> Option<FaultStats> {
+        self.links.get(&(from, to)).and_then(|l| l.fault.as_ref()).map(|f| f.stats)
+    }
+
+    /// Aggregated fault accounting across every directed link.
+    pub fn fault_totals(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for link in self.links.values() {
+            if let Some(f) = &link.fault {
+                total.absorb(&f.stats);
+            }
+        }
+        total
+    }
+
+    /// Advances virtual time by `delta_ns` without delivering anything —
+    /// models a component waiting (e.g. a retry backoff) while the network
+    /// is quiet. Time never runs backwards past queued deliveries; they
+    /// simply become due.
+    pub fn advance_ns(&mut self, delta_ns: u64) {
+        self.now_ns += delta_ns;
+        self.clock.set_ns(self.now_ns);
     }
 
     /// Queues a message for delivery, returning its delivery time. The time
     /// accounts for link serialization (bandwidth), propagation latency, and
     /// queueing behind earlier messages on the same directed link.
     ///
+    /// If the link carries a [`FaultPlan`], the plan may drop the message
+    /// (it still "sends" successfully — loss is silent to the sender),
+    /// duplicate it, flip one byte of a queued copy, delay it (jitter or
+    /// forced reordering), or — during a scheduled partition window — refuse
+    /// it with [`NetError::LinkDown`].
+    ///
     /// # Errors
     ///
-    /// Returns [`NetError::UnknownNode`] / [`NetError::NoRoute`].
+    /// Returns [`NetError::UnknownNode`] / [`NetError::NoRoute`], and
+    /// [`NetError::LinkDown`] when the link is administratively down or
+    /// inside a scheduled partition window.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<u64, NetError> {
         if from.0 >= self.names.len() {
             return Err(NetError::UnknownNode(from));
@@ -275,16 +350,63 @@ impl Network {
         if to.0 >= self.names.len() {
             return Err(NetError::UnknownNode(to));
         }
+        let now = self.now_ns;
         let link = self.links.get_mut(&(from, to)).ok_or(NetError::NoRoute(from, to))?;
         if link.down {
             return Err(NetError::LinkDown(from, to));
         }
-        let depart = self.now_ns.max(link.next_free_ns);
+        if let Some(f) = &mut link.fault {
+            if f.plan.partitioned_at(now) {
+                f.stats.partition_blocked += 1;
+                if let Some(m) = &self.metrics {
+                    m.fault_partition_blocked.inc();
+                }
+                return Err(NetError::LinkDown(from, to));
+            }
+        }
+        let depart = now.max(link.next_free_ns);
         let tx = link.params.tx_time_ns(payload.len());
-        let deliver_at = depart + tx + link.params.latency_ns;
+        let base_deliver = depart + tx + link.params.latency_ns;
         link.next_free_ns = depart + tx;
-        link.bytes += payload.len() as u64;
-        link.messages += 1;
+
+        // Decide the copies that actually enter the wire. `entered` counts
+        // transmitted copies (including ones lost in flight) so traffic
+        // accounting preserves the identity:
+        //   messages carried == deliveries + fault.dropped
+        let payload_len = payload.len() as u64;
+        let mut queued: Vec<(u64, Vec<u8>)> = Vec::with_capacity(2);
+        let mut delta = FaultStats::default();
+        let mut entered: u64 = 1;
+        let deliver_at = match &mut link.fault {
+            Some(f) if f.plan.has_random_faults() => {
+                if f.rng.chance_pm(f.plan.drop_pm) {
+                    f.stats.dropped += 1;
+                    delta.dropped = 1;
+                    base_deliver
+                } else {
+                    // Duplication copies the frame as transmitted; each copy
+                    // then draws its in-flight faults independently.
+                    let dup = f.rng.chance_pm(f.plan.duplicate_pm).then(|| payload.clone());
+                    let mut original = payload;
+                    let at = Self::copy_faults(f, &mut delta, base_deliver, &mut original);
+                    queued.push((at, original));
+                    if let Some(mut copy) = dup {
+                        entered += 1;
+                        f.stats.duplicated += 1;
+                        delta.duplicated += 1;
+                        let at2 = Self::copy_faults(f, &mut delta, base_deliver, &mut copy);
+                        queued.push((at2, copy));
+                    }
+                    at
+                }
+            }
+            _ => {
+                queued.push((base_deliver, payload));
+                base_deliver
+            }
+        };
+        link.bytes += payload_len * entered;
+        link.messages += entered;
         if let Some(m) = &mut self.metrics {
             let (bytes, messages) = m.per_link.entry((from, to)).or_insert_with(|| {
                 let link_name =
@@ -294,14 +416,54 @@ impl Network {
                     m.registry.counter(&format!("{link_name}.messages")),
                 )
             });
-            bytes.add(payload.len() as u64);
-            messages.inc();
-            m.total_bytes.add(payload.len() as u64);
-            m.total_messages.inc();
+            bytes.add(payload_len * entered);
+            messages.add(entered);
+            m.total_bytes.add(payload_len * entered);
+            m.total_messages.add(entered);
+            m.fault_dropped.add(delta.dropped);
+            m.fault_corrupted.add(delta.corrupted);
+            m.fault_duplicated.add(delta.duplicated);
+            m.fault_reordered.add(delta.reordered);
         }
-        self.seq += 1;
-        self.queue.push(Reverse(InFlight { deliver_at, seq: self.seq, from, to, payload }));
+        for (at, p) in queued {
+            self.seq += 1;
+            self.queue.push(Reverse(InFlight {
+                deliver_at: at,
+                seq: self.seq,
+                from,
+                to,
+                payload: p,
+            }));
+        }
         Ok(deliver_at)
+    }
+
+    /// Draws the in-flight faults for one queued copy: latency jitter,
+    /// forced reordering delay, and single-byte corruption. Returns the
+    /// copy's delivery time.
+    fn copy_faults(
+        f: &mut FaultState,
+        delta: &mut FaultStats,
+        base_deliver: u64,
+        payload: &mut [u8],
+    ) -> u64 {
+        let mut at = base_deliver;
+        if f.plan.jitter_ns > 0 {
+            at += f.rng.below(f.plan.jitter_ns + 1);
+        }
+        if f.rng.chance_pm(f.plan.reorder_pm) {
+            at += f.plan.reorder_extra_ns;
+            f.stats.reordered += 1;
+            delta.reordered += 1;
+        }
+        if f.rng.chance_pm(f.plan.corrupt_pm) && !payload.is_empty() {
+            let idx = f.rng.below(payload.len() as u64) as usize;
+            let flip = (f.rng.below(255) + 1) as u8; // never a zero XOR
+            payload[idx] ^= flip;
+            f.stats.corrupted += 1;
+            delta.corrupted += 1;
+        }
+        at
     }
 
     /// Delivers the next in-flight message, advancing the clock to its

@@ -17,8 +17,8 @@ use crate::write::escape_into;
 fn push_basic(v: &Value, out: &mut String) {
     match v {
         Value::Int(i) => {
-            let mut buf = itoa_buf(*i);
-            out.push_str(&mut buf);
+            let buf = itoa_buf(*i);
+            out.push_str(&buf);
         }
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(f) => out.push_str(&f.to_string()),

@@ -562,15 +562,15 @@ fn eval<'a>(expr: &Expr, ctx: Ctx<'a>) -> Result<XVal<'a>> {
 
 fn cmp_ord(op: Cmp, ord: Option<std::cmp::Ordering>) -> bool {
     use std::cmp::Ordering::*;
-    match (op, ord) {
-        (Cmp::Eq, Some(Equal)) => true,
-        (Cmp::Ne, Some(Less | Greater)) => true,
-        (Cmp::Lt, Some(Less)) => true,
-        (Cmp::Le, Some(Less | Equal)) => true,
-        (Cmp::Gt, Some(Greater)) => true,
-        (Cmp::Ge, Some(Greater | Equal)) => true,
-        _ => false,
-    }
+    // `None` (NaN involved) compares false under every operator.
+    ord.is_some_and(|ord| match op {
+        Cmp::Eq => ord == Equal,
+        Cmp::Ne => ord != Equal,
+        Cmp::Lt => ord == Less,
+        Cmp::Le => ord != Greater,
+        Cmp::Gt => ord == Greater,
+        Cmp::Ge => ord != Less,
+    })
 }
 
 // -- stylesheet ---------------------------------------------------------------------

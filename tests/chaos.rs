@@ -1,0 +1,432 @@
+//! Chaos suite: seeded end-to-end fault injection against the full stack.
+//!
+//! Every scenario runs under several fixed seeds and is fully deterministic
+//! — the network, the fault draws, the retry jitter, and the virtual clock
+//! all derive from the seed, so a failure reproduces exactly. The suite
+//! asserts the resilience contract from DESIGN.md:
+//!
+//! * a corrupted frame is CRC-detected, counted, and quarantined — never
+//!   decoded;
+//! * duplicates are suppressed, so the application sees each event at most
+//!   once;
+//! * faults are fully accounted: every wire delivery is either handled,
+//!   deduplicated, or dead-lettered, and the registries agree with the
+//!   network's own fault totals;
+//! * frames refused by a partitioned link wait it out in the retry queue
+//!   and get through after the heal, within the retry budget;
+//! * meta-data resolution (the paper's out-of-band fetch) survives loss,
+//!   corruption, and a partition-heal cycle mid-resolution.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use echo::{proto, EchoSystem, EchoVersion, Role};
+use message_morphing::prelude::*;
+use morph::{MetaServer, MorphError, RetryPolicy, Transformation};
+use pbio::RecordFormat;
+use simnet::{FaultPlan, LinkParams, Network};
+
+/// Fixed seeds — each exercises a different fault sequence.
+const SEEDS: [u64; 3] = [0x00C0_FFEE, 0xDEAD_BEEF, 42];
+
+fn tick_format() -> Arc<RecordFormat> {
+    FormatBuilder::record("Tick").int("n").build_arc().unwrap()
+}
+
+fn tick(n: i64) -> Value {
+    Value::Record(vec![Value::Int(n)])
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: v2 → v1 interop under loss, corruption, duplication, reorder.
+// ---------------------------------------------------------------------------
+
+/// What one run of the interop scenario produced, for cross-run comparison.
+struct InteropRun {
+    snapshot: String,
+    v1_events: Vec<i64>,
+    v2_events: Vec<i64>,
+}
+
+const INTEROP_EVENTS: u64 = 40;
+
+fn run_interop_chaos(seed: u64) -> InteropRun {
+    let mut sys = EchoSystem::new();
+    let creator = sys.add_process("creator", EchoVersion::V2);
+    let publisher = sys.add_process("publisher", EchoVersion::V2);
+    let v1_sink = sys.add_process("v1-sink", EchoVersion::V1);
+    let v2_sink = sys.add_process("v2-sink", EchoVersion::V2);
+    sys.connect_all(LinkParams::lan());
+
+    let fmt = tick_format();
+    let ch = sys.create_channel(creator);
+    sys.subscribe(publisher, ch, Role::source(), None).unwrap();
+    sys.subscribe(v1_sink, ch, Role::sink(), Some(&fmt)).unwrap();
+    sys.subscribe(v2_sink, ch, Role::sink(), Some(&fmt)).unwrap();
+    sys.run();
+
+    // Membership settled over clean links; the v1 subscriber morphed the
+    // creator's v2 responses on receipt (paper §4.1).
+    assert_eq!(sys.members(publisher, ch).unwrap().len(), 3);
+    assert!(sys.control_stats(v1_sink).morphs >= 1);
+
+    // Now make the event-plane links hostile. Only publisher→sink traffic
+    // is subject: control traffic flows creator↔member.
+    sys.set_fault_plan(
+        publisher,
+        v1_sink,
+        FaultPlan::new(seed)
+            .drop_per_mille(150)
+            .corrupt_per_mille(100)
+            .duplicate_per_mille(100)
+            .reorder_per_mille(200, 400_000)
+            .jitter_ns(50_000),
+    );
+    sys.set_fault_plan(
+        publisher,
+        v2_sink,
+        FaultPlan::new(seed ^ 0x5EED)
+            .drop_per_mille(300)
+            .corrupt_per_mille(150)
+            .duplicate_per_mille(150)
+            .jitter_ns(20_000),
+    );
+
+    for n in 0..INTEROP_EVENTS {
+        sys.publish(publisher, ch, &fmt, &tick(n as i64)).unwrap();
+    }
+    sys.run();
+
+    let faults = sys.fault_totals();
+    let snap = sys.registry().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+
+    // The seeds are chosen so every fault class actually fired: 80 sends at
+    // ≥10% per-mille rates leave each class non-empty.
+    assert!(faults.dropped > 0, "seed {seed:#x}: no drops");
+    assert!(faults.corrupted > 0, "seed {seed:#x}: no corruption");
+    assert!(faults.duplicated > 0, "seed {seed:#x}: no duplicates");
+    assert!(faults.reordered > 0, "seed {seed:#x}: no reordering");
+
+    // Accounting identity: every event frame that reached a sink is either
+    // handled, suppressed as a duplicate, or quarantined as corrupt.
+    let sends = 2 * INTEROP_EVENTS;
+    let arrived = sends - faults.dropped + faults.duplicated;
+    let handled = counter("echo.events.delivered");
+    let dedup = counter("echo.dedup.dropped");
+    let corrupt = counter("echo.deadletter.corrupt");
+    assert_eq!(
+        handled + dedup + corrupt,
+        arrived,
+        "seed {seed:#x}: {handled} handled + {dedup} dedup + {corrupt} corrupt != {arrived} arrived"
+    );
+    // Corruption is the only quarantine cause here, and the network's own
+    // count bounds it (a corrupted copy may also be dropped... it cannot:
+    // drops skip fault processing — but a corrupted duplicate and a
+    // corrupted original are two counted corruptions and two quarantines).
+    assert_eq!(counter("echo.deadletter.total"), corrupt);
+    assert_eq!(corrupt, faults.corrupted, "every corrupted frame was CRC-caught");
+    // An event is lost only if every copy of it was corrupted, so losses
+    // beyond the drops are bounded by the corruption count.
+    assert!(handled >= sends - faults.dropped - faults.corrupted);
+
+    // Application-level exactly-once: each sink sees a subset of the
+    // published values, each at most once, and never a decoded corruption.
+    let mut per_sink = Vec::new();
+    for sink in [v1_sink, v2_sink] {
+        let mut seen = HashSet::new();
+        let events: Vec<i64> = sys
+            .take_events(sink)
+            .into_iter()
+            .map(|(c, v)| {
+                assert_eq!(c, ch);
+                v.field(&fmt, "n").unwrap().as_i64().unwrap()
+            })
+            .collect();
+        for &n in &events {
+            assert!((0..INTEROP_EVENTS as i64).contains(&n), "alien value {n}");
+            assert!(seen.insert(n), "value {n} delivered twice");
+        }
+        per_sink.push(events);
+    }
+
+    // Quarantined frames are inspectable at the sinks, with the reason.
+    let quarantined: u64 = [v1_sink, v2_sink].iter().map(|&s| sys.dead_letter_total(s)).sum();
+    assert_eq!(quarantined, corrupt);
+    for sink in [v1_sink, v2_sink] {
+        for letter in sys.dead_letters(sink) {
+            assert_eq!(letter.reason, morph::DeadReason::Corrupt);
+        }
+    }
+
+    let v2_events = per_sink.pop().unwrap();
+    let v1_events = per_sink.pop().unwrap();
+    InteropRun { snapshot: snap.to_text(), v1_events, v2_events }
+}
+
+/// Loss, corruption, duplication, and reordering on the event plane: the
+/// morphing interop keeps working, the books balance, and the whole run is
+/// byte-for-byte reproducible per seed.
+#[test]
+fn interop_survives_fault_injection_deterministically() {
+    for &seed in &SEEDS {
+        let first = run_interop_chaos(seed);
+        let second = run_interop_chaos(seed);
+        assert_eq!(first.snapshot, second.snapshot, "seed {seed:#x}: non-deterministic snapshot");
+        assert_eq!(first.v1_events, second.v1_events);
+        assert_eq!(first.v2_events, second.v2_events);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: partition-heal on the event plane — retry queue waits it out.
+// ---------------------------------------------------------------------------
+
+const PARTITION_EVENTS: u64 = 8;
+const PARTITION_WINDOW_NS: u64 = 5_000_000;
+
+fn run_partition_heal(seed: u64) -> String {
+    let mut sys = EchoSystem::new();
+    let creator = sys.add_process("creator", EchoVersion::V2);
+    let publisher = sys.add_process("publisher", EchoVersion::V2);
+    let sink = sys.add_process("sink", EchoVersion::V1);
+    sys.connect_all(LinkParams::lan());
+
+    let fmt = tick_format();
+    let ch = sys.create_channel(creator);
+    sys.subscribe(publisher, ch, Role::source(), None).unwrap();
+    sys.subscribe(sink, ch, Role::sink(), Some(&fmt)).unwrap();
+    sys.run();
+
+    // Partition the publisher→sink link for a fixed window starting now.
+    let t0 = sys.now_ns();
+    sys.set_fault_plan(
+        publisher,
+        sink,
+        FaultPlan::new(seed).partition(t0, t0 + PARTITION_WINDOW_NS),
+    );
+
+    for n in 0..PARTITION_EVENTS {
+        sys.publish(publisher, ch, &fmt, &tick(n as i64)).unwrap();
+    }
+    // Every send was refused; all frames are waiting on their backoff.
+    assert_eq!(sys.pending_retries(), PARTITION_EVENTS as usize);
+
+    sys.run();
+
+    // All events got through after the heal — none lost, none duplicated.
+    let events: Vec<i64> = sys
+        .take_events(sink)
+        .into_iter()
+        .map(|(_, v)| v.field(&fmt, "n").unwrap().as_i64().unwrap())
+        .collect();
+    let mut sorted = events.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..PARTITION_EVENTS as i64).collect::<Vec<_>>());
+
+    // The run waited out the partition in virtual time, within the budget.
+    assert!(sys.now_ns() >= t0 + PARTITION_WINDOW_NS);
+    assert_eq!(sys.pending_retries(), 0);
+    assert_eq!(sys.dead_letter_total(sink), 0);
+    assert!(sys.fault_totals().partition_blocked >= PARTITION_EVENTS);
+
+    let snap = sys.registry().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    assert_eq!(counter("echo.retry.enqueued"), PARTITION_EVENTS);
+    assert_eq!(counter("echo.retry.delivered"), PARTITION_EVENTS);
+    assert_eq!(counter("echo.retry.giveup"), 0);
+    assert!(counter("echo.retry.attempts") >= PARTITION_EVENTS);
+    snap.to_text()
+}
+
+/// A scheduled partition blocks every publish; the retry queue waits out
+/// the window (capped exponential backoff in virtual time) and delivers
+/// everything exactly once after the heal.
+#[test]
+fn partition_heal_delivers_every_event_exactly_once() {
+    for &seed in &SEEDS {
+        assert_eq!(run_partition_heal(seed), run_partition_heal(seed), "seed {seed:#x}");
+    }
+}
+
+/// With no heal in sight the budget is finite: frames are given up and
+/// quarantined at the sender instead of spinning forever.
+#[test]
+fn exhausted_retry_budget_quarantines_at_the_sender() {
+    let mut sys = EchoSystem::new();
+    let creator = sys.add_process("creator", EchoVersion::V2);
+    let publisher = sys.add_process("publisher", EchoVersion::V2);
+    let sink = sys.add_process("sink", EchoVersion::V2);
+    sys.connect_all(LinkParams::lan());
+    let fmt = tick_format();
+    let ch = sys.create_channel(creator);
+    sys.subscribe(publisher, ch, Role::source(), None).unwrap();
+    sys.subscribe(sink, ch, Role::sink(), Some(&fmt)).unwrap();
+    sys.run();
+
+    sys.set_link_up(publisher, sink, false); // administratively down, forever
+    sys.publish(publisher, ch, &fmt, &tick(1)).unwrap();
+    sys.run();
+
+    assert!(sys.take_events(sink).is_empty());
+    assert_eq!(sys.pending_retries(), 0, "the queue drained by giving up");
+    assert_eq!(sys.dead_letter_total(publisher), 1, "quarantined at the sender");
+    let letters = sys.dead_letters(publisher);
+    assert_eq!(letters[0].reason, morph::DeadReason::RetryExhausted);
+    let snap = sys.registry().snapshot();
+    assert_eq!(snap.counter("echo.retry.giveup"), Some(1));
+    assert_eq!(snap.counter("echo.deadletter.retry_exhausted"), Some(1));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: meta-data resolution through CRC frames under loss,
+// corruption, and a partition that heals mid-resolution.
+// ---------------------------------------------------------------------------
+
+fn new_fmt() -> Arc<RecordFormat> {
+    FormatBuilder::record("Reading").int("raw").int("scale").string("unit").build_arc().unwrap()
+}
+
+fn old_fmt() -> Arc<RecordFormat> {
+    FormatBuilder::record("Reading").int("value").build_arc().unwrap()
+}
+
+fn retro() -> Transformation {
+    Transformation::new(new_fmt(), old_fmt(), "old.value = new.raw * new.scale;")
+}
+
+/// One CRC-framed request/response round-trip over the faulty network.
+/// Any drop, corruption, or partition surfaces as an `Err` for the retry
+/// layer; a corrupted frame is rejected by its checksum, never parsed.
+fn framed_exchange(
+    net: &RefCell<Network>,
+    server: &RefCell<MetaServer>,
+    seq: &RefCell<u64>,
+    client: simnet::NodeId,
+    server_node: simnet::NodeId,
+    request: Vec<u8>,
+) -> morph::Result<Vec<u8>> {
+    let mut net = net.borrow_mut();
+    // Drain strays from failed earlier attempts (late duplicates, late
+    // responses) so this round-trip starts clean.
+    while let Some(d) = net.step() {
+        let _ = net.recv(d.to);
+    }
+    let next_seq = || {
+        let mut s = seq.borrow_mut();
+        *s += 1;
+        *s
+    };
+    let framed = proto::frame(proto::FRAME_CONTROL, proto::ChannelId(0), next_seq(), &request);
+    net.send(client, server_node, framed)
+        .map_err(|e| MorphError::Protocol(format!("send: {e}")))?;
+    while let Some(d) = net.step() {
+        let _ = net.recv(d.to);
+        let frame = proto::unframe(&d.payload)
+            .map_err(|e| MorphError::Protocol(format!("frame rejected: {e}")))?;
+        if d.to == server_node {
+            let resp = server.borrow_mut().handle(frame.payload)?;
+            let framed = proto::frame(proto::FRAME_CONTROL, proto::ChannelId(0), next_seq(), &resp);
+            net.send(server_node, client, framed)
+                .map_err(|e| MorphError::Protocol(format!("send: {e}")))?;
+        } else {
+            return Ok(frame.payload.to_vec());
+        }
+    }
+    Err(MorphError::Protocol("request or response lost in transit".into()))
+}
+
+/// Deterministic fingerprint of one resolution run, for cross-run equality.
+fn run_resolution_chaos(seed: u64) -> Vec<(&'static str, u64)> {
+    let mut net = Network::new();
+    let writer = net.add_node("writer");
+    let server_node = net.add_node("format-server");
+    let reader = net.add_node("reader");
+    net.connect(writer, server_node, LinkParams::lan());
+    net.connect(reader, server_node, LinkParams::wan());
+    net.connect(writer, reader, LinkParams::wan());
+
+    let mut server = MetaServer::new();
+    server.register_format(new_fmt());
+    server.register_transformation(retro());
+
+    // A message of a never-seen format reaches the reader over a clean link.
+    let wire = Encoder::new(&new_fmt())
+        .encode(&Value::Record(vec![Value::Int(6), Value::Int(7), Value::str("kPa")]))
+        .unwrap();
+    net.send(writer, reader, wire.clone()).unwrap();
+    let msg = loop {
+        let d = net.step().expect("message in flight");
+        let _ = net.recv(d.to);
+        if d.to == reader {
+            break d.payload;
+        }
+    };
+
+    // The reader↔server path is hostile: 20% loss, 10% corruption, and a
+    // partition that starts *now* — the first resolution attempt fails and
+    // must wait out the heal.
+    let t0 = net.now_ns();
+    net.set_fault_plan(
+        reader,
+        server_node,
+        FaultPlan::new(seed)
+            .drop_per_mille(200)
+            .corrupt_per_mille(100)
+            .partition(t0, t0 + 2_000_000),
+    );
+
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    let mut rx = MorphReceiver::new();
+    rx.register_handler(&old_fmt(), move |v| sink.lock().unwrap().push(v));
+
+    let policy = RetryPolicy::with_seed(seed);
+    let net = RefCell::new(net);
+    let server = RefCell::new(server);
+    let seq = RefCell::new(0u64);
+    let delivery = morph::process_with_resolution_retry(
+        &mut rx,
+        &msg,
+        &policy,
+        |req| framed_exchange(&net, &server, &seq, reader, server_node, req),
+        |ns| net.borrow_mut().advance_ns(ns),
+    )
+    .unwrap();
+    assert!(matches!(delivery, morph::Delivery::Delivered(_)));
+    assert_eq!(got.lock().unwrap()[0], Value::Record(vec![Value::Int(42)]));
+
+    let snap = rx.registry().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    // The partition covered the first attempt, so the budget was needed.
+    assert!(counter("morph.resolve.retries") >= 1, "seed {seed:#x}: no retry recorded");
+    assert_eq!(counter("morph.resolve.failures"), 0);
+    assert!(counter("morph.resolve.resolved") >= 1);
+    // Virtual time moved past the heal: the backoffs waited it out.
+    assert!(net.borrow().now_ns() >= t0 + 2_000_000);
+
+    let net = net.into_inner();
+    let faults = net.fault_totals();
+    vec![
+        ("attempts", counter("morph.resolve.attempts")),
+        ("retries", counter("morph.resolve.retries")),
+        ("resolved", counter("morph.resolve.resolved")),
+        ("dropped", faults.dropped),
+        ("corrupted", faults.corrupted),
+        ("partition_blocked", faults.partition_blocked),
+        ("now_ns", net.now_ns()),
+    ]
+}
+
+/// The paper's out-of-band meta-data fetch, on a link that loses, corrupts,
+/// and partitions: resolution succeeds after the heal within the retry
+/// budget, and the whole fault/retry history replays identically per seed.
+#[test]
+fn resolution_survives_partition_heal_and_lossy_links() {
+    for &seed in &SEEDS {
+        let first = run_resolution_chaos(seed);
+        let second = run_resolution_chaos(seed);
+        assert_eq!(first, second, "seed {seed:#x}: non-deterministic resolution");
+    }
+}

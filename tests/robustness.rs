@@ -8,7 +8,7 @@
 //! `proptests.rs`: fixed seeds, so every run fuzzes the same corpus.
 
 use message_morphing::prelude::*;
-use morph::Transformation;
+use morph::{MetaClient, MetaServer, MorphError, Transformation};
 use pbio::RecordFormat;
 use std::sync::Arc;
 
@@ -189,6 +189,57 @@ fn hostile_length_fields_rejected() {
         wire[pbio::HEADER_LEN..pbio::HEADER_LEN + 4].copy_from_slice(&c);
         assert!(pbio::decode_payload(&fmt, &wire).is_err());
         assert!(ConversionPlan::identity(&fmt).unwrap().execute(&wire).is_err());
+    });
+}
+
+/// Random bytes thrown at the format server return errors, never panic —
+/// it faces the network directly, so every malformed request must come
+/// back as a clean protocol (or decoding) error.
+#[test]
+fn metaserver_random_bytes_never_panic() {
+    for_cases("metaserver_random_bytes_never_panic", |rng| {
+        let mut server = MetaServer::new();
+        server.register_format(response_v2());
+        let n = rng.below(128) as usize;
+        let bytes = rng.bytes(n);
+        let _ = server.handle(&bytes);
+        // An empty or unknown-opcode request is a protocol violation
+        // specifically (not a panic, not a decode error).
+        assert!(matches!(server.handle(&[]), Err(MorphError::Protocol(_))));
+        let mut alien = bytes.clone();
+        alien.insert(0, 0x7F); // no request starts with 0x7F
+        assert!(matches!(server.handle(&alien), Err(MorphError::Protocol(_))));
+        // The client's response parsers face the same wire.
+        let _ = MetaClient::parse_format(&bytes);
+        let _ = MetaClient::parse_transformations(&bytes);
+    });
+}
+
+/// Truncations and corruptions of *valid* meta-protocol requests fail
+/// cleanly: the server either answers or errors, and never panics.
+#[test]
+fn metaserver_mutated_requests_never_panic() {
+    let valid: Vec<Vec<u8>> = vec![
+        MetaClient::register_format(&response_v2()),
+        MetaClient::register_transformation(&Transformation::new(
+            response_v2(),
+            response_v1(),
+            "old.member_count = new.member_count;",
+        )),
+        MetaClient::want_format(pbio::format_id(&response_v2())),
+        MetaClient::want_transformations(pbio::format_id(&response_v2())),
+    ];
+    for_cases("metaserver_mutated_requests_never_panic", |rng| {
+        let mut server = MetaServer::new();
+        let base = &valid[rng.below(valid.len() as u64) as usize];
+        // Truncate to a random prefix, then flip one byte of what's left.
+        let cut = rng.below(base.len() as u64 + 1) as usize;
+        let mut req = base[..cut].to_vec();
+        if !req.is_empty() {
+            let idx = rng.below(req.len() as u64) as usize;
+            req[idx] ^= (rng.below(255) + 1) as u8;
+        }
+        let _ = server.handle(&req);
     });
 }
 

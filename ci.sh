@@ -25,6 +25,12 @@ cargo test -q
 echo "==> chaos suite (seeded fault injection; deterministic per seed)"
 cargo test -q --test chaos
 
+echo "==> examples (offline smoke runs; each asserts its own output)"
+for ex in quickstart stats_dump echo_evolution trace_dump; do
+    echo "    cargo run --release --example $ex"
+    cargo run -q --release --example "$ex" >/dev/null
+done
+
 echo "==> bench workspace (needs registry access for criterion)"
 if (cd crates/bench && cargo metadata --format-version 1 >/dev/null 2>&1); then
     (cd crates/bench && cargo test -q)

@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Experiments: `fig8`, `fig9`, `fig10`, `table1`, `fig_b2b`, `latency`,
-//! `stats`.
+//! `stats`, `trace`.
 
 use std::time::Duration;
 
@@ -291,6 +291,55 @@ fn stats() {
     );
 }
 
+/// The flight recorder over a cold + warm morphing run: Algorithm 2's
+/// control flow rendered as causal span trees (`OBSERVABILITY.md` §Tracing).
+fn trace() {
+    header(
+        "Observability — causal traces of cold vs warm morphing (report -- trace)",
+        "cold trace holds MaxMatch + compile exactly once; warm traces only the cache hit",
+    );
+    let v1 = workload::response_v1();
+    let mut rx = morph::MorphReceiver::new();
+    rx.register_handler(&v1, |_| {});
+    rx.import_transformation(workload::fig5_transformation());
+    let recorder = std::sync::Arc::new(obs::FlightRecorder::new(
+        256,
+        std::sync::Arc::new(obs::MonotonicClock::new()),
+    ));
+    rx.registry().set_recorder(std::sync::Arc::clone(&recorder));
+
+    let wire = pbio::Encoder::new(&workload::response_v2())
+        .encode(&workload::v2_message(members_for_size(100)))
+        .expect("workload conforms");
+    let cold = recorder.next_trace_id();
+    rx.process_traced(&wire, Some(obs::TraceCtx::root(cold))).expect("Fig. 5 morphs");
+    let warm = recorder.next_trace_id();
+    rx.process_traced(&wire, Some(obs::TraceCtx::root(warm))).expect("Fig. 5 morphs");
+
+    println!("\ncold message — decision-cache miss pays the whole slow path:\n");
+    print!("{}", recorder.text_tree(cold));
+    println!("\nwarm message — the cached decision replays:\n");
+    print!("{}", recorder.text_tree(warm));
+
+    let span_ns = |t: obs::TraceId, name: &str| {
+        recorder
+            .trace_events(t)
+            .iter()
+            .find(|e| e.name == name)
+            .map(obs::SpanEvent::duration_ns)
+            .unwrap_or(0)
+    };
+    let decide = span_ns(cold, "morph.decide");
+    let lookup = span_ns(warm, "morph.lookup");
+    println!(
+        "\n  one-time morph.decide span: {} ms; warm morph.lookup span: {} ms ({:.0}x)",
+        fmt_ms(decide as f64),
+        fmt_ms(lookup as f64),
+        decide as f64 / (lookup as f64).max(1.0)
+    );
+    println!("  (the full distributed version of this view: cargo run --example trace_dump)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -322,5 +371,8 @@ fn main() {
     }
     if want("stats") {
         stats();
+    }
+    if want("trace") {
+        trace();
     }
 }

@@ -5,6 +5,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use morph::{deadletter, DeadLetterQueue, DeadReason, MorphReceiver, MorphStats, Transformation};
+use obs::{ActiveSpan, FlightRecorder, SpanEvent, TraceCtx, TraceId};
 use pbio::{Encoder, RecordFormat, Value};
 
 use crate::proto::{self, ChannelId, FrameError, MemberInfo};
@@ -117,6 +118,17 @@ pub(crate) struct NodeState {
     seen_order: VecDeque<u64>,
     /// Quarantine for frames that could not be delivered.
     dlq: DeadLetterQueue,
+    /// Flight recorder for causal traces, shared system-wide.
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+/// Receiver-side trace context for one frame: the `echo.handle` span (open
+/// while the frame is dispatched) plus the trace id it travelled under.
+/// Both are `None` when the frame carried no trace or no recorder is
+/// attached.
+struct HandleTrace {
+    span: Option<ActiveSpan>,
+    trace: Option<TraceId>,
 }
 
 impl NodeState {
@@ -159,7 +171,20 @@ impl NodeState {
             seen_seqs: HashSet::new(),
             seen_order: VecDeque::new(),
             dlq,
+            recorder: None,
         }
+    }
+
+    /// Attaches the system flight recorder: incoming frames that carry a
+    /// trace id get `echo.handle` spans, and the node's registries (control
+    /// plane now, event planes as they are created) gain the recorder so
+    /// morphing stages can attribute their spans.
+    pub fn set_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.control_rx.registry().set_recorder(Arc::clone(&recorder));
+        for rx in self.event_rx.values() {
+            rx.registry().set_recorder(Arc::clone(&recorder));
+        }
+        self.recorder = Some(recorder);
     }
 
     /// Allocates the next outgoing frame sequence number.
@@ -184,15 +209,63 @@ impl NodeState {
         true
     }
 
-    /// Classifies a processing failure for quarantine.
-    fn quarantine(&mut self, err: &EchoError, bytes: &[u8]) -> Disposition {
+    /// Opens the receiver-side trace for an incoming frame. Span ids do not
+    /// cross the wire, so `echo.handle` joins the sender's trace (read
+    /// best-effort from the frame header, checksum or not) as a second root.
+    fn start_handle_trace(&self, bytes: &[u8]) -> HandleTrace {
+        let trace = proto::peek_trace(bytes).map(TraceId);
+        let span = match (self.recorder.as_ref(), trace) {
+            (Some(rec), Some(t)) => {
+                let mut s = rec.start(t, None, "echo.handle");
+                s.tag("node", &self.name);
+                Some(s)
+            }
+            _ => None,
+        };
+        HandleTrace { span, trace }
+    }
+
+    /// Closes a frame's trace on the failure path: records an
+    /// `echo.quarantine` instant naming the stage that failed, finishes the
+    /// `echo.handle` span, and returns the trace context a dead letter
+    /// should embed (the id plus a frozen snapshot of the whole journey).
+    fn seal_failed(&self, ht: HandleTrace, stage: &str) -> (Option<TraceId>, Vec<SpanEvent>) {
+        let HandleTrace { span, trace } = ht;
+        match (self.recorder.as_ref(), trace) {
+            (Some(rec), Some(t)) => {
+                let parent = span.as_ref().map(|s| s.id());
+                rec.instant(
+                    t,
+                    parent,
+                    "echo.quarantine",
+                    &[("stage", stage), ("node", &self.name)],
+                );
+                if let Some(s) = span {
+                    s.finish();
+                }
+                (Some(t), rec.trace_events(t))
+            }
+            _ => (None, Vec::new()),
+        }
+    }
+
+    /// Classifies a processing failure for quarantine, sealing the frame's
+    /// trace with the pipeline stage that rejected it.
+    fn quarantine(
+        &mut self,
+        err: &EchoError,
+        bytes: &[u8],
+        ht: HandleTrace,
+        stage: &str,
+    ) -> Disposition {
         let reason = match err {
             EchoError::Morph(e) => deadletter::reason_for(e),
             EchoError::Pbio(_) => DeadReason::Undecodable,
             EchoError::MalformedFrame | EchoError::UnknownFrameKind(_) => DeadReason::Malformed,
             _ => DeadReason::TransformFailed,
         };
-        self.dlq.push(reason, bytes, err.to_string());
+        let (trace, events) = self.seal_failed(ht, stage);
+        self.dlq.push_traced(reason, bytes, err.to_string(), trace, events);
         Disposition::Quarantined(reason)
     }
 
@@ -202,9 +275,22 @@ impl NodeState {
     }
 
     /// Quarantines an *outgoing* frame whose delivery was abandoned after
-    /// the retry budget ran out.
-    pub fn quarantine_send(&mut self, bytes: &[u8], detail: &str) {
-        self.dlq.push(DeadReason::RetryExhausted, bytes, detail);
+    /// the retry budget ran out, sealing its trace (if it carried one) with
+    /// a `send-retry`-stage quarantine event.
+    pub fn quarantine_send(&mut self, bytes: &[u8], detail: &str, ctx: Option<TraceCtx>) {
+        let (trace, events) = match (self.recorder.as_ref(), ctx) {
+            (Some(rec), Some(c)) => {
+                rec.instant(
+                    c.trace,
+                    c.parent,
+                    "echo.quarantine",
+                    &[("stage", "send-retry"), ("node", &self.name)],
+                );
+                (Some(c.trace), rec.trace_events(c.trace))
+            }
+            _ => (None, Vec::new()),
+        };
+        self.dlq.push_traced(DeadReason::RetryExhausted, bytes, detail, trace, events);
     }
 
     /// Learns out-of-band meta-data (formats + transformations), seeding
@@ -230,6 +316,9 @@ impl NodeState {
     /// (possibly morphed) events land in the node's event log.
     pub fn expect_events(&mut self, channel: ChannelId, format: &Arc<RecordFormat>) {
         let rx = self.event_rx.entry(channel).or_default();
+        if let Some(rec) = &self.recorder {
+            rx.registry().set_recorder(Arc::clone(rec));
+        }
         let sink = Arc::clone(&self.events);
         rx.register_handler(format, move |v| {
             sink.lock().expect("event lock").push((channel, v));
@@ -308,46 +397,85 @@ impl NodeState {
     /// node's dead-letter queue — a process on a hostile network degrades,
     /// it does not crash.
     pub fn handle_frame(&mut self, bytes: &[u8]) -> FrameOutcome {
+        let ht = self.start_handle_trace(bytes);
         let frame = match proto::unframe(bytes) {
             Ok(f) => f,
             Err(FrameError::Truncated) => {
-                self.dlq.push(DeadReason::Malformed, bytes, "frame shorter than header");
+                let (trace, events) = self.seal_failed(ht, "unframe");
+                self.dlq.push_traced(
+                    DeadReason::Malformed,
+                    bytes,
+                    "frame shorter than header",
+                    trace,
+                    events,
+                );
                 return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Malformed));
             }
             Err(FrameError::BadChecksum) => {
                 // Corruption is *detected and rejected* — the damaged bytes
-                // never reach a PBIO decoder.
-                self.dlq.push(DeadReason::Corrupt, bytes, "frame checksum mismatch");
+                // never reach a PBIO decoder. The trace id is read without
+                // checksum protection, so attribution here is best-effort.
+                let (trace, events) = self.seal_failed(ht, "unframe");
+                self.dlq.push_traced(
+                    DeadReason::Corrupt,
+                    bytes,
+                    "frame checksum mismatch",
+                    trace,
+                    events,
+                );
                 return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Corrupt));
             }
         };
         if !self.note_seq(frame.seq) {
+            if let (Some(rec), Some(t)) = (self.recorder.as_ref(), ht.trace) {
+                rec.instant(
+                    t,
+                    ht.span.as_ref().map(|s| s.id()),
+                    "echo.dedup",
+                    &[("node", &self.name)],
+                );
+            }
             return FrameOutcome::settled(Disposition::Duplicate(frame.kind, frame.channel));
         }
+        let ctx = ht.span.as_ref().map(|s| s.ctx());
         let (kind, channel, msg) = (frame.kind, frame.channel, frame.payload);
         match kind {
-            proto::FRAME_CONTROL => match self.handle_control(msg) {
+            proto::FRAME_CONTROL => match self.handle_control(msg, ctx, frame.trace) {
                 Ok(outgoing) => {
                     FrameOutcome { disposition: Disposition::Handled(kind, channel), outgoing }
                 }
-                Err(e) => FrameOutcome::settled(self.quarantine(&e, bytes)),
+                Err(e) => FrameOutcome::settled(self.quarantine(&e, bytes, ht, "control")),
             },
             proto::FRAME_EVENT => {
                 if let Some(rx) = self.event_rx.get_mut(&channel) {
-                    if let Err(e) = rx.process(msg) {
+                    if let Err(e) = rx.process_traced(msg, ctx) {
                         let reason = deadletter::reason_for(&e);
-                        self.dlq.push(reason, bytes, e.to_string());
+                        let (trace, events) = self.seal_failed(ht, "event");
+                        self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);
                         return FrameOutcome::settled(Disposition::Quarantined(reason));
                     }
                 }
                 FrameOutcome::settled(Disposition::Handled(kind, channel))
             }
-            k => FrameOutcome::settled(self.quarantine(&EchoError::UnknownFrameKind(k), bytes)),
+            k => FrameOutcome::settled(self.quarantine(
+                &EchoError::UnknownFrameKind(k),
+                bytes,
+                ht,
+                "dispatch",
+            )),
         }
     }
 
-    fn handle_control(&mut self, msg: &[u8]) -> Result<Vec<Outgoing>, EchoError> {
-        self.control_rx.process(msg)?;
+    /// `wire_trace` is the incoming frame's raw trace id; follow-up frames
+    /// (membership responses) travel under the same trace, so a
+    /// subscription's whole request→broadcast fan-out is one causal story.
+    fn handle_control(
+        &mut self,
+        msg: &[u8],
+        ctx: Option<TraceCtx>,
+        wire_trace: u64,
+    ) -> Result<Vec<Outgoing>, EchoError> {
+        self.control_rx.process_traced(msg, ctx)?;
         let mut out = Vec::new();
 
         // Requests: only meaningful at channel creators.
@@ -384,7 +512,7 @@ impl NodeState {
                     let seq = self.alloc_seq();
                     out.push(Outgoing {
                         to_contact: m.contact.clone(),
-                        bytes: proto::frame(proto::FRAME_CONTROL, channel, seq, &resp),
+                        bytes: proto::frame(proto::FRAME_CONTROL, channel, seq, wire_trace, &resp),
                     });
                 }
             }

@@ -260,8 +260,12 @@ pub const FRAME_CONTROL: u8 = 0;
 /// Frame kind: an event on a channel.
 pub const FRAME_EVENT: u8 = 1;
 
-/// Frame header size: kind (1) + channel (4) + seq (8) + crc32 (4).
-pub const FRAME_HEADER_LEN: usize = 17;
+/// Frame header size: kind (1) + channel (4) + seq (8) + trace (8) +
+/// crc32 (4).
+pub const FRAME_HEADER_LEN: usize = 25;
+
+/// An absent trace id on the wire: the frame joins no trace.
+pub const NO_TRACE: u64 = 0;
 
 /// A parsed (and checksum-verified) ECho network frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,6 +277,10 @@ pub struct Frame<'a> {
     /// Sender-assigned sequence number (unique per sender; used for
     /// duplicate suppression).
     pub seq: u64,
+    /// Causal trace id minted by the originating process ([`NO_TRACE`]
+    /// when the sender traced nothing); receivers join this trace in
+    /// their flight recorder.
+    pub trace: u64,
     /// The PBIO message bytes.
     pub payload: &'a [u8],
 }
@@ -313,19 +321,37 @@ fn crc32(seed: u32, bytes: &[u8]) -> u32 {
 }
 
 /// Wraps a PBIO message in an ECho network frame:
-/// `[kind u8][channel u32][seq u64][crc32 u32][payload]`, all
-/// little-endian. The CRC-32 covers kind, channel, seq, and payload, so
-/// any single-byte damage anywhere in the frame is detected by
-/// [`unframe`].
-pub fn frame(kind: u8, channel: ChannelId, seq: u64, pbio_msg: &[u8]) -> Vec<u8> {
+/// `[kind u8][channel u32][seq u64][trace u64][crc32 u32][payload]`, all
+/// little-endian. The CRC-32 covers kind, channel, seq, trace, and
+/// payload, so any single-byte damage anywhere in the frame is detected
+/// by [`unframe`]. Pass [`NO_TRACE`] when the message joins no trace.
+pub fn frame(kind: u8, channel: ChannelId, seq: u64, trace: u64, pbio_msg: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + pbio_msg.len());
     out.push(kind);
     out.extend_from_slice(&channel.0.to_le_bytes());
     out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&trace.to_le_bytes());
     let crc = crc32(crc32(0, &out), pbio_msg);
     out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(pbio_msg);
     out
+}
+
+/// Best-effort read of the trace id from raw frame bytes, **without**
+/// checksum verification — so even a frame that fails [`unframe`] (e.g.
+/// corrupted in flight) can still be attributed to the trace it claims.
+/// Returns `None` for frames too short to hold the field or carrying
+/// [`NO_TRACE`]. If the corruption hit the trace field itself the id read
+/// here may be wrong; that is inherent to reading damaged bytes, and the
+/// attribution stays deterministic for a given damaged frame.
+pub fn peek_trace(bytes: &[u8]) -> Option<u64> {
+    let raw = bytes.get(13..21)?;
+    let trace = u64::from_le_bytes(raw.try_into().expect("8-byte slice"));
+    if trace == NO_TRACE {
+        None
+    } else {
+        Some(trace)
+    }
 }
 
 /// Parses and checksum-verifies a frame. Corrupted frames are rejected
@@ -344,12 +370,15 @@ pub fn unframe(bytes: &[u8]) -> Result<Frame<'_>, FrameError> {
     let seq = u64::from_le_bytes([
         bytes[5], bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11], bytes[12],
     ]);
-    let stored = u32::from_le_bytes([bytes[13], bytes[14], bytes[15], bytes[16]]);
+    let trace = u64::from_le_bytes([
+        bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19], bytes[20],
+    ]);
+    let stored = u32::from_le_bytes([bytes[21], bytes[22], bytes[23], bytes[24]]);
     let payload = &bytes[FRAME_HEADER_LEN..];
-    if crc32(crc32(0, &bytes[..13]), payload) != stored {
+    if crc32(crc32(0, &bytes[..21]), payload) != stored {
         return Err(FrameError::BadChecksum);
     }
-    Ok(Frame { kind, channel, seq, payload })
+    Ok(Frame { kind, channel, seq, trace, payload })
 }
 
 #[cfg(test)]
@@ -426,11 +455,12 @@ mod tests {
 
     #[test]
     fn frame_roundtrip() {
-        let framed = frame(FRAME_EVENT, ChannelId(3), 42, b"xyz");
+        let framed = frame(FRAME_EVENT, ChannelId(3), 42, 0xA11CE, b"xyz");
         let f = unframe(&framed).unwrap();
         assert_eq!(f.kind, FRAME_EVENT);
         assert_eq!(f.channel, ChannelId(3));
         assert_eq!(f.seq, 42);
+        assert_eq!(f.trace, 0xA11CE);
         assert_eq!(f.payload, b"xyz");
         assert_eq!(unframe(&[1, 2]), Err(FrameError::Truncated));
         assert_eq!(unframe(&framed[..FRAME_HEADER_LEN - 1]), Err(FrameError::Truncated));
@@ -440,7 +470,7 @@ mod tests {
     fn any_single_byte_flip_fails_the_checksum() {
         // The chaos fault model flips exactly one byte; CRC-32 must catch
         // every such flip wherever it lands — header or payload.
-        let framed = frame(FRAME_EVENT, ChannelId(7), 9, b"payload bytes");
+        let framed = frame(FRAME_EVENT, ChannelId(7), 9, 77, b"payload bytes");
         assert!(unframe(&framed).is_ok());
         for i in 0..framed.len() {
             for flip in [0x01u8, 0x80, 0xFF] {
@@ -457,13 +487,28 @@ mod tests {
 
     #[test]
     fn empty_payload_frames_checksum_too() {
-        let framed = frame(FRAME_CONTROL, ChannelId(0), 0, b"");
+        let framed = frame(FRAME_CONTROL, ChannelId(0), 0, NO_TRACE, b"");
         assert_eq!(framed.len(), FRAME_HEADER_LEN);
         let f = unframe(&framed).unwrap();
         assert_eq!(f.payload, b"");
+        assert_eq!(f.trace, NO_TRACE);
         let mut damaged = framed;
         damaged[0] ^= 1;
         assert_eq!(unframe(&damaged), Err(FrameError::BadChecksum));
+    }
+
+    #[test]
+    fn peek_trace_survives_checksum_failure() {
+        let framed = frame(FRAME_EVENT, ChannelId(2), 5, 0xDECAF, b"data");
+        assert_eq!(peek_trace(&framed), Some(0xDECAF));
+        // Corrupt the payload: unframe rejects, peek still attributes.
+        let mut damaged = framed.clone();
+        *damaged.last_mut().unwrap() ^= 0xFF;
+        assert_eq!(unframe(&damaged), Err(FrameError::BadChecksum));
+        assert_eq!(peek_trace(&damaged), Some(0xDECAF));
+        // Untraced frames and short fragments read as no trace.
+        assert_eq!(peek_trace(&frame(FRAME_EVENT, ChannelId(2), 6, NO_TRACE, b"x")), None);
+        assert_eq!(peek_trace(&framed[..12]), None);
     }
 
     #[test]

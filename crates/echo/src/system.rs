@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use morph::{CompiledXform, DeadLetter, DeadReason, MorphStats, RetryPolicy, Transformation};
-use obs::{Counter, Registry};
+use obs::{Counter, FlightRecorder, Registry, TraceCtx, TraceId};
 use pbio::{Encoder, RecordFormat, Value};
 use simnet::{FaultPlan, FaultStats, LinkParams, NetError, Network, NodeId};
 
@@ -16,6 +16,15 @@ use crate::EchoError;
 /// Handle to an ECho process within an [`EchoSystem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ProcessId(usize);
+
+/// How many trace events the system flight recorder retains (oldest are
+/// evicted first; `FlightRecorder::dropped` counts evictions).
+const TRACE_CAPACITY: usize = 8192;
+
+/// High bit set on every minted trace id so that a trace id is never the
+/// [`proto::NO_TRACE`] sentinel, whatever the per-process sequence counter
+/// says.
+const TRACE_MARK: u64 = 1 << 63;
 
 /// Per-channel counter handles, created lazily on first traffic.
 #[derive(Debug)]
@@ -125,6 +134,9 @@ pub struct EchoSystem {
     pending: Vec<PendingFrame>,
     /// Backoff/budget policy for those re-sends.
     retry: RetryPolicy,
+    /// Flight recorder on the virtual clock: one causal trace per publish
+    /// or subscription, shared by every process and the network.
+    recorder: Arc<FlightRecorder>,
 }
 
 /// A frame whose send was refused (link down); retried with backoff until
@@ -138,6 +150,8 @@ struct PendingFrame {
     attempts: u32,
     /// Virtual time before which no re-send is attempted.
     next_attempt_ns: u64,
+    /// Trace context the frame travels under (re-sends join it too).
+    ctx: Option<TraceCtx>,
 }
 
 impl Default for EchoSystem {
@@ -167,6 +181,11 @@ impl EchoSystem {
         // produce byte-identical snapshots.
         let registry = Arc::new(Registry::with_clock(Arc::new(net.virtual_clock())));
         net.attach_registry(Arc::clone(&registry));
+        // The recorder shares the virtual clock, so span timestamps — and
+        // therefore exported traces — are deterministic per seed.
+        let recorder = Arc::new(FlightRecorder::new(TRACE_CAPACITY, Arc::new(net.virtual_clock())));
+        registry.set_recorder(Arc::clone(&recorder));
+        net.attach_recorder(Arc::clone(&recorder));
         EchoSystem {
             net,
             nodes: Vec::new(),
@@ -178,7 +197,16 @@ impl EchoSystem {
             metrics: SysMetrics::new(registry),
             pending: Vec::new(),
             retry: RetryPolicy::with_seed(0xEC40),
+            recorder,
         }
+    }
+
+    /// Mints a fresh trace id for a message originating at `proc`. Ids come
+    /// out of the process's (disjoint) frame-sequence range with the high
+    /// bit set, so they are nonzero and unique system-wide without any
+    /// global coordination — and deterministic across identical runs.
+    fn alloc_trace(&mut self, proc: usize) -> TraceId {
+        TraceId(self.nodes[proc].alloc_seq() | TRACE_MARK)
     }
 
     /// Adds a process running the given ECho version. Its contact string is
@@ -193,6 +221,7 @@ impl EchoSystem {
         );
         // Disjoint 2^48-wide sequence ranges make frame seqs sender-unique.
         node.next_seq = (self.nodes.len() as u64) << 48;
+        node.set_recorder(Arc::clone(&self.recorder));
         let net_id = self.net.add_node(name.clone());
         self.nodes.push(node);
         self.net_ids.push(net_id);
@@ -273,9 +302,15 @@ impl EchoSystem {
         ]);
         let msg = Encoder::new(&fmt).encode(&req)?;
         let seq = self.nodes[proc.0].alloc_seq();
-        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, &msg);
-        self.send_with_retry(proc.0, creator_idx, framed)?;
-        Ok(())
+        let trace = self.alloc_trace(proc.0);
+        let mut span = self.recorder.start(trace, None, "echo.subscribe");
+        span.tag("channel", &channel.0.to_string());
+        span.tag("from", &self.nodes[proc.0].name);
+        let ctx = Some(span.ctx());
+        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, trace.0, &msg);
+        let sent = self.send_with_retry(proc.0, creator_idx, framed, ctx);
+        span.finish();
+        sent
     }
 
     /// Unsubscribes `proc` from `channel`: the creator removes the member
@@ -305,9 +340,15 @@ impl EchoSystem {
         ]);
         let msg = Encoder::new(&fmt).encode(&req)?;
         let seq = self.nodes[proc.0].alloc_seq();
-        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, &msg);
-        self.send_with_retry(proc.0, creator_idx, framed)?;
-        Ok(())
+        let trace = self.alloc_trace(proc.0);
+        let mut span = self.recorder.start(trace, None, "echo.unsubscribe");
+        span.tag("channel", &channel.0.to_string());
+        span.tag("from", &self.nodes[proc.0].name);
+        let ctx = Some(span.ctx());
+        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, trace.0, &msg);
+        let sent = self.send_with_retry(proc.0, creator_idx, framed, ctx);
+        span.finish();
+        sent
     }
 
     /// Subscribes `proc` as a sink on a *derived* view of `channel`: the
@@ -366,44 +407,64 @@ impl EchoSystem {
         self.metrics.published.inc();
         self.metrics.channel(channel).published.inc();
         let sinks = node.sinks_of(channel);
+        // One trace follows this event everywhere it goes: every per-sink
+        // frame (raw or derived) carries the same id, so hops, morphing
+        // stages, and dead letters at any receiver join one causal story.
+        let trace = self.alloc_trace(proc.0);
+        let mut root = self.recorder.start(trace, None, "echo.publish");
+        root.tag("channel", &channel.0.to_string());
+        root.tag("from", &self.nodes[proc.0].name);
+        let ctx = Some(root.ctx());
         let mut raw_frame: Option<Vec<u8>> = None;
         let mut sent = 0;
-        for contact in sinks {
-            let Some(&dst) = self.by_contact.get(&contact) else { continue };
-            let frame = match self.derived.get(&(channel, contact)) {
-                Some(xform) if xform.from_format() == format => {
-                    // Source-side derivation: filter/reshape per subscriber.
-                    match xform.apply_filtered(event)? {
-                        None => {
-                            // Filtered out — nothing travels.
-                            self.metrics.filtered.inc();
-                            self.metrics.channel(channel).filtered.inc();
-                            continue;
+        let result = (|| -> Result<usize, EchoError> {
+            for contact in sinks {
+                let Some(&dst) = self.by_contact.get(&contact) else { continue };
+                let frame = match self.derived.get(&(channel, contact.clone())) {
+                    Some(xform) if xform.from_format() == format => {
+                        // Source-side derivation: filter/reshape per subscriber.
+                        match xform.apply_filtered(event)? {
+                            None => {
+                                // Filtered out — nothing travels.
+                                self.metrics.filtered.inc();
+                                self.metrics.channel(channel).filtered.inc();
+                                self.recorder.instant(
+                                    trace,
+                                    ctx.and_then(|c| c.parent),
+                                    "echo.filtered",
+                                    &[("sink", &contact)],
+                                );
+                                continue;
+                            }
+                            Some(derived) => {
+                                let msg = Encoder::new(xform.to_format()).encode(&derived)?;
+                                let seq = self.nodes[proc.0].alloc_seq();
+                                proto::frame(proto::FRAME_EVENT, channel, seq, trace.0, &msg)
+                            }
                         }
-                        Some(derived) => {
-                            let msg = Encoder::new(xform.to_format()).encode(&derived)?;
+                    }
+                    // Different source format (or no derivation): send the raw
+                    // event; the sink's own morphing receiver reconciles. One
+                    // seq serves every recipient of the same frame — dedup is
+                    // per receiver.
+                    _ => {
+                        if raw_frame.is_none() {
+                            let msg = Encoder::new(format).encode(event)?;
                             let seq = self.nodes[proc.0].alloc_seq();
-                            proto::frame(proto::FRAME_EVENT, channel, seq, &msg)
+                            raw_frame =
+                                Some(proto::frame(proto::FRAME_EVENT, channel, seq, trace.0, &msg));
                         }
+                        raw_frame.clone().expect("filled above")
                     }
-                }
-                // Different source format (or no derivation): send the raw
-                // event; the sink's own morphing receiver reconciles. One
-                // seq serves every recipient of the same frame — dedup is
-                // per receiver.
-                _ => {
-                    if raw_frame.is_none() {
-                        let msg = Encoder::new(format).encode(event)?;
-                        let seq = self.nodes[proc.0].alloc_seq();
-                        raw_frame = Some(proto::frame(proto::FRAME_EVENT, channel, seq, &msg));
-                    }
-                    raw_frame.clone().expect("filled above")
-                }
-            };
-            self.send_with_retry(proc.0, dst, frame)?;
-            sent += 1;
-        }
-        Ok(sent)
+                };
+                self.send_with_retry(proc.0, dst, frame, ctx)?;
+                sent += 1;
+            }
+            Ok(sent)
+        })();
+        root.tag("sinks", &sent.to_string());
+        root.finish();
+        result
     }
 
     /// Sends a frame, absorbing link-down refusals into the retry queue:
@@ -412,13 +473,34 @@ impl EchoSystem {
     /// it gets through or the budget is spent. Other network errors
     /// propagate — an unknown or unrouted peer is a configuration bug, not
     /// an operational fault.
-    fn send_with_retry(&mut self, from: usize, to: usize, bytes: Vec<u8>) -> Result<(), EchoError> {
-        match self.net.send(self.net_ids[from], self.net_ids[to], bytes.clone()) {
+    fn send_with_retry(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: Vec<u8>,
+        ctx: Option<TraceCtx>,
+    ) -> Result<(), EchoError> {
+        match self.net.send_traced(self.net_ids[from], self.net_ids[to], bytes.clone(), ctx) {
             Ok(_) => Ok(()),
             Err(NetError::LinkDown(_, _)) => {
                 self.metrics.retry_enqueued.inc();
+                if let Some(c) = ctx {
+                    self.recorder.instant(
+                        c.trace,
+                        c.parent,
+                        "echo.retry.enqueued",
+                        &[("from", &self.nodes[from].name), ("to", &self.nodes[to].name)],
+                    );
+                }
                 let next_attempt_ns = self.net.now_ns() + self.retry.backoff_ns(0);
-                self.pending.push(PendingFrame { from, to, bytes, attempts: 0, next_attempt_ns });
+                self.pending.push(PendingFrame {
+                    from,
+                    to,
+                    bytes,
+                    attempts: 0,
+                    next_attempt_ns,
+                    ctx,
+                });
                 Ok(())
             }
             Err(e) => Err(e.into()),
@@ -436,7 +518,12 @@ impl EchoSystem {
                 continue;
             }
             self.metrics.retry_attempts.inc();
-            match self.net.send(self.net_ids[p.from], self.net_ids[p.to], p.bytes.clone()) {
+            match self.net.send_traced(
+                self.net_ids[p.from],
+                self.net_ids[p.to],
+                p.bytes.clone(),
+                p.ctx,
+            ) {
                 Ok(_) => self.metrics.retry_delivered.inc(),
                 Err(NetError::LinkDown(_, _)) => {
                     p.attempts += 1;
@@ -447,6 +534,7 @@ impl EchoSystem {
                         self.nodes[p.from].quarantine_send(
                             &p.bytes,
                             &format!("gave up after {} retries", self.retry.budget),
+                            p.ctx,
                         );
                     } else {
                         p.next_attempt_ns = now + self.retry.backoff_ns(p.attempts);
@@ -458,7 +546,7 @@ impl EchoSystem {
                 Err(e) => {
                     self.metrics.retry_giveup.inc();
                     self.metrics.quarantined(DeadReason::RetryExhausted);
-                    self.nodes[p.from].quarantine_send(&p.bytes, &e.to_string());
+                    self.nodes[p.from].quarantine_send(&p.bytes, &e.to_string(), p.ctx);
                 }
             }
         }
@@ -513,10 +601,14 @@ impl EchoSystem {
             }
             for out in outcome.outgoing {
                 if let Some(&dst) = self.by_contact.get(&out.to_contact) {
+                    // Follow-up frames keep travelling under the trace of
+                    // the request that caused them (already in the frame
+                    // header); their hop spans root at that trace.
+                    let ctx = proto::peek_trace(&out.bytes).map(|t| TraceCtx::root(TraceId(t)));
                     // Link-down refusals land in the retry queue; a member
                     // with no route at all is dropped from this refresh (it
                     // will resync on its next own request).
-                    let _ = self.send_with_retry(idx, dst, out.bytes);
+                    let _ = self.send_with_retry(idx, dst, out.bytes, ctx);
                 }
             }
             processed += 1;
@@ -551,6 +643,28 @@ impl EchoSystem {
     /// time. Snapshots of this registry are deterministic across runs.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.metrics.registry
+    }
+
+    /// The system flight recorder: every publish/subscribe mints a causal
+    /// trace here, annotated by the network (hop spans, fault tags) and by
+    /// each receiver (`echo.handle`, morphing stages, quarantines). Use
+    /// [`obs::FlightRecorder::text_tree`] or
+    /// [`obs::FlightRecorder::chrome_json`] to export; both are
+    /// deterministic because the recorder runs on the virtual clock.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Trace ids recorded so far, in first-appearance order — convenient
+    /// for walking "every message this run" in examples and reports.
+    pub fn trace_ids(&self) -> Vec<TraceId> {
+        let mut seen = Vec::new();
+        for e in self.recorder.events() {
+            if !seen.contains(&e.trace) {
+                seen.push(e.trace);
+            }
+        }
+        seen
     }
 
     /// The registry behind a process's control-plane morphing receiver:

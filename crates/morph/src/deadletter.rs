@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
-use obs::{Counter, Registry};
+use obs::{Counter, Registry, SpanEvent, TraceId};
 
 use crate::error::MorphError;
 use crate::receiver::{Delivery, MorphReceiver};
@@ -79,6 +79,13 @@ pub struct DeadLetter {
     pub bytes: Vec<u8>,
     /// Human-readable detail (the error text, typically).
     pub detail: String,
+    /// The causal trace this message belonged to, when it carried one.
+    pub trace: Option<TraceId>,
+    /// The trace's recorded events at quarantine time — the message's whole
+    /// observed journey (publish, hops, morphing stages) frozen alongside
+    /// the bytes, so the ring buffer evicting the trace later does not
+    /// orphan the post-mortem.
+    pub events: Vec<SpanEvent>,
 }
 
 /// A bounded FIFO of [`DeadLetter`]s with per-reason counters.
@@ -117,6 +124,22 @@ impl DeadLetterQueue {
 
     /// Quarantines a message. O(1); evicts the oldest letter when full.
     pub fn push(&mut self, reason: DeadReason, bytes: &[u8], detail: impl Into<String>) {
+        self.push_traced(reason, bytes, detail, None, Vec::new());
+    }
+
+    /// Quarantines a message along with its causal-trace context: the
+    /// trace id it travelled under and a snapshot of that trace's events
+    /// (typically `recorder.trace_events(trace)` taken right after the
+    /// failure was recorded). Eviction when full behaves as in
+    /// [`DeadLetterQueue::push`].
+    pub fn push_traced(
+        &mut self,
+        reason: DeadReason,
+        bytes: &[u8],
+        detail: impl Into<String>,
+        trace: Option<TraceId>,
+        events: Vec<SpanEvent>,
+    ) {
         self.total.inc();
         let idx = DeadReason::ALL.iter().position(|&r| r == reason).unwrap_or(0);
         self.by_reason[idx].inc();
@@ -124,7 +147,13 @@ impl DeadLetterQueue {
             self.letters.pop_front();
             self.overflow.inc();
         }
-        self.letters.push_back(DeadLetter { reason, bytes: bytes.to_vec(), detail: detail.into() });
+        self.letters.push_back(DeadLetter {
+            reason,
+            bytes: bytes.to_vec(),
+            detail: detail.into(),
+            trace,
+            events,
+        });
     }
 
     /// Letters currently held (oldest first).
@@ -145,6 +174,11 @@ impl DeadLetterQueue {
     /// Total messages ever quarantined (including evicted ones).
     pub fn total(&self) -> u64 {
         self.total.get()
+    }
+
+    /// Letters evicted because the queue was full (`total - retained`).
+    pub fn overflow(&self) -> u64 {
+        self.overflow.get()
     }
 
     /// Messages quarantined for `reason` (including evicted ones).
@@ -207,6 +241,82 @@ mod tests {
         assert_eq!(dlq.pop().unwrap().bytes, b"b");
         assert_eq!(dlq.pop().unwrap().reason, DeadReason::Undecodable);
         assert!(dlq.is_empty());
+    }
+
+    #[test]
+    fn overflow_evicts_strictly_oldest_first() {
+        let mut dlq = DeadLetterQueue::new(3);
+        for i in 0u8..10 {
+            dlq.push(DeadReason::Corrupt, &[i], format!("m{i}"));
+        }
+        // The three newest survive, in admission order.
+        let kept: Vec<u8> = dlq.letters().map(|l| l.bytes[0]).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+        // pop() drains in the same oldest-first order.
+        assert_eq!(dlq.pop().unwrap().detail, "m7");
+        assert_eq!(dlq.pop().unwrap().detail, "m8");
+        assert_eq!(dlq.pop().unwrap().detail, "m9");
+        assert!(dlq.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_accounting_stays_consistent() {
+        let mut dlq = DeadLetterQueue::new(4);
+        assert_eq!(dlq.overflow(), 0);
+        for i in 0u8..11 {
+            dlq.push(DeadReason::TransformFailed, &[i], "x");
+            // Invariant after every push: everything admitted is either
+            // retained or counted as overflow.
+            assert_eq!(dlq.total(), dlq.overflow() + dlq.len() as u64);
+            assert!(dlq.len() <= 4);
+        }
+        assert_eq!(dlq.total(), 11);
+        assert_eq!(dlq.len(), 4);
+        assert_eq!(dlq.overflow(), 7);
+        // Popping releases letters without disturbing the counters.
+        dlq.pop();
+        assert_eq!(dlq.total(), 11);
+        assert_eq!(dlq.overflow(), 7);
+        assert_eq!(dlq.len(), 3);
+    }
+
+    #[test]
+    fn capacity_floor_is_one_letter() {
+        let mut dlq = DeadLetterQueue::new(0);
+        dlq.push(DeadReason::Malformed, b"a", "first");
+        dlq.push(DeadReason::Malformed, b"b", "second");
+        assert_eq!(dlq.len(), 1, "zero capacity is clamped to one");
+        assert_eq!(dlq.letters().next().unwrap().detail, "second");
+        assert_eq!(dlq.overflow(), 1);
+        assert_eq!(dlq.total(), 2);
+    }
+
+    #[test]
+    fn traced_letters_keep_their_context() {
+        use obs::{FlightRecorder, VirtualClock};
+        use std::sync::Arc as SArc;
+
+        let clock = SArc::new(VirtualClock::new());
+        let rec = SArc::new(FlightRecorder::new(16, clock));
+        let trace = rec.next_trace_id();
+        let span = rec.start(trace, None, "echo.handle");
+        span.finish();
+
+        let mut dlq = DeadLetterQueue::new(4);
+        dlq.push_traced(
+            DeadReason::Undecodable,
+            b"bad",
+            "decode failed",
+            Some(trace),
+            rec.trace_events(trace),
+        );
+        let letter = dlq.letters().next().unwrap();
+        assert_eq!(letter.trace, Some(trace));
+        assert_eq!(letter.events.len(), 1);
+        assert_eq!(letter.events[0].name, "echo.handle");
+        // Untraced pushes leave the context empty.
+        dlq.push(DeadReason::Corrupt, b"x", "no trace");
+        assert_eq!(dlq.letters().last().unwrap().trace, None);
     }
 
     #[test]

@@ -355,22 +355,51 @@ pub fn resolve_into_with_retry<E, S>(
     rx: &mut MorphReceiver,
     id: FormatId,
     policy: &RetryPolicy,
+    exchange: E,
+    sleep: S,
+) -> Result<Option<usize>>
+where
+    E: FnMut(Vec<u8>) -> Result<Vec<u8>>,
+    S: FnMut(u64),
+{
+    resolve_into_with_retry_traced(rx, id, policy, exchange, sleep, None)
+}
+
+/// [`resolve_into_with_retry`] attributed to a causal trace: when `ctx` is
+/// given and the receiver's registry has an attached recorder, the entire
+/// resolution (every round-trip, every backoff) is wrapped in one
+/// `morph.resolve` span tagged with the total attempt count and the
+/// outcome (`resolved` / `unknown` / `failed`).
+///
+/// # Errors
+///
+/// Same contract as [`resolve_into_with_retry`].
+pub fn resolve_into_with_retry_traced<E, S>(
+    rx: &mut MorphReceiver,
+    id: FormatId,
+    policy: &RetryPolicy,
     mut exchange: E,
     mut sleep: S,
+    ctx: Option<obs::TraceCtx>,
 ) -> Result<Option<usize>>
 where
     E: FnMut(Vec<u8>) -> Result<Vec<u8>>,
     S: FnMut(u64),
 {
     let registry = Arc::clone(rx.registry());
+    let span = ctx
+        .and_then(|c| registry.recorder().map(|r| (r, c)))
+        .map(|(r, c)| r.start(c.trace, c.parent, "morph.resolve"));
     let attempts = registry.counter("morph.resolve.attempts");
     let retries = registry.counter("morph.resolve.retries");
     let resolved = registry.counter("morph.resolve.resolved");
     let failures = registry.counter("morph.resolve.failures");
+    let tried = std::cell::Cell::new(0u64);
     let result = MetaClient::resolve_into(rx, id, |req| {
         let mut attempt = 0u32;
         loop {
             attempts.inc();
+            tried.set(tried.get() + 1);
             match exchange(req.clone()) {
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
@@ -391,6 +420,18 @@ where
         Ok(Some(_)) => resolved.inc(),
         Ok(None) => {}
         Err(_) => failures.inc(),
+    }
+    if let Some(mut s) = span {
+        s.tag("attempts", &tried.get().to_string());
+        s.tag(
+            "outcome",
+            match &result {
+                Ok(Some(_)) => "resolved",
+                Ok(None) => "unknown",
+                Err(_) => "failed",
+            },
+        );
+        s.finish();
     }
     result
 }

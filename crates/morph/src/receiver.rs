@@ -11,7 +11,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use obs::{Clock, Counter, Histogram, Registry, Timer};
+use obs::{
+    ActiveSpan, Clock, Counter, FlightRecorder, Histogram, Registry, SpanId, Timer, TraceCtx,
+};
 use pbio::{
     format_id, parse_header, ConversionPlan, FormatId, FormatRegistry, PlanCache, RecordFormat,
     Value,
@@ -232,6 +234,15 @@ pub struct MorphReceiver {
     /// Compiled conversion plans, shared across decision-cache rebuilds.
     plans: PlanCache,
     metrics: RxMetrics,
+    /// Trace sink for the message currently inside
+    /// [`MorphReceiver::process_traced`]; cleared on exit.
+    trace: Option<TraceSink>,
+}
+
+/// Where the currently processed message's trace events go.
+struct TraceSink {
+    rec: Arc<FlightRecorder>,
+    ctx: TraceCtx,
 }
 
 impl std::fmt::Debug for MorphReceiver {
@@ -282,6 +293,7 @@ impl MorphReceiver {
             cache: HashMap::new(),
             plans: PlanCache::new(Arc::clone(&registry)),
             metrics: RxMetrics::new(registry),
+            trace: None,
         }
     }
 
@@ -451,6 +463,36 @@ impl MorphReceiver {
     /// transformation-runtime failures. A *rejection* (no admissible match)
     /// is not an error — it returns [`Delivery::Rejected`].
     pub fn process(&mut self, msg: &[u8]) -> Result<Delivery> {
+        self.process_traced(msg, None)
+    }
+
+    /// Like [`MorphReceiver::process`], but attributes the work to a causal
+    /// trace: every stage of Algorithm 2 this message exercises is recorded
+    /// as a span under `ctx` in the registry's attached
+    /// [`FlightRecorder`](obs::FlightRecorder).
+    ///
+    /// A *warm* message (decision cache hit) emits exactly one span —
+    /// `morph.lookup` tagged `result=hit` — because replaying a cached
+    /// decision *is* the whole warm path. A *cold* message additionally
+    /// records `morph.decide` (with `morph.maxmatch` / `morph.compile`
+    /// children) and `morph.apply` (with per-stage `morph.decode` /
+    /// `morph.transform` / `morph.default_fill` children).
+    ///
+    /// With `ctx == None`, or when no recorder is attached to the
+    /// receiver's registry, this is exactly `process`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MorphReceiver::process`].
+    pub fn process_traced(&mut self, msg: &[u8], ctx: Option<TraceCtx>) -> Result<Delivery> {
+        self.trace =
+            ctx.and_then(|ctx| self.registry().recorder().map(|rec| TraceSink { rec, ctx }));
+        let result = self.process_inner(msg);
+        self.trace = None;
+        result
+    }
+
+    fn process_inner(&mut self, msg: &[u8]) -> Result<Delivery> {
         self.metrics.messages.inc();
         let header = parse_header(msg).map_err(MorphError::Pbio)?;
         let id = header.format_id;
@@ -461,22 +503,46 @@ impl MorphReceiver {
         // the XML baseline; the cold path is `morph.decide_ns`.
         if self.cache.contains_key(&id) {
             self.metrics.hits.inc();
+            let mut lookup = self.tspan("morph.lookup", None);
+            if let Some(s) = lookup.as_mut() {
+                s.tag("result", "hit");
+            }
             let _span = self.metrics.timer(&self.metrics.process_ns);
-            return self.apply_cached(id, msg);
+            return self.apply_cached(id, msg, false);
         }
 
         self.metrics.misses.inc();
+        let mut lookup = self.tspan("morph.lookup", None);
+        if let Some(s) = lookup.as_mut() {
+            s.tag("result", "miss");
+        }
+        drop(lookup);
         let decision = {
             let _span = self.metrics.timer(&self.metrics.decide_ns);
             self.decide(id)?
         };
         self.cache.insert(id, decision);
-        self.apply_cached(id, msg)
+        self.apply_cached(id, msg, true)
+    }
+
+    /// Starts a span under the in-flight trace, if one is attached.
+    /// `parent = None` nests directly under the caller-provided context.
+    fn tspan(&self, name: &str, parent: Option<SpanId>) -> Option<ActiveSpan> {
+        self.trace.as_ref().map(|t| t.rec.start(t.ctx.trace, parent.or(t.ctx.parent), name))
+    }
+
+    /// Records a zero-duration trace event, if a trace is attached.
+    fn tinstant(&self, name: &str, parent: Option<SpanId>, tags: &[(&str, &str)]) {
+        if let Some(t) = self.trace.as_ref() {
+            t.rec.instant(t.ctx.trace, parent.or(t.ctx.parent), name, tags);
+        }
     }
 
     /// Runs the slow path of Algorithm 2 (lines 11–27) to produce a
     /// cacheable decision for format `id`.
     fn decide(&mut self, id: FormatId) -> Result<Decision> {
+        let mut decide_span = self.tspan("morph.decide", None);
+        let dparent = decide_span.as_ref().map(|s| s.id());
         let fm = self.known.lookup(id).map_err(|_| MorphError::UnknownWireFormat(id))?;
 
         // Line 4: Fr = reader formats with the same name as fm.
@@ -484,8 +550,15 @@ impl MorphReceiver {
             self.readers.iter().filter(|r| r.name() == fm.name()).map(Arc::clone).collect();
 
         // Line 11: MaxMatch(fm, Fr) — perfect match short-circuit.
+        let mm_span = self.tspan("morph.maxmatch", dparent);
         if let Some(m) = self.select(std::slice::from_ref(&fm), &readers) {
             if m.perfect {
+                if let Some(s) = mm_span {
+                    s.finish();
+                }
+                if let Some(s) = decide_span.as_mut() {
+                    s.tag("outcome", "exact");
+                }
                 self.metrics.exact.inc();
                 let target = &readers[m.to];
                 return Ok(Decision::Plan {
@@ -502,12 +575,23 @@ impl MorphReceiver {
             reachable.iter().map(|r| Arc::clone(&r.format)).collect();
 
         // Line 16: MaxMatch(Ft, Fr).
-        let Some(m) = self.select(&candidates, &readers) else {
+        let selected = self.select(&candidates, &readers);
+        if let Some(mut s) = mm_span {
+            s.tag("candidates", &candidates.len().to_string());
+            s.finish();
+        }
+        let Some(m) = selected else {
             // Lines 17–19: reject (or default-deliver when a default handler
             // exists — §3.2's "default handler (if any)").
             if self.default_handler.is_some() {
+                if let Some(s) = decide_span.as_mut() {
+                    s.tag("outcome", "default");
+                }
                 self.metrics.defaults.inc();
                 return Ok(Decision::Default { decode: self.plans.get_or_compile(&fm, &fm)? });
+            }
+            if let Some(s) = decide_span.as_mut() {
+                s.tag("outcome", "reject");
             }
             self.metrics.rejects.inc();
             return Ok(Decision::Reject);
@@ -520,6 +604,9 @@ impl MorphReceiver {
         if chosen.chain.is_empty() {
             // No transformation code needed: one specialized wire→target
             // plan covers decode + default-fill + extra-removal.
+            if let Some(s) = decide_span.as_mut() {
+                s.tag("outcome", "near");
+            }
             self.metrics.near.inc();
             return Ok(Decision::Plan {
                 plan: self.plans.get_or_compile(&fm, target)?,
@@ -529,9 +616,17 @@ impl MorphReceiver {
         }
 
         // Lines 21–24: dynamic code generation, once, cached.
+        let compile_tspan = self.tspan("morph.compile", dparent);
         let compile_span = self.metrics.timer(&self.metrics.compile_ns);
         let chain = CompiledChain::compile(&chosen.chain)?;
         compile_span.stop();
+        if let Some(mut s) = compile_tspan {
+            s.tag("steps", &chain.steps().len().to_string());
+            s.finish();
+        }
+        if let Some(s) = decide_span.as_mut() {
+            s.tag("outcome", "morph");
+        }
         self.metrics.compiles.add(chain.steps().len() as u64);
         self.metrics.morphs.inc();
         let adapter =
@@ -544,38 +639,80 @@ impl MorphReceiver {
         })
     }
 
-    fn apply_cached(&mut self, id: FormatId, msg: &[u8]) -> Result<Delivery> {
+    fn apply_cached(&mut self, id: FormatId, msg: &[u8], trace_stages: bool) -> Result<Delivery> {
         // The decision is taken out of the map while the handler runs so the
         // borrow checker allows `&mut self.handlers` access; it is restored
         // afterwards. Handlers must not recursively call `process` (they
         // receive values, not the receiver).
+        //
+        // `trace_stages` is true only on the cold path: a warm replay is a
+        // single cached step, so its trace stays at one `morph.lookup` span.
         let decision = self.cache.remove(&id).expect("caller ensured presence");
+        let apply_span = if trace_stages { self.tspan("morph.apply", None) } else { None };
+        let aparent = apply_span.as_ref().map(|s| s.id());
         let result = (|| -> Result<Delivery> {
             match &decision {
                 Decision::Plan { plan, target, .. } => {
-                    let value = plan.execute(msg)?;
+                    let value = {
+                        let _s =
+                            if trace_stages { self.tspan("morph.decode", aparent) } else { None };
+                        plan.execute(msg)?
+                    };
                     self.invoke(*target, value);
                     Ok(Delivery::Delivered(*target))
                 }
                 Decision::Morph { decode, chain, adapter, target } => {
-                    let value = decode.execute(msg)?;
-                    let value = chain.apply(value)?;
+                    let value = {
+                        let _s =
+                            if trace_stages { self.tspan("morph.decode", aparent) } else { None };
+                        decode.execute(msg)?
+                    };
+                    let value = {
+                        let mut s = if trace_stages {
+                            self.tspan("morph.transform", aparent)
+                        } else {
+                            None
+                        };
+                        if let Some(sp) = s.as_mut() {
+                            sp.tag("steps", &chain.steps().len().to_string());
+                        }
+                        chain.apply(value)?
+                    };
                     let value = match adapter {
-                        Some(a) => a.apply(&value)?,
+                        Some(a) => {
+                            let _s = if trace_stages {
+                                self.tspan("morph.default_fill", aparent)
+                            } else {
+                                None
+                            };
+                            a.apply(&value)?
+                        }
                         None => value,
                     };
                     self.invoke(*target, value);
                     Ok(Delivery::Delivered(*target))
                 }
                 Decision::Default { decode } => {
-                    let value = decode.execute(msg)?;
+                    let value = {
+                        let _s =
+                            if trace_stages { self.tspan("morph.decode", aparent) } else { None };
+                        decode.execute(msg)?
+                    };
+                    if trace_stages {
+                        self.tinstant("morph.default_delivery", aparent, &[]);
+                    }
                     let fmt = Arc::clone(decode.wire_format());
                     if let Some(h) = self.default_handler.as_mut() {
                         h(&fmt, value);
                     }
                     Ok(Delivery::DeliveredDefault)
                 }
-                Decision::Reject => Ok(Delivery::Rejected),
+                Decision::Reject => {
+                    if trace_stages {
+                        self.tinstant("morph.reject", aparent, &[]);
+                    }
+                    Ok(Delivery::Rejected)
+                }
             }
         })();
         self.cache.insert(id, decision);

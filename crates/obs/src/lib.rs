@@ -19,8 +19,15 @@
 //!    instrumentation the wall clock does ([`VirtualClock`]), making
 //!    snapshots reproducible in simulation.
 //!
-//! The metric name catalogue (names, units, and the paper claim each makes
-//! observable) lives in `OBSERVABILITY.md` at the repository root.
+//! Metrics aggregate; the *tracing* half narrates. A [`FlightRecorder`] is
+//! a bounded ring of parent-linked [`SpanEvent`]s keyed by [`TraceId`], so
+//! a caller can follow one message causally across components and export
+//! the story as an indented text tree or chrome://tracing JSON
+//! ([`FlightRecorder::text_tree`], [`FlightRecorder::chrome_json`]).
+//!
+//! The metric and span name catalogues (names, units, and the paper claim
+//! each makes observable) live in `OBSERVABILITY.md` at the repository
+//! root.
 //!
 //! ## Example: counting cache behaviour and timing work
 //!
@@ -61,7 +68,9 @@
 mod clock;
 mod metric;
 mod registry;
+mod trace;
 
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{Registry, Snapshot, Timer};
+pub use registry::{Registry, Snapshot, SnapshotDelta, Timer};
+pub use trace::{ActiveSpan, FlightRecorder, SpanEvent, SpanId, SpanKind, TraceCtx, TraceId};

@@ -5,6 +5,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use crate::clock::{Clock, MonotonicClock};
 use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::{json_escape, FlightRecorder};
 
 /// A registry of named metrics sharing one [`Clock`].
 ///
@@ -31,6 +32,7 @@ use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 /// ```
 pub struct Registry {
     clock: RwLock<Arc<dyn Clock>>,
+    recorder: RwLock<Option<Arc<FlightRecorder>>>,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
@@ -63,10 +65,24 @@ impl Registry {
     pub fn with_clock(clock: Arc<dyn Clock>) -> Registry {
         Registry {
             clock: RwLock::new(clock),
+            recorder: RwLock::new(None),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Attaches a [`FlightRecorder`] so components holding this registry
+    /// can also emit trace events. Several registries may share one
+    /// recorder (the `echo` system attaches one recorder, clocked on
+    /// virtual time, to every registry in the process).
+    pub fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.recorder.write().expect("registry recorder lock") = Some(recorder);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.recorder.read().expect("registry recorder lock").clone()
     }
 
     /// Replaces the clock. Timers started before the swap finish on the
@@ -278,13 +294,12 @@ impl Snapshot {
     }
 
     /// Renders the snapshot as a self-contained JSON object (hand-rolled;
-    /// metric names contain no characters needing escapes beyond `"` and
-    /// `\`, which are handled).
+    /// names are escaped for backslash, quote, and control characters, so
+    /// arbitrary metric names — `simnet.link.n0->n1.bytes` included —
+    /// survive a round trip through a JSON parser).
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
-        }
+        let esc = json_escape;
         let mut out = String::new();
         let _ = write!(out, "{{\"at_ns\":{},\"counters\":{{", self.at_ns);
         for (i, (name, v)) in self.counters.iter().enumerate() {
@@ -316,6 +331,79 @@ impl Snapshot {
         }
         let _ = write!(out, "}}}}");
         out
+    }
+
+    /// The change since an `earlier` snapshot of the same registry:
+    /// counter/gauge differences and histogram *count* deltas, for
+    /// per-phase accounting ("how many cache misses did phase 2 cost?").
+    ///
+    /// Names present only in `self` are diffed against zero; names present
+    /// only in `earlier` are omitted. Counter and histogram-count
+    /// differences saturate at zero (counters never go backwards).
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.counter("hits").add(3);
+    /// let before = reg.snapshot();
+    /// reg.counter("hits").add(4);
+    /// reg.gauge("depth").set(-2);
+    /// let delta = reg.snapshot().delta(&before);
+    /// assert_eq!(delta.counter("hits"), Some(4));
+    /// assert_eq!(delta.gauge("depth"), Some(-2));
+    /// ```
+    pub fn delta(&self, earlier: &Snapshot) -> SnapshotDelta {
+        SnapshotDelta {
+            elapsed_ns: self.at_ns.saturating_sub(earlier.at_ns),
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n).unwrap_or(0))))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, v)| (n.clone(), v - earlier.gauge(n).unwrap_or(0)))
+                .collect(),
+            histogram_counts: self
+                .histograms
+                .iter()
+                .map(|(n, h)| {
+                    let before = earlier.histogram(n).map(|h| h.count).unwrap_or(0);
+                    (n.clone(), h.count.saturating_sub(before))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The difference between two [`Snapshot`]s of one registry — see
+/// [`Snapshot::delta`]. Entries stay sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// Clock time elapsed between the two snapshots.
+    pub elapsed_ns: u64,
+    /// Per-counter increase, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-gauge signed change, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Per-histogram increase in sample count, sorted by name.
+    pub histogram_counts: Vec<(String, u64)>,
+}
+
+impl SnapshotDelta {
+    /// The increase of a counter, if present in the later snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The signed change of a gauge, if present in the later snapshot.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The increase in a histogram's sample count, if present.
+    pub fn histogram_count(&self, name: &str) -> Option<u64> {
+        self.histogram_counts.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 }
 
@@ -394,6 +482,206 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn delta_reports_differences_since_earlier() {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = Registry::with_clock(clock.clone());
+        reg.counter("hits").add(2);
+        reg.gauge("depth").set(5);
+        reg.histogram("lat_ns").record(10);
+        clock.set_ns(100);
+        let before = reg.snapshot();
+
+        reg.counter("hits").add(3);
+        reg.counter("fresh").inc(); // appears only after `before`
+        reg.gauge("depth").set(1);
+        reg.histogram("lat_ns").record(20);
+        reg.histogram("lat_ns").record(30);
+        clock.set_ns(250);
+
+        let d = reg.snapshot().delta(&before);
+        assert_eq!(d.elapsed_ns, 150);
+        assert_eq!(d.counter("hits"), Some(3));
+        assert_eq!(d.counter("fresh"), Some(1));
+        assert_eq!(d.counter("missing"), None);
+        assert_eq!(d.gauge("depth"), Some(-4));
+        assert_eq!(d.histogram_count("lat_ns"), Some(2));
+    }
+
+    #[test]
+    fn delta_against_self_is_zero() {
+        let reg = Registry::new();
+        reg.counter("n").add(9);
+        reg.histogram("h").record(1);
+        let s = reg.snapshot();
+        let d = s.delta(&s);
+        assert!(d.counters.iter().all(|&(_, v)| v == 0));
+        assert!(d.gauges.iter().all(|&(_, v)| v == 0));
+        assert!(d.histogram_counts.iter().all(|&(_, v)| v == 0));
+    }
+
+    /// A minimal JSON parser, just enough to round-trip `to_json()`
+    /// output: objects, arrays, strings with escapes, and (unsigned/
+    /// negative) integers.
+    mod minijson {
+        use std::collections::BTreeMap;
+
+        #[derive(Debug, PartialEq)]
+        pub enum Json {
+            Num(i128),
+            Str(String),
+            Arr(Vec<Json>),
+            Obj(BTreeMap<String, Json>),
+        }
+
+        pub fn parse(s: &str) -> Result<Json, String> {
+            let b = s.as_bytes();
+            let (v, i) = value(b, 0)?;
+            if i != b.len() {
+                return Err(format!("trailing input at {i}"));
+            }
+            Ok(v)
+        }
+
+        fn value(b: &[u8], i: usize) -> Result<(Json, usize), String> {
+            match *b.get(i).ok_or("eof")? {
+                b'{' => {
+                    let mut m = BTreeMap::new();
+                    let mut i = i + 1;
+                    if b.get(i) == Some(&b'}') {
+                        return Ok((Json::Obj(m), i + 1));
+                    }
+                    loop {
+                        let (k, j) = string(b, i)?;
+                        if b.get(j) != Some(&b':') {
+                            return Err(format!("expected ':' at {j}"));
+                        }
+                        let (v, j) = value(b, j + 1)?;
+                        m.insert(k, v);
+                        match b.get(j) {
+                            Some(b',') => i = j + 1,
+                            Some(b'}') => return Ok((Json::Obj(m), j + 1)),
+                            _ => return Err(format!("expected ',' or '}}' at {j}")),
+                        }
+                    }
+                }
+                b'[' => {
+                    let mut a = Vec::new();
+                    let mut i = i + 1;
+                    if b.get(i) == Some(&b']') {
+                        return Ok((Json::Arr(a), i + 1));
+                    }
+                    loop {
+                        let (v, j) = value(b, i)?;
+                        a.push(v);
+                        match b.get(j) {
+                            Some(b',') => i = j + 1,
+                            Some(b']') => return Ok((Json::Arr(a), j + 1)),
+                            _ => return Err(format!("expected ',' or ']' at {j}")),
+                        }
+                    }
+                }
+                b'"' => {
+                    let (s, j) = string(b, i)?;
+                    Ok((Json::Str(s), j))
+                }
+                _ => {
+                    let mut j = i;
+                    if b.get(j) == Some(&b'-') {
+                        j += 1;
+                    }
+                    let start = j;
+                    while j < b.len() && b[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    if start == j {
+                        return Err(format!("expected value at {i}"));
+                    }
+                    let n: i128 = std::str::from_utf8(&b[i..j])
+                        .map_err(|e| e.to_string())?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                    Ok((Json::Num(n), j))
+                }
+            }
+        }
+
+        fn string(b: &[u8], i: usize) -> Result<(String, usize), String> {
+            if b.get(i) != Some(&b'"') {
+                return Err(format!("expected '\"' at {i}"));
+            }
+            let mut out = String::new();
+            let mut j = i + 1;
+            loop {
+                match *b.get(j).ok_or("eof in string")? {
+                    b'"' => return Ok((out, j + 1)),
+                    b'\\' => {
+                        j += 1;
+                        match *b.get(j).ok_or("eof in escape")? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'u' => {
+                                let hex = std::str::from_utf8(
+                                    b.get(j + 1..j + 5).ok_or("short \\u escape")?,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                let code =
+                                    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(code).ok_or("bad codepoint")?);
+                                j += 4;
+                            }
+                            c => return Err(format!("bad escape '{}'", c as char)),
+                        }
+                        j += 1;
+                    }
+                    c => {
+                        // Multi-byte UTF-8: copy the whole sequence.
+                        let ch_len = match c {
+                            0x00..=0x7f => 1,
+                            0xc0..=0xdf => 2,
+                            0xe0..=0xef => 3,
+                            _ => 4,
+                        };
+                        let s = std::str::from_utf8(b.get(j..j + ch_len).ok_or("bad utf8")?)
+                            .map_err(|e| e.to_string())?;
+                        out.push_str(s);
+                        j += ch_len;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips_awkward_metric_names() {
+        use minijson::Json;
+        let reg = Registry::new();
+        // The names the catalogue actually produces, arrows included…
+        reg.counter("simnet.link.n0->n1.bytes").add(17);
+        reg.counter("echo.ch.3.delivered").add(4);
+        reg.gauge("queue.depth").set(-9);
+        reg.histogram("lat_ns").record(5);
+        // …and hostile ones the escaper must survive.
+        reg.counter("weird\"quote\\back\nline").inc();
+
+        let json = reg.snapshot().to_json();
+        let parsed = minijson::parse(&json).expect("to_json output must parse");
+        let Json::Obj(root) = parsed else { panic!("root must be an object") };
+        let Json::Obj(counters) = &root["counters"] else { panic!("counters object") };
+        assert_eq!(counters["simnet.link.n0->n1.bytes"], Json::Num(17));
+        assert_eq!(counters["echo.ch.3.delivered"], Json::Num(4));
+        assert_eq!(counters["weird\"quote\\back\nline"], Json::Num(1));
+        let Json::Obj(gauges) = &root["gauges"] else { panic!("gauges object") };
+        assert_eq!(gauges["queue.depth"], Json::Num(-9));
+        let Json::Obj(hists) = &root["histograms"] else { panic!("histograms object") };
+        let Json::Obj(lat) = &hists["lat_ns"] else { panic!("histogram object") };
+        assert_eq!(lat["count"], Json::Num(1));
+        assert_eq!(lat["sum"], Json::Num(5));
     }
 
     #[test]

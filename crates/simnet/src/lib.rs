@@ -35,7 +35,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use obs::{Counter, Registry, VirtualClock};
+use obs::{ActiveSpan, Counter, FlightRecorder, Registry, TraceCtx, VirtualClock};
 
 use fault::FaultState;
 pub use fault::{FaultPlan, FaultStats, XorShift64};
@@ -141,6 +141,8 @@ struct InFlight {
     from: NodeId,
     to: NodeId,
     payload: Vec<u8>,
+    /// Open hop span, finished at delivery ([`Network::step`]).
+    span: Option<ActiveSpan>,
 }
 
 // Ordered by (deliver_at, seq); used through `Reverse` for a min-heap.
@@ -213,6 +215,7 @@ pub struct Network {
     /// on every step so registries on this clock stamp virtual time.
     clock: VirtualClock,
     metrics: Option<NetMetrics>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Network {
@@ -280,6 +283,15 @@ impl Network {
         });
     }
 
+    /// Attaches a [`FlightRecorder`] so traced sends
+    /// ([`Network::send_traced`]) annotate each hop with a virtual-time
+    /// link span and tag injected faults onto the trace. Build the
+    /// recorder on this network's [`Network::virtual_clock`] for
+    /// deterministic, byte-identical trace exports per seed.
+    pub fn attach_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
     /// Attaches a [`FaultPlan`] to the (bidirectional) link between two
     /// nodes. Each direction draws faults from its own PRNG, seeded from the
     /// plan seed and the directed link identity, so runs are deterministic.
@@ -344,12 +356,39 @@ impl Network {
     /// [`NetError::LinkDown`] when the link is administratively down or
     /// inside a scheduled partition window.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<u64, NetError> {
+        self.send_traced(from, to, payload, None)
+    }
+
+    /// [`Network::send`] carrying a trace context: when a
+    /// [`FlightRecorder`] is attached ([`Network::attach_recorder`]), the
+    /// hop is annotated with a `simnet.link.<from>-><to>` span from
+    /// departure to delivery, injected faults are tagged onto it
+    /// (`fault=corrupt` / `duplicate` / `reorder`), dropped copies become
+    /// `simnet.fault.dropped` instants, and sends refused inside a
+    /// scheduled partition window record `simnet.fault.partition_blocked`.
+    /// With `ctx` of `None` (or no recorder) this is exactly [`Network::send`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Network::send`].
+    pub fn send_traced(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: Vec<u8>,
+        ctx: Option<TraceCtx>,
+    ) -> Result<u64, NetError> {
         if from.0 >= self.names.len() {
             return Err(NetError::UnknownNode(from));
         }
         if to.0 >= self.names.len() {
             return Err(NetError::UnknownNode(to));
         }
+        let trace = match (&self.recorder, ctx) {
+            (Some(rec), Some(ctx)) => Some((Arc::clone(rec), ctx)),
+            _ => None,
+        };
+        let link_label = || format!("simnet.link.{}->{}", &self.names[from.0], &self.names[to.0]);
         let now = self.now_ns;
         let link = self.links.get_mut(&(from, to)).ok_or(NetError::NoRoute(from, to))?;
         if link.down {
@@ -360,6 +399,17 @@ impl Network {
                 f.stats.partition_blocked += 1;
                 if let Some(m) = &self.metrics {
                     m.fault_partition_blocked.inc();
+                }
+                if let Some((rec, ctx)) = &trace {
+                    let label =
+                        format!("simnet.link.{}->{}", &self.names[from.0], &self.names[to.0]);
+                    rec.instant_at(
+                        ctx.trace,
+                        ctx.parent,
+                        "simnet.fault.partition_blocked",
+                        &[("link", &label)],
+                        now,
+                    );
                 }
                 return Err(NetError::LinkDown(from, to));
             }
@@ -373,8 +423,17 @@ impl Network {
         // transmitted copies (including ones lost in flight) so traffic
         // accounting preserves the identity:
         //   messages carried == deliveries + fault.dropped
+        // Each queued copy remembers which faults hit it so the trace can
+        // tag the hop span.
         let payload_len = payload.len() as u64;
-        let mut queued: Vec<(u64, Vec<u8>)> = Vec::with_capacity(2);
+        struct Copy {
+            at: u64,
+            payload: Vec<u8>,
+            corrupted: bool,
+            reordered: bool,
+            duplicate: bool,
+        }
+        let mut queued: Vec<Copy> = Vec::with_capacity(2);
         let mut delta = FaultStats::default();
         let mut entered: u64 = 1;
         let deliver_at = match &mut link.fault {
@@ -388,20 +447,40 @@ impl Network {
                     // then draws its in-flight faults independently.
                     let dup = f.rng.chance_pm(f.plan.duplicate_pm).then(|| payload.clone());
                     let mut original = payload;
-                    let at = Self::copy_faults(f, &mut delta, base_deliver, &mut original);
-                    queued.push((at, original));
+                    let (at, corrupted, reordered) =
+                        Self::copy_faults(f, &mut delta, base_deliver, &mut original);
+                    queued.push(Copy {
+                        at,
+                        payload: original,
+                        corrupted,
+                        reordered,
+                        duplicate: false,
+                    });
                     if let Some(mut copy) = dup {
                         entered += 1;
                         f.stats.duplicated += 1;
                         delta.duplicated += 1;
-                        let at2 = Self::copy_faults(f, &mut delta, base_deliver, &mut copy);
-                        queued.push((at2, copy));
+                        let (at2, corrupted, reordered) =
+                            Self::copy_faults(f, &mut delta, base_deliver, &mut copy);
+                        queued.push(Copy {
+                            at: at2,
+                            payload: copy,
+                            corrupted,
+                            reordered,
+                            duplicate: true,
+                        });
                     }
                     at
                 }
             }
             _ => {
-                queued.push((base_deliver, payload));
+                queued.push(Copy {
+                    at: base_deliver,
+                    payload,
+                    corrupted: false,
+                    reordered: false,
+                    duplicate: false,
+                });
                 base_deliver
             }
         };
@@ -425,14 +504,39 @@ impl Network {
             m.fault_duplicated.add(delta.duplicated);
             m.fault_reordered.add(delta.reordered);
         }
-        for (at, p) in queued {
+        if delta.dropped > 0 {
+            if let Some((rec, ctx)) = &trace {
+                rec.instant_at(
+                    ctx.trace,
+                    ctx.parent,
+                    "simnet.fault.dropped",
+                    &[("link", &link_label())],
+                    depart,
+                );
+            }
+        }
+        for c in queued {
+            let span = trace.as_ref().map(|(rec, ctx)| {
+                let mut span = rec.start_at(ctx.trace, ctx.parent, &link_label(), depart);
+                if c.duplicate {
+                    span.tag("fault", "duplicate");
+                }
+                if c.corrupted {
+                    span.tag("fault", "corrupt");
+                }
+                if c.reordered {
+                    span.tag("fault", "reorder");
+                }
+                span
+            });
             self.seq += 1;
             self.queue.push(Reverse(InFlight {
-                deliver_at: at,
+                deliver_at: c.at,
                 seq: self.seq,
                 from,
                 to,
-                payload: p,
+                payload: c.payload,
+                span,
             }));
         }
         Ok(deliver_at)
@@ -440,14 +544,16 @@ impl Network {
 
     /// Draws the in-flight faults for one queued copy: latency jitter,
     /// forced reordering delay, and single-byte corruption. Returns the
-    /// copy's delivery time.
+    /// copy's delivery time and whether it was corrupted / reordered.
     fn copy_faults(
         f: &mut FaultState,
         delta: &mut FaultStats,
         base_deliver: u64,
         payload: &mut [u8],
-    ) -> u64 {
+    ) -> (u64, bool, bool) {
         let mut at = base_deliver;
+        let mut reordered = false;
+        let mut corrupted = false;
         if f.plan.jitter_ns > 0 {
             at += f.rng.below(f.plan.jitter_ns + 1);
         }
@@ -455,6 +561,7 @@ impl Network {
             at += f.plan.reorder_extra_ns;
             f.stats.reordered += 1;
             delta.reordered += 1;
+            reordered = true;
         }
         if f.rng.chance_pm(f.plan.corrupt_pm) && !payload.is_empty() {
             let idx = f.rng.below(payload.len() as u64) as usize;
@@ -462,17 +569,21 @@ impl Network {
             payload[idx] ^= flip;
             f.stats.corrupted += 1;
             delta.corrupted += 1;
+            corrupted = true;
         }
-        at
+        (at, corrupted, reordered)
     }
 
     /// Delivers the next in-flight message, advancing the clock to its
     /// delivery time and depositing it in the receiver's inbox. Returns
     /// `None` when nothing is in flight.
     pub fn step(&mut self) -> Option<Delivery> {
-        let Reverse(m) = self.queue.pop()?;
+        let Reverse(mut m) = self.queue.pop()?;
         self.now_ns = self.now_ns.max(m.deliver_at);
         self.clock.set_ns(self.now_ns);
+        if let Some(span) = m.span.take() {
+            span.finish(); // commits [depart..deliver] on the virtual clock
+        }
         let d = Delivery { from: m.from, to: m.to, payload: m.payload, at_ns: m.deliver_at };
         self.inboxes[d.to.0].push_back(d.clone());
         Some(d)

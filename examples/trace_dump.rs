@@ -1,0 +1,112 @@
+//! Follows single messages from publish to delivery — or to a dead letter —
+//! through the whole morphing pipeline, using the system flight recorder.
+//!
+//! A v2.0 publisher ships evolved events to a v1.0 subscriber. Every
+//! publish mints one causal trace that the frame carries on the wire, so
+//! one trace tree tells the message's whole story:
+//!
+//! - the **cold** message records Algorithm 2's slow path — decision
+//!   lookup (miss), MaxMatch, the one-time DCG compile, then the decode →
+//!   transform application;
+//! - every **warm** message records only the cached decision lookup (hit):
+//!   the cost cliff the paper's Fig. 10 measures, visible per message;
+//! - a message corrupted in flight is tagged on its network hop span,
+//!   CRC-rejected at the receiver, and quarantined — the dead letter keeps
+//!   the trace id and a frozen snapshot of the journey, with the failing
+//!   stage named.
+//!
+//! Run with `cargo run --example trace_dump`; add `--chrome` to emit the
+//! whole run as chrome://tracing JSON (open in Perfetto) instead.
+
+use message_morphing::prelude::*;
+use simnet::FaultPlan;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chrome = std::env::args().any(|a| a == "--chrome");
+
+    let mut sys = EchoSystem::new();
+    let creator = sys.add_process("creator-v2", EchoVersion::V2);
+    let publisher = sys.add_process("publisher-v2", EchoVersion::V2);
+    let sink = sys.add_process("sink-v1", EchoVersion::V1);
+    sys.connect_all(LinkParams::lan());
+
+    // The event format evolved; the retro-transformation travelled as
+    // out-of-band meta-data (paper §3.1).
+    let v1_events = FormatBuilder::record("Reading").int("value").build_arc()?;
+    let v2_events = FormatBuilder::record("Reading").int("raw").int("scale").build_arc()?;
+    sys.distribute_metadata(
+        &[v1_events.clone(), v2_events.clone()],
+        &[Transformation::new(
+            v2_events.clone(),
+            v1_events.clone(),
+            "old.value = new.raw * new.scale;",
+        )],
+    );
+
+    let ch = sys.create_channel(creator);
+    sys.subscribe(publisher, ch, Role::source(), None)?;
+    sys.subscribe(sink, ch, Role::sink(), Some(&v1_events))?;
+    sys.run();
+
+    // One cold event, two warm ones — then one that dies on the wire.
+    for n in 1..=3i64 {
+        sys.publish(publisher, ch, &v2_events, &Value::Record(vec![Value::Int(n), Value::Int(3)]))?;
+        sys.run();
+    }
+    sys.set_fault_plan(publisher, sink, FaultPlan::new(7).corrupt_per_mille(1000));
+    sys.publish(publisher, ch, &v2_events, &Value::Record(vec![Value::Int(4), Value::Int(3)]))?;
+    sys.run();
+    sys.clear_fault_plan(publisher, sink);
+
+    assert_eq!(sys.take_events(sink).len(), 3, "three delivered, one corrupted");
+
+    let rec = std::sync::Arc::clone(sys.recorder());
+    if chrome {
+        println!("{}", rec.chrome_json());
+        return Ok(());
+    }
+
+    // Publish traces, in publish order (the root span of each trace).
+    let mut publishes = Vec::new();
+    for e in rec.events() {
+        if e.name == "echo.publish" && !publishes.contains(&e.trace) {
+            publishes.push(e.trace);
+        }
+    }
+    assert_eq!(publishes.len(), 4);
+
+    println!("=== cold message — the full Algorithm 2 pipeline, once ===");
+    print!("{}", rec.text_tree(publishes[0]));
+
+    println!("\n=== warm message — the cached decision replay ===");
+    print!("{}", rec.text_tree(publishes[1]));
+
+    // The corrupted message: its publish-side trace shows the fault-tagged
+    // hop; the receiver's dead letter froze the journey at quarantine time.
+    let letters = sys.dead_letters(sink);
+    assert_eq!(letters.len(), 1, "the corrupted frame was quarantined");
+    let letter = &letters[0];
+    println!("\n=== dead letter: {} ({}) ===", letter.reason, letter.detail);
+    let trace = letter.trace.expect("dead letters keep their trace");
+    println!("trace {trace}, {} frozen events:", letter.events.len());
+    for e in &letter.events {
+        let tags: Vec<String> = e.tags.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("  @{}ns {} {}", e.start_ns, e.name, tags.join(" "));
+    }
+    let stage = letter
+        .events
+        .iter()
+        .find(|e| e.name == "echo.quarantine")
+        .and_then(|e| e.tag("stage").map(str::to_string))
+        .expect("quarantine instant names the failing stage");
+    println!("failing stage: {stage}");
+
+    println!(
+        "\n{} traces recorded, {} events retained, {} evicted",
+        sys.trace_ids().len(),
+        rec.len(),
+        rec.dropped()
+    );
+    println!("tip: --chrome exports the whole run for chrome://tracing / Perfetto");
+    Ok(())
+}

@@ -45,6 +45,8 @@ fn tick(n: i64) -> Value {
 /// What one run of the interop scenario produced, for cross-run comparison.
 struct InteropRun {
     snapshot: String,
+    /// Full chrome://tracing export of every causal trace the run recorded.
+    chrome: String,
     v1_events: Vec<i64>,
     v2_events: Vec<i64>,
 }
@@ -157,12 +159,29 @@ fn run_interop_chaos(seed: u64) -> InteropRun {
     for sink in [v1_sink, v2_sink] {
         for letter in sys.dead_letters(sink) {
             assert_eq!(letter.reason, morph::DeadReason::Corrupt);
+            // Every dead letter carries its causal trace: the id it
+            // travelled under (a corrupting byte-flip may have mangled the
+            // id bits, but a single flip cannot zero the whole field) and
+            // a frozen event snapshot whose quarantine instant names the
+            // pipeline stage that rejected the frame.
+            assert!(letter.trace.is_some(), "dead letter without trace context");
+            let quarantine = letter
+                .events
+                .iter()
+                .find(|e| e.name == "echo.quarantine")
+                .expect("dead letter events lack the quarantine instant");
+            assert_eq!(quarantine.tag("stage"), Some("unframe"), "CRC failures die in unframe");
         }
     }
 
     let v2_events = per_sink.pop().unwrap();
     let v1_events = per_sink.pop().unwrap();
-    InteropRun { snapshot: snap.to_text(), v1_events, v2_events }
+    InteropRun {
+        snapshot: snap.to_text(),
+        chrome: sys.recorder().chrome_json(),
+        v1_events,
+        v2_events,
+    }
 }
 
 /// Loss, corruption, duplication, and reordering on the event plane: the
@@ -176,7 +195,86 @@ fn interop_survives_fault_injection_deterministically() {
         assert_eq!(first.snapshot, second.snapshot, "seed {seed:#x}: non-deterministic snapshot");
         assert_eq!(first.v1_events, second.v1_events);
         assert_eq!(first.v2_events, second.v2_events);
+        // The flight recorder runs on the virtual clock and mints trace ids
+        // from per-process sequence counters, so the *entire trace export*
+        // — every span, timestamp, and fault tag across tens of faulty
+        // deliveries — replays byte-for-byte.
+        assert_eq!(first.chrome, second.chrome, "seed {seed:#x}: non-deterministic trace export");
+        assert!(first.chrome.contains("simnet.fault.dropped"), "drops are trace-visible");
+        assert!(first.chrome.contains("\"fault\":\"corrupt\""), "corruptions are trace-tagged");
     }
+}
+
+/// Algorithm 2's cost cliff, read straight off the traces: the first
+/// message of a (format, receiver) pair records the full cold pipeline —
+/// MaxMatch and the DCG compile exactly once — and every later message's
+/// trace shows only the warm decision-cache lookup.
+#[test]
+fn traces_show_cold_compile_once_then_warm_lookups() {
+    let mut sys = EchoSystem::new();
+    let creator = sys.add_process("creator", EchoVersion::V2);
+    let publisher = sys.add_process("publisher", EchoVersion::V2);
+    let sink = sys.add_process("old-sink", EchoVersion::V2);
+    sys.connect_all(LinkParams::lan());
+    // The publisher ships the richer revision; the sink reads the old one
+    // via the distributed retro-transformation — the morphing cold path.
+    sys.distribute_metadata(&[new_fmt(), old_fmt()], &[retro()]);
+    let ch = sys.create_channel(creator);
+    sys.subscribe(publisher, ch, Role::source(), None).unwrap();
+    sys.subscribe(sink, ch, Role::sink(), Some(&old_fmt())).unwrap();
+    sys.run();
+
+    for n in 1..=5 {
+        let event = Value::Record(vec![Value::Int(n), Value::Int(2), Value::str("kPa")]);
+        sys.publish(publisher, ch, &new_fmt(), &event).unwrap();
+        sys.run();
+    }
+    assert_eq!(sys.take_events(sink).len(), 5);
+
+    let rec = Arc::clone(sys.recorder());
+    // Publish traces, in publish order (root spans appear in event order).
+    let mut publishes = Vec::new();
+    for e in rec.events() {
+        if e.name == "echo.publish" && !publishes.contains(&e.trace) {
+            publishes.push(e.trace);
+        }
+    }
+    assert_eq!(publishes.len(), 5);
+    let count = |t, name: &str| rec.trace_events(t).iter().filter(|e| e.name == name).count();
+
+    // Cold: the first event's trace shows the whole Algorithm 2 slow path.
+    let cold = publishes[0];
+    assert_eq!(count(cold, "morph.lookup"), 1);
+    assert_eq!(count(cold, "morph.decide"), 1);
+    assert_eq!(count(cold, "morph.maxmatch"), 1, "MaxMatch exactly once, on the cold message");
+    assert_eq!(count(cold, "morph.compile"), 1, "DCG compile exactly once, on the cold message");
+    assert_eq!(count(cold, "morph.transform"), 1);
+    let lookup = rec
+        .trace_events(cold)
+        .into_iter()
+        .find(|e| e.name == "morph.lookup")
+        .expect("cold lookup span");
+    assert_eq!(lookup.tag("result"), Some("miss"));
+
+    // Warm: every later trace shows the lookup hit and nothing else from
+    // the morphing layer — the cached decision replay *is* the message.
+    for &t in &publishes[1..] {
+        let morphs: Vec<_> =
+            rec.trace_events(t).into_iter().filter(|e| e.name.starts_with("morph.")).collect();
+        assert_eq!(morphs.len(), 1, "warm trace has exactly one morph span: {morphs:?}");
+        assert_eq!(morphs[0].name, "morph.lookup");
+        assert_eq!(morphs[0].tag("result"), Some("hit"));
+        // The journey is still complete: publish → hop → handle.
+        assert_eq!(count(t, "echo.publish"), 1);
+        assert_eq!(count(t, "simnet.link.publisher->old-sink"), 1);
+        assert_eq!(count(t, "echo.handle"), 1);
+    }
+
+    // The text tree renders the cold story, nested and readable.
+    let tree = rec.text_tree(cold);
+    assert!(tree.contains("echo.publish"), "tree:\n{tree}");
+    assert!(tree.contains("morph.compile"), "tree:\n{tree}");
+    assert!(tree.contains("result=miss"), "tree:\n{tree}");
 }
 
 // ---------------------------------------------------------------------------
@@ -274,6 +372,16 @@ fn exhausted_retry_budget_quarantines_at_the_sender() {
     assert_eq!(sys.dead_letter_total(publisher), 1, "quarantined at the sender");
     let letters = sys.dead_letters(publisher);
     assert_eq!(letters[0].reason, morph::DeadReason::RetryExhausted);
+    // The abandoned frame's trace tells the story from the sender's side:
+    // the publish root, the retry give-up, and the stage that failed.
+    assert!(letters[0].trace.is_some());
+    let quarantine = letters[0]
+        .events
+        .iter()
+        .find(|e| e.name == "echo.quarantine")
+        .expect("send-retry dead letter lacks the quarantine instant");
+    assert_eq!(quarantine.tag("stage"), Some("send-retry"));
+    assert!(letters[0].events.iter().any(|e| e.name == "echo.publish"));
     let snap = sys.registry().snapshot();
     assert_eq!(snap.counter("echo.retry.giveup"), Some(1));
     assert_eq!(snap.counter("echo.deadletter.retry_exhausted"), Some(1));
@@ -318,7 +426,13 @@ fn framed_exchange(
         *s += 1;
         *s
     };
-    let framed = proto::frame(proto::FRAME_CONTROL, proto::ChannelId(0), next_seq(), &request);
+    let framed = proto::frame(
+        proto::FRAME_CONTROL,
+        proto::ChannelId(0),
+        next_seq(),
+        proto::NO_TRACE,
+        &request,
+    );
     net.send(client, server_node, framed)
         .map_err(|e| MorphError::Protocol(format!("send: {e}")))?;
     while let Some(d) = net.step() {
@@ -327,7 +441,13 @@ fn framed_exchange(
             .map_err(|e| MorphError::Protocol(format!("frame rejected: {e}")))?;
         if d.to == server_node {
             let resp = server.borrow_mut().handle(frame.payload)?;
-            let framed = proto::frame(proto::FRAME_CONTROL, proto::ChannelId(0), next_seq(), &resp);
+            let framed = proto::frame(
+                proto::FRAME_CONTROL,
+                proto::ChannelId(0),
+                next_seq(),
+                proto::NO_TRACE,
+                &resp,
+            );
             net.send(server_node, client, framed)
                 .map_err(|e| MorphError::Protocol(format!("send: {e}")))?;
         } else {

@@ -25,8 +25,14 @@ cargo test -q
 echo "==> chaos suite (seeded fault injection; deterministic per seed)"
 cargo test -q --test chaos
 
+echo "==> chaos seed matrix (extra seeds beyond the baked-in trio)"
+for s in ${CHAOS_SEEDS:-1 7 42}; do
+    echo "    CHAOS_SEED=$s cargo test -q --test chaos"
+    CHAOS_SEED="$s" cargo test -q --test chaos
+done
+
 echo "==> examples (offline smoke runs; each asserts its own output)"
-for ex in quickstart stats_dump echo_evolution trace_dump; do
+for ex in quickstart stats_dump echo_evolution trace_dump failover; do
     echo "    cargo run --release --example $ex"
     cargo run -q --release --example "$ex" >/dev/null
 done

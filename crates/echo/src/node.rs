@@ -11,7 +11,7 @@ use pbio::{Encoder, RecordFormat, Value};
 use crate::proto::{self, ChannelId, FrameError, MemberInfo};
 use crate::EchoError;
 
-/// How many recently seen sender sequence numbers a node remembers for
+/// How many recently seen `(sender, seq)` pairs a node remembers for
 /// duplicate suppression.
 const DEDUP_WINDOW: usize = 4096;
 
@@ -110,12 +110,13 @@ pub(crate) struct NodeState {
     /// Transformations to seed into future per-channel event receivers.
     shared_xforms: Vec<Transformation>,
     shared_formats: Vec<Arc<RecordFormat>>,
-    /// Next outgoing frame sequence number. The system seeds each node a
-    /// disjoint range, making (implicitly) sender-unique sequence numbers.
+    /// Next outgoing frame sequence number.
     pub(crate) next_seq: u64,
-    /// Recently seen incoming sequence numbers, for duplicate suppression.
-    seen_seqs: HashSet<u64>,
-    seen_order: VecDeque<u64>,
+    /// Recently seen incoming `(sender, seq)` pairs, for duplicate
+    /// suppression. Keyed per sender: two senders may legitimately emit
+    /// overlapping sequence numbers without suppressing each other.
+    seen_seqs: HashSet<(u64, u64)>,
+    seen_order: VecDeque<(u64, u64)>,
     /// Quarantine for frames that could not be delivered.
     dlq: DeadLetterQueue,
     /// Flight recorder for causal traces, shared system-wide.
@@ -194,13 +195,14 @@ impl NodeState {
         s
     }
 
-    /// Records an incoming sequence number; returns false if it was seen
-    /// before (a duplicate). The memory is a bounded sliding window.
-    fn note_seq(&mut self, seq: u64) -> bool {
-        if !self.seen_seqs.insert(seq) {
+    /// Records an incoming `(sender, seq)` pair; returns false if it was
+    /// seen before (a duplicate from the same sender). The memory is a
+    /// bounded sliding window.
+    fn note_seq(&mut self, sender: u64, seq: u64) -> bool {
+        if !self.seen_seqs.insert((sender, seq)) {
             return false;
         }
-        self.seen_order.push_back(seq);
+        self.seen_order.push_back((sender, seq));
         if self.seen_order.len() > DEDUP_WINDOW {
             if let Some(old) = self.seen_order.pop_front() {
                 self.seen_seqs.remove(&old);
@@ -278,19 +280,37 @@ impl NodeState {
     /// the retry budget ran out, sealing its trace (if it carried one) with
     /// a `send-retry`-stage quarantine event.
     pub fn quarantine_send(&mut self, bytes: &[u8], detail: &str, ctx: Option<TraceCtx>) {
+        self.quarantine_dropped(DeadReason::RetryExhausted, "send-retry", bytes, detail, ctx);
+    }
+
+    /// Quarantines a frame chosen as a load-shedding victim (a bounded
+    /// queue was full and this was the oldest warm-traffic entry), sealing
+    /// its trace (if it carried one) with a `shed`-stage quarantine event.
+    pub fn quarantine_shed(&mut self, bytes: &[u8], detail: &str, ctx: Option<TraceCtx>) {
+        self.quarantine_dropped(DeadReason::Shed, "shed", bytes, detail, ctx);
+    }
+
+    fn quarantine_dropped(
+        &mut self,
+        reason: DeadReason,
+        stage: &str,
+        bytes: &[u8],
+        detail: &str,
+        ctx: Option<TraceCtx>,
+    ) {
         let (trace, events) = match (self.recorder.as_ref(), ctx) {
             (Some(rec), Some(c)) => {
                 rec.instant(
                     c.trace,
                     c.parent,
                     "echo.quarantine",
-                    &[("stage", "send-retry"), ("node", &self.name)],
+                    &[("stage", stage), ("node", &self.name)],
                 );
                 (Some(c.trace), rec.trace_events(c.trace))
             }
             _ => (None, Vec::new()),
         };
-        self.dlq.push_traced(DeadReason::RetryExhausted, bytes, detail, trace, events);
+        self.dlq.push_traced(reason, bytes, detail, trace, events);
     }
 
     /// Learns out-of-band meta-data (formats + transformations), seeding
@@ -392,11 +412,13 @@ impl NodeState {
         Ok(Encoder::new(&fmt).encode(&value)?)
     }
 
-    /// Processes one incoming network frame. Never fails: frames that
+    /// Processes one incoming network frame from `sender` (a system-wide
+    /// sender identity; dedup keys on it so distinct senders never
+    /// suppress each other's sequence numbers). Never fails: frames that
     /// cannot be verified, decoded, or delivered are quarantined in the
     /// node's dead-letter queue — a process on a hostile network degrades,
     /// it does not crash.
-    pub fn handle_frame(&mut self, bytes: &[u8]) -> FrameOutcome {
+    pub fn handle_frame(&mut self, sender: u64, bytes: &[u8]) -> FrameOutcome {
         let ht = self.start_handle_trace(bytes);
         let frame = match proto::unframe(bytes) {
             Ok(f) => f,
@@ -426,7 +448,7 @@ impl NodeState {
                 return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Corrupt));
             }
         };
-        if !self.note_seq(frame.seq) {
+        if !self.note_seq(sender, frame.seq) {
             if let (Some(rec), Some(t)) = (self.recorder.as_ref(), ht.trace) {
                 rec.instant(
                     t,
@@ -573,5 +595,61 @@ impl NodeState {
     /// `channel`, if one exists.
     pub fn event_registry(&self, channel: ChannelId) -> Option<&Arc<obs::Registry>> {
         self.event_rx.get(&channel).map(MorphReceiver::registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event_frame(seq: u64) -> Vec<u8> {
+        proto::frame(proto::FRAME_EVENT, ChannelId(1), seq, proto::NO_TRACE, b"")
+    }
+
+    #[test]
+    fn dedup_keys_on_sender_and_seq_not_seq_alone() {
+        // Two independent senders may emit overlapping sequence numbers —
+        // e.g. both starting their counters at 0 after a restart. Keying
+        // dedup on the bare seq would silently drop the second sender's
+        // traffic; the key must be the (sender, seq) pair.
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        let f = event_frame(7);
+        assert!(matches!(node.handle_frame(0, &f).disposition, Disposition::Handled(..)));
+        assert!(
+            matches!(node.handle_frame(1, &f).disposition, Disposition::Handled(..)),
+            "a different sender's seq 7 is fresh traffic, not a duplicate"
+        );
+        // True duplicates — same sender, same seq — are still suppressed,
+        // for each sender independently.
+        assert!(matches!(node.handle_frame(0, &f).disposition, Disposition::Duplicate(..)));
+        assert!(matches!(node.handle_frame(1, &f).disposition, Disposition::Duplicate(..)));
+        assert!(matches!(node.handle_frame(2, &f).disposition, Disposition::Handled(..)));
+    }
+
+    #[test]
+    fn dedup_window_is_bounded_and_forgets_oldest_pairs() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        assert!(matches!(
+            node.handle_frame(0, &event_frame(0)).disposition,
+            Disposition::Handled(..)
+        ));
+        // Flood the window with fresh pairs until the first is evicted.
+        for seq in 1..=(DEDUP_WINDOW as u64) {
+            assert!(matches!(
+                node.handle_frame(0, &event_frame(seq)).disposition,
+                Disposition::Handled(..)
+            ));
+        }
+        // The oldest pair fell out of the sliding window: a replay of it is
+        // no longer recognized (bounded memory trades off replay horizon).
+        assert!(matches!(
+            node.handle_frame(0, &event_frame(0)).disposition,
+            Disposition::Handled(..)
+        ));
+        // A recent pair is still remembered.
+        assert!(matches!(
+            node.handle_frame(0, &event_frame(DEDUP_WINDOW as u64)).disposition,
+            Disposition::Duplicate(..)
+        ));
     }
 }

@@ -512,6 +512,43 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_of_a_valid_frame_is_rejected_cleanly() {
+        // A hostile network can cut a frame anywhere. Every prefix must be
+        // rejected with a classified error — never a panic, never a decode.
+        let framed = frame(FRAME_EVENT, ChannelId(5), 11, 0xBEE, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + 8);
+        for len in 0..framed.len() {
+            let want = if len < FRAME_HEADER_LEN {
+                // Too short for the header: rejected before any field read.
+                FrameError::Truncated
+            } else {
+                // Header present but the payload was cut: the CRC covers
+                // the payload, so the loss is detected as damage.
+                FrameError::BadChecksum
+            };
+            assert_eq!(unframe(&framed[..len]), Err(want), "truncated to {len} bytes");
+        }
+        assert!(unframe(&framed).is_ok(), "the untruncated frame still parses");
+    }
+
+    #[test]
+    fn peek_trace_never_reads_past_short_buffers() {
+        // peek_trace runs on unverified bytes, so it must bounds-check: the
+        // trace field spans bytes 13..21, and any shorter buffer has no
+        // trace to report.
+        let framed = frame(FRAME_EVENT, ChannelId(5), 11, 0xBEE, b"payload");
+        for len in 0..framed.len() {
+            let peeked = peek_trace(&framed[..len]);
+            if len < 21 {
+                assert_eq!(peeked, None, "length {len} cannot hold the trace field");
+            } else {
+                assert_eq!(peeked, Some(0xBEE), "length {len} holds the full field");
+            }
+        }
+        assert_eq!(peek_trace(&[]), None);
+    }
+
+    #[test]
     fn channel_extraction() {
         let v2 = channel_open_response_v2();
         let v = response_v2_value(ChannelId(12), &members());

@@ -1,11 +1,11 @@
 //! The ECho system: processes connected by event channels over a simulated
 //! network (paper Fig. 3).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use morph::{CompiledXform, DeadLetter, DeadReason, MorphStats, RetryPolicy, Transformation};
-use obs::{Counter, FlightRecorder, Registry, TraceCtx, TraceId};
+use obs::{Counter, FlightRecorder, Gauge, Registry, TraceCtx, TraceId};
 use pbio::{Encoder, RecordFormat, Value};
 use simnet::{FaultPlan, FaultStats, LinkParams, NetError, Network, NodeId};
 
@@ -25,6 +25,14 @@ const TRACE_CAPACITY: usize = 8192;
 /// [`proto::NO_TRACE`] sentinel, whatever the per-process sequence counter
 /// says.
 const TRACE_MARK: u64 = 1 << 63;
+
+/// Default bound on the link-down retry queue. Event frames beyond it are
+/// shed (drop-oldest); control frames are never shed.
+const RETRY_QUEUE_CAPACITY: usize = 64;
+
+/// Default bound on each paused process's ingress buffer, with the same
+/// shed policy as the retry queue.
+const INGRESS_CAPACITY: usize = 64;
 
 /// Per-channel counter handles, created lazily on first traffic.
 #[derive(Debug)]
@@ -54,6 +62,10 @@ struct SysMetrics {
     retry_attempts: Arc<Counter>,
     retry_delivered: Arc<Counter>,
     retry_giveup: Arc<Counter>,
+    /// Combined depth of the retry queue and every ingress buffer.
+    queue_depth: Arc<Gauge>,
+    /// Frames dropped by load shedding (bounded queue overflow).
+    queue_shed: Arc<Counter>,
     per_channel: HashMap<ChannelId, ChannelCounters>,
 }
 
@@ -72,6 +84,8 @@ impl SysMetrics {
             retry_attempts: registry.counter("echo.retry.attempts"),
             retry_delivered: registry.counter("echo.retry.delivered"),
             retry_giveup: registry.counter("echo.retry.giveup"),
+            queue_depth: registry.gauge("echo.queue.depth"),
+            queue_shed: registry.counter("echo.queue.shed"),
             per_channel: HashMap::new(),
             registry,
         }
@@ -131,9 +145,23 @@ pub struct EchoSystem {
     next_channel: u32,
     metrics: SysMetrics,
     /// Frames refused by a down/partitioned link, awaiting re-send.
+    /// Bounded by `retry_capacity` under the shed policy.
     pending: Vec<PendingFrame>,
     /// Backoff/budget policy for those re-sends.
     retry: RetryPolicy,
+    /// Bound on `pending`: when full, the oldest queued *event* frame is
+    /// shed to its sender's dead-letter queue; control frames are never
+    /// shed (they may exceed the bound).
+    retry_capacity: usize,
+    /// Per-process pause flags: deliveries to a paused process buffer in
+    /// `ingress` instead of dispatching.
+    paused: Vec<bool>,
+    /// Per-process ingress buffers of `(sender index, frame)`, filled
+    /// while paused, drained by [`EchoSystem::run`] once resumed. Bounded
+    /// by `ingress_capacity` under the shed policy.
+    ingress: Vec<VecDeque<(usize, Vec<u8>)>>,
+    /// Bound on each ingress buffer.
+    ingress_capacity: usize,
     /// Flight recorder on the virtual clock: one causal trace per publish
     /// or subscription, shared by every process and the network.
     recorder: Arc<FlightRecorder>,
@@ -197,6 +225,10 @@ impl EchoSystem {
             metrics: SysMetrics::new(registry),
             pending: Vec::new(),
             retry: RetryPolicy::with_seed(0xEC40),
+            retry_capacity: RETRY_QUEUE_CAPACITY,
+            paused: Vec::new(),
+            ingress: Vec::new(),
+            ingress_capacity: INGRESS_CAPACITY,
             recorder,
         }
     }
@@ -225,6 +257,8 @@ impl EchoSystem {
         let net_id = self.net.add_node(name.clone());
         self.nodes.push(node);
         self.net_ids.push(net_id);
+        self.paused.push(false);
+        self.ingress.push(VecDeque::new());
         self.by_contact.insert(name, self.nodes.len() - 1);
         ProcessId(self.nodes.len() - 1)
     }
@@ -467,12 +501,51 @@ impl EchoSystem {
         result
     }
 
+    /// Sheds a frame at `node`: counts the drop and quarantines the bytes
+    /// in the node's dead-letter queue with [`DeadReason::Shed`] — every
+    /// shed message stays accounted, none vanish silently.
+    fn shed_at(&mut self, node: usize, bytes: &[u8], detail: &str, ctx: Option<TraceCtx>) {
+        self.metrics.queue_shed.inc();
+        self.metrics.quarantined(DeadReason::Shed);
+        self.nodes[node].quarantine_shed(bytes, detail, ctx);
+    }
+
+    /// Drop-oldest over the retry queue: evicts the oldest queued *event*
+    /// frame into its sender's dead-letter queue. Returns false when the
+    /// queue holds only control frames (which are never shed).
+    fn shed_oldest_pending_event(&mut self) -> bool {
+        let Some(pos) =
+            self.pending.iter().position(|p| p.bytes.first() == Some(&proto::FRAME_EVENT))
+        else {
+            return false;
+        };
+        let victim = self.pending.remove(pos);
+        self.shed_at(
+            victim.from,
+            &victim.bytes,
+            "retry queue full: oldest event frame shed",
+            victim.ctx,
+        );
+        true
+    }
+
+    /// Refreshes the `echo.queue.depth` gauge (retry queue + every ingress
+    /// buffer).
+    fn update_queue_depth(&self) {
+        let depth = self.pending.len() + self.ingress.iter().map(VecDeque::len).sum::<usize>();
+        self.metrics.queue_depth.set(depth as i64);
+    }
+
     /// Sends a frame, absorbing link-down refusals into the retry queue:
     /// the frame waits out a backoff (capped exponential, jittered by the
     /// system [`RetryPolicy`]) and is re-sent by [`EchoSystem::run`] until
-    /// it gets through or the budget is spent. Other network errors
-    /// propagate — an unknown or unrouted peer is a configuration bug, not
-    /// an operational fault.
+    /// it gets through or the budget is spent. The queue is bounded
+    /// ([`EchoSystem::set_retry_queue_capacity`]): admitting past the cap
+    /// sheds the oldest queued event frame (or the newcomer itself when
+    /// only control frames are queued) into the sender's dead-letter queue
+    /// with [`DeadReason::Shed`]. Control frames are never shed. Other
+    /// network errors propagate — an unknown or unrouted peer is a
+    /// configuration bug, not an operational fault.
     fn send_with_retry(
         &mut self,
         from: usize,
@@ -483,6 +556,18 @@ impl EchoSystem {
         match self.net.send_traced(self.net_ids[from], self.net_ids[to], bytes.clone(), ctx) {
             Ok(_) => Ok(()),
             Err(NetError::LinkDown(_, _)) => {
+                // A full queue sheds its oldest queued event; when only
+                // control frames are queued, the newcomer is the sole
+                // sheddable load. A control newcomer never sheds: it is
+                // admitted beyond the bound.
+                if self.pending.len() >= self.retry_capacity
+                    && !self.shed_oldest_pending_event()
+                    && bytes.first() == Some(&proto::FRAME_EVENT)
+                {
+                    self.shed_at(from, &bytes, "retry queue full: event frame shed", ctx);
+                    self.update_queue_depth();
+                    return Ok(());
+                }
                 self.metrics.retry_enqueued.inc();
                 if let Some(c) = ctx {
                     self.recorder.instant(
@@ -501,6 +586,7 @@ impl EchoSystem {
                     next_attempt_ns,
                     ctx,
                 });
+                self.update_queue_depth();
                 Ok(())
             }
             Err(e) => Err(e.into()),
@@ -552,7 +638,82 @@ impl EchoSystem {
         }
         let earliest = still_pending.iter().map(|p| p.next_attempt_ns).min();
         self.pending = still_pending;
+        self.update_queue_depth();
         earliest
+    }
+
+    /// Buffers a delivery for a paused process, shedding under pressure:
+    /// when the (bounded) buffer is full, the oldest buffered *event*
+    /// frame — or the newcomer, if only control frames are buffered — is
+    /// quarantined at the receiver with [`DeadReason::Shed`].
+    fn buffer_ingress(&mut self, idx: usize, sender: usize, bytes: Vec<u8>) {
+        if self.ingress[idx].len() >= self.ingress_capacity {
+            let oldest_event =
+                self.ingress[idx].iter().position(|(_, b)| b.first() == Some(&proto::FRAME_EVENT));
+            match oldest_event {
+                Some(pos) => {
+                    let (_, victim) = self.ingress[idx].remove(pos).expect("position in bounds");
+                    let ctx = proto::peek_trace(&victim).map(|t| TraceCtx::root(TraceId(t)));
+                    self.shed_at(idx, &victim, "ingress buffer full: oldest event frame shed", ctx);
+                }
+                None if bytes.first() == Some(&proto::FRAME_EVENT) => {
+                    let ctx = proto::peek_trace(&bytes).map(|t| TraceCtx::root(TraceId(t)));
+                    self.shed_at(idx, &bytes, "ingress buffer full: event frame shed", ctx);
+                    self.update_queue_depth();
+                    return;
+                }
+                // Control frames are never shed: admit beyond the bound.
+                None => {}
+            }
+        }
+        self.ingress[idx].push_back((sender, bytes));
+        self.update_queue_depth();
+    }
+
+    /// Dispatches one wire frame through the receiving process, accounting
+    /// its disposition and sending any follow-up frames — the single path
+    /// shared by live deliveries and drained ingress buffers.
+    fn dispatch_frame(&mut self, idx: usize, sender: usize, bytes: &[u8]) {
+        let outcome = self.nodes[idx].handle_frame(sender as u64, bytes);
+        match outcome.disposition {
+            Disposition::Handled(kind, channel) => {
+                if kind == proto::FRAME_EVENT {
+                    self.metrics.delivered.inc();
+                    self.metrics.channel(channel).delivered.inc();
+                }
+            }
+            Disposition::Duplicate(_, _) => self.metrics.dedup_dropped.inc(),
+            Disposition::Quarantined(reason) => self.metrics.quarantined(reason),
+        }
+        for out in outcome.outgoing {
+            if let Some(&dst) = self.by_contact.get(&out.to_contact) {
+                // Follow-up frames keep travelling under the trace of the
+                // request that caused them (already in the frame header);
+                // their hop spans root at that trace.
+                let ctx = proto::peek_trace(&out.bytes).map(|t| TraceCtx::root(TraceId(t)));
+                // Link-down refusals land in the retry queue; a member
+                // with no route at all is dropped from this refresh (it
+                // will resync on its next own request).
+                let _ = self.send_with_retry(idx, dst, out.bytes, ctx);
+            }
+        }
+    }
+
+    /// Dispatches every frame buffered for processes that are no longer
+    /// paused, in arrival order. Returns how many frames were dispatched.
+    fn drain_ingress(&mut self) -> usize {
+        let mut n = 0;
+        for idx in 0..self.nodes.len() {
+            while !self.paused[idx] {
+                let Some((sender, bytes)) = self.ingress[idx].pop_front() else { break };
+                self.dispatch_frame(idx, sender, &bytes);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.update_queue_depth();
+        }
+        n
     }
 
     /// Runs the network to quiescence, dispatching every delivery through
@@ -565,9 +726,15 @@ impl EchoSystem {
     /// undeliverable frames are quarantined in its dead-letter queue and
     /// counted (`echo.deadletter.*`), duplicates are suppressed and counted
     /// (`echo.dedup.dropped`).
+    ///
+    /// Deliveries to a paused process ([`EchoSystem::pause_process`]) are
+    /// buffered, not dispatched; resumed processes drain their buffer here.
+    /// Bounded-queue overflow sheds warm (event) traffic into dead-letter
+    /// queues with [`DeadReason::Shed`] and counts it in `echo.queue.shed`.
     pub fn run(&mut self) -> usize {
         let mut processed = 0;
         loop {
+            processed += self.drain_ingress();
             self.pump_pending();
             let Some(d) = self.net.step() else {
                 // Idle wire. If retries are waiting on their backoff (or a
@@ -588,30 +755,14 @@ impl EchoSystem {
             let _ = self.net.recv(d.to);
             let idx =
                 self.net_ids.iter().position(|&n| n == d.to).expect("delivery to a known node");
-            let outcome = self.nodes[idx].handle_frame(&d.payload);
-            match outcome.disposition {
-                Disposition::Handled(kind, channel) => {
-                    if kind == proto::FRAME_EVENT {
-                        self.metrics.delivered.inc();
-                        self.metrics.channel(channel).delivered.inc();
-                    }
-                }
-                Disposition::Duplicate(_, _) => self.metrics.dedup_dropped.inc(),
-                Disposition::Quarantined(reason) => self.metrics.quarantined(reason),
+            let sender =
+                self.net_ids.iter().position(|&n| n == d.from).expect("delivery from a known node");
+            if self.paused[idx] {
+                self.buffer_ingress(idx, sender, d.payload);
+            } else {
+                self.dispatch_frame(idx, sender, &d.payload);
+                processed += 1;
             }
-            for out in outcome.outgoing {
-                if let Some(&dst) = self.by_contact.get(&out.to_contact) {
-                    // Follow-up frames keep travelling under the trace of
-                    // the request that caused them (already in the frame
-                    // header); their hop spans root at that trace.
-                    let ctx = proto::peek_trace(&out.bytes).map(|t| TraceCtx::root(TraceId(t)));
-                    // Link-down refusals land in the retry queue; a member
-                    // with no route at all is dropped from this refresh (it
-                    // will resync on its next own request).
-                    let _ = self.send_with_retry(idx, dst, out.bytes, ctx);
-                }
-            }
-            processed += 1;
         }
         processed
     }
@@ -698,6 +849,45 @@ impl EchoSystem {
     /// Replaces the retry policy for link-down re-sends.
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
+    }
+
+    /// Caps the link-down retry queue. Admissions past the cap shed the
+    /// oldest queued event frame (control frames are never shed) into the
+    /// sender's dead-letter queue with [`DeadReason::Shed`].
+    pub fn set_retry_queue_capacity(&mut self, capacity: usize) {
+        self.retry_capacity = capacity;
+    }
+
+    /// Caps each paused process's ingress buffer, with the same shed
+    /// policy as the retry queue (victims quarantine at the *receiver*).
+    pub fn set_ingress_capacity(&mut self, capacity: usize) {
+        self.ingress_capacity = capacity;
+    }
+
+    /// Pauses a process: models an overloaded or stalled consumer.
+    /// Deliveries addressed to it buffer in a bounded ingress queue
+    /// instead of dispatching; the rest of the system keeps running.
+    pub fn pause_process(&mut self, proc: ProcessId) {
+        self.paused[proc.0] = true;
+    }
+
+    /// Resumes a paused process; its buffered frames drain — through the
+    /// exact dispatch path live deliveries take — on the next
+    /// [`EchoSystem::run`].
+    pub fn resume_process(&mut self, proc: ProcessId) {
+        self.paused[proc.0] = false;
+    }
+
+    /// High-watermark backpressure signal: true once a process's ingress
+    /// buffer is at least 3/4 full. Publishers can poll this to slow down
+    /// before shedding starts.
+    pub fn backpressure(&self, proc: ProcessId) -> bool {
+        self.ingress[proc.0].len() * 4 >= self.ingress_capacity * 3
+    }
+
+    /// Frames currently buffered for a (paused or resuming) process.
+    pub fn ingress_depth(&self, proc: ProcessId) -> usize {
+        self.ingress[proc.0].len()
     }
 
     /// Attaches a [`FaultPlan`] to the (bidirectional) link between two
@@ -1106,6 +1296,83 @@ mod tests {
         assert!(sys.event_registry(s2, ch).is_some());
         assert!(sys.event_registry(s2, ChannelId(99)).is_none());
         assert!(sys.event_registry(c, ch).is_none());
+    }
+
+    #[test]
+    fn full_retry_queue_sheds_oldest_events_but_never_control() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.set_retry_queue_capacity(2);
+        sys.set_link_up(s1, s2, false);
+        for n in 0..4 {
+            sys.publish(s1, ch, &fmt, &tick(n)).unwrap();
+        }
+        // Capacity 2: ticks 0 and 1 were shed (drop-oldest) to make room.
+        assert_eq!(sys.pending_retries(), 2);
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.counter("echo.queue.shed"), Some(2));
+        assert_eq!(snap.counter("echo.deadletter.shed"), Some(2));
+        assert_eq!(snap.gauge("echo.queue.depth"), Some(2));
+        // Every shed frame is accounted at its *sender* with reason Shed.
+        let shed: Vec<DeadLetter> =
+            sys.dead_letters(s1).into_iter().filter(|l| l.reason == DeadReason::Shed).collect();
+        assert_eq!(shed.len(), 2);
+        assert!(shed.iter().all(|l| l.detail.contains("retry queue full")));
+        // A control frame admits even though the queue is at capacity —
+        // and it does so by shedding another event, not by being dropped.
+        sys.set_link_up(s2, c, false);
+        sys.subscribe(s2, ch, Role::sink(), None).unwrap();
+        assert_eq!(sys.pending_retries(), 2);
+        assert_eq!(sys.registry().snapshot().counter("echo.queue.shed"), Some(3));
+        // Heal: the survivors (1 event + the control frame) deliver.
+        sys.set_link_up(s1, s2, true);
+        sys.set_link_up(s2, c, true);
+        sys.run();
+        let events = sys.take_events(s2);
+        assert_eq!(events, vec![(ch, tick(3))], "only the newest event survived the queue");
+        assert_eq!(sys.registry().snapshot().gauge("echo.queue.depth"), Some(0));
+    }
+
+    #[test]
+    fn paused_process_buffers_bounded_ingress_with_backpressure() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.set_ingress_capacity(4);
+        sys.pause_process(s2);
+        assert!(!sys.backpressure(s2));
+        for n in 0..6 {
+            sys.publish(s1, ch, &fmt, &tick(n)).unwrap();
+        }
+        sys.run();
+        // All six frames arrived, but the consumer is stalled: 4 buffered,
+        // the 2 oldest shed at the *receiver*.
+        assert_eq!(sys.ingress_depth(s2), 4);
+        assert!(sys.backpressure(s2), "high watermark (3/4) reached");
+        assert!(sys.take_events(s2).is_empty(), "nothing dispatched while paused");
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.counter("echo.queue.shed"), Some(2));
+        assert_eq!(snap.gauge("echo.queue.depth"), Some(4));
+        assert_eq!(sys.dead_letters(s2).iter().filter(|l| l.reason == DeadReason::Shed).count(), 2);
+        // Resume: the buffer drains through the normal dispatch path.
+        sys.resume_process(s2);
+        sys.run();
+        assert_eq!(sys.ingress_depth(s2), 0);
+        assert!(!sys.backpressure(s2));
+        let events = sys.take_events(s2);
+        assert_eq!(
+            events,
+            vec![(ch, tick(2)), (ch, tick(3)), (ch, tick(4)), (ch, tick(5))],
+            "the newest four survive, in arrival order"
+        );
+        assert_eq!(sys.registry().snapshot().gauge("echo.queue.depth"), Some(0));
     }
 
     #[test]

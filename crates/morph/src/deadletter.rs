@@ -37,6 +37,9 @@ pub enum DeadReason {
     /// A retry budget was exhausted before the message could be sent or
     /// resolved.
     RetryExhausted,
+    /// Dropped by load shedding: a bounded queue or pending set was full
+    /// and this message was the chosen victim (drop-oldest warm traffic).
+    Shed,
 }
 
 impl DeadReason {
@@ -50,17 +53,19 @@ impl DeadReason {
             DeadReason::Unresolvable => "unresolvable",
             DeadReason::TransformFailed => "transform_failed",
             DeadReason::RetryExhausted => "retry_exhausted",
+            DeadReason::Shed => "shed",
         }
     }
 
     /// Every reason, in metric-catalogue order.
-    pub const ALL: [DeadReason; 6] = [
+    pub const ALL: [DeadReason; 7] = [
         DeadReason::Corrupt,
         DeadReason::Malformed,
         DeadReason::Undecodable,
         DeadReason::Unresolvable,
         DeadReason::TransformFailed,
         DeadReason::RetryExhausted,
+        DeadReason::Shed,
     ];
 }
 
@@ -199,6 +204,7 @@ pub fn reason_for(err: &MorphError) -> DeadReason {
     match err {
         MorphError::Pbio(_) => DeadReason::Undecodable,
         MorphError::UnknownWireFormat(_) => DeadReason::Unresolvable,
+        MorphError::Unavailable(_) => DeadReason::Unresolvable,
         MorphError::RetryExhausted(_) => DeadReason::RetryExhausted,
         _ => DeadReason::TransformFailed,
     }

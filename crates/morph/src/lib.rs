@@ -53,6 +53,7 @@ mod error;
 mod matching;
 pub mod metaserver;
 mod receiver;
+pub mod resolver;
 pub mod weighted;
 mod xform;
 
@@ -67,6 +68,9 @@ pub use metaserver::{
     MetaServer, RetryPolicy,
 };
 pub use receiver::{DefaultHandler, Delivery, Explanation, Handler, MorphReceiver, MorphStats};
+pub use resolver::{
+    BreakerState, DrainReport, PendingSet, PoolDelivery, ResolverConfig, ResolverPool,
+};
 pub use xform::{
     CompiledChain, CompiledXform, ReachableFormat, Transformation, TransformationRegistry,
 };

@@ -327,8 +327,15 @@ impl RetryPolicy {
 
     /// Backoff (including jitter) before retry number `attempt` (0-based).
     pub fn backoff_ns(&self, attempt: u32) -> u64 {
-        let exp =
-            self.base_backoff_ns.checked_shl(attempt).unwrap_or(u64::MAX).min(self.max_backoff_ns);
+        // `checked_shl` only rejects shift *amounts* ≥ 64 — bits shifted
+        // past the top are silently discarded, which would collapse the
+        // backoff to ~0 (a hot retry spin) once `attempt` clears the base's
+        // leading zeros. Saturate straight to the cap instead.
+        let exp = if attempt >= self.base_backoff_ns.leading_zeros() {
+            self.max_backoff_ns
+        } else {
+            (self.base_backoff_ns << attempt).min(self.max_backoff_ns)
+        };
         // splitmix64 of (seed, attempt): stateless, deterministic jitter.
         let mut z =
             self.jitter_seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
@@ -704,6 +711,52 @@ mod tests {
         assert!(seq[9] <= p.max_backoff_ns + p.max_backoff_ns / 2 + 1, "capped");
         // Huge attempt numbers never overflow.
         let _ = p.backoff_ns(u32::MAX);
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap_for_huge_attempts() {
+        let p = RetryPolicy::with_seed(9);
+        // Once `attempt` clears the base's leading zeros the shift would
+        // push every bit off the top; the backoff must saturate at the cap,
+        // never wrap toward 0 (which would turn retries into a hot spin).
+        for a in [44, 58, 63, 64, 65, 100, 1_000, 1 << 20, u32::MAX] {
+            let b = p.backoff_ns(a);
+            assert!(b >= p.max_backoff_ns, "attempt {a}: {b} below the cap");
+            assert!(
+                b <= p.max_backoff_ns + p.max_backoff_ns / 2 + 1,
+                "attempt {a}: {b} exceeds cap + 50% jitter"
+            );
+        }
+        // The cap engages exactly where the exponential first crosses it
+        // (1 ms << 6 = 64 ms > 50 ms) and never releases.
+        assert!(p.base_backoff_ns << 5 < p.max_backoff_ns);
+        assert!(p.base_backoff_ns << 6 > p.max_backoff_ns);
+        for a in 6..70u32 {
+            assert!(p.backoff_ns(a) >= p.max_backoff_ns, "attempt {a} is capped");
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_bounded_over_ten_thousand_seed_attempt_pairs() {
+        // Property: for every (seed, attempt) pair the backoff is at least
+        // the capped exponential and at most 50% above it.
+        for s in 0..100u64 {
+            let seed = s.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (s << 7);
+            let p = RetryPolicy::with_seed(seed);
+            for attempt in 0..100u32 {
+                let b = p.backoff_ns(attempt);
+                let nominal = if attempt >= p.base_backoff_ns.leading_zeros() {
+                    p.max_backoff_ns
+                } else {
+                    (p.base_backoff_ns << attempt).min(p.max_backoff_ns)
+                };
+                assert!(b >= nominal, "seed {seed} attempt {attempt}: {b} < {nominal}");
+                assert!(
+                    b <= nominal + nominal / 2 + 1,
+                    "seed {seed} attempt {attempt}: {b} beyond +50% of {nominal}"
+                );
+            }
+        }
     }
 
     #[test]

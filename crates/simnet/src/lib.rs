@@ -107,6 +107,9 @@ pub enum NetError {
     NoRoute(NodeId, NodeId),
     /// The link exists but is administratively down (partition modeling).
     LinkDown(NodeId, NodeId),
+    /// An endpoint is inside a scheduled crash window
+    /// ([`Network::set_crash_windows`]) — the process is down, not the wire.
+    NodeDown(NodeId),
 }
 
 impl fmt::Display for NetError {
@@ -115,6 +118,7 @@ impl fmt::Display for NetError {
             NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
             NetError::NoRoute(a, b) => write!(f, "no link between {a} and {b}"),
             NetError::LinkDown(a, b) => write!(f, "link between {a} and {b} is down"),
+            NetError::NodeDown(n) => write!(f, "node {n} is crashed"),
         }
     }
 }
@@ -187,6 +191,17 @@ pub struct LinkStats {
     pub messages: u64,
 }
 
+/// Accounting for scheduled node-crash windows
+/// ([`Network::set_crash_windows`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CrashStats {
+    /// Sends refused because an endpoint was inside a crash window.
+    pub blocked: u64,
+    /// In-flight messages discarded because their destination was crashed
+    /// at delivery time.
+    pub dropped: u64,
+}
+
 /// Cached `simnet.*` counter handles for an attached registry.
 #[derive(Debug)]
 struct NetMetrics {
@@ -198,6 +213,8 @@ struct NetMetrics {
     fault_duplicated: Arc<Counter>,
     fault_reordered: Arc<Counter>,
     fault_partition_blocked: Arc<Counter>,
+    crash_blocked: Arc<Counter>,
+    crash_dropped: Arc<Counter>,
     /// Per directed link `(bytes, messages)`, created on first send.
     per_link: HashMap<(NodeId, NodeId), (Arc<Counter>, Arc<Counter>)>,
 }
@@ -216,6 +233,10 @@ pub struct Network {
     clock: VirtualClock,
     metrics: Option<NetMetrics>,
     recorder: Option<Arc<FlightRecorder>>,
+    /// Scheduled `[from_ns, until_ns)` crash windows per node — the
+    /// server-loss mirror of [`FaultPlan`]'s partition windows.
+    crash_windows: HashMap<NodeId, Vec<(u64, u64)>>,
+    crash_stats: CrashStats,
 }
 
 impl Network {
@@ -278,6 +299,8 @@ impl Network {
             fault_duplicated: registry.counter("simnet.fault.duplicated"),
             fault_reordered: registry.counter("simnet.fault.reordered"),
             fault_partition_blocked: registry.counter("simnet.fault.partition_blocked"),
+            crash_blocked: registry.counter("simnet.crash.blocked"),
+            crash_dropped: registry.counter("simnet.crash.dropped"),
             per_link: HashMap::new(),
             registry,
         });
@@ -331,6 +354,35 @@ impl Network {
         total
     }
 
+    /// Schedules crash windows for a node: during any half-open
+    /// `[from_ns, until_ns)` window the node is down — sends from or to it
+    /// are refused with [`NetError::NodeDown`], and in-flight messages
+    /// reaching it are silently discarded (counted in
+    /// [`Network::crash_stats`]). The mirror of [`FaultPlan`]'s scheduled
+    /// partition windows for *process* loss: replica crashes become
+    /// injectable and, being pure schedule, replayable per seed. Replaces
+    /// any previous windows for the node.
+    pub fn set_crash_windows(&mut self, node: NodeId, windows: &[(u64, u64)]) {
+        self.crash_windows.insert(node, windows.to_vec());
+    }
+
+    /// Removes every scheduled crash window for the node.
+    pub fn clear_crash_windows(&mut self, node: NodeId) {
+        self.crash_windows.remove(&node);
+    }
+
+    /// True when `at_ns` falls inside one of the node's crash windows.
+    pub fn node_crashed_at(&self, node: NodeId, at_ns: u64) -> bool {
+        self.crash_windows
+            .get(&node)
+            .is_some_and(|ws| ws.iter().any(|&(from, until)| at_ns >= from && at_ns < until))
+    }
+
+    /// Accounting for crash-window refusals and drops.
+    pub fn crash_stats(&self) -> CrashStats {
+        self.crash_stats
+    }
+
     /// Advances virtual time by `delta_ns` without delivering anything —
     /// models a component waiting (e.g. a retry backoff) while the network
     /// is quiet. Time never runs backwards past queued deliveries; they
@@ -352,9 +404,11 @@ impl Network {
     ///
     /// # Errors
     ///
-    /// Returns [`NetError::UnknownNode`] / [`NetError::NoRoute`], and
+    /// Returns [`NetError::UnknownNode`] / [`NetError::NoRoute`],
     /// [`NetError::LinkDown`] when the link is administratively down or
-    /// inside a scheduled partition window.
+    /// inside a scheduled partition window, and [`NetError::NodeDown`] when
+    /// either endpoint is inside a scheduled crash window
+    /// ([`Network::set_crash_windows`]).
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<u64, NetError> {
         self.send_traced(from, to, payload, None)
     }
@@ -364,8 +418,9 @@ impl Network {
     /// hop is annotated with a `simnet.link.<from>-><to>` span from
     /// departure to delivery, injected faults are tagged onto it
     /// (`fault=corrupt` / `duplicate` / `reorder`), dropped copies become
-    /// `simnet.fault.dropped` instants, and sends refused inside a
-    /// scheduled partition window record `simnet.fault.partition_blocked`.
+    /// `simnet.fault.dropped` instants, sends refused inside a
+    /// scheduled partition window record `simnet.fault.partition_blocked`,
+    /// and sends refused by a crash window record `simnet.crash.blocked`.
     /// With `ctx` of `None` (or no recorder) this is exactly [`Network::send`].
     ///
     /// # Errors
@@ -388,8 +443,28 @@ impl Network {
             (Some(rec), Some(ctx)) => Some((Arc::clone(rec), ctx)),
             _ => None,
         };
-        let link_label = || format!("simnet.link.{}->{}", &self.names[from.0], &self.names[to.0]);
         let now = self.now_ns;
+        // A crashed endpoint refuses traffic before the wire is consulted:
+        // the process is down, not the link.
+        for node in [from, to] {
+            if self.node_crashed_at(node, now) {
+                self.crash_stats.blocked += 1;
+                if let Some(m) = &self.metrics {
+                    m.crash_blocked.inc();
+                }
+                if let Some((rec, ctx)) = &trace {
+                    rec.instant_at(
+                        ctx.trace,
+                        ctx.parent,
+                        "simnet.crash.blocked",
+                        &[("node", &self.names[node.0])],
+                        now,
+                    );
+                }
+                return Err(NetError::NodeDown(node));
+            }
+        }
+        let link_label = || format!("simnet.link.{}->{}", &self.names[from.0], &self.names[to.0]);
         let link = self.links.get_mut(&(from, to)).ok_or(NetError::NoRoute(from, to))?;
         if link.down {
             return Err(NetError::LinkDown(from, to));
@@ -575,18 +650,43 @@ impl Network {
     }
 
     /// Delivers the next in-flight message, advancing the clock to its
-    /// delivery time and depositing it in the receiver's inbox. Returns
-    /// `None` when nothing is in flight.
+    /// delivery time and depositing it in the receiver's inbox. Messages
+    /// whose destination is inside a crash window at delivery time are
+    /// discarded (the process is not there to receive them) and accounted
+    /// in [`Network::crash_stats`]. Returns `None` when nothing is in
+    /// flight.
     pub fn step(&mut self) -> Option<Delivery> {
-        let Reverse(mut m) = self.queue.pop()?;
-        self.now_ns = self.now_ns.max(m.deliver_at);
-        self.clock.set_ns(self.now_ns);
-        if let Some(span) = m.span.take() {
-            span.finish(); // commits [depart..deliver] on the virtual clock
+        loop {
+            let Reverse(mut m) = self.queue.pop()?;
+            self.now_ns = self.now_ns.max(m.deliver_at);
+            self.clock.set_ns(self.now_ns);
+            let crashed = self.node_crashed_at(m.to, m.deliver_at);
+            if let Some(mut span) = m.span.take() {
+                if crashed {
+                    span.tag("fault", "crash");
+                    if let Some(rec) = &self.recorder {
+                        rec.instant_at(
+                            span.trace(),
+                            Some(span.id()),
+                            "simnet.crash.dropped",
+                            &[("node", &self.names[m.to.0])],
+                            m.deliver_at,
+                        );
+                    }
+                }
+                span.finish(); // commits [depart..deliver] on the virtual clock
+            }
+            if crashed {
+                self.crash_stats.dropped += 1;
+                if let Some(mm) = &self.metrics {
+                    mm.crash_dropped.inc();
+                }
+                continue;
+            }
+            let d = Delivery { from: m.from, to: m.to, payload: m.payload, at_ns: m.deliver_at };
+            self.inboxes[d.to.0].push_back(d.clone());
+            return Some(d);
         }
-        let d = Delivery { from: m.from, to: m.to, payload: m.payload, at_ns: m.deliver_at };
-        self.inboxes[d.to.0].push_back(d.clone());
-        Some(d)
     }
 
     /// Drains the inbox of `node` (messages already delivered by
@@ -816,6 +916,49 @@ mod tests {
         // The registry clock follows the simulation.
         assert!(net.now_ns() > 0);
         assert_eq!(snap.at_ns, net.now_ns());
+    }
+
+    #[test]
+    fn crash_windows_block_sends_and_drop_inflight() {
+        let (mut net, a, b) = pair(LinkParams::lan());
+        // In flight before the crash: dropped at delivery time, since the
+        // process is gone when the message arrives.
+        net.send(a, b, vec![1]).unwrap();
+        net.set_crash_windows(b, &[(50_000, 10_000_000)]);
+        assert!(net.step().is_none(), "delivery inside the window is discarded");
+        assert_eq!(net.crash_stats().dropped, 1);
+        // New sends in either direction are refused while b is down.
+        assert_eq!(net.send(a, b, vec![2]).unwrap_err(), NetError::NodeDown(b));
+        assert_eq!(net.send(b, a, vec![3]).unwrap_err(), NetError::NodeDown(b));
+        assert_eq!(net.crash_stats().blocked, 2);
+        // Windows are half-open: down at from_ns, back at until_ns.
+        assert!(net.node_crashed_at(b, 50_000));
+        assert!(!net.node_crashed_at(b, 49_999));
+        assert!(!net.node_crashed_at(b, 10_000_000));
+        // After the restart the node serves again.
+        net.advance_ns(20_000_000);
+        net.send(a, b, vec![4]).unwrap();
+        assert_eq!(net.step().unwrap().payload, vec![4]);
+        // Clearing windows forgets the schedule entirely.
+        net.set_crash_windows(b, &[(0, u64::MAX)]);
+        net.clear_crash_windows(b);
+        net.send(a, b, vec![5]).unwrap();
+        assert_eq!(net.step().unwrap().payload, vec![5]);
+    }
+
+    #[test]
+    fn crash_accounting_mirrors_to_registry() {
+        let (mut net, a, b) = pair(LinkParams::ideal());
+        let reg = Arc::new(Registry::with_clock(Arc::new(net.virtual_clock())));
+        net.attach_registry(Arc::clone(&reg));
+        net.set_crash_windows(b, &[(0, 1_000)]);
+        assert_eq!(net.send(a, b, vec![1]).unwrap_err(), NetError::NodeDown(b));
+        assert_eq!(reg.snapshot().counter("simnet.crash.blocked"), Some(1));
+        // The window is half-open, so at exactly 1_000 ns b is back.
+        net.advance_ns(1_000);
+        net.send(a, b, vec![2]).unwrap();
+        assert_eq!(net.step().unwrap().payload, vec![2]);
+        assert_eq!(reg.snapshot().counter("simnet.crash.dropped"), Some(0));
     }
 
     #[test]

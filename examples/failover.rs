@@ -1,0 +1,161 @@
+//! Surviving format-server loss: replicas, circuit breakers, and
+//! stale-cache degradation.
+//!
+//! The paper's out-of-band meta-data service is a single point of failure:
+//! a receiver hitting an unknown format id *blocks* on resolution. This
+//! example runs a [`morph::ResolverPool`] over three format-server
+//! replicas and walks the full degradation arc:
+//!
+//! 1. healthy resolution, round-robined over the replicas;
+//! 2. one replica dies — failover, and its breaker opens;
+//! 3. *every* replica dies — warm formats keep flowing from the receiver's
+//!    decision cache while unknown formats park in a bounded pending set;
+//! 4. the replicas heal — probes close the breakers and the parked
+//!    backlog drains exactly once.
+//!
+//! Run with: `cargo run --example failover`
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+use message_morphing::prelude::*;
+use morph::{
+    BreakerState, MetaServer, MorphError, PoolDelivery, ResolverConfig, ResolverPool, RetryPolicy,
+};
+use obs::{Clock, Registry, VirtualClock};
+use pbio::RecordFormat;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One consumer-side format and three writer generations, each needing
+    // its own out-of-band resolution the first time it is seen.
+    let old = FormatBuilder::record("Reading").int("value").build_arc()?;
+    let v2 = FormatBuilder::record("Reading").int("raw").int("scale").build_arc()?;
+    let v3 = FormatBuilder::record("Reading").int("raw").int("scale").string("unit").build_arc()?;
+    let v4 = FormatBuilder::record("Reading")
+        .int("raw")
+        .int("scale")
+        .string("unit")
+        .string("site")
+        .build_arc()?;
+    let retro = "old.value = new.raw * new.scale;";
+
+    // Three identically-provisioned format-server replicas.
+    let servers: Vec<RefCell<MetaServer>> = (0..3)
+        .map(|_| {
+            let mut s = MetaServer::new();
+            for fmt in [&v2, &v3, &v4] {
+                s.register_format(Arc::clone(fmt));
+                s.register_transformation(Transformation::new(
+                    Arc::clone(fmt),
+                    Arc::clone(&old),
+                    retro,
+                ));
+            }
+            RefCell::new(s)
+        })
+        .collect();
+    let up = RefCell::new(vec![true; servers.len()]);
+    let exchanges = RefCell::new(0u64);
+    let exchange = |ep: usize, req: Vec<u8>| -> morph::Result<Vec<u8>> {
+        *exchanges.borrow_mut() += 1;
+        if up.borrow()[ep] {
+            servers[ep].borrow_mut().handle(&req)
+        } else {
+            Err(MorphError::Protocol(format!("replica {ep} is down")))
+        }
+    };
+
+    // Receiver, pool, and clock. Breaker cooldowns run on the virtual
+    // clock, so the whole run is deterministic.
+    let clock = Arc::new(VirtualClock::new());
+    let registry = Arc::new(Registry::with_clock(Arc::clone(&clock) as Arc<dyn Clock>));
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&got);
+    let mut rx = MorphReceiver::with_registry(Arc::clone(&registry));
+    rx.register_handler(&old, move |v| sink.lock().unwrap().push(v));
+    // The cooldown outlasts the retry backoffs (which advance the virtual
+    // clock), so a tripped breaker stays open for the rest of the outage
+    // instead of burning budget on doomed half-open trials.
+    let cfg = ResolverConfig {
+        failure_threshold: 2,
+        cooldown_ns: 1_000_000_000,
+        pending_capacity: 4,
+        ..ResolverConfig::with_seed(42)
+    };
+    let heal_after_ns = cfg.cooldown_ns + cfg.probe_jitter_ns + 1;
+    let mut pool =
+        ResolverPool::new(servers.len(), cfg, Arc::clone(&clock) as Arc<dyn Clock>, &registry);
+    let policy = RetryPolicy::with_seed(42);
+    let sleep = |ns: u64| clock.advance_ns(ns);
+    let encode = |fmt: &Arc<RecordFormat>, fields: Vec<Value>| {
+        Encoder::new(fmt).encode(&Value::Record(fields)).unwrap()
+    };
+
+    // -- Phase 1: healthy. The v2 format resolves through the pool. -------
+    let msg = encode(&v2, vec![Value::Int(21), Value::Int(2)]);
+    let d = pool.process(&mut rx, &msg, &policy, exchange, sleep, None)?;
+    println!("phase 1: v2 resolved while healthy -> {d:?}");
+
+    // -- Phase 2: replica 0 dies. The v3 resolution fails over. -----------
+    up.borrow_mut()[0] = false;
+    let msg = encode(&v3, vec![Value::Int(30), Value::Int(3), Value::str("kPa")]);
+    let d = pool.process(&mut rx, &msg, &policy, exchange, sleep, None)?;
+    println!("phase 2: v3 resolved past the dead replica -> {d:?}");
+    println!(
+        "         breaker states: {}",
+        (0..pool.replicas()).map(|i| pool.state(i).to_string()).collect::<Vec<_>>().join(", ")
+    );
+    assert_eq!(pool.state(0), BreakerState::Open);
+
+    // -- Phase 3: total outage. Warm formats flow, unknown ones park. -----
+    for flag in up.borrow_mut().iter_mut() {
+        *flag = false;
+    }
+    let before = *exchanges.borrow();
+    for raw in 1..=5 {
+        let msg = encode(&v2, vec![Value::Int(raw), Value::Int(10)]);
+        let d = pool.process(&mut rx, &msg, &policy, exchange, sleep, None)?;
+        assert!(matches!(d, PoolDelivery::Delivered(_)));
+    }
+    println!(
+        "phase 3: 5 warm v2 readings served from the stale cache, {} server exchanges",
+        *exchanges.borrow() - before
+    );
+    let msg = encode(&v4, vec![Value::Int(7), Value::Int(7), Value::str("kPa"), Value::str("b4")]);
+    let d = pool.process(&mut rx, &msg, &policy, exchange, sleep, None)?;
+    assert!(matches!(d, PoolDelivery::Parked { .. }));
+    assert!(pool.all_open());
+    println!(
+        "         v4 is unknown and every breaker is open: parked ({} pending)",
+        pool.pending().len()
+    );
+
+    // -- Phase 4: heal. Probes close the breakers; the backlog drains. ----
+    for flag in up.borrow_mut().iter_mut() {
+        *flag = true;
+    }
+    clock.advance_ns(heal_after_ns);
+    let healthy = pool.probe(exchange, None);
+    let report = pool.drain(&mut rx, &policy, exchange, sleep, None);
+    println!(
+        "phase 4: healed — {healthy}/{} probes answered, {} parked message(s) drained",
+        pool.replicas(),
+        report.delivered
+    );
+    assert_eq!(report.delivered, 1);
+    assert!(pool.pending().is_empty());
+
+    // The books: every delivered reading, and the breaker life-cycle.
+    let values = got.lock().unwrap().clone();
+    assert_eq!(values.len(), 8, "2 resolutions + 5 warm + 1 drained");
+    let snap = registry.snapshot();
+    for name in [
+        "morph.breaker.open",
+        "morph.breaker.half_open",
+        "morph.breaker.close",
+        "morph.pending.drained",
+    ] {
+        println!("{name} = {}", snap.counter(name).unwrap_or(0));
+    }
+    Ok(())
+}

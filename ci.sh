@@ -37,6 +37,12 @@ for ex in quickstart stats_dump echo_evolution trace_dump failover; do
     cargo run -q --release --example "$ex" >/dev/null
 done
 
+echo "==> staged-vs-fused bench (smoke mode; writes BENCH_5.json)"
+# Fails if the fused warm path is slower than the staged oracle — the
+# fusion regression gate runs offline, without the criterion harness.
+cargo run -q --release --example fused_bench >/dev/null
+cat BENCH_5.json
+
 echo "==> bench workspace (needs registry access for criterion)"
 if (cd crates/bench && cargo metadata --format-version 1 >/dev/null 2>&1); then
     (cd crates/bench && cargo test -q)

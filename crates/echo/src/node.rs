@@ -6,7 +6,7 @@ use std::sync::{Arc, Mutex};
 
 use morph::{deadletter, DeadLetterQueue, DeadReason, MorphReceiver, MorphStats, Transformation};
 use obs::{ActiveSpan, FlightRecorder, SpanEvent, TraceCtx, TraceId};
-use pbio::{Encoder, RecordFormat, Value};
+use pbio::{Encoder, RecordFormat, Value, WireBytes};
 
 use crate::proto::{self, ChannelId, FrameError, MemberInfo};
 use crate::EchoError;
@@ -56,10 +56,12 @@ impl Role {
 }
 
 /// A message to be sent on the network, addressed by contact string.
+/// Carries framed bytes as a [`WireBytes`] view, so retry queues and
+/// the wire share the frame's buffer instead of copying it.
 #[derive(Debug, Clone)]
 pub(crate) struct Outgoing {
     pub to_contact: String,
-    pub bytes: Vec<u8>,
+    pub bytes: WireBytes,
 }
 
 /// What became of one incoming frame.
@@ -602,7 +604,7 @@ impl NodeState {
 mod tests {
     use super::*;
 
-    fn event_frame(seq: u64) -> Vec<u8> {
+    fn event_frame(seq: u64) -> WireBytes {
         proto::frame(proto::FRAME_EVENT, ChannelId(1), seq, proto::NO_TRACE, b"")
     }
 

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use morph::Transformation;
-use pbio::{FormatBuilder, RecordFormat, Value};
+use pbio::{FormatBuilder, RecordFormat, Value, WireBytes};
 
 /// Identifies an event channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -325,7 +325,12 @@ fn crc32(seed: u32, bytes: &[u8]) -> u32 {
 /// little-endian. The CRC-32 covers kind, channel, seq, trace, and
 /// payload, so any single-byte damage anywhere in the frame is detected
 /// by [`unframe`]. Pass [`NO_TRACE`] when the message joins no trace.
-pub fn frame(kind: u8, channel: ChannelId, seq: u64, trace: u64, pbio_msg: &[u8]) -> Vec<u8> {
+///
+/// This is the *one* place on the send path where payload bytes are
+/// copied: the returned [`WireBytes`] is a shared buffer, so fan-out,
+/// retry queues, and the simulated wire all clone views of it rather
+/// than the bytes themselves.
+pub fn frame(kind: u8, channel: ChannelId, seq: u64, trace: u64, pbio_msg: &[u8]) -> WireBytes {
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + pbio_msg.len());
     out.push(kind);
     out.extend_from_slice(&channel.0.to_le_bytes());
@@ -334,7 +339,7 @@ pub fn frame(kind: u8, channel: ChannelId, seq: u64, trace: u64, pbio_msg: &[u8]
     let crc = crc32(crc32(0, &out), pbio_msg);
     out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(pbio_msg);
-    out
+    WireBytes::from(out)
 }
 
 /// Best-effort read of the trace id from raw frame bytes, **without**
@@ -474,7 +479,7 @@ mod tests {
         assert!(unframe(&framed).is_ok());
         for i in 0..framed.len() {
             for flip in [0x01u8, 0x80, 0xFF] {
-                let mut damaged = framed.clone();
+                let mut damaged = framed.to_vec();
                 damaged[i] ^= flip;
                 assert_eq!(
                     unframe(&damaged),
@@ -492,7 +497,7 @@ mod tests {
         let f = unframe(&framed).unwrap();
         assert_eq!(f.payload, b"");
         assert_eq!(f.trace, NO_TRACE);
-        let mut damaged = framed;
+        let mut damaged = framed.to_vec();
         damaged[0] ^= 1;
         assert_eq!(unframe(&damaged), Err(FrameError::BadChecksum));
     }
@@ -502,7 +507,7 @@ mod tests {
         let framed = frame(FRAME_EVENT, ChannelId(2), 5, 0xDECAF, b"data");
         assert_eq!(peek_trace(&framed), Some(0xDECAF));
         // Corrupt the payload: unframe rejects, peek still attributes.
-        let mut damaged = framed.clone();
+        let mut damaged = framed.to_vec();
         *damaged.last_mut().unwrap() ^= 0xFF;
         assert_eq!(unframe(&damaged), Err(FrameError::BadChecksum));
         assert_eq!(peek_trace(&damaged), Some(0xDECAF));

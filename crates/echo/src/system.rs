@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use morph::{CompiledXform, DeadLetter, DeadReason, MorphStats, RetryPolicy, Transformation};
 use obs::{Counter, FlightRecorder, Gauge, Registry, TraceCtx, TraceId};
-use pbio::{Encoder, RecordFormat, Value};
+use pbio::{Encoder, RecordFormat, Value, WireBytes};
 use simnet::{FaultPlan, FaultStats, LinkParams, NetError, Network, NodeId};
 
 use crate::node::{Disposition, EchoVersion, NodeState, Role};
@@ -159,7 +159,7 @@ pub struct EchoSystem {
     /// Per-process ingress buffers of `(sender index, frame)`, filled
     /// while paused, drained by [`EchoSystem::run`] once resumed. Bounded
     /// by `ingress_capacity` under the shed policy.
-    ingress: Vec<VecDeque<(usize, Vec<u8>)>>,
+    ingress: Vec<VecDeque<(usize, WireBytes)>>,
     /// Bound on each ingress buffer.
     ingress_capacity: usize,
     /// Flight recorder on the virtual clock: one causal trace per publish
@@ -173,7 +173,9 @@ pub struct EchoSystem {
 struct PendingFrame {
     from: usize,
     to: usize,
-    bytes: Vec<u8>,
+    /// View of the framed buffer; re-send attempts clone the view, not
+    /// the bytes.
+    bytes: WireBytes,
     /// Retries already spent.
     attempts: u32,
     /// Virtual time before which no re-send is attempted.
@@ -449,7 +451,9 @@ impl EchoSystem {
         root.tag("channel", &channel.0.to_string());
         root.tag("from", &self.nodes[proc.0].name);
         let ctx = Some(root.ctx());
-        let mut raw_frame: Option<Vec<u8>> = None;
+        // Raw fan-out: the frame is built (and the payload copied) once;
+        // every additional sink clones the view — an Arc bump, not bytes.
+        let mut raw_frame: Option<WireBytes> = None;
         let mut sent = 0;
         let result = (|| -> Result<usize, EchoError> {
             for contact in sinks {
@@ -550,9 +554,11 @@ impl EchoSystem {
         &mut self,
         from: usize,
         to: usize,
-        bytes: Vec<u8>,
+        bytes: WireBytes,
         ctx: Option<TraceCtx>,
     ) -> Result<(), EchoError> {
+        // The clone hands the wire a view of the frame buffer; the bytes
+        // themselves are never copied again after `proto::frame`.
         match self.net.send_traced(self.net_ids[from], self.net_ids[to], bytes.clone(), ctx) {
             Ok(_) => Ok(()),
             Err(NetError::LinkDown(_, _)) => {
@@ -646,7 +652,7 @@ impl EchoSystem {
     /// when the (bounded) buffer is full, the oldest buffered *event*
     /// frame — or the newcomer, if only control frames are buffered — is
     /// quarantined at the receiver with [`DeadReason::Shed`].
-    fn buffer_ingress(&mut self, idx: usize, sender: usize, bytes: Vec<u8>) {
+    fn buffer_ingress(&mut self, idx: usize, sender: usize, bytes: WireBytes) {
         if self.ingress[idx].len() >= self.ingress_capacity {
             let oldest_event =
                 self.ingress[idx].iter().position(|(_, b)| b.first() == Some(&proto::FRAME_EVENT));

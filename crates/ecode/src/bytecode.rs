@@ -115,6 +115,11 @@ pub enum Insn {
     RetVal,
     /// Finish with no result.
     RetVoid,
+    /// Re-synchronize the length-field invariant of the root binding with
+    /// this index (see [`pbio::sync_length_fields`]). Never emitted by the
+    /// source compiler — only by chain fusion ([`crate::FusedProgram`]),
+    /// which inlines each step's post-run sync between inlined step bodies.
+    SyncRoot(u8),
 }
 
 /// Frame layout of one compiled user function.

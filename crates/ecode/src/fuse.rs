@@ -1,0 +1,410 @@
+//! Chain fusion: compile a whole retro-transformation chain into **one**
+//! bytecode program.
+//!
+//! A staged morph runs each chain step as its own VM invocation, with a
+//! freshly-allocated intermediate `Value` tree between steps. Fusion inlines
+//! every step's compiled body into a single instruction stream instead: the
+//! fused program binds `m + 1` roots — the incoming message plus one output
+//! record per step — and threads them through, so a warm morph is one VM
+//! entry with no per-step dispatch. Between inlined bodies a
+//! [`Insn::SyncRoot`] re-establishes the length-field invariant exactly
+//! where the staged path called [`pbio::sync_length_fields`], keeping the
+//! fused result `Value`-identical to the staged oracle (differentially
+//! tested in `tests/proptests.rs`).
+//!
+//! The rewrite is purely mechanical, which is what makes it safe:
+//!
+//! * jump targets, function entries, string-pool and function indices are
+//!   shifted by each step's placement offset;
+//! * root indices shift by the step's position (step *i* reads root *i*,
+//!   writes root *i + 1*);
+//! * *main-body* local slots shift by the sum of preceding steps' main
+//!   locals (function locals are frame-relative and need no shift);
+//! * *main-body* `RetVal`/`RetVoid` become jumps to the step's trailer
+//!   (`RetVal` through a `Pop` — the staged path ignores step return
+//!   values); function-body returns are untouched, they pop call frames.
+
+use pbio::format_id;
+
+use crate::bytecode::{CSeg, Code, FnCode, Insn};
+use crate::error::{EcodeError, Result};
+use crate::tast::Binding;
+use crate::vm;
+use crate::EcodeProgram;
+use pbio::Value;
+
+/// A transformation chain compiled into a single VM program.
+///
+/// Build with [`FusedProgram::compose`]; execute with [`FusedProgram::run`]
+/// against `m + 1` roots (incoming message first, then one default record
+/// per step's target format, in chain order). On return, the last root holds
+/// the final morphed value.
+#[derive(Debug, Clone)]
+pub struct FusedProgram {
+    code: Code,
+    bindings: Vec<Binding>,
+}
+
+impl FusedProgram {
+    /// Fuses the compiled chain `steps` (each a two-root `new`/`old`
+    /// transformation, in application order) into one program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcodeError::Runtime`] when the chain is empty, a step does
+    /// not have exactly two roots, adjacent steps do not compose (step
+    /// *i*'s output format differs from step *i + 1*'s input format), or
+    /// the chain exceeds the VM's `u8` root-index space.
+    pub fn compose(steps: &[&EcodeProgram]) -> Result<FusedProgram> {
+        if steps.is_empty() {
+            return Err(EcodeError::runtime("cannot fuse an empty chain"));
+        }
+        if steps.len() >= u8::MAX as usize {
+            return Err(EcodeError::runtime("chain too long to fuse"));
+        }
+        for (i, p) in steps.iter().enumerate() {
+            if p.bindings().len() != 2 {
+                return Err(EcodeError::runtime(format!(
+                    "chain step {i} has {} roots, fusion needs exactly 2",
+                    p.bindings().len()
+                )));
+            }
+        }
+        for (i, pair) in steps.windows(2).enumerate() {
+            let out = format_id(&pair[0].bindings()[1].format);
+            let inp = format_id(&pair[1].bindings()[0].format);
+            if out != inp {
+                return Err(EcodeError::runtime(format!(
+                    "chain steps {i} and {} do not compose",
+                    i + 1
+                )));
+            }
+        }
+
+        let mut insns: Vec<Insn> = Vec::new();
+        let mut strings: Vec<String> = Vec::new();
+        let mut funcs: Vec<FnCode> = Vec::new();
+        let mut local_base: u32 = 0;
+        let last = steps.len() - 1;
+
+        for (i, p) in steps.iter().enumerate() {
+            let code = p.code();
+            let off = insns.len() as u32;
+            let string_base = strings.len() as u32;
+            let func_base = funcs.len() as u32;
+            // Everything before the first function entry is the main body
+            // (the compiler lays out main first, terminated by `RetVoid`).
+            let main_end =
+                code.funcs.iter().map(|f| f.entry as usize).min().unwrap_or(code.insns.len());
+            let tail_pop = off + code.insns.len() as u32;
+            let tail = tail_pop + 1;
+
+            for (pc, insn) in code.insns.iter().enumerate() {
+                let in_main = pc < main_end;
+                insns.push(match insn {
+                    Insn::Jmp(t) => Insn::Jmp(t + off),
+                    Insn::Jz(t) => Insn::Jz(t + off),
+                    Insn::Jnz(t) => Insn::Jnz(t + off),
+                    Insn::ConstS(s) => Insn::ConstS(s + string_base),
+                    Insn::CallFn(f) => Insn::CallFn(f + func_base),
+                    Insn::LoadLocal(slot) if in_main => Insn::LoadLocal(slot + local_base),
+                    Insn::StoreLocal(slot) if in_main => Insn::StoreLocal(slot + local_base),
+                    Insn::Load { root, n_idx, segs } => {
+                        Insn::Load { root: root + i as u8, n_idx: *n_idx, segs: segs.clone() }
+                    }
+                    Insn::Store { root, n_idx, segs } => {
+                        Insn::Store { root: root + i as u8, n_idx: *n_idx, segs: segs.clone() }
+                    }
+                    Insn::LenOf { root, n_idx, segs } => {
+                        Insn::LenOf { root: root + i as u8, n_idx: *n_idx, segs: segs.clone() }
+                    }
+                    Insn::RetVal if in_main => Insn::Jmp(tail_pop),
+                    Insn::RetVoid if in_main => Insn::Jmp(tail),
+                    other => other.clone(),
+                });
+            }
+            // Step trailer: discard a main-body `return` value, then restore
+            // the output root's length-field invariant. Non-last steps fall
+            // straight through into the next step's body.
+            insns.push(Insn::Pop);
+            insns.push(Insn::SyncRoot((i + 1) as u8));
+            if i == last {
+                insns.push(Insn::RetVoid);
+            }
+
+            strings.extend(code.strings.iter().cloned());
+            funcs.extend(code.funcs.iter().map(|f| FnCode { entry: f.entry + off, ..*f }));
+            local_base += code.n_locals as u32;
+        }
+
+        let mut bindings = Vec::with_capacity(steps.len() + 1);
+        bindings.push(steps[0].bindings()[0].clone());
+        for p in steps {
+            bindings.push(p.bindings()[1].clone());
+        }
+
+        let code =
+            Code { insns, strings, n_locals: local_base as usize, n_roots: bindings.len(), funcs };
+        Ok(FusedProgram { code, bindings })
+    }
+
+    /// Executes the fused chain. `roots` must hold the incoming message
+    /// followed by one default record per step's target format; the last
+    /// root receives the final value.
+    ///
+    /// # Errors
+    ///
+    /// As [`EcodeProgram::run`].
+    pub fn run(&self, roots: &mut [Value]) -> Result<()> {
+        vm::run(&self.code, &self.bindings, roots)?;
+        Ok(())
+    }
+
+    /// [`FusedProgram::run`] with an instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`FusedProgram::run`], plus fuel exhaustion.
+    pub fn run_with_fuel(&self, roots: &mut [Value], fuel: u64) -> Result<()> {
+        vm::run_with_fuel(&self.code, &self.bindings, roots, fuel)?;
+        Ok(())
+    }
+
+    /// The fused bytecode (inspection/metrics).
+    pub fn code(&self) -> &Code {
+        &self.code
+    }
+
+    /// The fused root bindings: incoming message, then one per step.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Number of roots the fused program expects (`steps + 1`).
+    pub fn n_roots(&self) -> usize {
+        self.bindings.len()
+    }
+}
+
+/// Scans `code` for the top-level fields of root `root` that it actually
+/// reads or writes, returning a mask over `n_fields` entries. Conservative:
+/// any access whose path does not start with a static field descent marks
+/// every field used.
+///
+/// This feeds the projected decode of a fused morph plan: fields the chain
+/// never touches are parsed but not materialized.
+pub fn root_used_fields(code: &Code, root: u8, n_fields: usize) -> Vec<bool> {
+    let mut used = vec![false; n_fields];
+    for insn in &code.insns {
+        let (r, segs) = match insn {
+            Insn::Load { root: r, segs, .. }
+            | Insn::Store { root: r, segs, .. }
+            | Insn::LenOf { root: r, segs, .. } => (*r, segs),
+            _ => continue,
+        };
+        if r != root {
+            continue;
+        }
+        match segs.first() {
+            Some(CSeg::Field(i)) if (*i as usize) < n_fields => used[*i as usize] = true,
+            _ => {
+                // Whole-root or dynamic access: give up field precision.
+                used.iter_mut().for_each(|u| *u = true);
+                return used;
+            }
+        }
+    }
+    used
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EcodeCompiler;
+    use pbio::FormatBuilder;
+    use pbio::RecordFormat;
+    use std::sync::Arc;
+
+    fn fmt(name: &str, fields: &[&str]) -> Arc<RecordFormat> {
+        let mut b = FormatBuilder::record(name);
+        for f in fields {
+            b = b.int(*f);
+        }
+        b.build_arc().unwrap()
+    }
+
+    fn step(from: &Arc<RecordFormat>, to: &Arc<RecordFormat>, src: &str) -> EcodeProgram {
+        EcodeCompiler::new().bind_input("new", from).bind_output("old", to).compile(src).unwrap()
+    }
+
+    /// Staged oracle: run each step on its own, syncing between steps.
+    fn staged(steps: &[&EcodeProgram], input: &Value) -> Value {
+        let mut v = input.clone();
+        for p in steps {
+            let to = &p.bindings()[1].format;
+            let mut roots = vec![v, Value::default_record(to)];
+            p.run(&mut roots).unwrap();
+            v = roots.pop().unwrap();
+            pbio::sync_length_fields(&mut v, to);
+        }
+        v
+    }
+
+    fn fused(steps: &[&EcodeProgram], input: &Value) -> Value {
+        let fp = FusedProgram::compose(steps).unwrap();
+        let mut roots = vec![input.clone()];
+        for p in steps {
+            roots.push(Value::default_record(&p.bindings()[1].format));
+        }
+        fp.run(&mut roots).unwrap();
+        roots.pop().unwrap()
+    }
+
+    #[test]
+    fn fused_matches_staged_on_scalar_chain() {
+        let a = fmt("M", &["x", "y"]);
+        let b = fmt("M", &["sum"]);
+        let c = fmt("M", &["twice"]);
+        let s1 = step(&a, &b, "old.sum = new.x + new.y;");
+        let s2 = step(&b, &c, "old.twice = new.sum * 2;");
+        let input = Value::Record(vec![Value::Int(3), Value::Int(4)]);
+        let chain = [&s1, &s2];
+        assert_eq!(fused(&chain, &input), staged(&chain, &input));
+        assert_eq!(fused(&chain, &input), Value::Record(vec![Value::Int(14)]));
+    }
+
+    #[test]
+    fn fused_handles_mid_body_returns_and_functions() {
+        let a = fmt("M", &["x"]);
+        let b = fmt("M", &["y"]);
+        let c = fmt("M", &["z"]);
+        // Step 1 returns early from the main body; step 2 calls a function
+        // that both returns a value and writes a root.
+        let s1 = step(&a, &b, "old.y = new.x; if (new.x > 0) return 1; old.y = -1;");
+        let s2 = step(
+            &b,
+            &c,
+            "int bump(int v) { old.z = v + 1; return v; } int t = bump(new.y); t = bump(t + 10);",
+        );
+        for x in [-5i64, 0, 7] {
+            let input = Value::Record(vec![Value::Int(x)]);
+            let chain = [&s1, &s2];
+            assert_eq!(fused(&chain, &input), staged(&chain, &input), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn fused_syncs_length_fields_between_steps() {
+        let member = FormatBuilder::record("E").int("ID").build_arc().unwrap();
+        let a = FormatBuilder::record("M")
+            .int("n")
+            .var_array_of("items", member.clone(), "n")
+            .build_arc()
+            .unwrap();
+        let b = FormatBuilder::record("M")
+            .int("n")
+            .var_array_of("items", member, "n")
+            .build_arc()
+            .unwrap();
+        let c = fmt("M", &["total"]);
+        // Step 1 copies items but "forgets" old.n — the inter-step sync must
+        // repair it, because step 2 trusts new.n.
+        let s1 = step(
+            &a,
+            &b,
+            "int i; for (i = 0; i < new.n; i++) { old.items[i].ID = new.items[i].ID * 10; }",
+        );
+        let s2 =
+            step(&b, &c, "int i; for (i = 0; i < new.n; i++) { old.total += new.items[i].ID; }");
+        let input = Value::Record(vec![
+            Value::Int(3),
+            Value::Array(vec![
+                Value::Record(vec![Value::Int(1)]),
+                Value::Record(vec![Value::Int(2)]),
+                Value::Record(vec![Value::Int(3)]),
+            ]),
+        ]);
+        let chain = [&s1, &s2];
+        assert_eq!(fused(&chain, &input), staged(&chain, &input));
+        assert_eq!(fused(&chain, &input), Value::Record(vec![Value::Int(60)]));
+    }
+
+    #[test]
+    fn fused_isolates_main_locals_across_steps() {
+        let a = fmt("M", &["x"]);
+        let b = fmt("M", &["y"]);
+        let c = fmt("M", &["z"]);
+        // Both steps use a main-body local named/slotted identically; slot
+        // rebasing must keep them distinct.
+        let s1 = step(&a, &b, "int t = new.x * 2; old.y = t;");
+        let s2 = step(&b, &c, "int t = new.y + 5; old.z = t;");
+        let input = Value::Record(vec![Value::Int(10)]);
+        let chain = [&s1, &s2];
+        assert_eq!(fused(&chain, &input), Value::Record(vec![Value::Int(25)]));
+    }
+
+    #[test]
+    fn single_step_chain_fuses() {
+        let a = fmt("M", &["x"]);
+        let b = fmt("M", &["y"]);
+        let s1 = step(&a, &b, "old.y = new.x - 1;");
+        let input = Value::Record(vec![Value::Int(9)]);
+        assert_eq!(fused(&[&s1], &input), staged(&[&s1], &input));
+    }
+
+    #[test]
+    fn compose_rejects_bad_chains() {
+        let a = fmt("M", &["x"]);
+        let b = fmt("M", &["y"]);
+        let c = fmt("M", &["z"]);
+        assert!(FusedProgram::compose(&[]).is_err());
+        // Steps that do not compose: a→b then a→c.
+        let s1 = step(&a, &b, "old.y = new.x;");
+        let s2 = step(&a, &c, "old.z = new.x;");
+        assert!(FusedProgram::compose(&[&s1, &s2]).is_err());
+        // Wrong root count (single-root program).
+        let one = EcodeCompiler::new().bind_output("r", &a).compile("r.x = 1;").unwrap();
+        assert!(FusedProgram::compose(&[&one]).is_err());
+    }
+
+    #[test]
+    fn fuel_budget_applies_to_fused_programs() {
+        let a = fmt("M", &["x"]);
+        let b = fmt("M", &["y"]);
+        let s1 = step(&a, &b, "while (1) {}");
+        let fp = FusedProgram::compose(&[&s1]).unwrap();
+        let mut roots = vec![Value::Record(vec![Value::Int(1)]), Value::default_record(&b)];
+        assert!(fp.run_with_fuel(&mut roots, 1_000).is_err());
+    }
+
+    #[test]
+    fn used_field_scan_is_precise_for_static_paths() {
+        let a = fmt("M", &["x", "y", "z"]);
+        let b = fmt("M", &["out"]);
+        let s1 = step(&a, &b, "old.out = new.x + new.z;");
+        let fp = FusedProgram::compose(&[&s1]).unwrap();
+        assert_eq!(root_used_fields(fp.code(), 0, 3), vec![true, false, true]);
+        // The output root is written, not part of root 0's mask.
+        assert_eq!(root_used_fields(fp.code(), 1, 1), vec![true]);
+    }
+
+    #[test]
+    fn used_field_scan_covers_len_and_arrays() {
+        let member = FormatBuilder::record("E").int("ID").build_arc().unwrap();
+        let a = FormatBuilder::record("M")
+            .int("n")
+            .var_array_of("items", member, "n")
+            .string("junk")
+            .build_arc()
+            .unwrap();
+        let b = fmt("M", &["total"]);
+        let s1 = step(
+            &a,
+            &b,
+            "int i; for (i = 0; i < len(new.items); i++) { old.total += new.items[i].ID; }",
+        );
+        let fp = FusedProgram::compose(&[&s1]).unwrap();
+        // `n` and `junk` are never touched; `items` is read via len + index.
+        assert_eq!(root_used_fields(fp.code(), 0, 3), vec![false, true, false]);
+    }
+}

@@ -46,6 +46,7 @@ mod bytecode;
 mod compile;
 mod error;
 mod fold;
+mod fuse;
 mod interp;
 mod lexer;
 mod parser;
@@ -59,6 +60,7 @@ use pbio::{RecordFormat, Value};
 
 pub use bytecode::{Code, Insn};
 pub use error::{EcodeError, Pos, Result};
+pub use fuse::{root_used_fields, FusedProgram};
 pub use lexer::{lex, Spanned, Tok};
 pub use parser::parse;
 pub use tast::{Binding, TProgram, Ty};

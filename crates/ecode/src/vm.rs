@@ -436,6 +436,12 @@ pub fn run_with_fuel(
                     None => return Ok(Some(v)),
                 }
             }
+            Insn::SyncRoot(r) => {
+                let ri = *r as usize;
+                let binding = bindings.get(ri).ok_or_else(|| rt_err(format!("no root #{r}")))?;
+                let root = roots.get_mut(ri).ok_or_else(|| rt_err(format!("no root #{r}")))?;
+                pbio::sync_length_fields(root, &binding.format);
+            }
             Insn::RetVoid => match frames.pop() {
                 Some(frame) => {
                     locals.truncate(base);

@@ -16,6 +16,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use obs::{Counter, Registry, SpanEvent, TraceId};
+use pbio::WireBytes;
 
 use crate::error::MorphError;
 use crate::receiver::{Delivery, MorphReceiver};
@@ -80,8 +81,11 @@ impl fmt::Display for DeadReason {
 pub struct DeadLetter {
     /// Why delivery was impossible.
     pub reason: DeadReason,
-    /// The raw bytes as received (before any decoding).
-    pub bytes: Vec<u8>,
+    /// The raw bytes as received (before any decoding). A [`WireBytes`]
+    /// view: quarantining a message *shares* the receive buffer instead of
+    /// copying it, so a burst of failures costs reference counts, not
+    /// allocations.
+    pub bytes: WireBytes,
     /// Human-readable detail (the error text, typically).
     pub detail: String,
     /// The causal trace this message belonged to, when it carried one.
@@ -128,7 +132,15 @@ impl DeadLetterQueue {
     }
 
     /// Quarantines a message. O(1); evicts the oldest letter when full.
-    pub fn push(&mut self, reason: DeadReason, bytes: &[u8], detail: impl Into<String>) {
+    /// Passing an existing [`WireBytes`] (or a clone of one) is free of
+    /// payload copies; `&[u8]` / `Vec<u8>` arguments are promoted to a
+    /// fresh shared buffer.
+    pub fn push(
+        &mut self,
+        reason: DeadReason,
+        bytes: impl Into<WireBytes>,
+        detail: impl Into<String>,
+    ) {
         self.push_traced(reason, bytes, detail, None, Vec::new());
     }
 
@@ -140,7 +152,7 @@ impl DeadLetterQueue {
     pub fn push_traced(
         &mut self,
         reason: DeadReason,
-        bytes: &[u8],
+        bytes: impl Into<WireBytes>,
         detail: impl Into<String>,
         trace: Option<TraceId>,
         events: Vec<SpanEvent>,
@@ -154,7 +166,7 @@ impl DeadLetterQueue {
         }
         self.letters.push_back(DeadLetter {
             reason,
-            bytes: bytes.to_vec(),
+            bytes: bytes.into(),
             detail: detail.into(),
             trace,
             events,
@@ -323,6 +335,30 @@ mod tests {
         // Untraced pushes leave the context empty.
         dlq.push(DeadReason::Corrupt, b"x", "no trace");
         assert_eq!(dlq.letters().last().unwrap().trace, None);
+    }
+
+    #[test]
+    fn quarantine_shares_the_receive_buffer_without_copying() {
+        // A letter built from an existing WireBytes must alias the same
+        // allocation — quarantining is a refcount bump, not a payload copy.
+        let original = WireBytes::from(vec![1u8, 2, 3, 4]);
+        assert_eq!(original.ref_count(), 1);
+
+        let mut dlq = DeadLetterQueue::new(4);
+        dlq.push(DeadReason::TransformFailed, original.clone(), "vm trap");
+        assert_eq!(original.ref_count(), 2, "push added a reference, not a copy");
+
+        let letter = dlq.pop().unwrap();
+        assert!(letter.bytes.same_buffer(&original), "letter aliases the receive buffer");
+        assert_eq!(letter.bytes, original);
+
+        // Cloning the letter (e.g. for inspection tooling) still copies no
+        // payload bytes.
+        let inspected = letter.clone();
+        assert!(inspected.bytes.same_buffer(&original));
+        assert_eq!(original.ref_count(), 3);
+        drop((letter, inspected));
+        assert_eq!(original.ref_count(), 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use ecode::{root_used_fields, FusedProgram};
 use obs::{
     ActiveSpan, Clock, Counter, FlightRecorder, Histogram, Registry, SpanId, Timer, TraceCtx,
 };
@@ -134,17 +135,38 @@ enum Decision {
     /// used when no transformation code is needed (perfect or near match).
     Plan { plan: Arc<ConversionPlan>, target: FormatId, exact: bool },
     /// Full morph: decode to the wire format, run the compiled chain, then
-    /// (if the chain's end is a near match) adapt.
+    /// (if the chain's end is a near match) adapt. Warm replays take the
+    /// `fused` single-pass artifact when fusion succeeded at decide time;
+    /// the staged fields double as the cold path and the differential
+    /// oracle.
     Morph {
         decode: Arc<ConversionPlan>,
         chain: CompiledChain,
         adapter: Option<ValueAdapter>,
         target: FormatId,
+        /// Boxed to keep the cached-decision enum small; the indirection
+        /// is paid once per warm message, not per stage.
+        fused: Option<Box<FusedMorph>>,
     },
     /// Decode with the wire format and hand to the default handler.
     Default { decode: Arc<ConversionPlan> },
     /// Drop messages of this format.
     Reject,
+}
+
+/// The fused warm-path plan built at decide time: one projected decode and
+/// one composed VM program covering the whole transformation chain, so a
+/// warm morph is a single pass `wire bytes → Value(target)` with exactly
+/// one VM invocation and no intermediate `Value` trees between stages.
+struct FusedMorph {
+    /// Projected decode: only the source fields the fused program actually
+    /// reads are materialized; dead fields are parsed past and defaulted.
+    decode: Arc<ConversionPlan>,
+    /// The whole chain, compiled into one bytecode program.
+    program: FusedProgram,
+    /// Default output records (one per chain step), cloned per message as
+    /// the program's writable roots.
+    templates: Vec<Value>,
 }
 
 /// Pre-fetched handles for the receiver's hot-path metrics (`morph.*` in
@@ -162,10 +184,17 @@ struct RxMetrics {
     rejects: Arc<Counter>,
     compiles: Arc<Counter>,
     maxmatch_candidates: Arc<Counter>,
+    fused_applies: Arc<Counter>,
+    fused_vm_invocations: Arc<Counter>,
+    fused_intermediates: Arc<Counter>,
+    fused_skipped: Arc<Counter>,
+    staged_vm_invocations: Arc<Counter>,
+    staged_intermediates: Arc<Counter>,
     decide_ns: Arc<Histogram>,
     process_ns: Arc<Histogram>,
     compile_ns: Arc<Histogram>,
     maxmatch_ns: Arc<Histogram>,
+    fused_apply_ns: Arc<Histogram>,
 }
 
 impl RxMetrics {
@@ -182,10 +211,17 @@ impl RxMetrics {
             rejects: registry.counter("morph.decision.reject"),
             compiles: registry.counter("morph.compile.count"),
             maxmatch_candidates: registry.counter("morph.maxmatch.candidates"),
+            fused_applies: registry.counter("morph.fused.apply"),
+            fused_vm_invocations: registry.counter("morph.fused.vm_invocations"),
+            fused_intermediates: registry.counter("morph.fused.intermediates"),
+            fused_skipped: registry.counter("morph.fused.skipped"),
+            staged_vm_invocations: registry.counter("morph.staged.vm_invocations"),
+            staged_intermediates: registry.counter("morph.staged.intermediates"),
             decide_ns: registry.histogram("morph.decide_ns"),
             process_ns: registry.histogram("morph.process_ns"),
             compile_ns: registry.histogram("morph.compile_ns"),
             maxmatch_ns: registry.histogram("morph.maxmatch_ns"),
+            fused_apply_ns: registry.histogram("morph.fused.apply_ns"),
         }
     }
 
@@ -231,6 +267,10 @@ pub struct MorphReceiver {
     handlers: HashMap<FormatId, Handler>,
     default_handler: Option<DefaultHandler>,
     cache: HashMap<FormatId, Decision>,
+    /// When true (the default), warm `Decision::Morph` replays run the
+    /// fused single-pass plan; when false they run the staged per-step
+    /// oracle. Tests and benches flip this to compare the two paths.
+    fusion: bool,
     /// Compiled conversion plans, shared across decision-cache rebuilds.
     plans: PlanCache,
     metrics: RxMetrics,
@@ -291,6 +331,7 @@ impl MorphReceiver {
             handlers: HashMap::new(),
             default_handler: None,
             cache: HashMap::new(),
+            fusion: true,
             plans: PlanCache::new(Arc::clone(&registry)),
             metrics: RxMetrics::new(registry),
             trace: None,
@@ -362,11 +403,24 @@ impl MorphReceiver {
     }
 
     /// Learns a retro-transformation. Both endpoint formats become known.
+    ///
+    /// Invalidation is targeted: a new transformation edge can only change
+    /// the decision for a wire format whose transformation closure reaches
+    /// the edge's source format, so only those cached decisions are
+    /// dropped. Warm decisions for unrelated formats survive the import.
     pub fn import_transformation(&mut self, t: Transformation) {
+        let new_src = t.from_id();
         self.known.register(Arc::clone(t.from_format()));
         self.known.register(Arc::clone(t.to_format()));
         self.xforms.register(t);
-        self.cache.clear(); // new transformations can unlock new matches
+        let known = &self.known;
+        let xforms = &self.xforms;
+        self.cache.retain(|id, _| match known.lookup(*id) {
+            Ok(fm) => !xforms.closure(&fm).iter().any(|r| format_id(&r.format) == new_src),
+            // A cached decision whose format is no longer resolvable is
+            // stale by definition; drop it.
+            Err(_) => false,
+        });
     }
 
     /// Imports serialized format meta-data (see [`FormatRegistry::export`]).
@@ -422,6 +476,16 @@ impl MorphReceiver {
         })
     }
 
+    /// Enables or disables the fused warm path (on by default). When
+    /// disabled, warm morph replays run the staged per-step pipeline —
+    /// decode, one VM invocation per chain step, adapter — which is the
+    /// differential-testing oracle for fusion and the "before" side of the
+    /// staged-vs-fused bench. Cached decisions (including their fused
+    /// plans) are kept; only the warm dispatch changes.
+    pub fn set_fusion(&mut self, enabled: bool) {
+        self.fusion = enabled;
+    }
+
     /// Switches format matching to the importance-weighted variant: fields
     /// matching heavier patterns dominate admission and ranking decisions
     /// (see [`crate::weighted`]). Clears cached decisions.
@@ -471,11 +535,13 @@ impl MorphReceiver {
     /// as a span under `ctx` in the registry's attached
     /// [`FlightRecorder`](obs::FlightRecorder).
     ///
-    /// A *warm* message (decision cache hit) emits exactly one span —
-    /// `morph.lookup` tagged `result=hit` — because replaying a cached
-    /// decision *is* the whole warm path. A *cold* message additionally
-    /// records `morph.decide` (with `morph.maxmatch` / `morph.compile`
-    /// children) and `morph.apply` (with per-stage `morph.decode` /
+    /// A *warm* message (decision cache hit) emits `morph.lookup` tagged
+    /// `result=hit`, plus — for morph decisions with a fused plan — one
+    /// `morph.apply.fused` span covering the single-pass replay; other
+    /// warm decisions stay at the lone lookup span because replaying them
+    /// *is* the whole warm path. A *cold* message additionally records
+    /// `morph.decide` (with `morph.maxmatch` / `morph.compile` children)
+    /// and `morph.apply` (with per-stage `morph.decode` /
     /// `morph.transform` / `morph.default_fill` children).
     ///
     /// With `ctx == None`, or when no recorder is attached to the
@@ -631,12 +697,37 @@ impl MorphReceiver {
         self.metrics.morphs.inc();
         let adapter =
             if m.perfect { None } else { Some(ValueAdapter::compile(&chosen.format, target)) };
+        let fused = self.fuse_decision(&fm, &chain);
         Ok(Decision::Morph {
             decode: self.plans.get_or_compile(&fm, &fm)?,
             chain,
             adapter,
             target: target_id,
+            fused,
         })
+    }
+
+    /// Builds the fused single-pass plan for a morph decision: the chain's
+    /// step programs inlined into one [`FusedProgram`], plus a decode plan
+    /// projected down to the source fields that program actually reads.
+    /// Fusion is best-effort — on failure the decision falls back to the
+    /// staged path and `morph.fused.skipped` is incremented.
+    fn fuse_decision(
+        &self,
+        fm: &Arc<RecordFormat>,
+        chain: &CompiledChain,
+    ) -> Option<Box<FusedMorph>> {
+        let fused = chain.fuse().ok().and_then(|program| {
+            let used = root_used_fields(program.code(), 0, fm.fields().len());
+            let decode = ConversionPlan::project(fm, &used).ok()?;
+            let templates =
+                program.bindings()[1..].iter().map(|b| Value::default_record(&b.format)).collect();
+            Some(Box::new(FusedMorph { decode: Arc::new(decode), program, templates }))
+        });
+        if fused.is_none() {
+            self.metrics.fused_skipped.inc();
+        }
+        fused
     }
 
     fn apply_cached(&mut self, id: FormatId, msg: &[u8], trace_stages: bool) -> Result<Delivery> {
@@ -646,7 +737,8 @@ impl MorphReceiver {
         // receive values, not the receiver).
         //
         // `trace_stages` is true only on the cold path: a warm replay is a
-        // single cached step, so its trace stays at one `morph.lookup` span.
+        // single cached step, so beyond `morph.lookup` it records at most
+        // the one `morph.apply.fused` span of a fused morph.
         let decision = self.cache.remove(&id).expect("caller ensured presence");
         let apply_span = if trace_stages { self.tspan("morph.apply", None) } else { None };
         let aparent = apply_span.as_ref().map(|s| s.id());
@@ -661,7 +753,40 @@ impl MorphReceiver {
                     self.invoke(*target, value);
                     Ok(Delivery::Delivered(*target))
                 }
-                Decision::Morph { decode, chain, adapter, target } => {
+                Decision::Morph { decode, chain, adapter, target, fused } => {
+                    // Warm replays take the fused plan: one projected decode,
+                    // one VM invocation over the whole chain, no intermediate
+                    // Value trees between steps. The cold pass stays staged so
+                    // its per-stage spans remain observable, and so every
+                    // format's first message exercises the oracle the fused
+                    // path is differentially tested against.
+                    if !trace_stages && self.fusion {
+                        if let Some(f) = fused {
+                            let mut span = self.tspan("morph.apply.fused", None);
+                            if let Some(s) = span.as_mut() {
+                                s.tag("steps", &chain.steps().len().to_string());
+                            }
+                            let _t = self.metrics.timer(&self.metrics.fused_apply_ns);
+                            let mut roots = Vec::with_capacity(f.templates.len() + 1);
+                            roots.push(f.decode.execute(msg)?);
+                            roots.extend(f.templates.iter().cloned());
+                            f.program.run(&mut roots)?;
+                            let value = roots.pop().expect("fused program keeps its roots");
+                            let value = match adapter {
+                                Some(a) => a.apply(&value)?,
+                                None => value,
+                            };
+                            self.metrics.fused_applies.inc();
+                            self.metrics.fused_vm_invocations.inc();
+                            // Intermediate Value trees built between decode
+                            // and delivery: none, by construction. The
+                            // counter exists so that invariant is assertable
+                            // against morph.staged.intermediates.
+                            self.metrics.fused_intermediates.add(0);
+                            self.invoke(*target, value);
+                            return Ok(Delivery::Delivered(*target));
+                        }
+                    }
                     let value = {
                         let _s =
                             if trace_stages { self.tspan("morph.decode", aparent) } else { None };
@@ -689,6 +814,13 @@ impl MorphReceiver {
                         }
                         None => value,
                     };
+                    // One VM invocation per step, one intermediate Value per
+                    // step boundary (plus the adapter input) — the costs the
+                    // fused path eliminates.
+                    self.metrics.staged_vm_invocations.add(chain.steps().len() as u64);
+                    self.metrics
+                        .staged_intermediates
+                        .add(chain.steps().len() as u64 + u64::from(adapter.is_some()));
                     self.invoke(*target, value);
                     Ok(Delivery::Delivered(*target))
                 }
@@ -1137,5 +1269,98 @@ mod tests {
         assert_eq!(rx.stats(), MorphStats::default());
         assert_eq!(rx.cached_decisions(), 0);
         assert!(!format!("{rx:?}").is_empty());
+    }
+
+    #[test]
+    fn warm_morph_is_one_fused_vm_pass_with_no_intermediates() {
+        // Acceptance criterion for fusion: after the cold decision, every
+        // warm morph is exactly one VM invocation and builds zero
+        // intermediate Value trees — asserted through the morph.fused.*
+        // counters rather than timing.
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), h);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+
+        rx.process(&v2_message(3)).unwrap(); // cold: staged, decides + caches
+        for _ in 0..4 {
+            rx.process(&v2_message(3)).unwrap(); // warm: fused
+        }
+        let snap = rx.registry().snapshot();
+        assert_eq!(snap.counter("morph.fused.apply"), Some(4));
+        assert_eq!(snap.counter("morph.fused.vm_invocations"), Some(4));
+        assert_eq!(snap.counter("morph.fused.intermediates"), Some(0));
+        assert_eq!(snap.counter("morph.fused.skipped"), Some(0));
+        // The cold pass ran the staged oracle once (1-step chain).
+        assert_eq!(snap.counter("morph.staged.vm_invocations"), Some(1));
+
+        // And the fused output is the same value the staged path delivers.
+        let vals = got.lock().unwrap();
+        assert_eq!(vals.len(), 5);
+        assert!(vals[1..].iter().all(|v| v == &vals[0]));
+        vals[4].check(&v1()).unwrap();
+        assert_eq!(vals[4].field(&v1(), "src_count"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn disabling_fusion_routes_warm_morphs_through_staged_oracle() {
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), h);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+        rx.set_fusion(false);
+        rx.process(&v2_message(2)).unwrap();
+        rx.process(&v2_message(2)).unwrap();
+        let snap = rx.registry().snapshot();
+        assert_eq!(snap.counter("morph.fused.apply"), Some(0));
+        assert_eq!(snap.counter("morph.staged.vm_invocations"), Some(2));
+        let vals = got.lock().unwrap();
+        assert_eq!(vals[0], vals[1]);
+    }
+
+    #[test]
+    fn importing_transformation_keeps_unrelated_warm_decisions() {
+        // Targeted invalidation: a new transformation only drops cached
+        // decisions whose reachable-format closure contains its source
+        // format; unrelated warm decisions survive and keep serving hits.
+        let unrelated = FormatBuilder::record("Heartbeat").int("seq").build_arc().unwrap();
+        let (_, hu) = sink();
+        let (_, h1) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&unrelated, hu);
+        rx.register_handler(&v1(), h1);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+
+        let hb = Encoder::new(&unrelated).encode(&Value::Record(vec![Value::Int(7)])).unwrap();
+        rx.process(&hb).unwrap(); // cache the Heartbeat decision
+        rx.process(&v2_message(1)).unwrap(); // cache the v2 morph decision
+        assert_eq!(rx.cached_decisions(), 2);
+        let misses_before = rx.registry().snapshot().counter("morph.decision.miss");
+
+        // A new edge out of v2 (v2 -> v2b) affects the v2 closure only: the
+        // morph decision is dropped, the Heartbeat decision survives.
+        let v2b = FormatBuilder::record("ChannelOpenResponseAudit")
+            .int("member_count")
+            .build_arc()
+            .unwrap();
+        rx.import_transformation(Transformation::new(
+            v2(),
+            v2b,
+            "old.member_count = new.member_count;",
+        ));
+        assert_eq!(rx.cached_decisions(), 1);
+        assert!(rx.explain(pbio::format_id(&unrelated)).is_some());
+        assert!(rx.explain(pbio::format_id(&v2())).is_none());
+
+        // The surviving decision still serves warm hits (no re-decide).
+        rx.process(&hb).unwrap();
+        let snap = rx.registry().snapshot();
+        assert_eq!(snap.counter("morph.decision.miss"), misses_before);
+
+        // An edge into a format the Heartbeat closure *does* contain drops
+        // the Heartbeat decision too.
+        let hb0 = FormatBuilder::record("HeartbeatV0").int("seq").build_arc().unwrap();
+        rx.import_transformation(Transformation::new(unrelated.clone(), hb0, "old.seq = new.seq;"));
+        assert!(rx.explain(pbio::format_id(&unrelated)).is_none());
     }
 }

@@ -33,7 +33,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use obs::{Clock, Counter, Gauge, Registry, TraceCtx};
-use pbio::FormatId;
+use pbio::{FormatId, WireBytes};
 
 use crate::error::{MorphError, Result};
 use crate::metaserver::{MetaClient, RetryPolicy};
@@ -130,7 +130,7 @@ fn splitmix(seed: u64) -> u64 {
 #[derive(Debug)]
 pub struct PendingSet {
     capacity: usize,
-    parked: VecDeque<(FormatId, Vec<u8>)>,
+    parked: VecDeque<(FormatId, WireBytes)>,
     parked_total: Arc<Counter>,
     drained: Arc<Counter>,
     dropped: Arc<Counter>,
@@ -153,9 +153,10 @@ impl PendingSet {
         }
     }
 
-    /// Parks a message awaiting `id`'s meta-data. When full, the oldest
+    /// Parks a message awaiting `id`'s meta-data. Parking a [`WireBytes`]
+    /// shares the receive buffer (no payload copy). When full, the oldest
     /// parked message is shed and returned for quarantining.
-    pub fn park(&mut self, id: FormatId, bytes: &[u8]) -> Option<Vec<u8>> {
+    pub fn park(&mut self, id: FormatId, bytes: impl Into<WireBytes>) -> Option<WireBytes> {
         self.parked_total.inc();
         let shed = if self.parked.len() == self.capacity {
             self.dropped.inc();
@@ -163,13 +164,13 @@ impl PendingSet {
         } else {
             None
         };
-        self.parked.push_back((id, bytes.to_vec()));
+        self.parked.push_back((id, bytes.into()));
         self.depth.set(self.parked.len() as i64);
         shed
     }
 
     /// Removes and returns the oldest parked message.
-    pub fn pop(&mut self) -> Option<(FormatId, Vec<u8>)> {
+    pub fn pop(&mut self) -> Option<(FormatId, WireBytes)> {
         let front = self.parked.pop_front();
         self.depth.set(self.parked.len() as i64);
         front
@@ -178,7 +179,7 @@ impl PendingSet {
     /// Re-parks a message at the *front* (retains drain order) without
     /// counting a new admission — used when a drain hits a still-down
     /// control plane.
-    fn unpop(&mut self, id: FormatId, bytes: Vec<u8>) {
+    fn unpop(&mut self, id: FormatId, bytes: WireBytes) {
         self.parked.push_front((id, bytes));
         self.depth.set(self.parked.len() as i64);
     }
@@ -210,7 +211,7 @@ pub struct DrainReport {
     /// Poison messages: resolution succeeded (or was unnecessary) but
     /// processing still failed. Returned with their error for the caller
     /// to quarantine; also counted as `morph.pending.failed`.
-    pub failed: Vec<(Vec<u8>, MorphError)>,
+    pub failed: Vec<(WireBytes, MorphError)>,
 }
 
 /// How [`ResolverPool::process`] disposed of a message.
@@ -225,7 +226,7 @@ pub enum PoolDelivery {
     /// caller to quarantine under [`crate::DeadReason::Shed`].
     Parked {
         /// Bytes shed from the pending set by this admission, if any.
-        shed: Option<Vec<u8>>,
+        shed: Option<WireBytes>,
     },
 }
 

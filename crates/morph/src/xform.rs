@@ -151,6 +151,12 @@ impl CompiledXform {
         &self.to
     }
 
+    /// The compiled Ecode program (two roots: read-only `new`, writable
+    /// `old`). Exposed for chain fusion and bytecode inspection.
+    pub fn program(&self) -> &EcodeProgram {
+        &self.program
+    }
+
     /// Applies the transformation to a decoded message value, producing a
     /// value in the target format. Variable-length array length fields are
     /// re-synchronized after the user code runs, so the output always
@@ -381,6 +387,18 @@ impl CompiledChain {
         }
         Ok(v)
     }
+
+    /// Fuses the whole chain into a single VM program (one invocation per
+    /// message instead of one per step — see [`ecode::FusedProgram`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::Ecode`] when the chain is empty or does not
+    /// compose; callers fall back to the staged per-step path.
+    pub fn fuse(&self) -> Result<ecode::FusedProgram> {
+        let steps: Vec<&EcodeProgram> = self.steps.iter().map(|s| &s.program).collect();
+        Ok(ecode::FusedProgram::compose(&steps)?)
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +480,29 @@ mod tests {
         let out =
             cc.apply(Value::Record(vec![Value::Int(4), Value::Int(0), Value::Int(0)])).unwrap();
         assert_eq!(out, Value::Record(vec![Value::Int(50)]));
+    }
+
+    #[test]
+    fn fused_chain_matches_staged_apply() {
+        let r2 = fmt("M", &["a", "b", "c"]);
+        let r1 = fmt("M", &["a", "b"]);
+        let r0 = fmt("M", &["a"]);
+        let chain = vec![
+            Transformation::new(r2, r1.clone(), "old.a = new.a + 1; old.b = new.b;"),
+            Transformation::new(r1, r0.clone(), "old.a = new.a * 10;"),
+        ];
+        let cc = CompiledChain::compile(&chain).unwrap();
+        let fp = cc.fuse().unwrap();
+        assert_eq!(fp.n_roots(), 3);
+        let input = Value::Record(vec![Value::Int(4), Value::Int(0), Value::Int(0)]);
+        let mut roots = vec![input.clone()];
+        for step in cc.steps() {
+            roots.push(Value::default_record(step.to_format()));
+        }
+        fp.run(&mut roots).unwrap();
+        assert_eq!(roots.pop().unwrap(), cc.apply(input).unwrap());
+        // Empty chains have nothing to fuse.
+        assert!(CompiledChain::default().fuse().is_err());
     }
 
     #[test]

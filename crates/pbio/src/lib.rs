@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bytes;
 mod decode;
 mod encode;
 mod error;
@@ -55,6 +56,7 @@ mod registry;
 mod types;
 mod value;
 
+pub use bytes::WireBytes;
 pub use decode::{convert_record, decode_payload, sync_length_fields, GenericDecoder};
 pub use encode::{
     parse_header, ByteOrder, Encoder, WireHeader, FLAG_BIG_ENDIAN, HEADER_LEN, WIRE_VERSION,

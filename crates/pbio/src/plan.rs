@@ -148,6 +148,50 @@ impl ConversionPlan {
         ConversionPlan::compile(format, format)
     }
 
+    /// Compiles a *projected* identity plan: top-level fields whose entry in
+    /// `used` is false are parsed for cursor advancement but never
+    /// materialized — strings, records, and arrays in dead fields allocate
+    /// nothing, and the output record carries their default values instead.
+    ///
+    /// This is the decode half of a fused morph plan: the fusion layer scans
+    /// a compiled transformation chain for the source fields it actually
+    /// reads and projects everything else away, so per-message decode cost is
+    /// proportional to the fields consumed (the Selective Field Transmission
+    /// observation applied at the receiver).
+    ///
+    /// Length-field synchronization is dropped for projected-away arrays so a
+    /// *used* count field keeps its wire value rather than being rewritten to
+    /// the (empty) default array's length.
+    ///
+    /// # Errors
+    ///
+    /// [`PbioError::BadFormat`] when `used` does not have one entry per
+    /// top-level field; otherwise as [`ConversionPlan::identity`].
+    pub fn project(format: &Arc<RecordFormat>, used: &[bool]) -> Result<ConversionPlan> {
+        if used.len() != format.fields().len() {
+            return Err(PbioError::BadFormat(format!(
+                "projection mask has {} entries for {} fields",
+                used.len(),
+                format.fields().len()
+            )));
+        }
+        let mut plan = ConversionPlan::identity(format)?;
+        let mut dropped = Vec::new();
+        for (i, step) in plan.root.steps.iter_mut().enumerate() {
+            if !used[i] {
+                step.dst = None;
+                dropped.push(i);
+            }
+        }
+        for i in dropped {
+            let fd = &format.fields()[i];
+            let v = fd.default().cloned().unwrap_or_else(|| Value::default_for(fd.ty()));
+            plan.root.prefill.push((i, v));
+        }
+        plan.root.len_syncs.retain(|&(arr, _)| used[arr]);
+        Ok(plan)
+    }
+
     /// The sender-side format.
     pub fn wire_format(&self) -> &Arc<RecordFormat> {
         &self.wire
@@ -637,6 +681,44 @@ mod tests {
         let plan = ConversionPlan::compile(&from, &to).unwrap();
         let out = plan.execute(&wire).unwrap();
         assert_eq!(out.field(&to, "count"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn projected_plan_skips_dead_fields_but_keeps_arity() {
+        let fmt = FormatBuilder::record("R")
+            .string("junk")
+            .int("keep")
+            .int("count")
+            .var_array_of("list", member(false), "count")
+            .build_arc()
+            .unwrap();
+        let v = Value::Record(vec![
+            Value::str("a very long string nobody reads"),
+            Value::Int(7),
+            Value::Int(2),
+            Value::Array(vec![
+                Value::Record(vec![Value::str("a"), Value::Int(1)]),
+                Value::Record(vec![Value::str("b"), Value::Int(2)]),
+            ]),
+        ]);
+        let wire = Encoder::new(&fmt).encode(&v).unwrap();
+        // Only `keep` and `count` are consumed downstream.
+        let used = [false, true, true, false];
+        let plan = ConversionPlan::project(&fmt, &used).unwrap();
+        let out = plan.execute(&wire).unwrap();
+        // Full arity, dead fields defaulted, and the *used* count field keeps
+        // its wire value (its sync pair was dropped with the array).
+        assert_eq!(
+            out,
+            Value::Record(
+                vec![Value::str(""), Value::Int(7), Value::Int(2), Value::Array(vec![]),]
+            )
+        );
+        // All-used projection degenerates to the identity plan.
+        let ident = ConversionPlan::project(&fmt, &[true; 4]).unwrap();
+        assert_eq!(ident.execute(&wire).unwrap(), v);
+        // Mask arity is validated.
+        assert!(ConversionPlan::project(&fmt, &[true; 3]).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use obs::{ActiveSpan, Counter, FlightRecorder, Registry, TraceCtx, VirtualClock};
+use pbio::WireBytes;
 
 use fault::FaultState;
 pub use fault::{FaultPlan, FaultStats, XorShift64};
@@ -132,8 +133,9 @@ pub struct Delivery {
     pub from: NodeId,
     /// Receiver.
     pub to: NodeId,
-    /// Message bytes.
-    pub payload: Vec<u8>,
+    /// Message bytes — a [`WireBytes`] view sharing the sender's buffer, so
+    /// cloning a delivery (inbox + return value) never copies the payload.
+    pub payload: WireBytes,
     /// Virtual delivery time in nanoseconds.
     pub at_ns: u64,
 }
@@ -144,7 +146,7 @@ struct InFlight {
     seq: u64,
     from: NodeId,
     to: NodeId,
-    payload: Vec<u8>,
+    payload: WireBytes,
     /// Open hop span, finished at delivery ([`Network::step`]).
     span: Option<ActiveSpan>,
 }
@@ -396,6 +398,12 @@ impl Network {
     /// accounts for link serialization (bandwidth), propagation latency, and
     /// queueing behind earlier messages on the same directed link.
     ///
+    /// The payload is taken as anything convertible to [`WireBytes`]: a
+    /// `Vec<u8>` is promoted once, while passing an existing `WireBytes`
+    /// (or a clone) enters the wire without copying a byte. Fault-injected
+    /// duplication also only clones the view; corruption copies-on-write
+    /// the single affected copy.
+    ///
     /// If the link carries a [`FaultPlan`], the plan may drop the message
     /// (it still "sends" successfully — loss is silent to the sender),
     /// duplicate it, flip one byte of a queued copy, delay it (jitter or
@@ -409,7 +417,12 @@ impl Network {
     /// inside a scheduled partition window, and [`NetError::NodeDown`] when
     /// either endpoint is inside a scheduled crash window
     /// ([`Network::set_crash_windows`]).
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: Vec<u8>) -> Result<u64, NetError> {
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: impl Into<WireBytes>,
+    ) -> Result<u64, NetError> {
         self.send_traced(from, to, payload, None)
     }
 
@@ -430,9 +443,10 @@ impl Network {
         &mut self,
         from: NodeId,
         to: NodeId,
-        payload: Vec<u8>,
+        payload: impl Into<WireBytes>,
         ctx: Option<TraceCtx>,
     ) -> Result<u64, NetError> {
+        let payload: WireBytes = payload.into();
         if from.0 >= self.names.len() {
             return Err(NetError::UnknownNode(from));
         }
@@ -503,7 +517,7 @@ impl Network {
         let payload_len = payload.len() as u64;
         struct Copy {
             at: u64,
-            payload: Vec<u8>,
+            payload: WireBytes,
             corrupted: bool,
             reordered: bool,
             duplicate: bool,
@@ -518,8 +532,9 @@ impl Network {
                     delta.dropped = 1;
                     base_deliver
                 } else {
-                    // Duplication copies the frame as transmitted; each copy
-                    // then draws its in-flight faults independently.
+                    // Duplication shares the frame as transmitted (a view
+                    // clone, not a byte copy); each copy then draws its
+                    // in-flight faults independently.
                     let dup = f.rng.chance_pm(f.plan.duplicate_pm).then(|| payload.clone());
                     let mut original = payload;
                     let (at, corrupted, reordered) =
@@ -620,11 +635,13 @@ impl Network {
     /// Draws the in-flight faults for one queued copy: latency jitter,
     /// forced reordering delay, and single-byte corruption. Returns the
     /// copy's delivery time and whether it was corrupted / reordered.
+    /// Corruption is the only fault that touches payload bytes, and it
+    /// copies-on-write: un-faulted copies keep sharing the sender's buffer.
     fn copy_faults(
         f: &mut FaultState,
         delta: &mut FaultStats,
         base_deliver: u64,
-        payload: &mut [u8],
+        payload: &mut WireBytes,
     ) -> (u64, bool, bool) {
         let mut at = base_deliver;
         let mut reordered = false;
@@ -641,7 +658,9 @@ impl Network {
         if f.rng.chance_pm(f.plan.corrupt_pm) && !payload.is_empty() {
             let idx = f.rng.below(payload.len() as u64) as usize;
             let flip = (f.rng.below(255) + 1) as u8; // never a zero XOR
-            payload[idx] ^= flip;
+            let mut bytes = payload.to_vec();
+            bytes[idx] ^= flip;
+            *payload = WireBytes::from(bytes);
             f.stats.corrupted += 1;
             delta.corrupted += 1;
             corrupted = true;
@@ -959,6 +978,17 @@ mod tests {
         net.send(a, b, vec![2]).unwrap();
         assert_eq!(net.step().unwrap().payload, vec![2]);
         assert_eq!(reg.snapshot().counter("simnet.crash.dropped"), Some(0));
+    }
+
+    #[test]
+    fn payloads_share_the_senders_buffer_end_to_end() {
+        let (mut net, a, b) = pair(LinkParams::lan());
+        let sent = WireBytes::from(vec![1u8, 2, 3]);
+        net.send(a, b, sent.clone()).unwrap();
+        let d = net.step().unwrap();
+        assert!(d.payload.same_buffer(&sent), "delivery aliases the sent buffer");
+        assert!(net.recv(b).unwrap().payload.same_buffer(&sent), "inbox copy is a view clone");
+        assert_eq!(d.payload, sent);
     }
 
     #[test]

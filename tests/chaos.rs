@@ -270,14 +270,17 @@ fn traces_show_cold_compile_once_then_warm_lookups() {
         .expect("cold lookup span");
     assert_eq!(lookup.tag("result"), Some("miss"));
 
-    // Warm: every later trace shows the lookup hit and nothing else from
-    // the morphing layer — the cached decision replay *is* the message.
+    // Warm: every later trace shows the lookup hit plus the single fused
+    // apply pass — no decide/maxmatch/compile, no per-stage transform
+    // spans. The cached fused plan replay *is* the message.
     for &t in &publishes[1..] {
-        let morphs: Vec<_> =
+        let mut morphs: Vec<_> =
             rec.trace_events(t).into_iter().filter(|e| e.name.starts_with("morph.")).collect();
-        assert_eq!(morphs.len(), 1, "warm trace has exactly one morph span: {morphs:?}");
-        assert_eq!(morphs[0].name, "morph.lookup");
-        assert_eq!(morphs[0].tag("result"), Some("hit"));
+        morphs.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(morphs.len(), 2, "warm trace has lookup + fused apply only: {morphs:?}");
+        assert_eq!(morphs[0].name, "morph.apply.fused");
+        assert_eq!(morphs[1].name, "morph.lookup");
+        assert_eq!(morphs[1].tag("result"), Some("hit"));
         // The journey is still complete: publish → hop → handle.
         assert_eq!(count(t, "echo.publish"), 1);
         assert_eq!(count(t, "simnet.link.publisher->old-sink"), 1);

@@ -46,7 +46,7 @@ fn exchange_over(
             break;
         }
     }
-    Ok(response.expect("request must produce a response"))
+    Ok(response.expect("request must produce a response").to_vec())
 }
 
 #[test]

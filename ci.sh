@@ -16,6 +16,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "==> cargo build --release (offline-capable)"
 cargo build --release
 
@@ -42,6 +45,13 @@ echo "==> staged-vs-fused bench (smoke mode; writes BENCH_5.json)"
 # fusion regression gate runs offline, without the criterion harness.
 cargo run -q --release --example fused_bench >/dev/null
 cat BENCH_5.json
+
+echo "==> fan-out scaling bench (writes BENCH_6.json)"
+# The example measures 1/2/4/8-shard throughput under the wall-clock
+# driver and exits non-zero if 4 shards regress below the single-shard
+# baseline (and, on >=4-core machines, if they fail to scale >=1.7x).
+cargo run -q --release --example fanout_bench >/dev/null
+cat BENCH_6.json
 
 echo "==> bench workspace (needs registry access for criterion)"
 if (cd crates/bench && cargo metadata --format-version 1 >/dev/null 2>&1); then

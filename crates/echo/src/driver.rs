@@ -1,0 +1,115 @@
+//! Execution drivers: *how* an [`EchoSystem`] is run to quiescence.
+//!
+//! The system's message path is driver-agnostic — publish, frame, deliver,
+//! unframe, morph, dispatch are the same code under every driver. What a
+//! driver chooses is the *execution substrate*:
+//!
+//! - [`VirtualTimeDriver`] is the deterministic single-threaded driver the
+//!   repository has always had: one frame at a time in global
+//!   `(deliver_at, seq)` order on the caller's thread, virtual clock, no
+//!   concurrency. Given the same seed it replays byte-identically — the
+//!   chaos suite and every snapshot-comparing test run under it.
+//! - [`WallClockDriver`] runs rounds of deliveries in parallel on real
+//!   `std::thread` workers, one per shard (see [`crate::shard_of_name`]).
+//!   Per-destination delivery order is still preserved (a process lives on
+//!   exactly one shard), but cross-process interleaving and wall-clock
+//!   timings are not reproducible — this driver trades replay determinism
+//!   for multi-core throughput.
+//!
+//! Both produce the same *observable outcome* per process: the same events
+//! delivered in the same per-process order, the same dedup/quarantine
+//! decisions, the same aggregate counters (modulo `echo.shard.*`, which
+//! only the wall-clock driver emits).
+
+use crate::system::EchoSystem;
+
+/// A strategy for running an [`EchoSystem`] to quiescence.
+///
+/// ```
+/// # fn main() -> Result<(), echo::EchoError> {
+/// use echo::{Driver, EchoSystem, EchoVersion, Role, WallClockDriver};
+/// use pbio::{FormatBuilder, Value};
+///
+/// let mut sys = EchoSystem::new();
+/// let creator = sys.add_process("creator", EchoVersion::V2);
+/// let sub = sys.add_process("sub", EchoVersion::V2);
+/// sys.connect_all(simnet::LinkParams::lan());
+/// let events = FormatBuilder::record("Tick").int("n").build_arc()?;
+/// let ch = sys.create_channel(creator);
+/// sys.subscribe(sub, ch, Role::sink(), Some(&events))?;
+/// sys.run();
+///
+/// sys.publish(creator, ch, &events, &Value::Record(vec![Value::Int(1)]))?;
+/// let mut driver = WallClockDriver::new(2);
+/// sys.run_with(&mut driver);
+/// assert_eq!(sys.take_events(sub).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Driver {
+    /// Runs the system until the network is quiet and no retries remain.
+    /// Returns the number of frames dispatched.
+    fn drive(&mut self, sys: &mut EchoSystem) -> usize;
+}
+
+/// The deterministic driver: single-threaded, virtual-time, byte-identical
+/// replay per seed. Equivalent to calling [`EchoSystem::run`] directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualTimeDriver;
+
+impl Driver for VirtualTimeDriver {
+    fn drive(&mut self, sys: &mut EchoSystem) -> usize {
+        sys.run()
+    }
+}
+
+/// Default bound on each shard's per-round mailbox. Generous: a mailbox
+/// holds one round's deliveries for one shard, and shedding should be the
+/// exception, triggered by a genuinely overwhelmed deployment rather than
+/// by ordinary fan-out.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 16_384;
+
+/// The multi-core driver: partitions processes across `shards` worker
+/// threads by a stable hash of the process name and runs each round of
+/// deliveries in parallel — fork on the round's mailboxes, join before any
+/// network state is touched again.
+///
+/// Mailboxes are bounded ([`WallClockDriver::with_mailbox_capacity`]) under
+/// the system-wide shed policy: overflow sheds the oldest *event* frame in
+/// the mailbox into the receiver's dead-letter queue (`DeadReason::Shed`,
+/// counted in `echo.queue.shed` and `echo.shard.mailbox.shed`); control
+/// frames are never shed and may exceed the bound.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClockDriver {
+    shards: usize,
+    mailbox_capacity: usize,
+}
+
+impl WallClockDriver {
+    /// A driver with `shards` worker threads and the default mailbox bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> WallClockDriver {
+        assert!(shards > 0, "at least one shard required");
+        WallClockDriver { shards, mailbox_capacity: DEFAULT_MAILBOX_CAPACITY }
+    }
+
+    /// Replaces the per-shard, per-round mailbox bound.
+    pub fn with_mailbox_capacity(mut self, capacity: usize) -> WallClockDriver {
+        self.mailbox_capacity = capacity;
+        self
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+impl Driver for WallClockDriver {
+    fn drive(&mut self, sys: &mut EchoSystem) -> usize {
+        sys.run_sharded(self.shards, self.mailbox_capacity)
+    }
+}

@@ -17,14 +17,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod driver;
 mod node;
 pub mod proto;
+mod shard;
 mod system;
 
 use std::fmt;
 
+pub use driver::{Driver, VirtualTimeDriver, WallClockDriver, DEFAULT_MAILBOX_CAPACITY};
 pub use node::{EchoVersion, Role};
 pub use proto::{ChannelId, Frame, FrameError, MemberInfo};
+pub use shard::{fnv1a, shard_of_name};
 pub use system::{EchoSystem, ProcessId};
 
 /// Errors from the ECho middleware.

@@ -4,9 +4,12 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
-use morph::{deadletter, DeadLetterQueue, DeadReason, MorphReceiver, MorphStats, Transformation};
+use morph::{
+    deadletter, DeadLetterQueue, DeadReason, DecisionCache, MorphReceiver, MorphStats,
+    Transformation,
+};
 use obs::{ActiveSpan, FlightRecorder, SpanEvent, TraceCtx, TraceId};
-use pbio::{Encoder, RecordFormat, Value, WireBytes};
+use pbio::{Encoder, PlanStore, RecordFormat, Value, WireBytes};
 
 use crate::proto::{self, ChannelId, FrameError, MemberInfo};
 use crate::EchoError;
@@ -123,6 +126,12 @@ pub(crate) struct NodeState {
     dlq: DeadLetterQueue,
     /// Flight recorder for causal traces, shared system-wide.
     recorder: Option<Arc<FlightRecorder>>,
+    /// System-wide morph caches, attached when the system opts in: every
+    /// receiver (control plane and event planes, existing and future)
+    /// shares one decision cache and one conversion-plan store, so the
+    /// cold-path work of MaxMatch + plan compilation is paid once per
+    /// compatible receiver population instead of once per receiver.
+    shared_caches: Option<(DecisionCache, PlanStore)>,
 }
 
 /// Receiver-side trace context for one frame: the `echo.handle` span (open
@@ -175,7 +184,25 @@ impl NodeState {
             seen_order: VecDeque::new(),
             dlq,
             recorder: None,
+            shared_caches: None,
         }
+    }
+
+    /// Attaches system-wide morph caches: the control receiver and every
+    /// event receiver (existing and future) consult the shared decision
+    /// cache and conversion-plan store before paying MaxMatch or a plan
+    /// compile. Sharing is safe across mixed-version nodes because the
+    /// decision cache keys on each receiver's compatibility fingerprint —
+    /// receivers with different readers or transformations never exchange
+    /// decisions.
+    pub fn enable_shared_caches(&mut self, decisions: DecisionCache, plans: PlanStore) {
+        self.control_rx.set_shared_decisions(decisions.clone());
+        self.control_rx.set_plan_store(plans.clone());
+        for rx in self.event_rx.values_mut() {
+            rx.set_shared_decisions(decisions.clone());
+            rx.set_plan_store(plans.clone());
+        }
+        self.shared_caches = Some((decisions, plans));
     }
 
     /// Attaches the system flight recorder: incoming frames that carry a
@@ -340,6 +367,10 @@ impl NodeState {
         let rx = self.event_rx.entry(channel).or_default();
         if let Some(rec) = &self.recorder {
             rx.registry().set_recorder(Arc::clone(rec));
+        }
+        if let Some((decisions, plans)) = &self.shared_caches {
+            rx.set_shared_decisions(decisions.clone());
+            rx.set_plan_store(plans.clone());
         }
         let sink = Arc::clone(&self.events);
         rx.register_handler(format, move |v| {

@@ -1,0 +1,85 @@
+//! Deterministic node → shard assignment.
+//!
+//! The sharded runtime partitions processes across worker shards by a pure
+//! hash of the process *name* — not its insertion index, not a pointer, and
+//! not anything drawn from a random source. Two consequences the rest of
+//! the system leans on:
+//!
+//! - **Stability**: the same deployment maps to the same shards on every
+//!   run, on every machine, at every shard count. Per-shard metrics
+//!   (`echo.shard.<i>.*`) are therefore comparable across runs.
+//! - **Locality**: all frames addressed to one process land on one shard,
+//!   so a process's state is only ever touched by one worker thread per
+//!   round and per-destination delivery order is preserved without locks.
+//!
+//! The hash is FNV-1a (64-bit), chosen because it is tiny, dependency-free,
+//! and — unlike `std`'s `DefaultHasher` — *specified*, so the assignment is
+//! part of the observable contract rather than an implementation accident.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a process name with 64-bit FNV-1a.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The shard (in `0..shards`) that owns the process named `name`.
+///
+/// Pure function of the name and the shard count: stable across runs,
+/// machines, and process insertion order.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_of_name(name: &str, shards: usize) -> usize {
+    assert!(shards > 0, "at least one shard required");
+    (fnv1a(name) % shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_the_published_test_vectors() {
+        // From the FNV reference implementation's vector list.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn assignment_is_stable_and_in_range() {
+        for shards in 1..=8 {
+            for name in ["creator", "sub-1", "sub-9999", "node/with/path"] {
+                let s = shard_of_name(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_name(name, shards), "same inputs, same shard");
+            }
+        }
+    }
+
+    #[test]
+    fn every_shard_gets_work_under_a_spread_of_names() {
+        let shards = 4;
+        let mut hit = vec![false; shards];
+        for i in 0..64 {
+            hit[shard_of_name(&format!("sub-{i}"), shards)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 sequential names cover all 4 shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_a_bug() {
+        shard_of_name("x", 0);
+    }
+}

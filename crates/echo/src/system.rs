@@ -4,13 +4,19 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use morph::{CompiledXform, DeadLetter, DeadReason, MorphStats, RetryPolicy, Transformation};
-use obs::{Counter, FlightRecorder, Gauge, Registry, TraceCtx, TraceId};
-use pbio::{Encoder, RecordFormat, Value, WireBytes};
+use morph::{
+    CompiledXform, DeadLetter, DeadReason, DecisionCache, MorphStats, RetryPolicy, Transformation,
+};
+use obs::{
+    Counter, CounterFamily, FlightRecorder, Gauge, GaugeFamily, Registry, TraceCtx, TraceId,
+};
+use pbio::{Encoder, PlanStore, RecordFormat, Value, WireBytes};
 use simnet::{FaultPlan, FaultStats, LinkParams, NetError, Network, NodeId};
 
-use crate::node::{Disposition, EchoVersion, NodeState, Role};
+use crate::driver::Driver;
+use crate::node::{Disposition, EchoVersion, FrameOutcome, NodeState, Role};
 use crate::proto::{self, ChannelId, MemberInfo};
+use crate::shard::shard_of_name;
 use crate::EchoError;
 
 /// Handle to an ECho process within an [`EchoSystem`].
@@ -106,6 +112,36 @@ impl SysMetrics {
     }
 }
 
+/// Per-shard metric handles for the wall-clock runtime, pre-fetched so
+/// worker threads only ever touch lock-free atomics. Cached per shard
+/// count; re-fetched when the count changes.
+#[derive(Debug, Clone)]
+struct ShardMetrics {
+    shards: usize,
+    /// `echo.shard.<i>.frames` — frames dispatched by each worker.
+    frames: CounterFamily,
+    /// `echo.shard.<i>.mailbox.depth` — each shard's mailbox fill for the
+    /// round in flight (0 between rounds).
+    depth: GaugeFamily,
+    /// `echo.shard.mailbox.shed` — event frames shed by mailbox overflow
+    /// (also counted in the system-wide `echo.queue.shed`).
+    shed: Arc<Counter>,
+    /// `echo.shard.rounds` — fork/join rounds executed.
+    rounds: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn new(registry: &Registry, shards: usize) -> ShardMetrics {
+        ShardMetrics {
+            shards,
+            frames: CounterFamily::new(registry, "echo.shard", "frames", shards),
+            depth: GaugeFamily::new(registry, "echo.shard", "mailbox.depth", shards),
+            shed: registry.counter("echo.shard.mailbox.shed"),
+            rounds: registry.counter("echo.shard.rounds"),
+        }
+    }
+}
+
 /// A complete simulated ECho deployment: processes, the network connecting
 /// them, and the channel directory.
 ///
@@ -165,6 +201,19 @@ pub struct EchoSystem {
     /// Flight recorder on the virtual clock: one causal trace per publish
     /// or subscription, shared by every process and the network.
     recorder: Arc<FlightRecorder>,
+    /// When false, publishes carry [`proto::NO_TRACE`] and mint no spans —
+    /// the high-rate data-plane mode. Control-plane operations
+    /// (subscribe/unsubscribe) always trace; they are rare and diagnostic.
+    tracing: bool,
+    /// Worker shard count used by [`EchoSystem::run_wall_clock`].
+    shards: usize,
+    /// System-wide morph caches, present once
+    /// [`EchoSystem::enable_shared_morph_caches`] opted in; applied to
+    /// every existing and future process.
+    shared_caches: Option<(DecisionCache, PlanStore)>,
+    /// Cached per-shard metric handles (lazily created, re-fetched when
+    /// the shard count changes).
+    shard_metrics: Option<ShardMetrics>,
 }
 
 /// A frame whose send was refused (link down); retried with backoff until
@@ -232,6 +281,10 @@ impl EchoSystem {
             ingress: Vec::new(),
             ingress_capacity: INGRESS_CAPACITY,
             recorder,
+            tracing: true,
+            shards: 1,
+            shared_caches: None,
+            shard_metrics: None,
         }
     }
 
@@ -256,6 +309,9 @@ impl EchoSystem {
         // Disjoint 2^48-wide sequence ranges make frame seqs sender-unique.
         node.next_seq = (self.nodes.len() as u64) << 48;
         node.set_recorder(Arc::clone(&self.recorder));
+        if let Some((decisions, plans)) = &self.shared_caches {
+            node.enable_shared_caches(decisions.clone(), plans.clone());
+        }
         let net_id = self.net.add_node(name.clone());
         self.nodes.push(node);
         self.net_ids.push(net_id);
@@ -446,11 +502,19 @@ impl EchoSystem {
         // One trace follows this event everywhere it goes: every per-sink
         // frame (raw or derived) carries the same id, so hops, morphing
         // stages, and dead letters at any receiver join one causal story.
-        let trace = self.alloc_trace(proc.0);
-        let mut root = self.recorder.start(trace, None, "echo.publish");
-        root.tag("channel", &channel.0.to_string());
-        root.tag("from", &self.nodes[proc.0].name);
-        let ctx = Some(root.ctx());
+        // With tracing off ([`EchoSystem::set_tracing`]) frames travel
+        // under NO_TRACE and no spans are minted at all.
+        let mut root = if self.tracing {
+            let trace = self.alloc_trace(proc.0);
+            let mut span = self.recorder.start(trace, None, "echo.publish");
+            span.tag("channel", &channel.0.to_string());
+            span.tag("from", &self.nodes[proc.0].name);
+            Some(span)
+        } else {
+            None
+        };
+        let ctx = root.as_ref().map(|s| s.ctx());
+        let wire_trace = ctx.map_or(proto::NO_TRACE, |c| c.trace.0);
         // Raw fan-out: the frame is built (and the payload copied) once;
         // every additional sink clones the view — an Arc bump, not bytes.
         let mut raw_frame: Option<WireBytes> = None;
@@ -466,18 +530,20 @@ impl EchoSystem {
                                 // Filtered out — nothing travels.
                                 self.metrics.filtered.inc();
                                 self.metrics.channel(channel).filtered.inc();
-                                self.recorder.instant(
-                                    trace,
-                                    ctx.and_then(|c| c.parent),
-                                    "echo.filtered",
-                                    &[("sink", &contact)],
-                                );
+                                if let Some(c) = ctx {
+                                    self.recorder.instant(
+                                        c.trace,
+                                        c.parent,
+                                        "echo.filtered",
+                                        &[("sink", &contact)],
+                                    );
+                                }
                                 continue;
                             }
                             Some(derived) => {
                                 let msg = Encoder::new(xform.to_format()).encode(&derived)?;
                                 let seq = self.nodes[proc.0].alloc_seq();
-                                proto::frame(proto::FRAME_EVENT, channel, seq, trace.0, &msg)
+                                proto::frame(proto::FRAME_EVENT, channel, seq, wire_trace, &msg)
                             }
                         }
                     }
@@ -489,8 +555,13 @@ impl EchoSystem {
                         if raw_frame.is_none() {
                             let msg = Encoder::new(format).encode(event)?;
                             let seq = self.nodes[proc.0].alloc_seq();
-                            raw_frame =
-                                Some(proto::frame(proto::FRAME_EVENT, channel, seq, trace.0, &msg));
+                            raw_frame = Some(proto::frame(
+                                proto::FRAME_EVENT,
+                                channel,
+                                seq,
+                                wire_trace,
+                                &msg,
+                            ));
                         }
                         raw_frame.clone().expect("filled above")
                     }
@@ -500,8 +571,10 @@ impl EchoSystem {
             }
             Ok(sent)
         })();
-        root.tag("sinks", &sent.to_string());
-        root.finish();
+        if let Some(mut span) = root.take() {
+            span.tag("sinks", &sent.to_string());
+            span.finish();
+        }
         result
     }
 
@@ -681,6 +754,15 @@ impl EchoSystem {
     /// shared by live deliveries and drained ingress buffers.
     fn dispatch_frame(&mut self, idx: usize, sender: usize, bytes: &[u8]) {
         let outcome = self.nodes[idx].handle_frame(sender as u64, bytes);
+        self.settle_outcome(idx, outcome);
+    }
+
+    /// Settles a frame's [`FrameOutcome`]: counts its disposition and puts
+    /// any follow-up frames on the wire. Split from [`Self::dispatch_frame`]
+    /// so the sharded runtime can run `handle_frame` on worker threads and
+    /// settle the results here, on the driver thread, where the network and
+    /// system counters are single-threaded.
+    fn settle_outcome(&mut self, idx: usize, outcome: FrameOutcome) {
         match outcome.disposition {
             Disposition::Handled(kind, channel) => {
                 if kind == proto::FRAME_EVENT {
@@ -773,6 +855,158 @@ impl EchoSystem {
         processed
     }
 
+    /// Runs the system under the given [`Driver`] — the pluggable
+    /// counterpart to [`EchoSystem::run`]. `VirtualTimeDriver` reproduces
+    /// `run()` exactly; `WallClockDriver` executes rounds of deliveries on
+    /// real threads.
+    pub fn run_with(&mut self, driver: &mut dyn Driver) -> usize {
+        driver.drive(self)
+    }
+
+    /// Runs to quiescence on the multi-core runtime with the configured
+    /// shard count ([`EchoSystem::set_shards`]) and the default mailbox
+    /// bound. Equivalent to `run()` when one shard is configured, except
+    /// that frames are still batched per round.
+    pub fn run_wall_clock(&mut self) -> usize {
+        self.run_sharded(self.shards, crate::driver::DEFAULT_MAILBOX_CAPACITY)
+    }
+
+    /// The multi-core runtime: repeatedly drains everything the network has
+    /// in flight into per-shard mailboxes (bucketed by a stable hash of the
+    /// destination's name, so one process is only ever touched by one
+    /// worker), forks one worker thread per shard to run `handle_frame`
+    /// over its mailbox, then joins and settles every outcome — accounting
+    /// and follow-up sends — on the driver thread, where the network,
+    /// retry queue, and system counters remain single-threaded.
+    ///
+    /// Invariants preserved from the single-threaded driver:
+    ///
+    /// - **Per-destination FIFO**: mailboxes are filled in global
+    ///   `(deliver_at, seq)` order and each destination lives on exactly
+    ///   one shard, so every process sees its frames in simulated arrival
+    ///   order.
+    /// - **Shed policy**: mailboxes are bounded; overflow sheds the oldest
+    ///   *event* frame into the receiver's dead-letter queue
+    ///   ([`DeadReason::Shed`], `echo.queue.shed`,
+    ///   `echo.shard.mailbox.shed`). Control frames are never shed.
+    /// - **Pause/backpressure**: deliveries to paused processes buffer in
+    ///   their bounded ingress queues on the driver thread, exactly as in
+    ///   `run()`.
+    /// - **Retries**: link-down frames wait out their backoff in virtual
+    ///   time between rounds.
+    ///
+    /// What is *not* preserved is cross-process interleaving: worker
+    /// threads race in wall-clock time, so span orderings and wall-clock
+    /// timings differ run to run. Deterministic replay needs
+    /// [`EchoSystem::run`] / [`crate::VirtualTimeDriver`].
+    pub(crate) fn run_sharded(&mut self, shards: usize, mailbox_capacity: usize) -> usize {
+        assert!(shards > 0, "at least one shard required");
+        if self.shard_metrics.as_ref().map(|m| m.shards) != Some(shards) {
+            self.shard_metrics = Some(ShardMetrics::new(&self.metrics.registry, shards));
+        }
+        let sm = self.shard_metrics.clone().expect("created above");
+        let assign: Vec<usize> =
+            self.nodes.iter().map(|n| shard_of_name(&n.name, shards)).collect();
+        let idx_of: HashMap<NodeId, usize> =
+            self.net_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let mut processed = 0;
+        loop {
+            processed += self.drain_ingress();
+            self.pump_pending();
+            if self.net.is_idle() {
+                match self.pump_pending() {
+                    Some(next_at) => {
+                        let now = self.net.now_ns();
+                        if next_at > now {
+                            self.net.advance_ns(next_at - now);
+                        }
+                        continue;
+                    }
+                    None if self.net.is_idle() => break,
+                    None => continue,
+                }
+            }
+            // One round: everything currently in flight, bucketed by the
+            // destination's shard in global delivery order.
+            let buckets = self.net.drain_ready_sharded(shards, |to| assign[idx_of[&to]]);
+            let mut mailboxes: Vec<Vec<(usize, usize, WireBytes)>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            for (shard, bucket) in buckets.into_iter().enumerate() {
+                for d in bucket {
+                    let idx = idx_of[&d.to];
+                    let sender = idx_of[&d.from];
+                    if self.paused[idx] {
+                        self.buffer_ingress(idx, sender, d.payload);
+                    } else {
+                        mailboxes[shard].push((idx, sender, d.payload));
+                    }
+                }
+            }
+            // Bounded mailboxes: shed the oldest event frames past the
+            // bound (control frames are never shed and may exceed it).
+            for mailbox in &mut mailboxes {
+                while mailbox.len() > mailbox_capacity {
+                    let Some(pos) =
+                        mailbox.iter().position(|(_, _, b)| b.first() == Some(&proto::FRAME_EVENT))
+                    else {
+                        break;
+                    };
+                    let (idx, _, victim) = mailbox.remove(pos);
+                    let ctx = proto::peek_trace(&victim).map(|t| TraceCtx::root(TraceId(t)));
+                    sm.shed.inc();
+                    self.shed_at(idx, &victim, "shard mailbox full: oldest event frame shed", ctx);
+                }
+            }
+            let round_frames: usize = mailboxes.iter().map(Vec::len).sum();
+            if round_frames == 0 {
+                continue;
+            }
+            sm.rounds.inc();
+            for (shard, mailbox) in mailboxes.iter().enumerate() {
+                sm.depth.get(shard).set(mailbox.len() as i64);
+            }
+            // Fork: each worker exclusively owns its shard's processes and
+            // mailbox; counters it touches are pre-fetched atomics.
+            let mut partitions: Vec<Vec<(usize, &mut NodeState)>> =
+                (0..shards).map(|_| Vec::new()).collect();
+            for (i, node) in self.nodes.iter_mut().enumerate() {
+                partitions[assign[i]].push((i, node));
+            }
+            let outcomes: Vec<Vec<(usize, FrameOutcome)>> = std::thread::scope(|scope| {
+                let workers: Vec<_> = mailboxes
+                    .into_iter()
+                    .zip(partitions)
+                    .map(|(mailbox, partition)| {
+                        scope.spawn(move || {
+                            let mut nodes: HashMap<usize, &mut NodeState> =
+                                partition.into_iter().collect();
+                            let mut out = Vec::with_capacity(mailbox.len());
+                            for (idx, sender, bytes) in mailbox {
+                                let node =
+                                    nodes.get_mut(&idx).expect("destination owned by this shard");
+                                out.push((idx, node.handle_frame(sender as u64, &bytes)));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                workers.into_iter().map(|w| w.join().expect("shard worker panicked")).collect()
+            });
+            // Join: settle outcomes in shard order on the driver thread —
+            // disposition accounting and follow-up sends are
+            // single-threaded again.
+            for (shard, outs) in outcomes.into_iter().enumerate() {
+                sm.frames.get(shard).add(outs.len() as u64);
+                sm.depth.get(shard).set(0);
+                for (idx, outcome) in outs {
+                    self.settle_outcome(idx, outcome);
+                    processed += 1;
+                }
+            }
+        }
+        processed
+    }
+
     /// Drains the events received by a process so far.
     pub fn take_events(&mut self, proc: ProcessId) -> Vec<(ChannelId, Value)> {
         self.nodes[proc.0].take_events()
@@ -855,6 +1089,84 @@ impl EchoSystem {
     /// Replaces the retry policy for link-down re-sends.
     pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
         self.retry = policy;
+    }
+
+    /// Turns publish-path tracing on or off (on by default). With tracing
+    /// off, published frames carry [`proto::NO_TRACE`] and mint no spans —
+    /// the mode for high-rate data-plane traffic, where per-event trace
+    /// allocation and recorder writes are pure overhead. Control-plane
+    /// operations keep tracing regardless; they are rare and diagnostic.
+    pub fn set_tracing(&mut self, tracing: bool) {
+        self.tracing = tracing;
+    }
+
+    /// Sets the worker shard count used by [`EchoSystem::run_wall_clock`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn set_shards(&mut self, shards: usize) {
+        assert!(shards > 0, "at least one shard required");
+        self.shards = shards;
+    }
+
+    /// The configured worker shard count.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard (under the configured count) that owns a process — a pure
+    /// hash of its name, stable across runs ([`crate::shard_of_name`]).
+    pub fn shard_of(&self, proc: ProcessId) -> usize {
+        shard_of_name(&self.nodes[proc.0].name, self.shards)
+    }
+
+    /// Opts the whole system into shared morph caches: every process
+    /// (existing and future) consults one system-wide decision cache and
+    /// one conversion-plan store, so MaxMatch and plan compilation for a
+    /// given writer format are paid once per *compatible receiver
+    /// population* instead of once per receiver — the difference between
+    /// O(subscribers) and O(1) cold-path cost on a 10k-sink fan-out.
+    ///
+    /// Off by default: sharing shifts which receiver pays the cold-path
+    /// work, which perturbs per-receiver `morph.*`/`pbio.*` counters (and
+    /// therefore byte-identical chaos snapshots). Decision sharing is
+    /// fingerprint-keyed, so mixed-version receivers never exchange
+    /// decisions they could not have computed themselves.
+    pub fn enable_shared_morph_caches(&mut self) {
+        let decisions = DecisionCache::new();
+        let plans = PlanStore::default();
+        for node in &mut self.nodes {
+            node.enable_shared_caches(decisions.clone(), plans.clone());
+        }
+        self.shared_caches = Some((decisions, plans));
+    }
+
+    /// Registers `proc` as a sink on `channel` *without* the subscription
+    /// handshake: the role and expected event format are set locally and
+    /// the creator's authoritative member list gains the contact directly —
+    /// no request frame, no response broadcast. Models pre-provisioned
+    /// membership (a deployment manifest); the handshake's response
+    /// broadcast is O(members) per join, which makes mass subscription
+    /// O(members²) — this is the bulk path for large fan-outs. The next
+    /// membership refresh naturally includes provisioned members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EchoError::UnknownChannel`] for unregistered channels.
+    pub fn provision_sink(
+        &mut self,
+        proc: ProcessId,
+        channel: ChannelId,
+        format: &Arc<RecordFormat>,
+    ) -> Result<(), EchoError> {
+        let creator_idx =
+            *self.directory.get(&channel).ok_or(EchoError::UnknownChannel(channel))?;
+        self.nodes[proc.0].roles.insert(channel, Role::sink());
+        self.nodes[proc.0].expect_events(channel, format);
+        let contact = self.nodes[proc.0].name.clone();
+        self.nodes[creator_idx].add_member(channel, contact, Role::sink())?;
+        Ok(())
     }
 
     /// Caps the link-down retry queue. Admissions past the cap shed the
@@ -944,6 +1256,7 @@ impl EchoSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{VirtualTimeDriver, WallClockDriver};
     use pbio::FormatBuilder;
 
     fn tick_format() -> Arc<RecordFormat> {
@@ -1379,6 +1692,183 @@ mod tests {
             "the newest four survive, in arrival order"
         );
         assert_eq!(sys.registry().snapshot().gauge("echo.queue.depth"), Some(0));
+    }
+
+    /// Creator + publisher + `n` morphing v1-style sinks on an evolved
+    /// format, fully wired, ready to publish.
+    fn fanout_fixture(
+        n: usize,
+    ) -> (EchoSystem, ProcessId, ChannelId, Arc<RecordFormat>, Arc<RecordFormat>) {
+        let mut sys = EchoSystem::new();
+        let c = sys.add_process("creator", EchoVersion::V2);
+        let old_fmt = FormatBuilder::record("Reading").int("value").build_arc().unwrap();
+        let new_fmt = FormatBuilder::record("Reading").int("raw").int("scale").build_arc().unwrap();
+        let ch = sys.create_channel(c);
+        let subs: Vec<ProcessId> = (0..n)
+            .map(|i| {
+                let s = sys.add_process(format!("sub-{i}"), EchoVersion::V2);
+                sys.connect(c, s, LinkParams::lan());
+                s
+            })
+            .collect();
+        sys.distribute_metadata(
+            &[old_fmt.clone(), new_fmt.clone()],
+            &[Transformation::new(
+                new_fmt.clone(),
+                old_fmt.clone(),
+                "old.value = new.raw * new.scale;",
+            )],
+        );
+        for s in subs {
+            sys.provision_sink(s, ch, &old_fmt).unwrap();
+        }
+        (sys, c, ch, new_fmt, old_fmt)
+    }
+
+    #[test]
+    fn wall_clock_driver_delivers_the_same_events_as_the_virtual_one() {
+        let deliver = |wall: bool| -> Vec<Vec<(ChannelId, Value)>> {
+            let (mut sys, c, ch, new_fmt, _) = fanout_fixture(9);
+            for n in 0..5 {
+                sys.publish(c, ch, &new_fmt, &Value::Record(vec![Value::Int(n), Value::Int(2)]))
+                    .unwrap();
+            }
+            if wall {
+                let mut driver = WallClockDriver::new(4);
+                sys.run_with(&mut driver);
+            } else {
+                let mut driver = VirtualTimeDriver;
+                sys.run_with(&mut driver);
+            }
+            (0..9).map(|i| sys.take_events(ProcessId(i + 1))).collect()
+        };
+        let wall = deliver(true);
+        let virt = deliver(false);
+        // Same events, same per-process order — only the execution
+        // substrate differed.
+        assert_eq!(wall, virt);
+        assert!(wall.iter().all(|events| events.len() == 5));
+        assert_eq!(
+            wall[0][0].1,
+            Value::Record(vec![Value::Int(0)]),
+            "morphed at the sink under the wall-clock driver too"
+        );
+    }
+
+    #[test]
+    fn sharded_run_accounts_per_shard_frames_and_rounds() {
+        let (mut sys, c, ch, new_fmt, _) = fanout_fixture(8);
+        sys.set_shards(2);
+        sys.publish(c, ch, &new_fmt, &Value::Record(vec![Value::Int(3), Value::Int(1)])).unwrap();
+        let processed = sys.run_wall_clock();
+        assert_eq!(processed, 8);
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.counter("echo.events.delivered"), Some(8));
+        // Every frame is attributed to exactly one shard, and the split
+        // matches the stable name hash.
+        let shard0 = snap.counter("echo.shard.0.frames").unwrap();
+        let shard1 = snap.counter("echo.shard.1.frames").unwrap();
+        assert_eq!(shard0 + shard1, 8);
+        let expect0 = (0..8).filter(|i| shard_of_name(&format!("sub-{i}"), 2) == 0).count() as u64;
+        assert_eq!(shard0, expect0);
+        assert!(snap.counter("echo.shard.rounds").unwrap() >= 1);
+        assert_eq!(snap.gauge("echo.shard.0.mailbox.depth"), Some(0), "idle between rounds");
+    }
+
+    #[test]
+    fn shard_mailboxes_shed_oldest_events_but_never_control() {
+        let (mut sys, c, ch, new_fmt, _) = fanout_fixture(6);
+        for n in 0..2 {
+            sys.publish(c, ch, &new_fmt, &Value::Record(vec![Value::Int(n), Value::Int(1)]))
+                .unwrap();
+        }
+        // One shard, 12 event frames in flight, room for 5.
+        let mut driver = WallClockDriver::new(1).with_mailbox_capacity(5);
+        let processed = sys.run_with(&mut driver);
+        assert_eq!(processed, 5);
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.counter("echo.shard.mailbox.shed"), Some(7));
+        assert_eq!(snap.counter("echo.queue.shed"), Some(7));
+        assert_eq!(snap.counter("echo.deadletter.shed"), Some(7));
+        assert_eq!(snap.counter("echo.events.delivered"), Some(5));
+        // Shed victims are quarantined at their receivers, oldest first:
+        // the last sink in delivery order keeps its newest frame.
+        let total_dead: u64 = (0..6).map(|i| sys.dead_letter_total(ProcessId(i + 1))).sum();
+        assert_eq!(total_dead, 7);
+    }
+
+    #[test]
+    fn shared_morph_caches_pay_the_cold_path_once_per_population() {
+        let run = |shared: bool| -> (u64, u64) {
+            let (mut sys, c, ch, new_fmt, _) = fanout_fixture(4);
+            if shared {
+                sys.enable_shared_morph_caches();
+            }
+            sys.publish(c, ch, &new_fmt, &Value::Record(vec![Value::Int(2), Value::Int(3)]))
+                .unwrap();
+            sys.run();
+            for i in 0..4 {
+                let events = sys.take_events(ProcessId(i + 1));
+                assert_eq!(events, vec![(ch, Value::Record(vec![Value::Int(6)]))]);
+            }
+            let compiles: u64 = (0..4)
+                .map(|i| sys.event_stats(ProcessId(i + 1), ch).unwrap().compiles as u64)
+                .sum();
+            let shared_hits: u64 = (0..4)
+                .map(|i| {
+                    let reg = sys.event_registry(ProcessId(i + 1), ch).unwrap();
+                    reg.snapshot().counter("morph.decision.shared_hit").unwrap_or(0)
+                })
+                .sum();
+            (compiles, shared_hits)
+        };
+        let (compiles, hits) = run(true);
+        assert_eq!(compiles, 1, "one sink compiles; three reuse its decision");
+        assert_eq!(hits, 3);
+        let (compiles, hits) = run(false);
+        assert_eq!(compiles, 4, "without sharing every sink pays the compile");
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn provisioned_sinks_match_handshake_subscriptions() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        // s2 is provisioned, not subscribed: no frames travel.
+        let before = sys.total_bytes();
+        sys.provision_sink(s2, ch, &fmt).unwrap();
+        assert_eq!(sys.total_bytes(), before, "provisioning is wire-silent");
+        assert!(sys.members(c, ch).unwrap().iter().any(|m| m.contact == "sub-2" && m.is_sink));
+        sys.run();
+        // The publisher's view refreshes on its *own* next handshake; the
+        // creator (authoritative) already routes to the provisioned sink.
+        sys.publish(c, ch, &fmt, &tick(5)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2), vec![(ch, tick(5))]);
+        assert!(sys.provision_sink(s2, ChannelId(99), &fmt).is_err());
+    }
+
+    #[test]
+    fn tracing_off_publishes_untraced_frames_and_mints_no_spans() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        let traces_before = sys.trace_ids().len();
+        sys.set_tracing(false);
+        sys.publish(s1, ch, &fmt, &tick(1)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2).len(), 1, "delivery is unaffected");
+        assert_eq!(sys.trace_ids().len(), traces_before, "no new trace minted");
+        // Back on: the next publish traces again.
+        sys.set_tracing(true);
+        sys.publish(s1, ch, &fmt, &tick(2)).unwrap();
+        sys.run();
+        assert_eq!(sys.trace_ids().len(), traces_before + 1);
     }
 
     #[test]

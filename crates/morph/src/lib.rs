@@ -67,7 +67,9 @@ pub use metaserver::{
     process_with_resolution, process_with_resolution_retry, resolve_into_with_retry, MetaClient,
     MetaServer, RetryPolicy,
 };
-pub use receiver::{DefaultHandler, Delivery, Explanation, Handler, MorphReceiver, MorphStats};
+pub use receiver::{
+    DecisionCache, DefaultHandler, Delivery, Explanation, Handler, MorphReceiver, MorphStats,
+};
 pub use resolver::{
     BreakerState, DrainReport, PendingSet, PoolDelivery, ResolverConfig, ResolverPool,
 };

@@ -8,16 +8,18 @@
 //! that format replays the cached, fully specialized decision (Algorithm 2
 //! lines 6–9).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
 
 use ecode::{root_used_fields, FusedProgram};
 use obs::{
     ActiveSpan, Clock, Counter, FlightRecorder, Histogram, Registry, SpanId, Timer, TraceCtx,
 };
 use pbio::{
-    format_id, parse_header, ConversionPlan, FormatId, FormatRegistry, PlanCache, RecordFormat,
-    Value,
+    format_id, parse_header, ConversionPlan, FormatId, FormatRegistry, PlanCache, PlanStore,
+    RecordFormat, Value,
 };
 
 use crate::adapter::ValueAdapter;
@@ -154,6 +156,76 @@ enum Decision {
     Reject,
 }
 
+/// A decision cache shared across receivers — the L2 behind each
+/// receiver's private (lock-free) L1 decision map.
+///
+/// Entries are keyed by `(receiver fingerprint, wire format id)`, where the
+/// fingerprint digests everything a decision depends on: the reader formats
+/// (in registration order), the transformation set, the matching
+/// thresholds, and default-handler presence. Two receivers consult the same
+/// entry only when they would have computed the same decision, so sharing
+/// is safe by construction; a receiver that learns a new transformation
+/// moves to a new fingerprint and simply stops seeing the old entries.
+///
+/// The warm path never touches this cache (L1 hits are plain `HashMap`
+/// lookups); only a receiver's *first* message of a format takes the read
+/// lock here, and only the one receiver that actually computes the decision
+/// takes the write lock. In a fan-out of thousands of identical
+/// subscribers, MaxMatch + dynamic code generation then run **once**
+/// system-wide instead of once per subscriber.
+///
+/// Cloning is an `Arc` bump; all clones share the same entries.
+#[derive(Clone, Default)]
+pub struct DecisionCache {
+    inner: Arc<SharedDecisions>,
+}
+
+/// The map behind a [`DecisionCache`], keyed by (fingerprint, format id).
+type SharedDecisions = RwLock<HashMap<(u64, FormatId), Arc<Decision>>>;
+
+impl DecisionCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> DecisionCache {
+        DecisionCache::default()
+    }
+
+    fn get(&self, fingerprint: u64, id: FormatId) -> Option<Arc<Decision>> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&(fingerprint, id))
+            .cloned()
+    }
+
+    fn insert(&self, fingerprint: u64, id: FormatId, decision: Arc<Decision>) {
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert((fingerprint, id), decision);
+    }
+
+    /// Number of cached decisions across all fingerprints.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner).len()
+    }
+
+    /// True when the cache holds no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached decision.
+    pub fn clear(&self) {
+        self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+    }
+}
+
+impl std::fmt::Debug for DecisionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecisionCache").field("decisions", &self.len()).finish()
+    }
+}
+
 /// The fused warm-path plan built at decide time: one projected decode and
 /// one composed VM program covering the whole transformation chain, so a
 /// warm morph is a single pass `wire bytes → Value(target)` with exactly
@@ -183,6 +255,8 @@ struct RxMetrics {
     defaults: Arc<Counter>,
     rejects: Arc<Counter>,
     compiles: Arc<Counter>,
+    shared_hits: Arc<Counter>,
+    shared_inserts: Arc<Counter>,
     maxmatch_candidates: Arc<Counter>,
     fused_applies: Arc<Counter>,
     fused_vm_invocations: Arc<Counter>,
@@ -210,6 +284,8 @@ impl RxMetrics {
             defaults: registry.counter("morph.decision.default"),
             rejects: registry.counter("morph.decision.reject"),
             compiles: registry.counter("morph.compile.count"),
+            shared_hits: registry.counter("morph.decision.shared_hit"),
+            shared_inserts: registry.counter("morph.decision.shared_insert"),
             maxmatch_candidates: registry.counter("morph.maxmatch.candidates"),
             fused_applies: registry.counter("morph.fused.apply"),
             fused_vm_invocations: registry.counter("morph.fused.vm_invocations"),
@@ -266,7 +342,14 @@ pub struct MorphReceiver {
     readers: Vec<Arc<RecordFormat>>,
     handlers: HashMap<FormatId, Handler>,
     default_handler: Option<DefaultHandler>,
-    cache: HashMap<FormatId, Decision>,
+    cache: HashMap<FormatId, Arc<Decision>>,
+    /// Optional L2: decisions shared with other receivers holding the same
+    /// compatibility fingerprint (see [`DecisionCache`]).
+    shared: Option<DecisionCache>,
+    /// Memoized compatibility fingerprint; recomputed lazily after any
+    /// mutation that can change decisions (new reader, new transformation,
+    /// threshold change).
+    fingerprint: Option<u64>,
     /// When true (the default), warm `Decision::Morph` replays run the
     /// fused single-pass plan; when false they run the staged per-step
     /// oracle. Tests and benches flip this to compare the two paths.
@@ -331,6 +414,8 @@ impl MorphReceiver {
             handlers: HashMap::new(),
             default_handler: None,
             cache: HashMap::new(),
+            shared: None,
+            fingerprint: None,
             fusion: true,
             plans: PlanCache::new(Arc::clone(&registry)),
             metrics: RxMetrics::new(registry),
@@ -385,6 +470,7 @@ impl MorphReceiver {
         }
         self.handlers.insert(id, Box::new(handler));
         self.cache.clear(); // decisions may change with a new reader format
+        self.fingerprint = None;
         id
     }
 
@@ -395,6 +481,63 @@ impl MorphReceiver {
     ) {
         self.default_handler = Some(Box::new(handler));
         self.cache.clear();
+        self.fingerprint = None;
+    }
+
+    /// Attaches a [`DecisionCache`] shared with other receivers: local
+    /// decision-cache misses consult it (counted as
+    /// `morph.decision.shared_hit`) before running MaxMatch + compilation,
+    /// and freshly computed decisions are published into it
+    /// (`morph.decision.shared_insert`). Receivers only ever see entries
+    /// computed under their own compatibility fingerprint, so attaching
+    /// one cache to heterogeneous receivers is safe.
+    ///
+    /// Weighted receivers ([`MorphReceiver::set_weight_profile`]) never
+    /// consult or populate the shared cache.
+    pub fn set_shared_decisions(&mut self, cache: DecisionCache) {
+        self.shared = Some(cache);
+    }
+
+    /// Replaces the conversion-plan store with a shared one (see
+    /// [`pbio::PlanCache::set_store`]): plan compilations are then shared
+    /// with every other receiver holding the same store.
+    pub fn set_plan_store(&mut self, store: PlanStore) {
+        self.plans.set_store(store);
+    }
+
+    /// The receiver's compatibility fingerprint: a digest of everything a
+    /// cached decision depends on. Receivers with equal fingerprints
+    /// compute identical decisions, which is the sharing contract of
+    /// [`DecisionCache`].
+    fn compat_fingerprint(&mut self) -> u64 {
+        if let Some(fp) = self.fingerprint {
+            return fp;
+        }
+        // DefaultHasher with fixed keys: deterministic across runs.
+        let mut h = DefaultHasher::new();
+        for r in &self.readers {
+            format_id(r).0.hash(&mut h);
+        }
+        // The transformation *set* (order-independent): EchoSystem-style
+        // deployments distribute metadata identically to every node, so
+        // set equality implies decision equality in practice.
+        let mut edges: Vec<(u64, u64, u64)> = self
+            .xforms
+            .iter()
+            .map(|t| {
+                let mut ch = DefaultHasher::new();
+                t.source().hash(&mut ch);
+                (t.from_id().0, t.to_id().0, ch.finish())
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.hash(&mut h);
+        self.config.diff_threshold.hash(&mut h);
+        self.config.mismatch_threshold.to_bits().hash(&mut h);
+        self.default_handler.is_some().hash(&mut h);
+        let fp = h.finish();
+        self.fingerprint = Some(fp);
+        fp
     }
 
     /// Learns a wire format (out-of-band meta-data arrival).
@@ -413,6 +556,7 @@ impl MorphReceiver {
         self.known.register(Arc::clone(t.from_format()));
         self.known.register(Arc::clone(t.to_format()));
         self.xforms.register(t);
+        self.fingerprint = None;
         let known = &self.known;
         let xforms = &self.xforms;
         self.cache.retain(|id, _| match known.lookup(*id) {
@@ -461,7 +605,7 @@ impl MorphReceiver {
     /// (i.e., at least one message of that format has been processed since
     /// the last cache invalidation).
     pub fn explain(&self, id: FormatId) -> Option<Explanation> {
-        Some(match self.cache.get(&id)? {
+        Some(match &**self.cache.get(&id)? {
             Decision::Plan { target, exact: true, .. } => Explanation::Exact { target: *target },
             Decision::Plan { target, exact: false, .. } => {
                 Explanation::NearMatch { target: *target }
@@ -492,6 +636,7 @@ impl MorphReceiver {
     pub fn set_weight_profile(&mut self, profile: WeightProfile, config: WeightedConfig) {
         self.weights = Some((profile, config));
         self.cache.clear();
+        self.fingerprint = None;
     }
 
     /// The paper's MaxMatch under the receiver's active policy (weighted or
@@ -566,15 +711,17 @@ impl MorphReceiver {
         // Lines 6–9: cached information fast path. `morph.process_ns`
         // deliberately covers only warm replays, so its distribution is the
         // steady-state per-message cost the paper's Fig. 10 compares against
-        // the XML baseline; the cold path is `morph.decide_ns`.
-        if self.cache.contains_key(&id) {
+        // the XML baseline; the cold path is `morph.decide_ns`. The L1 hit
+        // is a plain `HashMap` lookup + `Arc` clone: no locks, so warm
+        // receivers on different shards never contend.
+        if let Some(decision) = self.cache.get(&id).cloned() {
             self.metrics.hits.inc();
             let mut lookup = self.tspan("morph.lookup", None);
             if let Some(s) = lookup.as_mut() {
                 s.tag("result", "hit");
             }
             let _span = self.metrics.timer(&self.metrics.process_ns);
-            return self.apply_cached(id, msg, false);
+            return self.apply_decision(&decision, msg, false);
         }
 
         self.metrics.misses.inc();
@@ -582,13 +729,39 @@ impl MorphReceiver {
         if let Some(s) = lookup.as_mut() {
             s.tag("result", "miss");
         }
+
+        // L2: another receiver with the same compatibility fingerprint may
+        // already have paid for this decision. Weighted matching is excluded
+        // (profiles are per-receiver and not part of the fingerprint).
+        if self.shared.is_some() && self.weights.is_none() {
+            let fp = self.compat_fingerprint();
+            let cached = self.shared.as_ref().and_then(|s| s.get(fp, id));
+            if let Some(decision) = cached {
+                if let Some(s) = lookup.as_mut() {
+                    s.tag("source", "shared");
+                }
+                drop(lookup);
+                self.metrics.shared_hits.inc();
+                self.cache.insert(id, Arc::clone(&decision));
+                let _span = self.metrics.timer(&self.metrics.process_ns);
+                return self.apply_decision(&decision, msg, false);
+            }
+        }
         drop(lookup);
-        let decision = {
+
+        let decision = Arc::new({
             let _span = self.metrics.timer(&self.metrics.decide_ns);
             self.decide(id)?
-        };
-        self.cache.insert(id, decision);
-        self.apply_cached(id, msg, true)
+        });
+        self.cache.insert(id, Arc::clone(&decision));
+        if self.weights.is_none() {
+            if let Some(shared) = self.shared.clone() {
+                let fp = self.compat_fingerprint();
+                shared.insert(fp, id, Arc::clone(&decision));
+                self.metrics.shared_inserts.inc();
+            }
+        }
+        self.apply_decision(&decision, msg, true)
     }
 
     /// Starts a span under the in-flight trace, if one is attached.
@@ -730,20 +903,24 @@ impl MorphReceiver {
         fused
     }
 
-    fn apply_cached(&mut self, id: FormatId, msg: &[u8], trace_stages: bool) -> Result<Delivery> {
-        // The decision is taken out of the map while the handler runs so the
-        // borrow checker allows `&mut self.handlers` access; it is restored
-        // afterwards. Handlers must not recursively call `process` (they
-        // receive values, not the receiver).
+    fn apply_decision(
+        &mut self,
+        decision: &Decision,
+        msg: &[u8],
+        trace_stages: bool,
+    ) -> Result<Delivery> {
+        // The caller hands us its own `Arc` clone of the cached decision, so
+        // `&mut self.handlers` access borrows cleanly while the decision is
+        // read. Handlers must not recursively call `process` (they receive
+        // values, not the receiver).
         //
         // `trace_stages` is true only on the cold path: a warm replay is a
         // single cached step, so beyond `morph.lookup` it records at most
         // the one `morph.apply.fused` span of a fused morph.
-        let decision = self.cache.remove(&id).expect("caller ensured presence");
         let apply_span = if trace_stages { self.tspan("morph.apply", None) } else { None };
         let aparent = apply_span.as_ref().map(|s| s.id());
         let result = (|| -> Result<Delivery> {
-            match &decision {
+            match decision {
                 Decision::Plan { plan, target, .. } => {
                     let value = {
                         let _s =
@@ -847,7 +1024,6 @@ impl MorphReceiver {
                 }
             }
         })();
-        self.cache.insert(id, decision);
         result
     }
 
@@ -1316,6 +1492,113 @@ mod tests {
         assert_eq!(snap.counter("morph.staged.vm_invocations"), Some(2));
         let vals = got.lock().unwrap();
         assert_eq!(vals[0], vals[1]);
+    }
+
+    #[test]
+    fn shared_cache_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecisionCache>();
+        assert_send_sync::<Arc<Decision>>();
+    }
+
+    /// Builds a v1-reading receiver that knows the Fig. 5 transformation —
+    /// the identical-subscriber shape of a fan-out deployment.
+    fn v1_subscriber(shared: &DecisionCache) -> (Sink, MorphReceiver) {
+        let (got, h) = sink();
+        let mut rx = MorphReceiver::new();
+        rx.register_handler(&v1(), h);
+        rx.import_transformation(Transformation::new(v2(), v1(), FIG5));
+        rx.set_shared_decisions(shared.clone());
+        (got, rx)
+    }
+
+    #[test]
+    fn shared_decision_cache_pays_maxmatch_and_compile_once() {
+        let shared = DecisionCache::new();
+        let (got_a, mut a) = v1_subscriber(&shared);
+        let (got_b, mut b) = v1_subscriber(&shared);
+
+        a.process(&v2_message(3)).unwrap(); // computes + publishes
+        b.process(&v2_message(3)).unwrap(); // shared hit: no decide, no DCG
+
+        assert_eq!(shared.len(), 1);
+        assert!(!shared.is_empty());
+        assert_eq!(a.stats().compiles, 1);
+        assert_eq!(b.stats().compiles, 0, "B must reuse A's compiled decision");
+        let snap_a = a.registry().snapshot();
+        let snap_b = b.registry().snapshot();
+        assert_eq!(snap_a.counter("morph.decision.shared_insert"), Some(1));
+        assert_eq!(snap_b.counter("morph.decision.shared_hit"), Some(1));
+        assert_eq!(snap_b.counter("morph.decision.morph"), Some(0), "decide() never ran on B");
+
+        // Both delivered the same morphed value.
+        assert_eq!(got_a.lock().unwrap()[0], got_b.lock().unwrap()[0]);
+
+        // B's next message is a plain L1 hit: no further shared traffic.
+        b.process(&v2_message(3)).unwrap();
+        let snap_b = b.registry().snapshot();
+        assert_eq!(snap_b.counter("morph.decision.shared_hit"), Some(1));
+        assert_eq!(snap_b.counter("morph.decision.hit"), Some(1));
+
+        shared.clear();
+        assert!(shared.is_empty());
+        assert!(!format!("{shared:?}").is_empty());
+    }
+
+    #[test]
+    fn shared_cache_segregates_incompatible_receivers() {
+        let shared = DecisionCache::new();
+        let (_, mut a) = v1_subscriber(&shared);
+
+        // B reads v2 natively: same wire format, different fingerprint, and
+        // must not inherit A's morph-to-v1 decision.
+        let (got_b, hb) = sink();
+        let mut b = MorphReceiver::new();
+        let id2 = b.register_handler(&v2(), hb);
+        b.set_shared_decisions(shared.clone());
+
+        a.process(&v2_message(2)).unwrap();
+        let d = b.process(&v2_message(2)).unwrap();
+        assert_eq!(d, Delivery::Delivered(id2));
+        got_b.lock().unwrap()[0].check(&v2()).unwrap();
+        assert_eq!(b.registry().snapshot().counter("morph.decision.shared_hit"), Some(0));
+        assert_eq!(shared.len(), 2, "one entry per fingerprint");
+    }
+
+    #[test]
+    fn learning_a_transformation_moves_to_a_fresh_fingerprint() {
+        let shared = DecisionCache::new();
+        let (_, mut a) = v1_subscriber(&shared);
+        let (_, mut b) = v1_subscriber(&shared);
+        a.process(&v2_message(1)).unwrap();
+
+        // B learns an extra edge before its first message: its fingerprint
+        // diverges from A's, so A's cached decision is invisible to it.
+        let v0 =
+            FormatBuilder::record("ChannelOpenResponse").int("member_count").build_arc().unwrap();
+        b.import_transformation(Transformation::new(
+            v1(),
+            v0,
+            "old.member_count = new.member_count;",
+        ));
+        b.process(&v2_message(1)).unwrap();
+        assert_eq!(b.registry().snapshot().counter("morph.decision.shared_hit"), Some(0));
+        assert_eq!(b.registry().snapshot().counter("morph.decision.shared_insert"), Some(1));
+        assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn weighted_receivers_bypass_the_shared_cache() {
+        use crate::weighted::{WeightProfile, WeightedConfig};
+        let shared = DecisionCache::new();
+        let (_, mut a) = v1_subscriber(&shared);
+        a.set_weight_profile(
+            WeightProfile::new().weight("member_count", 1.0),
+            WeightedConfig { diff_threshold: 100.0, mismatch_threshold: 1.0 },
+        );
+        a.process(&v2_message(1)).unwrap();
+        assert!(shared.is_empty(), "weighted decisions must stay private");
+        assert_eq!(a.registry().snapshot().counter("morph.decision.shared_insert"), Some(0));
     }
 
     #[test]

@@ -252,6 +252,11 @@ impl TransformationRegistry {
         self.by_from.values().map(Vec::len).sum()
     }
 
+    /// Iterates over every registered transformation (no defined order).
+    pub fn iter(&self) -> impl Iterator<Item = &Transformation> {
+        self.by_from.values().flatten()
+    }
+
     /// True if no transformations are registered.
     pub fn is_empty(&self) -> bool {
         self.by_from.is_empty()

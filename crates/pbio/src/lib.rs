@@ -64,7 +64,7 @@ pub use encode::{
 pub use error::{PbioError, Result};
 pub use inspect::describe_message;
 pub use meta::{deserialize_format, format_id, serialize_format, FormatId};
-pub use observe::{CodecMetrics, PlanCache};
+pub use observe::{CodecMetrics, PlanCache, PlanStore};
 pub use plan::ConversionPlan;
 pub use registry::FormatRegistry;
 pub use types::{

@@ -10,7 +10,7 @@
 //! `OBSERVABILITY.md` at the repository root.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use obs::{Clock, Counter, Histogram, Registry, Timer};
 
@@ -20,6 +20,101 @@ use crate::meta::{format_id, FormatId};
 use crate::plan::ConversionPlan;
 use crate::types::RecordFormat;
 use crate::value::Value;
+
+/// How many independently locked segments a [`PlanStore`] spreads its
+/// entries over. Concurrent warm-path readers on different segments never
+/// contend, and a cold compile write-locks only the one segment its key
+/// hashes to.
+const STORE_SEGMENTS: usize = 16;
+
+/// One independently locked slice of a [`PlanStore`]'s plan map.
+type StoreSegment = RwLock<HashMap<(FormatId, FormatId), Arc<ConversionPlan>>>;
+
+/// The shared, concurrently readable store behind one or more
+/// [`PlanCache`] handles.
+///
+/// Entries are spread over [`STORE_SEGMENTS`] independently locked
+/// segments, so the warm path (plan lookup) takes a single segment read
+/// lock — many threads resolving plans concurrently serialize only when
+/// they hash to the same segment *and* one of them is compiling. Cloning a
+/// `PlanStore` is an `Arc` bump: every clone sees (and contributes to) the
+/// same compiled plans, which is how thousands of receivers share one
+/// compile per format pair instead of paying it each.
+#[derive(Debug, Clone, Default)]
+pub struct PlanStore {
+    segments: Arc<[StoreSegment; STORE_SEGMENTS]>,
+}
+
+impl PlanStore {
+    /// Creates an empty store.
+    pub fn new() -> PlanStore {
+        PlanStore::default()
+    }
+
+    /// Which segment a format pair lives in (a cheap FNV-style mix of the
+    /// two 64-bit ids — deterministic across runs and platforms).
+    fn segment_of(key: (FormatId, FormatId)) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for word in [key.0 .0, key.1 .0] {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % STORE_SEGMENTS as u64) as usize
+    }
+
+    fn read(
+        &self,
+        key: (FormatId, FormatId),
+    ) -> RwLockReadGuard<'_, HashMap<(FormatId, FormatId), Arc<ConversionPlan>>> {
+        self.segments[PlanStore::segment_of(key)]
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn write(
+        &self,
+        key: (FormatId, FormatId),
+    ) -> RwLockWriteGuard<'_, HashMap<(FormatId, FormatId), Arc<ConversionPlan>>> {
+        self.segments[PlanStore::segment_of(key)]
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The compiled plan for a format pair, if present.
+    pub fn get(&self, key: (FormatId, FormatId)) -> Option<Arc<ConversionPlan>> {
+        self.read(key).get(&key).cloned()
+    }
+
+    /// Inserts a compiled plan, returning the canonical entry (an earlier
+    /// racer's plan wins so every caller converges on one `Arc`).
+    pub fn insert(
+        &self,
+        key: (FormatId, FormatId),
+        plan: Arc<ConversionPlan>,
+    ) -> Arc<ConversionPlan> {
+        Arc::clone(self.write(key).entry(key).or_insert(plan))
+    }
+
+    /// Number of compiled plans across all segments.
+    pub fn len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.read().unwrap_or_else(std::sync::PoisonError::into_inner).len())
+            .sum()
+    }
+
+    /// True when no plans are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every stored plan.
+    pub fn clear(&self) {
+        for s in self.segments.iter() {
+            s.write().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
+        }
+    }
+}
 
 /// A memoizing store of compiled [`ConversionPlan`]s, keyed by
 /// (wire format, native format) identity, with cache behaviour exported
@@ -54,23 +149,38 @@ use crate::value::Value;
 pub struct PlanCache {
     registry: Arc<Registry>,
     clock: Arc<dyn Clock>,
-    plans: Mutex<HashMap<(FormatId, FormatId), Arc<ConversionPlan>>>,
+    plans: PlanStore,
     hits: Arc<Counter>,
     misses: Arc<Counter>,
     compile_ns: Arc<Histogram>,
 }
 
 impl PlanCache {
-    /// Creates an empty cache reporting into `registry`.
+    /// Creates an empty cache reporting into `registry`, with a private
+    /// [`PlanStore`] (use [`PlanCache::set_store`] to share one).
     pub fn new(registry: Arc<Registry>) -> PlanCache {
         PlanCache {
             clock: registry.clock(),
             hits: registry.counter("pbio.plan.hit"),
             misses: registry.counter("pbio.plan.miss"),
             compile_ns: registry.histogram("pbio.plan.compile_ns"),
-            plans: Mutex::new(HashMap::new()),
+            plans: PlanStore::new(),
             registry,
         }
+    }
+
+    /// A shareable handle to the underlying [`PlanStore`]. Handing this to
+    /// another cache (via [`PlanCache::set_store`]) makes both resolve from
+    /// — and compile into — the same plans; metrics stay per-cache.
+    pub fn store(&self) -> PlanStore {
+        self.plans.clone()
+    }
+
+    /// Replaces the underlying store with a shared one. Plans already in
+    /// the old private store are abandoned (they are cheap views; the
+    /// shared store re-converges on one compile per pair system-wide).
+    pub fn set_store(&mut self, store: PlanStore) {
+        self.plans = store;
     }
 
     /// The registry this cache reports into.
@@ -101,20 +211,21 @@ impl PlanCache {
         native: &Arc<RecordFormat>,
     ) -> Result<Arc<ConversionPlan>> {
         let key = (format_id(wire), format_id(native));
-        if let Some(plan) = self.plans.lock().expect("plan cache lock").get(&key) {
+        if let Some(plan) = self.plans.get(key) {
             self.hits.inc();
-            return Ok(Arc::clone(plan));
+            return Ok(plan);
         }
         self.misses.inc();
         let timer = Timer::start(Arc::clone(&self.compile_ns), Arc::clone(&self.clock));
         let plan = Arc::new(ConversionPlan::compile(wire, native)?);
         timer.stop();
-        Ok(Arc::clone(self.plans.lock().expect("plan cache lock").entry(key).or_insert(plan)))
+        // A concurrent compiler may have won the race; converge on its plan.
+        Ok(self.plans.insert(key, plan))
     }
 
     /// Number of distinct format pairs with compiled plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache lock").len()
+        self.plans.len()
     }
 
     /// True when no plans are cached.
@@ -124,7 +235,7 @@ impl PlanCache {
 
     /// Drops every cached plan. Counters are cumulative and unaffected.
     pub fn clear(&self) {
-        self.plans.lock().expect("plan cache lock").clear();
+        self.plans.clear();
     }
 }
 
@@ -246,6 +357,51 @@ mod tests {
         cache.get_or_compile(&f, &f).unwrap();
         let snap = cache.registry().snapshot();
         assert_eq!(snap.counter("pbio.plan.miss"), Some(2), "recompile after clear");
+    }
+
+    #[test]
+    fn shared_store_serves_both_caches_with_one_compile() {
+        let a = PlanCache::new(Arc::new(Registry::new()));
+        let mut b = PlanCache::new(Arc::new(Registry::new()));
+        b.set_store(a.store());
+        let f = fmt("M");
+        let p1 = a.get_or_compile(&f, &f).unwrap();
+        let p2 = b.get_or_compile(&f, &f).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "one compile, one canonical plan");
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        // The second cache resolved from the shared store: a hit in its
+        // own metrics, no second compile anywhere.
+        assert_eq!(b.registry().snapshot().counter("pbio.plan.hit"), Some(1));
+        assert_eq!(b.registry().snapshot().counter("pbio.plan.miss"), Some(0));
+        assert_eq!(a.registry().snapshot().counter("pbio.plan.miss"), Some(1));
+    }
+
+    #[test]
+    fn plan_store_concurrent_readers_and_compilers_converge() {
+        let store = PlanStore::new();
+        let formats: Vec<_> = (0..8)
+            .map(|i| FormatBuilder::record(&format!("F{i}")).int("a").build_arc().unwrap())
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let store = store.clone();
+                let formats = formats.clone();
+                s.spawn(move || {
+                    let cache = {
+                        let mut c = PlanCache::new(Arc::new(Registry::new()));
+                        c.set_store(store);
+                        c
+                    };
+                    for _ in 0..50 {
+                        for f in &formats {
+                            cache.get_or_compile(f, f).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 8, "racing compilers converge on one plan per pair");
     }
 
     #[test]

@@ -719,6 +719,38 @@ impl Network {
         self.queue.is_empty()
     }
 
+    /// Drains **every** message currently in flight, bucketed by the
+    /// destination's shard — the batch boundary of the wall-clock driver's
+    /// fork-join rounds (see `echo::WallClockDriver`).
+    ///
+    /// Each popped message goes through exactly the [`Network::step`]
+    /// delivery pipeline (clock advance, hop-span finish, crash-window
+    /// drops) but bypasses the inboxes, like [`Network::run`]. Messages are
+    /// popped in global `(deliver_at, seq)` order, so within each bucket —
+    /// and hence for any single destination node — deliveries stay in
+    /// simulated arrival order even when buckets are then consumed on
+    /// different threads.
+    ///
+    /// Messages the callback-equivalent sends *during* shard processing are
+    /// queued normally and picked up by the next round; the returned
+    /// batch is a consistent snapshot of the in-flight set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `shard_of` returns an index `>= shards`.
+    pub fn drain_ready_sharded<F>(&mut self, shards: usize, shard_of: F) -> Vec<Vec<Delivery>>
+    where
+        F: Fn(NodeId) -> usize,
+    {
+        assert!(shards > 0, "at least one shard required");
+        let mut buckets: Vec<Vec<Delivery>> = (0..shards).map(|_| Vec::new()).collect();
+        while let Some(d) = self.step() {
+            self.inboxes[d.to.0].pop_back(); // bypass inboxes, as in run()
+            buckets[shard_of(d.to)].push(d);
+        }
+        buckets
+    }
+
     /// Steps until idle, invoking `on_delivery` for each message (inboxes
     /// are bypassed). The callback may send more messages through the
     /// provided `&mut Network`. Returns the number of deliveries.
@@ -989,6 +1021,39 @@ mod tests {
         assert!(d.payload.same_buffer(&sent), "delivery aliases the sent buffer");
         assert!(net.recv(b).unwrap().payload.same_buffer(&sent), "inbox copy is a view clone");
         assert_eq!(d.payload, sent);
+    }
+
+    #[test]
+    fn drain_ready_sharded_buckets_by_destination_and_keeps_order() {
+        let mut net = Network::new();
+        let src = net.add_node("src");
+        let even = net.add_node("even");
+        let odd = net.add_node("odd");
+        net.connect(src, even, LinkParams::ideal());
+        net.connect(src, odd, LinkParams::ideal());
+        for i in 0..6u8 {
+            let to = if i % 2 == 0 { even } else { odd };
+            net.send(src, to, vec![i]).unwrap();
+        }
+        let buckets = net.drain_ready_sharded(2, |n| n.0 % 2);
+        assert!(net.is_idle(), "the whole in-flight set is drained");
+        // even=NodeId(1) -> shard 1, odd=NodeId(2) -> shard 0.
+        assert_eq!(buckets[1].iter().map(|d| d.payload[0]).collect::<Vec<_>>(), [0, 2, 4]);
+        assert_eq!(buckets[0].iter().map(|d| d.payload[0]).collect::<Vec<_>>(), [1, 3, 5]);
+        assert!(buckets.iter().flatten().all(|d| d.from == src));
+        // Inboxes were bypassed, as in run().
+        assert!(net.recv(even).is_none());
+        assert!(net.recv(odd).is_none());
+    }
+
+    #[test]
+    fn drain_ready_sharded_respects_crash_windows() {
+        let (mut net, a, b) = pair(LinkParams::lan());
+        net.send(a, b, vec![1]).unwrap();
+        net.set_crash_windows(b, &[(0, u64::MAX)]);
+        let buckets = net.drain_ready_sharded(1, |_| 0);
+        assert!(buckets[0].is_empty());
+        assert_eq!(net.crash_stats().dropped, 1);
     }
 
     #[test]

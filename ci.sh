@@ -29,13 +29,15 @@ echo "==> chaos suite (seeded fault injection; deterministic per seed)"
 cargo test -q --test chaos
 
 echo "==> chaos seed matrix (extra seeds beyond the baked-in trio)"
+# Covers every scenario in tests/chaos.rs, including the fragmentation
+# run (loss + duplication + reordering over multi-fragment events).
 for s in ${CHAOS_SEEDS:-1 7 42}; do
     echo "    CHAOS_SEED=$s cargo test -q --test chaos"
     CHAOS_SEED="$s" cargo test -q --test chaos
 done
 
 echo "==> examples (offline smoke runs; each asserts its own output)"
-for ex in quickstart stats_dump echo_evolution trace_dump failover; do
+for ex in quickstart stats_dump echo_evolution trace_dump failover qos_telemetry; do
     echo "    cargo run --release --example $ex"
     cargo run -q --release --example "$ex" >/dev/null
 done

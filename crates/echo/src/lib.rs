@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 mod driver;
+pub mod frag;
 mod node;
 pub mod proto;
 mod shard;
@@ -26,8 +27,9 @@ mod system;
 use std::fmt;
 
 pub use driver::{Driver, VirtualTimeDriver, WallClockDriver, DEFAULT_MAILBOX_CAPACITY};
+pub use frag::{split_message, Fragment, ReassemblyBuffer};
 pub use node::{EchoVersion, Role};
-pub use proto::{ChannelId, Frame, FrameError, MemberInfo};
+pub use proto::{ChannelId, Frame, FrameError, MemberInfo, QosTier};
 pub use shard::{fnv1a, shard_of_name};
 pub use system::{EchoSystem, ProcessId};
 
@@ -50,6 +52,14 @@ pub enum EchoError {
     MalformedFrame,
     /// Unknown frame kind byte.
     UnknownFrameKind(u8),
+    /// An encoded event needs more fragments than the wire's 16-bit
+    /// fragment fields can number ([`frag::MAX_FRAGMENTS`]).
+    MessageTooLarge {
+        /// Encoded payload size in bytes.
+        len: usize,
+        /// Configured frame budget in bytes.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for EchoError {
@@ -63,6 +73,9 @@ impl fmt::Display for EchoError {
             EchoError::NotSubscribed(c) => write!(f, "process is not subscribed to channel {c}"),
             EchoError::MalformedFrame => write!(f, "malformed network frame"),
             EchoError::UnknownFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            EchoError::MessageTooLarge { len, budget } => {
+                write!(f, "{len}-byte event cannot split into ≤65535 fragments of {budget} bytes")
+            }
         }
     }
 }

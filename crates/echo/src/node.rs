@@ -11,12 +11,19 @@ use morph::{
 use obs::{ActiveSpan, FlightRecorder, SpanEvent, TraceCtx, TraceId};
 use pbio::{Encoder, PlanStore, RecordFormat, Value, WireBytes};
 
-use crate::proto::{self, ChannelId, FrameError, MemberInfo};
+use crate::frag::{Fragment, Offer, PartialSet, ReassemblyBuffer};
+use crate::proto::{self, ChannelId, FrameError, MemberInfo, QosTier};
 use crate::EchoError;
 
-/// How many recently seen `(sender, seq)` pairs a node remembers for
-/// duplicate suppression.
+/// How many recently seen `(sender, seq, frag_index)` triples a node
+/// remembers for duplicate suppression.
 const DEDUP_WINDOW: usize = 4096;
+
+/// Default bound on in-progress fragment sets per channel.
+const REASSEMBLY_CAPACITY: usize = 32;
+
+/// Default virtual-clock age at which a partial fragment set dead-letters.
+const REASSEMBLY_TIMEOUT_NS: u64 = 500_000_000;
 
 /// How many quarantined messages a node keeps (counters track the true
 /// totals beyond this bound).
@@ -70,9 +77,19 @@ pub(crate) struct Outgoing {
 /// What became of one incoming frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Disposition {
-    /// Verified, fresh, and processed (kind, channel).
-    Handled(u8, ChannelId),
-    /// Verified but already seen (duplicate suppression by sender seq).
+    /// Verified, fresh, and processed (kind, channel, tier).
+    Handled(u8, ChannelId, QosTier),
+    /// A fragment that completed its set: the reassembled message was
+    /// processed (channel, tier, set size).
+    Reassembled(ChannelId, QosTier, u16),
+    /// A fragment buffered into the channel's reassembly buffer, its set
+    /// still incomplete.
+    FragmentBuffered(ChannelId),
+    /// Dropped by sequenced newest-wins policy: the frame's message seq
+    /// trails the latest seen from its sender on this channel.
+    Stale(ChannelId),
+    /// Verified but already seen (duplicate suppression by sender seq and
+    /// fragment index).
     Duplicate(u8, ChannelId),
     /// Quarantined in the node's dead-letter queue, never decoded or
     /// already failed decoding/delivery.
@@ -80,16 +97,23 @@ pub(crate) enum Disposition {
 }
 
 /// The result of [`NodeState::handle_frame`]: the frame's fate plus any
-/// follow-up messages to put on the wire.
+/// follow-up messages to put on the wire, plus partial-set accounting
+/// (sets this frame's arrival evicted or superseded — already
+/// dead-lettered / dropped inside the node, surfaced here so the system
+/// can count them).
 #[derive(Debug)]
 pub(crate) struct FrameOutcome {
     pub disposition: Disposition,
     pub outgoing: Vec<Outgoing>,
+    /// Partial sets capacity-evicted (and dead-lettered) by this frame.
+    pub evicted_partials: u16,
+    /// Partial sets superseded (newest-wins) and dropped by this frame.
+    pub stale_partials: u16,
 }
 
 impl FrameOutcome {
     fn settled(disposition: Disposition) -> FrameOutcome {
-        FrameOutcome { disposition, outgoing: Vec::new() }
+        FrameOutcome { disposition, outgoing: Vec::new(), evicted_partials: 0, stale_partials: 0 }
     }
 }
 
@@ -117,11 +141,23 @@ pub(crate) struct NodeState {
     shared_formats: Vec<Arc<RecordFormat>>,
     /// Next outgoing frame sequence number.
     pub(crate) next_seq: u64,
-    /// Recently seen incoming `(sender, seq)` pairs, for duplicate
-    /// suppression. Keyed per sender: two senders may legitimately emit
-    /// overlapping sequence numbers without suppressing each other.
-    seen_seqs: HashSet<(u64, u64)>,
-    seen_order: VecDeque<(u64, u64)>,
+    /// Recently seen incoming `(sender, seq, frag_index)` triples, for
+    /// duplicate suppression. Keyed per sender: two senders may
+    /// legitimately emit overlapping sequence numbers without suppressing
+    /// each other; fragments of one message share a seq and are told apart
+    /// by index.
+    seen_seqs: HashSet<(u64, u64, u16)>,
+    seen_order: VecDeque<(u64, u64, u16)>,
+    /// In-progress fragment sets, per channel.
+    reassembly: HashMap<ChannelId, ReassemblyBuffer>,
+    reassembly_capacity: usize,
+    reassembly_timeout_ns: u64,
+    /// Sequenced newest-wins watermark: latest message seq seen per
+    /// (channel, sender). Frames trailing it are stale.
+    latest_seq: HashMap<(ChannelId, u64), u64>,
+    /// Virtual time of the current dispatch round, stamped by the system
+    /// before frames are handled; reassembly ages against it.
+    now_ns: u64,
     /// Quarantine for frames that could not be delivered.
     dlq: DeadLetterQueue,
     /// Flight recorder for causal traces, shared system-wide.
@@ -182,6 +218,11 @@ impl NodeState {
             next_seq: 0,
             seen_seqs: HashSet::new(),
             seen_order: VecDeque::new(),
+            reassembly: HashMap::new(),
+            reassembly_capacity: REASSEMBLY_CAPACITY,
+            reassembly_timeout_ns: REASSEMBLY_TIMEOUT_NS,
+            latest_seq: HashMap::new(),
+            now_ns: 0,
             dlq,
             recorder: None,
             shared_caches: None,
@@ -224,20 +265,72 @@ impl NodeState {
         s
     }
 
-    /// Records an incoming `(sender, seq)` pair; returns false if it was
-    /// seen before (a duplicate from the same sender). The memory is a
-    /// bounded sliding window.
-    fn note_seq(&mut self, sender: u64, seq: u64) -> bool {
-        if !self.seen_seqs.insert((sender, seq)) {
+    /// Records an incoming `(sender, seq, frag_index)` triple; returns
+    /// false if it was seen before (a duplicate from the same sender). The
+    /// memory is a bounded sliding window.
+    fn note_seq(&mut self, sender: u64, seq: u64, index: u16) -> bool {
+        if !self.seen_seqs.insert((sender, seq, index)) {
             return false;
         }
-        self.seen_order.push_back((sender, seq));
+        self.seen_order.push_back((sender, seq, index));
         if self.seen_order.len() > DEDUP_WINDOW {
             if let Some(old) = self.seen_order.pop_front() {
                 self.seen_seqs.remove(&old);
             }
         }
         true
+    }
+
+    /// Stamps the virtual time frames handled next will observe (the
+    /// system sets this before each dispatch round; reassembly entries age
+    /// against it).
+    pub fn set_now(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
+    }
+
+    /// Re-bounds every (current and future) per-channel reassembly buffer.
+    pub fn configure_reassembly(&mut self, capacity: usize, timeout_ns: u64) {
+        self.reassembly_capacity = capacity.max(1);
+        self.reassembly_timeout_ns = timeout_ns;
+        for buf in self.reassembly.values_mut() {
+            buf.set_limits(capacity, timeout_ns);
+        }
+    }
+
+    /// In-progress fragment sets across all channels.
+    pub fn reassembly_depth(&self) -> usize {
+        self.reassembly.values().map(ReassemblyBuffer::len).sum()
+    }
+
+    /// Expires partial fragment sets whose first fragment is older than
+    /// the reassembly timeout at `now_ns`, dead-lettering each with
+    /// [`DeadReason::PartialFragments`]. Channels are visited in id order
+    /// so the sweep is deterministic. Returns how many sets expired.
+    pub fn sweep_reassembly(&mut self, now_ns: u64) -> u16 {
+        self.now_ns = now_ns;
+        let mut channels: Vec<ChannelId> = self.reassembly.keys().copied().collect();
+        channels.sort_unstable();
+        let mut expired = 0u16;
+        for ch in channels {
+            let sets = match self.reassembly.get_mut(&ch) {
+                Some(buf) => buf.sweep(now_ns),
+                None => Vec::new(),
+            };
+            for p in sets {
+                self.quarantine_partial(&p, "reassembly timeout");
+                expired += 1;
+            }
+        }
+        expired
+    }
+
+    /// Dead-letters a partial fragment set, quarantining its first-received
+    /// fragment frame as evidence and sealing the message's trace (if it
+    /// carried one) with a `reassembly`-stage quarantine event.
+    fn quarantine_partial(&mut self, p: &PartialSet, why: &str) {
+        let detail = format!("{} of {} fragments ({})", p.received, p.count, why);
+        let ctx = p.trace.map(|t| TraceCtx::root(TraceId(t)));
+        self.quarantine_dropped(DeadReason::PartialFragments, "reassembly", &p.frame, &detail, ctx);
     }
 
     /// Opens the receiver-side trace for an incoming frame. Span ids do not
@@ -451,19 +544,16 @@ impl NodeState {
     /// cannot be verified, decoded, or delivered are quarantined in the
     /// node's dead-letter queue — a process on a hostile network degrades,
     /// it does not crash.
-    pub fn handle_frame(&mut self, sender: u64, bytes: &[u8]) -> FrameOutcome {
+    pub fn handle_frame(&mut self, sender: u64, bytes: &WireBytes) -> FrameOutcome {
         let ht = self.start_handle_trace(bytes);
         let frame = match proto::unframe(bytes) {
             Ok(f) => f,
-            Err(FrameError::Truncated) => {
+            Err(
+                e
+                @ (FrameError::Truncated | FrameError::BadQos(_) | FrameError::BadFragment { .. }),
+            ) => {
                 let (trace, events) = self.seal_failed(ht, "unframe");
-                self.dlq.push_traced(
-                    DeadReason::Malformed,
-                    bytes,
-                    "frame shorter than header",
-                    trace,
-                    events,
-                );
+                self.dlq.push_traced(DeadReason::Malformed, bytes, e.to_string(), trace, events);
                 return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Malformed));
             }
             Err(FrameError::BadChecksum) => {
@@ -481,7 +571,7 @@ impl NodeState {
                 return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Corrupt));
             }
         };
-        if !self.note_seq(sender, frame.seq) {
+        if !self.note_seq(sender, frame.seq, frame.frag_index) {
             if let (Some(rec), Some(t)) = (self.recorder.as_ref(), ht.trace) {
                 rec.instant(
                     t,
@@ -495,23 +585,28 @@ impl NodeState {
         let ctx = ht.span.as_ref().map(|s| s.ctx());
         let (kind, channel, msg) = (frame.kind, frame.channel, frame.payload);
         match kind {
-            proto::FRAME_CONTROL => match self.handle_control(msg, ctx, frame.trace) {
-                Ok(outgoing) => {
-                    FrameOutcome { disposition: Disposition::Handled(kind, channel), outgoing }
+            proto::FRAME_CONTROL => {
+                if frame.is_fragment() {
+                    // The control plane must stay whole: a fragmented
+                    // control frame is a protocol violation, not traffic.
+                    return FrameOutcome::settled(self.quarantine(
+                        &EchoError::MalformedFrame,
+                        bytes,
+                        ht,
+                        "control",
+                    ));
                 }
-                Err(e) => FrameOutcome::settled(self.quarantine(&e, bytes, ht, "control")),
-            },
-            proto::FRAME_EVENT => {
-                if let Some(rx) = self.event_rx.get_mut(&channel) {
-                    if let Err(e) = rx.process_traced(msg, ctx) {
-                        let reason = deadletter::reason_for(&e);
-                        let (trace, events) = self.seal_failed(ht, "event");
-                        self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);
-                        return FrameOutcome::settled(Disposition::Quarantined(reason));
-                    }
+                match self.handle_control(msg, ctx, frame.trace) {
+                    Ok(outgoing) => FrameOutcome {
+                        disposition: Disposition::Handled(kind, channel, QosTier::Reliable),
+                        outgoing,
+                        evicted_partials: 0,
+                        stale_partials: 0,
+                    },
+                    Err(e) => FrameOutcome::settled(self.quarantine(&e, bytes, ht, "control")),
                 }
-                FrameOutcome::settled(Disposition::Handled(kind, channel))
             }
+            proto::FRAME_EVENT => self.handle_event(sender, bytes, &frame, ht),
             k => FrameOutcome::settled(self.quarantine(
                 &EchoError::UnknownFrameKind(k),
                 bytes,
@@ -519,6 +614,133 @@ impl NodeState {
                 "dispatch",
             )),
         }
+    }
+
+    /// Event-plane dispatch: sequenced newest-wins policy, fragment
+    /// reassembly, then delivery into the channel's morphing receiver.
+    fn handle_event(
+        &mut self,
+        sender: u64,
+        bytes: &WireBytes,
+        frame: &proto::Frame<'_>,
+        ht: HandleTrace,
+    ) -> FrameOutcome {
+        let (channel, qos) = (frame.channel, frame.qos);
+        let mut stale_partials = 0u16;
+        if qos == QosTier::SequencedUnreliable {
+            let latest = self.latest_seq.entry((channel, sender)).or_insert(frame.seq);
+            if frame.seq < *latest {
+                // Newest-wins: a fresher message already arrived from this
+                // sender — the stale frame is dropped, counted, never
+                // dead-lettered (this is policy, not failure).
+                if let (Some(rec), Some(t)) = (self.recorder.as_ref(), ht.trace) {
+                    rec.instant(
+                        t,
+                        ht.span.as_ref().map(|s| s.id()),
+                        "echo.stale",
+                        &[("node", &self.name)],
+                    );
+                }
+                return FrameOutcome::settled(Disposition::Stale(channel));
+            }
+            if frame.seq > *latest {
+                *latest = frame.seq;
+                // In-progress older sets from this sender are superseded.
+                if let Some(buf) = self.reassembly.get_mut(&channel) {
+                    stale_partials = buf.purge_below(sender, frame.seq).len() as u16;
+                }
+            }
+        }
+        let mut outcome = if frame.is_fragment() {
+            self.handle_fragment(sender, bytes, frame, ht)
+        } else {
+            let ctx = ht.span.as_ref().map(|s| s.ctx());
+            if let Some(rx) = self.event_rx.get_mut(&channel) {
+                if let Err(e) = rx.process_traced(frame.payload, ctx) {
+                    let reason = deadletter::reason_for(&e);
+                    let (trace, events) = self.seal_failed(ht, "event");
+                    self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);
+                    return FrameOutcome {
+                        disposition: Disposition::Quarantined(reason),
+                        outgoing: Vec::new(),
+                        evicted_partials: 0,
+                        stale_partials,
+                    };
+                }
+            }
+            FrameOutcome::settled(Disposition::Handled(frame.kind, channel, qos))
+        };
+        outcome.stale_partials += stale_partials;
+        outcome
+    }
+
+    /// One fragment of a larger message: offer it to the channel's bounded
+    /// reassembly buffer; deliver the reassembled payload when the set
+    /// completes. Partial sets the offer evicted are dead-lettered here.
+    fn handle_fragment(
+        &mut self,
+        sender: u64,
+        bytes: &WireBytes,
+        frame: &proto::Frame<'_>,
+        ht: HandleTrace,
+    ) -> FrameOutcome {
+        let (channel, qos) = (frame.channel, frame.qos);
+        let payload = bytes.slice(proto::FRAME_HEADER_LEN..bytes.len());
+        let frag = Fragment { index: frame.frag_index, count: frame.frag_count, bytes: payload };
+        let (capacity, timeout) = (self.reassembly_capacity, self.reassembly_timeout_ns);
+        let buf = self
+            .reassembly
+            .entry(channel)
+            .or_insert_with(|| ReassemblyBuffer::new(capacity, timeout));
+        let (offer, evicted) = buf.offer(
+            sender,
+            frame.seq,
+            frag,
+            bytes.clone(),
+            proto::peek_trace(bytes),
+            self.now_ns,
+        );
+        let evicted_partials = evicted.len() as u16;
+        for p in &evicted {
+            self.quarantine_partial(p, "evicted for a fresher set");
+        }
+        let disposition = match offer {
+            Offer::Complete(payload) => {
+                let ctx = ht.span.as_ref().map(|s| s.ctx());
+                if let Some(rx) = self.event_rx.get_mut(&channel) {
+                    if let Err(e) = rx.process_traced(&payload, ctx) {
+                        let reason = deadletter::reason_for(&e);
+                        let (trace, events) = self.seal_failed(ht, "event");
+                        self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);
+                        return FrameOutcome {
+                            disposition: Disposition::Quarantined(reason),
+                            outgoing: Vec::new(),
+                            evicted_partials,
+                            stale_partials: 0,
+                        };
+                    }
+                }
+                Disposition::Reassembled(channel, qos, frame.frag_count)
+            }
+            Offer::Buffered => Disposition::FragmentBuffered(channel),
+            // The dedup window already suppresses true duplicates; a part
+            // landing twice past the window is treated the same way.
+            Offer::DuplicatePart => Disposition::Duplicate(frame.kind, channel),
+            Offer::Mismatch => {
+                return FrameOutcome {
+                    disposition: self.quarantine(
+                        &EchoError::MalformedFrame,
+                        bytes,
+                        ht,
+                        "reassembly",
+                    ),
+                    outgoing: Vec::new(),
+                    evicted_partials,
+                    stale_partials: 0,
+                };
+            }
+        };
+        FrameOutcome { disposition, outgoing: Vec::new(), evicted_partials, stale_partials: 0 }
     }
 
     /// `wire_trace` is the incoming frame's raw trace id; follow-up frames
@@ -683,6 +905,108 @@ mod tests {
         assert!(matches!(
             node.handle_frame(0, &event_frame(DEDUP_WINDOW as u64)).disposition,
             Disposition::Duplicate(..)
+        ));
+    }
+
+    fn frag_frame(qos: QosTier, seq: u64, index: u16, count: u16, payload: &[u8]) -> WireBytes {
+        proto::frame_qos(
+            proto::FRAME_EVENT,
+            ChannelId(1),
+            seq,
+            proto::NO_TRACE,
+            qos,
+            index,
+            count,
+            payload,
+        )
+    }
+
+    #[test]
+    fn fragments_buffer_then_reassemble_on_completion() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        let a = frag_frame(QosTier::Reliable, 3, 0, 2, b"he");
+        let b = frag_frame(QosTier::Reliable, 3, 1, 2, b"llo");
+        assert!(matches!(
+            node.handle_frame(0, &b).disposition,
+            Disposition::FragmentBuffered(ChannelId(1))
+        ));
+        assert_eq!(node.reassembly_depth(), 1);
+        assert!(matches!(
+            node.handle_frame(0, &a).disposition,
+            Disposition::Reassembled(ChannelId(1), QosTier::Reliable, 2)
+        ));
+        assert_eq!(node.reassembly_depth(), 0, "completed sets leave the buffer");
+        // Replayed fragments of the finished set are plain duplicates.
+        assert!(matches!(node.handle_frame(0, &a).disposition, Disposition::Duplicate(..)));
+    }
+
+    #[test]
+    fn sequenced_channels_drop_stale_frames_newest_wins() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        let newer = frag_frame(QosTier::SequencedUnreliable, 9, 0, 1, b"new");
+        let older = frag_frame(QosTier::SequencedUnreliable, 4, 0, 1, b"old");
+        assert!(matches!(node.handle_frame(0, &newer).disposition, Disposition::Handled(..)));
+        assert!(matches!(
+            node.handle_frame(0, &older).disposition,
+            Disposition::Stale(ChannelId(1))
+        ));
+        // Another sender's seq 4 is fresh — watermarks are per sender.
+        assert!(matches!(node.handle_frame(1, &older).disposition, Disposition::Handled(..)));
+    }
+
+    #[test]
+    fn newer_sequenced_message_supersedes_in_progress_older_set() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        let part = frag_frame(QosTier::SequencedUnreliable, 4, 0, 3, b"x");
+        assert!(matches!(
+            node.handle_frame(0, &part).disposition,
+            Disposition::FragmentBuffered(_)
+        ));
+        let newer = frag_frame(QosTier::SequencedUnreliable, 9, 0, 1, b"new");
+        let outcome = node.handle_frame(0, &newer);
+        assert!(matches!(outcome.disposition, Disposition::Handled(..)));
+        assert_eq!(outcome.stale_partials, 1, "the older partial set was purged");
+        assert_eq!(node.reassembly_depth(), 0);
+        assert_eq!(node.dead_letters().count(DeadReason::PartialFragments), 0, "policy, not DLQ");
+    }
+
+    #[test]
+    fn partial_sets_expire_into_the_dlq_as_partial_fragments() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        node.configure_reassembly(8, 1_000);
+        let part = frag_frame(QosTier::Reliable, 7, 0, 2, b"half");
+        assert!(matches!(
+            node.handle_frame(0, &part).disposition,
+            Disposition::FragmentBuffered(_)
+        ));
+        assert_eq!(node.sweep_reassembly(999), 0, "not old enough yet");
+        assert_eq!(node.sweep_reassembly(1_000), 1);
+        assert_eq!(node.reassembly_depth(), 0);
+        assert_eq!(node.dead_letters().count(DeadReason::PartialFragments), 1);
+        // The late sibling now starts a fresh (doomed) set, not a revival.
+        let late = frag_frame(QosTier::Reliable, 7, 1, 2, b"late");
+        assert!(matches!(
+            node.handle_frame(0, &late).disposition,
+            Disposition::FragmentBuffered(_)
+        ));
+    }
+
+    #[test]
+    fn fragmented_control_frames_are_protocol_violations() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        let bad = proto::frame_qos(
+            proto::FRAME_CONTROL,
+            ChannelId(1),
+            1,
+            proto::NO_TRACE,
+            QosTier::Reliable,
+            0,
+            2,
+            b"ctl",
+        );
+        assert!(matches!(
+            node.handle_frame(0, &bad).disposition,
+            Disposition::Quarantined(DeadReason::Malformed)
         ));
     }
 }

@@ -261,11 +261,63 @@ pub const FRAME_CONTROL: u8 = 0;
 pub const FRAME_EVENT: u8 = 1;
 
 /// Frame header size: kind (1) + channel (4) + seq (8) + trace (8) +
-/// crc32 (4).
-pub const FRAME_HEADER_LEN: usize = 25;
+/// qos (1) + frag_index (2) + frag_count (2) + crc32 (4).
+pub const FRAME_HEADER_LEN: usize = 30;
 
 /// An absent trace id on the wire: the frame joins no trace.
 pub const NO_TRACE: u64 = 0;
+
+/// Per-channel delivery-guarantee tier, carried in every frame header so a
+/// receiver enforces policy straight off the (CRC-protected) wire — no
+/// side-channel registry distribution is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QosTier {
+    /// Full reliability: retry with backoff over link loss, duplicate
+    /// suppression, dead-lettering. The default for every channel.
+    Reliable,
+    /// Newest-wins: event frames whose message sequence trails the latest
+    /// seen from the same sender are dropped at the receiver (counted as
+    /// stale, never dead-lettered); link loss is not retried.
+    SequencedUnreliable,
+    /// Fire-and-forget telemetry: no retry, no ordering guarantee, and
+    /// first in line for load shedding under backpressure.
+    UnorderedUnreliable,
+}
+
+impl QosTier {
+    /// Every tier, in wire-byte and metric-label order.
+    pub const ALL: [QosTier; 3] =
+        [QosTier::Reliable, QosTier::SequencedUnreliable, QosTier::UnorderedUnreliable];
+
+    /// The tier's one-byte wire encoding (its index in [`QosTier::ALL`]).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            QosTier::Reliable => 0,
+            QosTier::SequencedUnreliable => 1,
+            QosTier::UnorderedUnreliable => 2,
+        }
+    }
+
+    /// Decodes a wire byte; `None` for values no tier encodes to.
+    pub fn from_wire(b: u8) -> Option<QosTier> {
+        QosTier::ALL.get(usize::from(b)).copied()
+    }
+
+    /// Stable label used in `echo.channel.<label>.*` metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            QosTier::Reliable => "reliable",
+            QosTier::SequencedUnreliable => "sequenced",
+            QosTier::UnorderedUnreliable => "unordered",
+        }
+    }
+}
+
+impl std::fmt::Display for QosTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// A parsed (and checksum-verified) ECho network frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -274,15 +326,31 @@ pub struct Frame<'a> {
     pub kind: u8,
     /// Routing channel.
     pub channel: ChannelId,
-    /// Sender-assigned sequence number (unique per sender; used for
-    /// duplicate suppression).
+    /// Sender-assigned sequence number (unique per sender). Every fragment
+    /// of one fragmented message shares its message's seq; duplicate
+    /// suppression therefore keys on `(sender, seq, frag_index)`.
     pub seq: u64,
     /// Causal trace id minted by the originating process ([`NO_TRACE`]
     /// when the sender traced nothing); receivers join this trace in
     /// their flight recorder.
     pub trace: u64,
-    /// The PBIO message bytes.
+    /// Delivery tier the sender stamped on the frame.
+    pub qos: QosTier,
+    /// This fragment's position in its set (`0` for unfragmented frames).
+    pub frag_index: u16,
+    /// Total fragments in the set (`1` for unfragmented frames; always
+    /// ≥ 1 and > `frag_index` — [`unframe`] rejects anything else).
+    pub frag_count: u16,
+    /// The PBIO message bytes (one fragment's slice when
+    /// `frag_count > 1`).
     pub payload: &'a [u8],
+}
+
+impl Frame<'_> {
+    /// True when this frame carries one fragment of a larger message.
+    pub fn is_fragment(&self) -> bool {
+        self.frag_count > 1
+    }
 }
 
 /// Why a frame was rejected before reaching any decoder.
@@ -292,6 +360,17 @@ pub enum FrameError {
     Truncated,
     /// The CRC-32 did not match: the frame was damaged in flight.
     BadChecksum,
+    /// The QoS byte names no known tier (checksum-valid, so this is a
+    /// hostile or incompatible sender, not wire damage).
+    BadQos(u8),
+    /// Impossible fragment fields: a zero fragment count, or an index at
+    /// or past the count.
+    BadFragment {
+        /// Claimed fragment index.
+        index: u16,
+        /// Claimed set size.
+        count: u16,
+    },
 }
 
 impl std::fmt::Display for FrameError {
@@ -299,6 +378,10 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Truncated => write!(f, "frame shorter than header"),
             FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::BadQos(b) => write!(f, "unknown qos tier byte {b:#04x}"),
+            FrameError::BadFragment { index, count } => {
+                write!(f, "impossible fragment fields: index {index} of {count}")
+            }
         }
     }
 }
@@ -321,21 +404,49 @@ fn crc32(seed: u32, bytes: &[u8]) -> u32 {
 }
 
 /// Wraps a PBIO message in an ECho network frame:
-/// `[kind u8][channel u32][seq u64][trace u64][crc32 u32][payload]`, all
-/// little-endian. The CRC-32 covers kind, channel, seq, trace, and
-/// payload, so any single-byte damage anywhere in the frame is detected
-/// by [`unframe`]. Pass [`NO_TRACE`] when the message joins no trace.
+/// `[kind u8][channel u32][seq u64][trace u64][qos u8][frag_index u16]`
+/// `[frag_count u16][crc32 u32][payload]`, all little-endian. The CRC-32
+/// covers every header field and the payload, so any single-byte damage
+/// anywhere in the frame is detected by [`unframe`]. Pass [`NO_TRACE`]
+/// when the message joins no trace. This shorthand stamps
+/// [`QosTier::Reliable`] and unfragmented fields (`0 of 1`); use
+/// [`frame_qos`] to set them.
 ///
 /// This is the *one* place on the send path where payload bytes are
 /// copied: the returned [`WireBytes`] is a shared buffer, so fan-out,
 /// retry queues, and the simulated wire all clone views of it rather
 /// than the bytes themselves.
 pub fn frame(kind: u8, channel: ChannelId, seq: u64, trace: u64, pbio_msg: &[u8]) -> WireBytes {
+    frame_qos(kind, channel, seq, trace, QosTier::Reliable, 0, 1, pbio_msg)
+}
+
+/// [`frame`] with explicit QoS tier and fragment fields. Fragments of one
+/// message share the message's `seq` and carry `index` in `0..count`.
+///
+/// # Panics
+///
+/// Panics if `count == 0` or `index >= count` — such a frame could never
+/// pass [`unframe`], so building one is a sender bug.
+#[allow(clippy::too_many_arguments)]
+pub fn frame_qos(
+    kind: u8,
+    channel: ChannelId,
+    seq: u64,
+    trace: u64,
+    qos: QosTier,
+    index: u16,
+    count: u16,
+    pbio_msg: &[u8],
+) -> WireBytes {
+    assert!(count > 0 && index < count, "impossible fragment fields: index {index} of {count}");
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + pbio_msg.len());
     out.push(kind);
     out.extend_from_slice(&channel.0.to_le_bytes());
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&trace.to_le_bytes());
+    out.push(qos.to_wire());
+    out.extend_from_slice(&index.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
     let crc = crc32(crc32(0, &out), pbio_msg);
     out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(pbio_msg);
@@ -359,13 +470,50 @@ pub fn peek_trace(bytes: &[u8]) -> Option<u64> {
     }
 }
 
+/// Best-effort read of the QoS tier from raw frame bytes, **without**
+/// checksum verification — used by shed-victim selection, which must
+/// classify queued frames cheaply. Returns `None` for buffers too short
+/// to hold the field or carrying an unknown tier byte.
+pub fn peek_qos(bytes: &[u8]) -> Option<QosTier> {
+    QosTier::from_wire(*bytes.get(21)?)
+}
+
+/// Best-effort read of `(seq, frag_index, frag_count)` from raw frame
+/// bytes, **without** checksum verification — used to shed *whole*
+/// fragment sets (queue-mates sharing the sender's `seq`) so no orphan
+/// fragments leak into reassembly buffers. Returns `None` for buffers too
+/// short to hold the fields.
+pub fn peek_frag(bytes: &[u8]) -> Option<(u64, u16, u16)> {
+    let seq = u64::from_le_bytes(bytes.get(5..13)?.try_into().expect("8-byte slice"));
+    let index = u16::from_le_bytes(bytes.get(22..24)?.try_into().expect("2-byte slice"));
+    let count = u16::from_le_bytes(bytes.get(24..26)?.try_into().expect("2-byte slice"));
+    Some((seq, index, count))
+}
+
+/// Shed-priority class of a queued raw frame: `None` for control frames
+/// (never shed) and anything too short to classify; otherwise lower is
+/// shed first — unordered telemetry (0), then sequenced (1), then
+/// reliable events (2). Unreadable tiers classify as reliable.
+pub fn shed_class(bytes: &[u8]) -> Option<u8> {
+    if bytes.first() != Some(&FRAME_EVENT) {
+        return None;
+    }
+    Some(match peek_qos(bytes) {
+        Some(QosTier::UnorderedUnreliable) => 0,
+        Some(QosTier::SequencedUnreliable) => 1,
+        _ => 2,
+    })
+}
+
 /// Parses and checksum-verifies a frame. Corrupted frames are rejected
 /// here — damaged bytes never reach a PBIO decoder.
 ///
 /// # Errors
 ///
 /// [`FrameError::Truncated`] for short input, [`FrameError::BadChecksum`]
-/// when the frame was damaged in flight.
+/// when the frame was damaged in flight, [`FrameError::BadQos`] /
+/// [`FrameError::BadFragment`] when a checksum-valid frame carries
+/// impossible header fields (a hostile or incompatible sender).
 pub fn unframe(bytes: &[u8]) -> Result<Frame<'_>, FrameError> {
     if bytes.len() < FRAME_HEADER_LEN {
         return Err(FrameError::Truncated);
@@ -378,12 +526,19 @@ pub fn unframe(bytes: &[u8]) -> Result<Frame<'_>, FrameError> {
     let trace = u64::from_le_bytes([
         bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19], bytes[20],
     ]);
-    let stored = u32::from_le_bytes([bytes[21], bytes[22], bytes[23], bytes[24]]);
+    let qos_byte = bytes[21];
+    let frag_index = u16::from_le_bytes([bytes[22], bytes[23]]);
+    let frag_count = u16::from_le_bytes([bytes[24], bytes[25]]);
+    let stored = u32::from_le_bytes([bytes[26], bytes[27], bytes[28], bytes[29]]);
     let payload = &bytes[FRAME_HEADER_LEN..];
-    if crc32(crc32(0, &bytes[..21]), payload) != stored {
+    if crc32(crc32(0, &bytes[..26]), payload) != stored {
         return Err(FrameError::BadChecksum);
     }
-    Ok(Frame { kind, channel, seq, trace, payload })
+    let qos = QosTier::from_wire(qos_byte).ok_or(FrameError::BadQos(qos_byte))?;
+    if frag_count == 0 || frag_index >= frag_count {
+        return Err(FrameError::BadFragment { index: frag_index, count: frag_count });
+    }
+    Ok(Frame { kind, channel, seq, trace, qos, frag_index, frag_count, payload })
 }
 
 #[cfg(test)]
@@ -466,9 +621,115 @@ mod tests {
         assert_eq!(f.channel, ChannelId(3));
         assert_eq!(f.seq, 42);
         assert_eq!(f.trace, 0xA11CE);
+        assert_eq!(f.qos, QosTier::Reliable);
+        assert_eq!((f.frag_index, f.frag_count), (0, 1));
+        assert!(!f.is_fragment());
         assert_eq!(f.payload, b"xyz");
         assert_eq!(unframe(&[1, 2]), Err(FrameError::Truncated));
         assert_eq!(unframe(&framed[..FRAME_HEADER_LEN - 1]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn qos_and_fragment_fields_roundtrip() {
+        let framed = frame_qos(
+            FRAME_EVENT,
+            ChannelId(9),
+            77,
+            0xFACE,
+            QosTier::SequencedUnreliable,
+            2,
+            5,
+            b"part",
+        );
+        let f = unframe(&framed).unwrap();
+        assert_eq!(f.qos, QosTier::SequencedUnreliable);
+        assert_eq!((f.frag_index, f.frag_count), (2, 5));
+        assert!(f.is_fragment());
+        assert_eq!(f.payload, b"part");
+        // The lightweight peeks agree with the verified parse.
+        assert_eq!(peek_qos(&framed), Some(QosTier::SequencedUnreliable));
+        assert_eq!(peek_frag(&framed), Some((77, 2, 5)));
+    }
+
+    #[test]
+    fn qos_tier_wire_encoding_is_stable() {
+        for tier in QosTier::ALL {
+            assert_eq!(QosTier::from_wire(tier.to_wire()), Some(tier));
+        }
+        assert_eq!(QosTier::from_wire(3), None);
+        assert_eq!(QosTier::from_wire(0xFF), None);
+        assert_eq!(QosTier::Reliable.label(), "reliable");
+        assert_eq!(QosTier::SequencedUnreliable.label(), "sequenced");
+        assert_eq!(QosTier::UnorderedUnreliable.label(), "unordered");
+    }
+
+    /// Rewrites one header byte of a valid frame and re-seals the CRC, so
+    /// the result exercises the post-checksum validation paths.
+    fn reseal(framed: &[u8], offset: usize, value: u8) -> Vec<u8> {
+        let mut out = framed.to_vec();
+        out[offset] = value;
+        let crc = crc32(crc32(0, &out[..26]), &out[FRAME_HEADER_LEN..]);
+        out[26..30].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn checksum_valid_frames_with_impossible_fields_are_rejected() {
+        let framed = frame(FRAME_EVENT, ChannelId(1), 4, NO_TRACE, b"ok");
+        // Unknown QoS byte.
+        assert_eq!(unframe(&reseal(&framed, 21, 9)), Err(FrameError::BadQos(9)));
+        // frag_count == 0.
+        assert_eq!(
+            unframe(&reseal(&framed, 24, 0)),
+            Err(FrameError::BadFragment { index: 0, count: 0 })
+        );
+        // frag_index >= frag_count.
+        assert_eq!(
+            unframe(&reseal(&framed, 22, 7)),
+            Err(FrameError::BadFragment { index: 7, count: 1 })
+        );
+    }
+
+    #[test]
+    fn shed_class_orders_tiers_and_spares_control() {
+        let mk = |qos| frame_qos(FRAME_EVENT, ChannelId(1), 1, NO_TRACE, qos, 0, 1, b"x");
+        assert_eq!(shed_class(&mk(QosTier::UnorderedUnreliable)), Some(0));
+        assert_eq!(shed_class(&mk(QosTier::SequencedUnreliable)), Some(1));
+        assert_eq!(shed_class(&mk(QosTier::Reliable)), Some(2));
+        // Control frames are never shed, whatever their tier byte says.
+        let ctl = frame(FRAME_CONTROL, ChannelId(1), 1, NO_TRACE, b"x");
+        assert_eq!(shed_class(&ctl), None);
+        // An event frame cut too short to read its tier sheds as reliable.
+        assert_eq!(shed_class(&mk(QosTier::UnorderedUnreliable)[..20]), Some(2));
+        assert_eq!(shed_class(&[]), None);
+    }
+
+    #[test]
+    fn peek_frag_and_peek_qos_never_read_past_short_buffers() {
+        let framed = frame_qos(
+            FRAME_EVENT,
+            ChannelId(2),
+            6,
+            NO_TRACE,
+            QosTier::UnorderedUnreliable,
+            1,
+            3,
+            b"p",
+        );
+        for len in 0..framed.len() {
+            let qos = peek_qos(&framed[..len]);
+            let frag = peek_frag(&framed[..len]);
+            if len < 22 {
+                assert_eq!(qos, None, "length {len} cannot hold the qos byte");
+            } else {
+                assert_eq!(qos, Some(QosTier::UnorderedUnreliable));
+            }
+            if len < 26 {
+                assert_eq!(frag, None, "length {len} cannot hold the fragment fields");
+            } else {
+                assert_eq!(frag, Some((6, 1, 3)));
+            }
+        }
     }
 
     #[test]

@@ -14,8 +14,9 @@ use pbio::{Encoder, PlanStore, RecordFormat, Value, WireBytes};
 use simnet::{FaultPlan, FaultStats, LinkParams, NetError, Network, NodeId};
 
 use crate::driver::Driver;
+use crate::frag;
 use crate::node::{Disposition, EchoVersion, FrameOutcome, NodeState, Role};
-use crate::proto::{self, ChannelId, MemberInfo};
+use crate::proto::{self, ChannelId, MemberInfo, QosTier};
 use crate::shard::shard_of_name;
 use crate::EchoError;
 
@@ -72,8 +73,45 @@ struct SysMetrics {
     queue_depth: Arc<Gauge>,
     /// Frames dropped by load shedding (bounded queue overflow).
     queue_shed: Arc<Counter>,
+    /// `echo.channel.<tier>.sent` — messages submitted per sink, by tier.
+    tier_sent: CounterFamily,
+    /// `echo.channel.<tier>.delivered` — event messages handed to an
+    /// application, by tier.
+    tier_delivered: CounterFamily,
+    /// `echo.channel.<tier>.dropped` — unreliable-tier frames absorbed at
+    /// send time by a down link or crashed peer (no retry, no dead
+    /// letter).
+    tier_dropped: CounterFamily,
+    /// `echo.channel.sequenced.stale` — sequenced frames dropped at a
+    /// receiver because a newer message from the same sender already
+    /// arrived (newest-wins).
+    sequenced_stale: Arc<Counter>,
+    /// `echo.frag.sent` — fragment frames put on the wire (only counted
+    /// when a message actually split).
+    frag_sent: Arc<Counter>,
+    /// `echo.frag.received` — fragment frames accepted into (or
+    /// completing) a reassembly set.
+    frag_received: Arc<Counter>,
+    /// `echo.frag.reassembled` — messages completed from fragments.
+    frag_reassembled: Arc<Counter>,
+    /// `echo.frag.timeout` — partial sets expired by the reassembly
+    /// timeout (each also dead-letters as `partial_fragments`).
+    frag_timeout: Arc<Counter>,
+    /// `echo.frag.evicted` — partial sets evicted by a full reassembly
+    /// buffer (each also dead-letters as `partial_fragments`).
+    frag_evicted: Arc<Counter>,
+    /// `echo.frag.superseded` — partial sets purged by a newer sequenced
+    /// message (newest-wins policy, not a fault: no dead letter).
+    frag_superseded: Arc<Counter>,
+    /// `echo.frag.buffered` — in-progress fragment sets across all
+    /// processes, refreshed by each reassembly sweep.
+    frag_buffered: Arc<Gauge>,
     per_channel: HashMap<ChannelId, ChannelCounters>,
 }
+
+/// Metric labels of [`QosTier::ALL`], in wire-byte order — the index of a
+/// tier's label equals `tier.to_wire()`.
+const TIER_LABELS: [&str; 3] = ["reliable", "sequenced", "unordered"];
 
 impl SysMetrics {
     fn new(registry: Arc<Registry>) -> SysMetrics {
@@ -92,6 +130,30 @@ impl SysMetrics {
             retry_giveup: registry.counter("echo.retry.giveup"),
             queue_depth: registry.gauge("echo.queue.depth"),
             queue_shed: registry.counter("echo.queue.shed"),
+            // Tier and fragmentation handles are created eagerly so every
+            // run's snapshot carries the full catalogue (byte-identical
+            // snapshots must not depend on which tiers saw traffic).
+            tier_sent: CounterFamily::labeled(&registry, "echo.channel", "sent", &TIER_LABELS),
+            tier_delivered: CounterFamily::labeled(
+                &registry,
+                "echo.channel",
+                "delivered",
+                &TIER_LABELS,
+            ),
+            tier_dropped: CounterFamily::labeled(
+                &registry,
+                "echo.channel",
+                "dropped",
+                &TIER_LABELS,
+            ),
+            sequenced_stale: registry.counter("echo.channel.sequenced.stale"),
+            frag_sent: registry.counter("echo.frag.sent"),
+            frag_received: registry.counter("echo.frag.received"),
+            frag_reassembled: registry.counter("echo.frag.reassembled"),
+            frag_timeout: registry.counter("echo.frag.timeout"),
+            frag_evicted: registry.counter("echo.frag.evicted"),
+            frag_superseded: registry.counter("echo.frag.superseded"),
+            frag_buffered: registry.gauge("echo.frag.buffered"),
             per_channel: HashMap::new(),
             registry,
         }
@@ -214,6 +276,15 @@ pub struct EchoSystem {
     /// Cached per-shard metric handles (lazily created, re-fetched when
     /// the shard count changes).
     shard_metrics: Option<ShardMetrics>,
+    /// Per-channel delivery tier; channels not present run
+    /// [`QosTier::Reliable`].
+    qos: HashMap<ChannelId, QosTier>,
+    /// When set, encoded event payloads larger than this many bytes split
+    /// into fragments of at most this size ([`EchoSystem::set_frame_budget`]).
+    frame_budget: Option<usize>,
+    /// Reassembly bounds applied to every existing and future process once
+    /// overridden ([`EchoSystem::set_reassembly_limits`]).
+    reassembly_limits: Option<(usize, u64)>,
 }
 
 /// A frame whose send was refused (link down); retried with backoff until
@@ -231,6 +302,22 @@ struct PendingFrame {
     next_attempt_ns: u64,
     /// Trace context the frame travels under (re-sends join it too).
     ctx: Option<TraceCtx>,
+}
+
+/// Position of the frame a full queue sheds first: the earliest-queued
+/// frame of the lowest [`proto::shed_class`] present (unordered telemetry
+/// before sequenced before reliable events). `None` when nothing is
+/// sheddable — the queue holds only control frames.
+fn shed_victim_pos<'a>(frames: impl Iterator<Item = &'a [u8]>) -> Option<usize> {
+    let mut best: Option<(u8, usize)> = None;
+    for (i, bytes) in frames.enumerate() {
+        if let Some(class) = proto::shed_class(bytes) {
+            if best.is_none_or(|(c, _)| class < c) {
+                best = Some((class, i));
+            }
+        }
+    }
+    best.map(|(_, i)| i)
 }
 
 impl Default for EchoSystem {
@@ -285,6 +372,9 @@ impl EchoSystem {
             shards: 1,
             shared_caches: None,
             shard_metrics: None,
+            qos: HashMap::new(),
+            frame_budget: None,
+            reassembly_limits: None,
         }
     }
 
@@ -311,6 +401,9 @@ impl EchoSystem {
         node.set_recorder(Arc::clone(&self.recorder));
         if let Some((decisions, plans)) = &self.shared_caches {
             node.enable_shared_caches(decisions.clone(), plans.clone());
+        }
+        if let Some((capacity, timeout_ns)) = self.reassembly_limits {
+            node.configure_reassembly(capacity, timeout_ns);
         }
         let net_id = self.net.add_node(name.clone());
         self.nodes.push(node);
@@ -515,14 +608,17 @@ impl EchoSystem {
         };
         let ctx = root.as_ref().map(|s| s.ctx());
         let wire_trace = ctx.map_or(proto::NO_TRACE, |c| c.trace.0);
-        // Raw fan-out: the frame is built (and the payload copied) once;
-        // every additional sink clones the view — an Arc bump, not bytes.
-        let mut raw_frame: Option<WireBytes> = None;
+        let tier = self.channel_qos(channel);
+        // Raw fan-out: the frame set is built (and the payload copied)
+        // once; every additional sink clones the views — Arc bumps, not
+        // bytes. A message within the frame budget is one frame; larger
+        // ones split into fragment frames sharing one seq.
+        let mut raw_frames: Option<Vec<WireBytes>> = None;
         let mut sent = 0;
         let result = (|| -> Result<usize, EchoError> {
             for contact in sinks {
                 let Some(&dst) = self.by_contact.get(&contact) else { continue };
-                let frame = match self.derived.get(&(channel, contact.clone())) {
+                let frames = match self.derived.get(&(channel, contact.clone())) {
                     Some(xform) if xform.from_format() == format => {
                         // Source-side derivation: filter/reshape per subscriber.
                         match xform.apply_filtered(event)? {
@@ -543,30 +639,31 @@ impl EchoSystem {
                             Some(derived) => {
                                 let msg = Encoder::new(xform.to_format()).encode(&derived)?;
                                 let seq = self.nodes[proc.0].alloc_seq();
-                                proto::frame(proto::FRAME_EVENT, channel, seq, wire_trace, &msg)
+                                self.build_event_frames(channel, seq, wire_trace, tier, msg)?
                             }
                         }
                     }
                     // Different source format (or no derivation): send the raw
                     // event; the sink's own morphing receiver reconciles. One
-                    // seq serves every recipient of the same frame — dedup is
-                    // per receiver.
+                    // seq serves every recipient of the same frame set — dedup
+                    // is per receiver.
                     _ => {
-                        if raw_frame.is_none() {
+                        if raw_frames.is_none() {
                             let msg = Encoder::new(format).encode(event)?;
                             let seq = self.nodes[proc.0].alloc_seq();
-                            raw_frame = Some(proto::frame(
-                                proto::FRAME_EVENT,
-                                channel,
-                                seq,
-                                wire_trace,
-                                &msg,
-                            ));
+                            raw_frames =
+                                Some(self.build_event_frames(channel, seq, wire_trace, tier, msg)?);
                         }
-                        raw_frame.clone().expect("filled above")
+                        raw_frames.clone().expect("filled above")
                     }
                 };
-                self.send_with_retry(proc.0, dst, frame, ctx)?;
+                self.metrics.tier_sent.get(usize::from(tier.to_wire())).inc();
+                if frames.len() > 1 {
+                    self.metrics.frag_sent.add(frames.len() as u64);
+                }
+                for frame in frames {
+                    self.send_policied(proc.0, dst, frame, ctx, tier)?;
+                }
                 sent += 1;
             }
             Ok(sent)
@@ -578,6 +675,92 @@ impl EchoSystem {
         result
     }
 
+    /// Builds the wire frames for one encoded event message: a single
+    /// frame when it fits the frame budget (or no budget is set), a
+    /// fragment set sharing the message `seq` otherwise. Fragment payloads
+    /// are zero-copy views of `msg`; framing each is the only copy.
+    ///
+    /// # Errors
+    ///
+    /// [`EchoError::MessageTooLarge`] when the split would exceed the
+    /// wire's 16-bit fragment numbering.
+    fn build_event_frames(
+        &self,
+        channel: ChannelId,
+        seq: u64,
+        trace: u64,
+        tier: QosTier,
+        msg: Vec<u8>,
+    ) -> Result<Vec<WireBytes>, EchoError> {
+        let Some(budget) = self.frame_budget.filter(|&b| msg.len() > b) else {
+            return Ok(vec![proto::frame_qos(
+                proto::FRAME_EVENT,
+                channel,
+                seq,
+                trace,
+                tier,
+                0,
+                1,
+                &msg,
+            )]);
+        };
+        let len = msg.len();
+        let payload = WireBytes::from(msg);
+        let frags = frag::split_message(&payload, budget)
+            .ok_or(EchoError::MessageTooLarge { len, budget })?;
+        Ok(frags
+            .iter()
+            .map(|f| {
+                proto::frame_qos(
+                    proto::FRAME_EVENT,
+                    channel,
+                    seq,
+                    trace,
+                    tier,
+                    f.index,
+                    f.count,
+                    &f.bytes,
+                )
+            })
+            .collect())
+    }
+
+    /// Sends one event frame under its tier's delivery policy. Reliable
+    /// frames take the retry path ([`Self::send_with_retry`]); unreliable
+    /// tiers are fire-and-forget — a down link or crashed peer absorbs the
+    /// frame into `echo.channel.<tier>.dropped` (with an `echo.qos.dropped`
+    /// trace instant) instead of queueing a retry or dead-lettering.
+    /// Configuration errors (unknown peer, no route, MTU overflow) still
+    /// propagate for every tier.
+    fn send_policied(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: WireBytes,
+        ctx: Option<TraceCtx>,
+        tier: QosTier,
+    ) -> Result<(), EchoError> {
+        if tier == QosTier::Reliable {
+            return self.send_with_retry(from, to, bytes, ctx);
+        }
+        match self.net.send_traced(self.net_ids[from], self.net_ids[to], bytes, ctx) {
+            Ok(_) => Ok(()),
+            Err(NetError::LinkDown(_, _) | NetError::NodeDown(_)) => {
+                self.metrics.tier_dropped.get(usize::from(tier.to_wire())).inc();
+                if let Some(c) = ctx {
+                    self.recorder.instant(
+                        c.trace,
+                        c.parent,
+                        "echo.qos.dropped",
+                        &[("tier", tier.label()), ("to", &self.nodes[to].name)],
+                    );
+                }
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
     /// Sheds a frame at `node`: counts the drop and quarantines the bytes
     /// in the node's dead-letter queue with [`DeadReason::Shed`] — every
     /// shed message stays accounted, none vanish silently.
@@ -587,22 +770,46 @@ impl EchoSystem {
         self.nodes[node].quarantine_shed(bytes, detail, ctx);
     }
 
-    /// Drop-oldest over the retry queue: evicts the oldest queued *event*
-    /// frame into its sender's dead-letter queue. Returns false when the
-    /// queue holds only control frames (which are never shed).
-    fn shed_oldest_pending_event(&mut self) -> bool {
-        let Some(pos) =
-            self.pending.iter().position(|p| p.bytes.first() == Some(&proto::FRAME_EVENT))
-        else {
+    /// Tier-aware drop-oldest over the retry queue: evicts the oldest
+    /// queued event frame of the *lowest* shed class (unordered telemetry
+    /// first, reliable events last — [`proto::shed_class`]) into its
+    /// sender's dead-letter queue. When the victim is a fragment, its
+    /// queued set mates (same sender, destination, and message seq) shed
+    /// with it, so no orphan fragments travel on to rot in a reassembly
+    /// buffer. Returns false when the queue holds only control frames
+    /// (which are never shed).
+    fn shed_pending_victim(&mut self) -> bool {
+        let Some(pos) = shed_victim_pos(self.pending.iter().map(|p| &*p.bytes)) else {
             return false;
         };
         let victim = self.pending.remove(pos);
+        let set = proto::peek_frag(&victim.bytes).filter(|&(_, _, count)| count > 1);
         self.shed_at(
             victim.from,
             &victim.bytes,
-            "retry queue full: oldest event frame shed",
+            "retry queue full: lowest-tier event frame shed",
             victim.ctx,
         );
+        if let Some((seq, _, _)) = set {
+            let mut i = 0;
+            while i < self.pending.len() {
+                let p = &self.pending[i];
+                let mate = p.from == victim.from
+                    && p.to == victim.to
+                    && proto::peek_frag(&p.bytes).is_some_and(|(s, _, c)| s == seq && c > 1);
+                if mate {
+                    let p = self.pending.remove(i);
+                    self.shed_at(
+                        p.from,
+                        &p.bytes,
+                        "retry queue full: fragment-set mate shed",
+                        p.ctx,
+                    );
+                } else {
+                    i += 1;
+                }
+            }
+        }
         true
     }
 
@@ -635,13 +842,13 @@ impl EchoSystem {
         match self.net.send_traced(self.net_ids[from], self.net_ids[to], bytes.clone(), ctx) {
             Ok(_) => Ok(()),
             Err(NetError::LinkDown(_, _)) => {
-                // A full queue sheds its oldest queued event; when only
-                // control frames are queued, the newcomer is the sole
+                // A full queue sheds its lowest-tier queued event; when
+                // only control frames are queued, the newcomer is the sole
                 // sheddable load. A control newcomer never sheds: it is
                 // admitted beyond the bound.
                 if self.pending.len() >= self.retry_capacity
-                    && !self.shed_oldest_pending_event()
-                    && bytes.first() == Some(&proto::FRAME_EVENT)
+                    && !self.shed_pending_victim()
+                    && proto::shed_class(&bytes).is_some()
                 {
                     self.shed_at(from, &bytes, "retry queue full: event frame shed", ctx);
                     self.update_queue_depth();
@@ -721,23 +928,68 @@ impl EchoSystem {
         earliest
     }
 
+    /// Removes every buffered fragment of the `(sender, seq)` set from a
+    /// process's ingress buffer and sheds each at the receiver — shedding
+    /// one fragment without its mates would leave orphans to rot in the
+    /// reassembly buffer until the timeout dead-letters them as a phantom
+    /// loss.
+    fn shed_ingress_set(&mut self, idx: usize, sender: usize, seq: u64, detail: &str) {
+        let mut i = 0;
+        while i < self.ingress[idx].len() {
+            let (s, b) = &self.ingress[idx][i];
+            let mate =
+                *s == sender && proto::peek_frag(b).is_some_and(|(q, _, c)| q == seq && c > 1);
+            if mate {
+                let (_, victim) = self.ingress[idx].remove(i).expect("index in bounds");
+                let ctx = proto::peek_trace(&victim).map(|t| TraceCtx::root(TraceId(t)));
+                self.shed_at(idx, &victim, detail, ctx);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
     /// Buffers a delivery for a paused process, shedding under pressure:
-    /// when the (bounded) buffer is full, the oldest buffered *event*
-    /// frame — or the newcomer, if only control frames are buffered — is
-    /// quarantined at the receiver with [`DeadReason::Shed`].
+    /// when the (bounded) buffer is full, the oldest buffered event frame
+    /// of the lowest shed class — or the newcomer, if only control frames
+    /// are buffered — is quarantined at the receiver with
+    /// [`DeadReason::Shed`]. Fragments shed as whole sets.
     fn buffer_ingress(&mut self, idx: usize, sender: usize, bytes: WireBytes) {
         if self.ingress[idx].len() >= self.ingress_capacity {
-            let oldest_event =
-                self.ingress[idx].iter().position(|(_, b)| b.first() == Some(&proto::FRAME_EVENT));
-            match oldest_event {
+            let victim_pos = shed_victim_pos(self.ingress[idx].iter().map(|(_, b)| &**b));
+            match victim_pos {
                 Some(pos) => {
-                    let (_, victim) = self.ingress[idx].remove(pos).expect("position in bounds");
+                    let (vs, victim) = self.ingress[idx].remove(pos).expect("position in bounds");
                     let ctx = proto::peek_trace(&victim).map(|t| TraceCtx::root(TraceId(t)));
-                    self.shed_at(idx, &victim, "ingress buffer full: oldest event frame shed", ctx);
+                    let set = proto::peek_frag(&victim).filter(|&(_, _, count)| count > 1);
+                    self.shed_at(
+                        idx,
+                        &victim,
+                        "ingress buffer full: lowest-tier event frame shed",
+                        ctx,
+                    );
+                    if let Some((seq, _, _)) = set {
+                        self.shed_ingress_set(
+                            idx,
+                            vs,
+                            seq,
+                            "ingress buffer full: fragment-set mate shed",
+                        );
+                    }
                 }
-                None if bytes.first() == Some(&proto::FRAME_EVENT) => {
+                None if proto::shed_class(&bytes).is_some() => {
                     let ctx = proto::peek_trace(&bytes).map(|t| TraceCtx::root(TraceId(t)));
+                    let set = proto::peek_frag(&bytes).filter(|&(_, _, count)| count > 1);
                     self.shed_at(idx, &bytes, "ingress buffer full: event frame shed", ctx);
+                    // The newcomer's already-buffered set mates go with it.
+                    if let Some((seq, _, _)) = set {
+                        self.shed_ingress_set(
+                            idx,
+                            sender,
+                            seq,
+                            "ingress buffer full: fragment-set mate shed",
+                        );
+                    }
                     self.update_queue_depth();
                     return;
                 }
@@ -752,7 +1004,10 @@ impl EchoSystem {
     /// Dispatches one wire frame through the receiving process, accounting
     /// its disposition and sending any follow-up frames — the single path
     /// shared by live deliveries and drained ingress buffers.
-    fn dispatch_frame(&mut self, idx: usize, sender: usize, bytes: &[u8]) {
+    fn dispatch_frame(&mut self, idx: usize, sender: usize, bytes: &WireBytes) {
+        // Stamp the receiver's clock so reassembly entries age against the
+        // virtual time this frame arrives at.
+        self.nodes[idx].set_now(self.net.now_ns());
         let outcome = self.nodes[idx].handle_frame(sender as u64, bytes);
         self.settle_outcome(idx, outcome);
     }
@@ -764,15 +1019,34 @@ impl EchoSystem {
     /// system counters are single-threaded.
     fn settle_outcome(&mut self, idx: usize, outcome: FrameOutcome) {
         match outcome.disposition {
-            Disposition::Handled(kind, channel) => {
+            Disposition::Handled(kind, channel, tier) => {
                 if kind == proto::FRAME_EVENT {
                     self.metrics.delivered.inc();
                     self.metrics.channel(channel).delivered.inc();
+                    self.metrics.tier_delivered.get(usize::from(tier.to_wire())).inc();
                 }
             }
+            Disposition::Reassembled(channel, tier, _count) => {
+                self.metrics.delivered.inc();
+                self.metrics.channel(channel).delivered.inc();
+                self.metrics.tier_delivered.get(usize::from(tier.to_wire())).inc();
+                // The completing fragment is a received fragment too.
+                self.metrics.frag_received.inc();
+                self.metrics.frag_reassembled.inc();
+            }
+            Disposition::FragmentBuffered(_) => self.metrics.frag_received.inc(),
+            Disposition::Stale(_) => self.metrics.sequenced_stale.inc(),
             Disposition::Duplicate(_, _) => self.metrics.dedup_dropped.inc(),
             Disposition::Quarantined(reason) => self.metrics.quarantined(reason),
         }
+        // Partial sets the node evicted (capacity) or purged (newest-wins)
+        // while handling this frame were already dead-lettered / dropped
+        // inside the node; account them at the system level here.
+        for _ in 0..outcome.evicted_partials {
+            self.metrics.frag_evicted.inc();
+            self.metrics.quarantined(DeadReason::PartialFragments);
+        }
+        self.metrics.frag_superseded.add(u64::from(outcome.stale_partials));
         for out in outcome.outgoing {
             if let Some(&dst) = self.by_contact.get(&out.to_contact) {
                 // Follow-up frames keep travelling under the trace of the
@@ -785,6 +1059,26 @@ impl EchoSystem {
                 let _ = self.send_with_retry(idx, dst, out.bytes, ctx);
             }
         }
+    }
+
+    /// Expires overdue partial fragment sets at every process (visited in
+    /// process order; each node sweeps its channels in id order, so the
+    /// pass is deterministic). Each expiry dead-letters inside the node as
+    /// [`DeadReason::PartialFragments`] and counts here as
+    /// `echo.frag.timeout`; the `echo.frag.buffered` gauge is refreshed to
+    /// the surviving depth.
+    fn sweep_reassembly(&mut self) {
+        let now = self.net.now_ns();
+        let mut depth = 0usize;
+        for node in &mut self.nodes {
+            let expired = node.sweep_reassembly(now);
+            for _ in 0..expired {
+                self.metrics.frag_timeout.inc();
+                self.metrics.quarantined(DeadReason::PartialFragments);
+            }
+            depth += node.reassembly_depth();
+        }
+        self.metrics.frag_buffered.set(depth as i64);
     }
 
     /// Dispatches every frame buffered for processes that are no longer
@@ -822,6 +1116,7 @@ impl EchoSystem {
     pub fn run(&mut self) -> usize {
         let mut processed = 0;
         loop {
+            self.sweep_reassembly();
             processed += self.drain_ingress();
             self.pump_pending();
             let Some(d) = self.net.step() else {
@@ -852,6 +1147,9 @@ impl EchoSystem {
                 processed += 1;
             }
         }
+        // A final sweep at quiescence: time advanced past the timeout with
+        // nothing left in flight still expires waiting partials.
+        self.sweep_reassembly();
         processed
     }
 
@@ -911,6 +1209,7 @@ impl EchoSystem {
             self.net_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let mut processed = 0;
         loop {
+            self.sweep_reassembly();
             processed += self.drain_ingress();
             self.pump_pending();
             if self.net.is_idle() {
@@ -942,19 +1241,43 @@ impl EchoSystem {
                     }
                 }
             }
-            // Bounded mailboxes: shed the oldest event frames past the
-            // bound (control frames are never shed and may exceed it).
+            // Bounded mailboxes: shed the lowest-tier event frames past
+            // the bound (control frames are never shed and may exceed it).
+            // A shed fragment takes its whole mailbox set with it — the
+            // message cannot complete anyway, and orphan fragments would
+            // only squat in the reassembly buffer until the timeout.
             for mailbox in &mut mailboxes {
                 while mailbox.len() > mailbox_capacity {
-                    let Some(pos) =
-                        mailbox.iter().position(|(_, _, b)| b.first() == Some(&proto::FRAME_EVENT))
-                    else {
+                    let Some(pos) = shed_victim_pos(mailbox.iter().map(|(_, _, b)| &**b)) else {
                         break;
                     };
-                    let (idx, _, victim) = mailbox.remove(pos);
+                    let (idx, vs, victim) = mailbox.remove(pos);
                     let ctx = proto::peek_trace(&victim).map(|t| TraceCtx::root(TraceId(t)));
+                    let set = proto::peek_frag(&victim).filter(|&(_, _, count)| count > 1);
                     sm.shed.inc();
-                    self.shed_at(idx, &victim, "shard mailbox full: oldest event frame shed", ctx);
+                    self.shed_at(idx, &victim, "shard mailbox full: lowest-tier frame shed", ctx);
+                    if let Some((seq, _, _)) = set {
+                        let mut i = 0;
+                        while i < mailbox.len() {
+                            let (mi, ms, b) = &mailbox[i];
+                            let mate = *mi == idx
+                                && *ms == vs
+                                && proto::peek_frag(b).is_some_and(|(s, _, c)| s == seq && c > 1);
+                            if mate {
+                                let (_, _, b) = mailbox.remove(i);
+                                let ctx = proto::peek_trace(&b).map(|t| TraceCtx::root(TraceId(t)));
+                                sm.shed.inc();
+                                self.shed_at(
+                                    idx,
+                                    &b,
+                                    "shard mailbox full: fragment-set mate shed",
+                                    ctx,
+                                );
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
                 }
             }
             let round_frames: usize = mailboxes.iter().map(Vec::len).sum();
@@ -966,7 +1289,13 @@ impl EchoSystem {
                 sm.depth.get(shard).set(mailbox.len() as i64);
             }
             // Fork: each worker exclusively owns its shard's processes and
-            // mailbox; counters it touches are pre-fetched atomics.
+            // mailbox; counters it touches are pre-fetched atomics. Every
+            // node's clock is stamped on the driver thread first, so
+            // reassembly aging stays deterministic across shard counts.
+            let round_now = self.net.now_ns();
+            for node in &mut self.nodes {
+                node.set_now(round_now);
+            }
             let mut partitions: Vec<Vec<(usize, &mut NodeState)>> =
                 (0..shards).map(|_| Vec::new()).collect();
             for (i, node) in self.nodes.iter_mut().enumerate() {
@@ -1004,6 +1333,8 @@ impl EchoSystem {
                 }
             }
         }
+        // Final sweep at quiescence, as in [`EchoSystem::run`].
+        self.sweep_reassembly();
         processed
     }
 
@@ -1180,6 +1511,56 @@ impl EchoSystem {
     /// policy as the retry queue (victims quarantine at the *receiver*).
     pub fn set_ingress_capacity(&mut self, capacity: usize) {
         self.ingress_capacity = capacity;
+    }
+
+    /// Sets a channel's delivery tier. Channels default to
+    /// [`QosTier::Reliable`]; the tier travels in every frame header, so
+    /// receivers enforce it straight off the wire with no side-channel
+    /// distribution. Control-plane frames (subscriptions, membership
+    /// refreshes) always travel reliable, whatever the channel's event
+    /// tier.
+    pub fn set_channel_qos(&mut self, channel: ChannelId, tier: QosTier) {
+        self.qos.insert(channel, tier);
+    }
+
+    /// The delivery tier a channel's events travel under.
+    pub fn channel_qos(&self, channel: ChannelId) -> QosTier {
+        self.qos.get(&channel).copied().unwrap_or(QosTier::Reliable)
+    }
+
+    /// Sets the frame budget: encoded event payloads larger than `budget`
+    /// bytes split into fragments of at most that size, reassembled at
+    /// each receiver. `None` (the default) never fragments. Control frames
+    /// are never fragmented. To traverse an MTU-limited link
+    /// ([`EchoSystem::set_link_mtu`]) the budget must be small enough that
+    /// budget + frame header ≤ MTU.
+    pub fn set_frame_budget(&mut self, budget: Option<usize>) {
+        self.frame_budget = budget.map(|b| b.max(1));
+    }
+
+    /// Re-bounds every process's per-channel reassembly buffers: at most
+    /// `capacity` in-progress fragment sets per channel (oldest incomplete
+    /// evicted past it), each expiring `timeout_ns` after its first
+    /// fragment arrives. Applies to existing and future processes.
+    pub fn set_reassembly_limits(&mut self, capacity: usize, timeout_ns: u64) {
+        self.reassembly_limits = Some((capacity, timeout_ns));
+        for node in &mut self.nodes {
+            node.configure_reassembly(capacity, timeout_ns);
+        }
+    }
+
+    /// In-progress fragment sets currently buffered at a process, across
+    /// all its channels.
+    pub fn reassembly_depth(&self, proc: ProcessId) -> usize {
+        self.nodes[proc.0].reassembly_depth()
+    }
+
+    /// Caps the payload size the (bidirectional) link between two
+    /// processes accepts; larger sends are refused with
+    /// [`simnet::NetError::Oversized`]. `0` lifts the cap. Pair with
+    /// [`EchoSystem::set_frame_budget`] so fragmented events fit.
+    pub fn set_link_mtu(&mut self, a: ProcessId, b: ProcessId, mtu: usize) {
+        self.net.set_link_mtu(self.net_ids[a.0], self.net_ids[b.0], mtu);
     }
 
     /// Pauses a process: models an overloaded or stalled consumer.
@@ -1881,5 +2262,178 @@ mod tests {
         assert!(sys.total_bytes() > 0);
         assert_eq!(sys.version(c), EchoVersion::V2);
         assert!(!format!("{sys:?}").is_empty());
+    }
+
+    fn blob_format() -> Arc<RecordFormat> {
+        FormatBuilder::record("Blob").int("n").string("data").build_arc().unwrap()
+    }
+
+    fn blob(n: i64, len: usize) -> Value {
+        Value::Record(vec![Value::Int(n), Value::str("x".repeat(len))])
+    }
+
+    #[test]
+    fn fragmented_publish_reassembles_at_each_sink() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = blob_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.subscribe(c, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.set_frame_budget(Some(64));
+        let event = blob(1, 500);
+        assert_eq!(sys.publish(s1, ch, &fmt, &event).unwrap(), 2);
+        sys.run();
+        assert_eq!(sys.take_events(s2), vec![(ch, event.clone())]);
+        assert_eq!(sys.take_events(c), vec![(ch, event)]);
+        let snap = sys.registry().snapshot();
+        let frames = snap.counter("echo.frag.sent").unwrap();
+        assert!(frames >= 16, "500+ bytes over a 64-byte budget, twice: {frames}");
+        assert_eq!(snap.counter("echo.frag.received"), Some(frames));
+        assert_eq!(snap.counter("echo.frag.reassembled"), Some(2));
+        assert_eq!(snap.counter("echo.channel.reliable.delivered"), Some(2));
+        assert_eq!(snap.counter("echo.events.delivered"), Some(2));
+        assert_eq!(sys.reassembly_depth(s2), 0, "nothing left in progress");
+        assert_eq!(snap.gauge("echo.frag.buffered"), Some(0));
+        // Small events keep travelling unfragmented.
+        let small = tick_format();
+        let ch2 = sys.create_channel(c);
+        sys.subscribe(s2, ch2, Role::sink(), Some(&small)).unwrap();
+        sys.run();
+        sys.publish(c, ch2, &small, &tick(1)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2).len(), 1);
+        assert_eq!(sys.registry().snapshot().counter("echo.frag.sent"), Some(frames));
+    }
+
+    #[test]
+    fn unreliable_tiers_skip_the_retry_queue_and_count_drops() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.set_channel_qos(ch, QosTier::UnorderedUnreliable);
+        sys.set_link_up(s1, s2, false);
+        sys.publish(s1, ch, &fmt, &tick(1)).unwrap();
+        // Fire-and-forget: the down link ate the frame — no retry queue
+        // entry, no dead letter, just the tier's drop counter.
+        assert_eq!(sys.pending_retries(), 0);
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.counter("echo.channel.unordered.dropped"), Some(1));
+        assert_eq!(snap.counter("echo.channel.unordered.sent"), Some(1));
+        assert_eq!(snap.counter("echo.deadletter.total"), Some(0));
+        // Sequenced behaves the same way on loss...
+        sys.set_channel_qos(ch, QosTier::SequencedUnreliable);
+        sys.publish(s1, ch, &fmt, &tick(2)).unwrap();
+        assert_eq!(sys.pending_retries(), 0);
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.counter("echo.channel.sequenced.dropped"), Some(1));
+        // ...while a reliable publish on a healed link still delivers.
+        sys.set_link_up(s1, s2, true);
+        sys.set_channel_qos(ch, QosTier::Reliable);
+        sys.publish(s1, ch, &fmt, &tick(3)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2), vec![(ch, tick(3))]);
+    }
+
+    #[test]
+    fn ingress_shed_takes_unordered_telemetry_before_reliable_events() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let reliable_ch = sys.create_channel(c);
+        let telemetry_ch = sys.create_channel(c);
+        let fmt = tick_format();
+        for ch in [reliable_ch, telemetry_ch] {
+            sys.subscribe(s1, ch, Role::source(), None).unwrap();
+            sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        }
+        sys.run();
+        sys.set_channel_qos(telemetry_ch, QosTier::UnorderedUnreliable);
+        sys.set_ingress_capacity(3);
+        sys.pause_process(s2);
+        // Arrival order: telemetry first, then reliable — but the *victims*
+        // are chosen by tier, not age alone.
+        sys.publish(s1, telemetry_ch, &fmt, &tick(10)).unwrap();
+        sys.publish(s1, reliable_ch, &fmt, &tick(1)).unwrap();
+        sys.publish(s1, reliable_ch, &fmt, &tick(2)).unwrap();
+        sys.publish(s1, telemetry_ch, &fmt, &tick(11)).unwrap();
+        sys.publish(s1, reliable_ch, &fmt, &tick(3)).unwrap();
+        sys.run();
+        sys.resume_process(s2);
+        sys.run();
+        let events = sys.take_events(s2);
+        assert_eq!(
+            events,
+            vec![(reliable_ch, tick(1)), (reliable_ch, tick(2)), (reliable_ch, tick(3))],
+            "both telemetry frames shed; every reliable event survived"
+        );
+        let snap = sys.registry().snapshot();
+        assert_eq!(snap.counter("echo.queue.shed"), Some(2));
+        assert_eq!(snap.counter("echo.channel.reliable.delivered"), Some(3));
+        assert_eq!(snap.counter("echo.channel.unordered.delivered"), Some(0));
+    }
+
+    #[test]
+    fn partial_fragment_sets_time_out_into_the_dlq() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = blob_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.set_frame_budget(Some(64));
+        sys.set_reassembly_limits(8, 200_000_000);
+        // Half the frames vanish in flight: fragmented messages lose limbs.
+        sys.set_fault_plan(s1, s2, FaultPlan::new(7).drop_per_mille(500));
+        let published = 6u64;
+        for n in 0..published {
+            sys.publish(s1, ch, &fmt, &blob(n as i64, 400)).unwrap();
+        }
+        sys.run();
+        // Time out the survivors' partial sets.
+        sys.advance_ns(300_000_000);
+        sys.run();
+        let delivered = sys.take_events(s2).len() as u64;
+        let snap = sys.registry().snapshot();
+        let timeouts = snap.counter("echo.frag.timeout").unwrap();
+        let partial_dlq = snap.counter("echo.deadletter.partial_fragments").unwrap();
+        assert_eq!(timeouts, partial_dlq);
+        assert!(timeouts > 0, "a 50% drop rate must maim at least one message");
+        assert!(delivered < published, "some messages had to lose fragments");
+        assert_eq!(
+            delivered + partial_dlq,
+            published,
+            "every message either completed or dead-lettered as a partial"
+        );
+        assert_eq!(sys.reassembly_depth(s2), 0, "the sweep leaves nothing behind");
+        assert_eq!(snap.gauge("echo.frag.buffered"), Some(0));
+        let partials: Vec<DeadLetter> = sys
+            .dead_letters(s2)
+            .into_iter()
+            .filter(|l| l.reason == DeadReason::PartialFragments)
+            .collect();
+        assert_eq!(partials.len() as u64, partial_dlq);
+        assert!(partials.iter().all(|l| l.detail.contains("reassembly timeout")));
+    }
+
+    #[test]
+    fn frame_budget_carries_large_events_through_a_link_mtu() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = blob_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.set_link_mtu(s1, s2, 128);
+        // Unfragmented, the 500-byte event is refused by the wire outright.
+        let err = sys.publish(s1, ch, &fmt, &blob(1, 500)).unwrap_err();
+        assert!(matches!(err, EchoError::Net(NetError::Oversized { .. })), "got {err}");
+        // Fragmented under budget + header ≤ MTU, it goes through.
+        sys.set_frame_budget(Some(64));
+        sys.publish(s1, ch, &fmt, &blob(1, 500)).unwrap();
+        sys.run();
+        assert_eq!(sys.take_events(s2), vec![(ch, blob(1, 500))]);
     }
 }

@@ -41,6 +41,10 @@ pub enum DeadReason {
     /// Dropped by load shedding: a bounded queue or pending set was full
     /// and this message was the chosen victim (drop-oldest warm traffic).
     Shed,
+    /// A fragmented message whose fragment set never completed: the
+    /// reassembly timeout elapsed, or the bounded reassembly buffer
+    /// evicted it (oldest-incomplete) to admit fresher traffic.
+    PartialFragments,
 }
 
 impl DeadReason {
@@ -55,11 +59,12 @@ impl DeadReason {
             DeadReason::TransformFailed => "transform_failed",
             DeadReason::RetryExhausted => "retry_exhausted",
             DeadReason::Shed => "shed",
+            DeadReason::PartialFragments => "partial_fragments",
         }
     }
 
     /// Every reason, in metric-catalogue order.
-    pub const ALL: [DeadReason; 7] = [
+    pub const ALL: [DeadReason; 8] = [
         DeadReason::Corrupt,
         DeadReason::Malformed,
         DeadReason::Undecodable,
@@ -67,6 +72,7 @@ impl DeadReason {
         DeadReason::TransformFailed,
         DeadReason::RetryExhausted,
         DeadReason::Shed,
+        DeadReason::PartialFragments,
     ];
 }
 

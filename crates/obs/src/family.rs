@@ -36,6 +36,35 @@ impl CounterFamily {
         }
     }
 
+    /// Fetches a family keyed by static labels instead of indices:
+    /// `<prefix>.<label>.<name>` for each label, in label order. `get(i)`
+    /// addresses the `i`-th label's counter.
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// let sent = obs::CounterFamily::labeled(
+    ///     &reg,
+    ///     "echo.channel",
+    ///     "sent",
+    ///     &["reliable", "sequenced", "unordered"],
+    /// );
+    /// sent.get(1).inc();
+    /// assert_eq!(reg.snapshot().counter("echo.channel.sequenced.sent"), Some(1));
+    /// ```
+    pub fn labeled(
+        registry: &Registry,
+        prefix: &str,
+        name: &str,
+        labels: &[&str],
+    ) -> CounterFamily {
+        CounterFamily {
+            handles: labels
+                .iter()
+                .map(|l| registry.counter(&format!("{prefix}.{l}.{name}")))
+                .collect(),
+        }
+    }
+
     /// The member counter for index `i`.
     ///
     /// # Panics
@@ -145,6 +174,19 @@ mod tests {
         assert_eq!(fam.max(), 9);
         assert_eq!(reg.snapshot().gauge("echo.shard.1.mailbox.depth"), Some(9));
         assert_eq!(GaugeFamily::new(&reg, "x", "y", 0).max(), 0);
+    }
+
+    #[test]
+    fn labeled_family_members_follow_label_order() {
+        let reg = Registry::new();
+        let fam = CounterFamily::labeled(&reg, "echo.channel", "sent", &["reliable", "sequenced"]);
+        assert_eq!(fam.len(), 2);
+        fam.get(0).add(2);
+        fam.get(1).add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("echo.channel.reliable.sent"), Some(2));
+        assert_eq!(snap.counter("echo.channel.sequenced.sent"), Some(5));
+        assert_eq!(fam.total(), 7);
     }
 
     #[test]

@@ -111,6 +111,18 @@ pub enum NetError {
     /// An endpoint is inside a scheduled crash window
     /// ([`Network::set_crash_windows`]) — the process is down, not the wire.
     NodeDown(NodeId),
+    /// The payload exceeds the link's MTU ([`Network::set_link_mtu`]);
+    /// the frame never enters the wire. Senders are expected to fragment.
+    Oversized {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Refused payload size in bytes.
+        len: usize,
+        /// The link's configured MTU in bytes.
+        mtu: usize,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -120,6 +132,9 @@ impl fmt::Display for NetError {
             NetError::NoRoute(a, b) => write!(f, "no link between {a} and {b}"),
             NetError::LinkDown(a, b) => write!(f, "link between {a} and {b} is down"),
             NetError::NodeDown(n) => write!(f, "node {n} is crashed"),
+            NetError::Oversized { from, to, len, mtu } => {
+                write!(f, "{len}-byte frame exceeds the {mtu}-byte MTU of link {from}->{to}")
+            }
         }
     }
 }
@@ -180,6 +195,8 @@ struct LinkState {
     messages: u64,
     /// Administratively down (sends fail; in-flight messages still arrive).
     down: bool,
+    /// Maximum payload size accepted by the link; 0 means unlimited.
+    mtu: usize,
     /// Fault-injection state, when a [`FaultPlan`] is attached.
     fault: Option<FaultState>,
 }
@@ -483,6 +500,9 @@ impl Network {
         if link.down {
             return Err(NetError::LinkDown(from, to));
         }
+        if link.mtu != 0 && payload.len() > link.mtu {
+            return Err(NetError::Oversized { from, to, len: payload.len(), mtu: link.mtu });
+        }
         if let Some(f) = &mut link.fault {
             if f.plan.partitioned_at(now) {
                 f.stats.partition_blocked += 1;
@@ -779,6 +799,18 @@ impl Network {
         }
     }
 
+    /// Sets the MTU of the (bidirectional) link between two nodes: sends
+    /// whose payload exceeds `mtu` bytes are refused with
+    /// [`NetError::Oversized`] before entering the wire. An `mtu` of 0
+    /// (the default) means unlimited. No-op for nonexistent links.
+    pub fn set_link_mtu(&mut self, a: NodeId, b: NodeId, mtu: usize) {
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.mtu = mtu;
+            }
+        }
+    }
+
     /// True if a usable (existing and up) directed link `from → to` exists.
     pub fn link_is_up(&self, from: NodeId, to: NodeId) -> bool {
         self.links.get(&(from, to)).is_some_and(|l| !l.down)
@@ -805,6 +837,25 @@ mod tests {
         let b = net.add_node("b");
         net.connect(a, b, params);
         (net, a, b)
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_by_the_link_mtu() {
+        let (mut net, a, b) = pair(LinkParams::ideal());
+        net.set_link_mtu(a, b, 64);
+        assert_eq!(
+            net.send(a, b, vec![0u8; 65]),
+            Err(NetError::Oversized { from: a, to: b, len: 65, mtu: 64 })
+        );
+        // At or under the MTU passes; the setter covers both directions.
+        net.send(a, b, vec![0u8; 64]).unwrap();
+        assert_eq!(
+            net.send(b, a, vec![0u8; 100]),
+            Err(NetError::Oversized { from: b, to: a, len: 100, mtu: 64 })
+        );
+        // MTU 0 lifts the limit again.
+        net.set_link_mtu(a, b, 0);
+        net.send(a, b, vec![0u8; 4096]).unwrap();
     }
 
     #[test]

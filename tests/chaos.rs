@@ -825,3 +825,157 @@ fn total_meta_server_outage_degrades_and_recovers_deterministically() {
         assert!(first.chrome.contains("morph.breaker.open"), "breaker trips missing from export");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scenario 5: fragmented events under loss, duplication, and reordering —
+// bounded reassembly completes or dead-letters every message, exactly.
+// ---------------------------------------------------------------------------
+
+fn blob_fmt() -> Arc<RecordFormat> {
+    FormatBuilder::record("Blob").int("n").string("data").build_arc().unwrap()
+}
+
+/// A payload big enough to split into several fragments under the
+/// scenario's 96-byte budget, with content derived from `n` so a
+/// misassembled delivery cannot masquerade as a correct one.
+fn blob(n: i64) -> Value {
+    Value::Record(vec![Value::Int(n), Value::str(format!("{n:03}~").repeat(110))])
+}
+
+const FRAG_EVENTS: u64 = 10;
+const FRAG_TIMEOUT_NS: u64 = 50_000_000;
+
+/// What one fragmentation run produced, for cross-run byte-equality.
+struct FragRun {
+    snapshot: String,
+    chrome: String,
+    delivered: Vec<i64>,
+    partials: u64,
+}
+
+fn run_fragmentation_chaos(seed: u64) -> FragRun {
+    let mut sys = EchoSystem::new();
+    let creator = sys.add_process("creator", EchoVersion::V2);
+    let publisher = sys.add_process("publisher", EchoVersion::V2);
+    let sink = sys.add_process("sink", EchoVersion::V2);
+    sys.connect_all(LinkParams::lan());
+
+    let fmt = blob_fmt();
+    let ch = sys.create_channel(creator);
+    sys.subscribe(publisher, ch, Role::source(), None).unwrap();
+    sys.subscribe(sink, ch, Role::sink(), Some(&fmt)).unwrap();
+    sys.run();
+
+    // Every event (~450 encoded bytes) splits into ≥5 fragments; the
+    // reassembly buffer is bounded and partial sets expire on the virtual
+    // clock.
+    sys.set_frame_budget(Some(96));
+    sys.set_reassembly_limits(16, FRAG_TIMEOUT_NS);
+    sys.set_fault_plan(
+        publisher,
+        sink,
+        FaultPlan::new(seed)
+            .drop_per_mille(100)
+            .duplicate_per_mille(150)
+            .reorder_per_mille(250, 300_000)
+            .jitter_ns(40_000),
+    );
+
+    for n in 0..FRAG_EVENTS {
+        sys.publish(publisher, ch, &fmt, &blob(n as i64)).unwrap();
+    }
+    sys.run();
+    // Let the stragglers' partial sets hit the reassembly timeout.
+    sys.advance_ns(2 * FRAG_TIMEOUT_NS);
+    sys.run();
+
+    let faults = sys.fault_totals();
+    assert!(faults.dropped > 0, "seed {seed:#x}: no drops");
+    assert!(faults.duplicated > 0, "seed {seed:#x}: no duplicates");
+    assert!(faults.reordered > 0, "seed {seed:#x}: no reordering");
+
+    let snap = sys.registry().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+
+    // The exact accounting identity: every published message either
+    // reassembled and delivered, or dead-lettered as a partial fragment
+    // set, or was shed under backpressure (none here). Nothing vanishes.
+    let delivered = counter("echo.events.delivered");
+    let partials = counter("echo.deadletter.partial_fragments");
+    let shed = counter("echo.queue.shed");
+    assert_eq!(
+        delivered + partials + shed,
+        FRAG_EVENTS,
+        "seed {seed:#x}: {delivered} delivered + {partials} partial + {shed} shed != {FRAG_EVENTS}"
+    );
+    assert!(partials > 0, "seed {seed:#x}: the drop rate must maim at least one message");
+    assert!(delivered > 0, "seed {seed:#x}: at least one message must survive");
+    assert_eq!(counter("echo.frag.timeout"), partials, "every partial died by timeout");
+    assert_eq!(counter("echo.frag.evicted"), 0, "the buffer bound was never hit");
+    assert_eq!(counter("echo.frag.reassembled"), delivered);
+    assert!(counter("echo.frag.sent") >= 5 * FRAG_EVENTS);
+
+    // The sweep leaves no orphan state behind.
+    assert_eq!(sys.reassembly_depth(sink), 0);
+    assert_eq!(snap.gauge("echo.frag.buffered"), Some(0));
+
+    // Delivered payloads are byte-exact: a subset of the published
+    // messages, each at most once, every reassembly faithful.
+    let mut seen = HashSet::new();
+    let delivered_ns: Vec<i64> = sys
+        .take_events(sink)
+        .into_iter()
+        .map(|(c, v)| {
+            assert_eq!(c, ch);
+            let n = v.field(&fmt, "n").unwrap().as_i64().unwrap();
+            assert_eq!(v, blob(n), "seed {seed:#x}: reassembled content differs for {n}");
+            assert!(seen.insert(n), "seed {seed:#x}: message {n} delivered twice");
+            n
+        })
+        .collect();
+    assert_eq!(delivered_ns.len() as u64, delivered);
+
+    // Each partial is inspectable: the reason, the missing-fragment
+    // detail, and the frozen trace of the maimed message.
+    let letters: Vec<_> = sys
+        .dead_letters(sink)
+        .into_iter()
+        .filter(|l| l.reason == morph::DeadReason::PartialFragments)
+        .collect();
+    assert_eq!(letters.len() as u64, partials);
+    for letter in &letters {
+        assert!(letter.detail.contains("reassembly timeout"), "detail: {}", letter.detail);
+        assert!(letter.trace.is_some(), "partial dead letter without trace context");
+        let quarantine = letter
+            .events
+            .iter()
+            .find(|e| e.name == "echo.quarantine")
+            .expect("partial dead letter lacks the quarantine instant");
+        assert_eq!(quarantine.tag("stage"), Some("reassembly"));
+    }
+
+    FragRun {
+        snapshot: snap.to_text(),
+        chrome: sys.recorder().chrome_json(),
+        delivered: delivered_ns,
+        partials,
+    }
+}
+
+/// Fragmented publishes under drop + duplicate + reorder faults: bounded
+/// reassembly delivers every completable message byte-exactly, times the
+/// rest out into the dead-letter queue as `partial_fragments`, the books
+/// balance to the message (delivered + partial + shed = sent), and the
+/// whole run — snapshot and trace export — replays byte-identically per
+/// seed.
+#[test]
+fn fragmented_publish_survives_loss_and_reorder_deterministically() {
+    for seed in seeds() {
+        let first = run_fragmentation_chaos(seed);
+        let second = run_fragmentation_chaos(seed);
+        assert_eq!(first.snapshot, second.snapshot, "seed {seed:#x}: non-deterministic snapshot");
+        assert_eq!(first.chrome, second.chrome, "seed {seed:#x}: non-deterministic trace export");
+        assert_eq!(first.delivered, second.delivered);
+        assert_eq!(first.partials, second.partials);
+    }
+}

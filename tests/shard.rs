@@ -207,3 +207,107 @@ fn virtual_time_driver_replays_chaos_byte_identically_for_the_seed_matrix() {
     // per seed, not a constant output.
     assert_ne!(chaos_run(1).0, chaos_run(42).0);
 }
+
+// ---------------------------------------------------------------------------
+// Fragmentation across the shard boundary.
+// ---------------------------------------------------------------------------
+
+fn blob_fmt() -> Arc<RecordFormat> {
+    FormatBuilder::record("Blob").int("n").string("data").build_arc().unwrap()
+}
+
+/// Fixed-size payload (~450 encoded bytes) so every event splits into the
+/// same number of fragments under a 64-byte budget.
+fn blob(n: i64) -> Value {
+    Value::Record(vec![Value::Int(n), Value::str(format!("{n:03}~").repeat(110))])
+}
+
+/// Creator-publisher plus `sinks` subscribers with `events` oversized
+/// events published but not yet run; a 64-byte frame budget forces every
+/// event through the fragmentation path.
+fn loaded_frag_fanout(sinks: usize, events: i64) -> (EchoSystem, Vec<ProcessId>) {
+    let mut sys = EchoSystem::new();
+    let fmt = blob_fmt();
+    let c = sys.add_process("creator", EchoVersion::V2);
+    let ch = sys.create_channel(c);
+    let subs: Vec<ProcessId> = (0..sinks)
+        .map(|i| {
+            let s = sys.add_process(format!("sub-{i}"), EchoVersion::V2);
+            sys.connect(c, s, LinkParams::lan());
+            sys.subscribe(s, ch, Role::sink(), Some(&fmt)).unwrap();
+            s
+        })
+        .collect();
+    sys.run_with(&mut VirtualTimeDriver);
+    sys.set_frame_budget(Some(64));
+    for n in 0..events {
+        sys.publish(c, ch, &fmt, &blob(n)).unwrap();
+    }
+    (sys, subs)
+}
+
+/// Fragments of one message land in one sink's mailbox and stay in
+/// arrival order, whatever the shard count — so the wall-clock driver
+/// reassembles exactly what the virtual-time driver does, and no partial
+/// set lingers after quiescence.
+#[test]
+fn wall_clock_driver_reassembles_fragments_identically_to_virtual_time() {
+    let collect = |driver: &mut dyn Driver| -> Vec<Vec<(ChannelId, Value)>> {
+        let (mut sys, subs) = loaded_frag_fanout(12, 6);
+        sys.run_with(driver);
+        for &s in &subs {
+            assert_eq!(sys.reassembly_depth(s), 0, "partial set left behind");
+        }
+        let snap = sys.registry().snapshot();
+        assert!(snap.counter("echo.frag.sent").unwrap_or(0) >= 12 * 6 * 5);
+        assert_eq!(snap.counter("echo.frag.reassembled"), Some(12 * 6));
+        assert_eq!(snap.counter("echo.deadletter.partial_fragments").unwrap_or(0), 0);
+        subs.into_iter().map(|s| sys.take_events(s)).collect()
+    };
+    let virt = collect(&mut VirtualTimeDriver);
+    for shards in [1usize, 2, 4] {
+        let wall = collect(&mut WallClockDriver::new(shards));
+        assert_eq!(
+            wall, virt,
+            "{shards}-shard wall-clock reassembly diverged from the virtual-time driver"
+        );
+    }
+    assert_eq!(virt.len(), 12);
+    assert!(virt.iter().all(|events| events.len() == 6));
+    assert_eq!(virt[0][3].1, blob(3), "fragmented events arrive byte-exact");
+}
+
+/// When a bounded shard mailbox overflows on fragmented traffic, a shed
+/// fragment takes its whole set with it: shed counts come in whole
+/// messages, surviving messages reassemble, and no orphan fragment squats
+/// in a reassembly buffer waiting to time out.
+#[test]
+fn mailbox_overflow_sheds_whole_fragment_sets_without_orphans() {
+    let (mut sys, subs) = loaded_frag_fanout(1, 10);
+    let sink = subs[0];
+    let mut driver = WallClockDriver::new(2).with_mailbox_capacity(30);
+    sys.run_with(&mut driver);
+
+    let snap = sys.registry().snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let frags_per_msg = counter("echo.frag.sent") / 10;
+    assert!(frags_per_msg >= 5, "payload must actually fragment");
+
+    let shed = counter("echo.shard.mailbox.shed");
+    assert!(shed > 0, "the 30-frame mailbox must overflow");
+    assert_eq!(shed % frags_per_msg, 0, "sheds must come in whole fragment sets");
+
+    let delivered = counter("echo.events.delivered");
+    assert_eq!(delivered + shed / frags_per_msg, 10, "every message delivered or fully shed");
+    assert!(delivered > 0);
+
+    // No orphans: nothing buffered, nothing left to time out.
+    assert_eq!(sys.reassembly_depth(sink), 0, "orphan fragments squatting in the buffer");
+    assert_eq!(counter("echo.deadletter.partial_fragments"), 0);
+    let events = sys.take_events(sink);
+    assert_eq!(events.len() as u64, delivered);
+    for (_, v) in &events {
+        let n = v.field(&blob_fmt(), "n").unwrap().as_i64().unwrap();
+        assert_eq!(*v, blob(n), "surviving message must be intact");
+    }
+}

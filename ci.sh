@@ -37,7 +37,7 @@ for s in ${CHAOS_SEEDS:-1 7 42}; do
 done
 
 echo "==> examples (offline smoke runs; each asserts its own output)"
-for ex in quickstart stats_dump echo_evolution trace_dump failover qos_telemetry; do
+for ex in quickstart stats_dump echo_evolution trace_dump failover qos_telemetry self_telemetry; do
     echo "    cargo run --release --example $ex"
     cargo run -q --release --example "$ex" >/dev/null
 done
@@ -54,6 +54,13 @@ echo "==> fan-out scaling bench (writes BENCH_6.json)"
 # baseline (and, on >=4-core machines, if they fail to scale >=1.7x).
 cargo run -q --release --example fanout_bench >/dev/null
 cat BENCH_6.json
+
+echo "==> monitoring overhead bench (writes BENCH_7.json)"
+# The same warm workload with the full opt-in monitoring surface (link
+# monitors, adaptive watermarks, self-telemetry) on vs off; exits
+# non-zero if the monitored system falls below 0.95x bare throughput.
+cargo run -q --release --example monitor_bench >/dev/null
+cat BENCH_7.json
 
 echo "==> bench workspace (needs registry access for criterion)"
 if (cd crates/bench && cargo metadata --format-version 1 >/dev/null 2>&1); then

@@ -275,6 +275,21 @@ fn stats() {
 
     let snap = rx.registry().snapshot();
     print!("{}", snap.to_text());
+    println!("\n  latency quantiles (ns):");
+    println!("  {:<28} {:>8} {:>10} {:>10} {:>10}", "histogram", "count", "p50", "p90", "p99");
+    for (name, h) in &snap.histograms {
+        if h.count == 0 {
+            continue;
+        }
+        println!(
+            "  {:<28} {:>8} {:>10} {:>10} {:>10}",
+            name,
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99)
+        );
+    }
     let cold = snap.histogram("morph.decide_ns").expect("cold path ran");
     let warm = snap.histogram("morph.process_ns").expect("warm path ran");
     println!(

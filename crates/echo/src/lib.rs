@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adaptive;
 mod driver;
 pub mod frag;
 mod node;
 pub mod proto;
 mod shard;
 mod system;
+pub mod telemetry;
 
 use std::fmt;
 

@@ -5,10 +5,10 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use morph::{
-    deadletter, DeadLetterQueue, DeadReason, DecisionCache, MorphReceiver, MorphStats,
+    deadletter, DeadLetterQueue, DeadReason, DecisionCache, MorphError, MorphReceiver, MorphStats,
     Transformation,
 };
-use obs::{ActiveSpan, FlightRecorder, SpanEvent, TraceCtx, TraceId};
+use obs::{ActiveSpan, FlightRecorder, Histogram, HistogramFamily, SpanEvent, TraceCtx, TraceId};
 use pbio::{Encoder, PlanStore, RecordFormat, Value, WireBytes};
 
 use crate::frag::{Fragment, Offer, PartialSet, ReassemblyBuffer};
@@ -128,6 +128,12 @@ pub(crate) struct NodeState {
     requests: ControlInbox,
     responses: ControlInbox,
     event_rx: HashMap<ChannelId, MorphReceiver>,
+    /// Per-channel latency attribution probes, created with each event
+    /// receiver.
+    stage_probes: HashMap<ChannelId, StageProbe>,
+    /// `echo.stage.encode.ns` in the control registry — the publish-side
+    /// stage of the latency attribution.
+    encode_ns: Arc<Histogram>,
     events: EventInbox,
     /// Channels this node created, with their membership.
     pub owned: HashMap<ChannelId, Vec<MemberInfo>>,
@@ -179,6 +185,82 @@ struct HandleTrace {
     trace: Option<TraceId>,
 }
 
+/// The receiver-side stage labels of the latency attribution family, in
+/// [`StageProbe`] index order. Two more stages live elsewhere: `encode` in
+/// the publisher's control registry, `queue_wait` (virtual time) in the
+/// system registry.
+const STAGE_LABELS: [&str; 4] = ["unframe", "decode", "morph", "deliver"];
+const STAGE_UNFRAME: usize = 0;
+const STAGE_DECODE: usize = 1;
+const STAGE_MORPH: usize = 2;
+const STAGE_DELIVER: usize = 3;
+
+/// Per-channel latency attribution: wall-clock `echo.stage.<stage>.ns`
+/// histograms in the channel's event registry, so one snapshot answers
+/// "where did the microseconds go" for that channel's deliveries.
+///
+/// `deliver` is the whole receiver dispatch; `decode` and `morph` are
+/// carved out of it by reading the sums of the receiver's own
+/// `pbio.decode_ns` and `morph.process_ns` histograms across the call —
+/// attribution without a second timer on either hot path.
+struct StageProbe {
+    stages: HistogramFamily,
+    pbio_decode: Arc<Histogram>,
+    morph_process: Arc<Histogram>,
+}
+
+impl StageProbe {
+    fn new(registry: &obs::Registry) -> StageProbe {
+        StageProbe {
+            stages: HistogramFamily::labeled(registry, "echo.stage", "ns", &STAGE_LABELS),
+            pbio_decode: registry.histogram("pbio.decode_ns"),
+            morph_process: registry.histogram("morph.process_ns"),
+        }
+    }
+
+    /// Records the unframe cost of a frame bound for this channel.
+    fn record_unframe(&self, ns: u64) {
+        self.stages.get(STAGE_UNFRAME).record(ns);
+    }
+
+    /// Runs the receiver over a payload, attributing the elapsed wall time
+    /// across the deliver/decode/morph stages.
+    fn deliver(
+        &self,
+        rx: &mut MorphReceiver,
+        payload: &[u8],
+        ctx: Option<TraceCtx>,
+    ) -> Result<morph::Delivery, MorphError> {
+        let d0 = self.pbio_decode.sum();
+        let m0 = self.morph_process.sum();
+        let t0 = std::time::Instant::now();
+        let result = rx.process_traced(payload, ctx);
+        let deliver_ns = t0.elapsed().as_nanos() as u64;
+        let decode_ns = self.pbio_decode.sum().saturating_sub(d0);
+        // `morph.process_ns` times the whole Algorithm 2 pass, decoding
+        // included; the morph stage is what remains after decode.
+        let morph_ns = self.morph_process.sum().saturating_sub(m0).saturating_sub(decode_ns);
+        self.stages.get(STAGE_DELIVER).record(deliver_ns);
+        self.stages.get(STAGE_DECODE).record(decode_ns);
+        self.stages.get(STAGE_MORPH).record(morph_ns);
+        result
+    }
+}
+
+/// Dispatches a payload into an event receiver, through the channel's
+/// stage probe when one exists.
+fn process_staged(
+    probe: Option<&StageProbe>,
+    rx: &mut MorphReceiver,
+    payload: &[u8],
+    ctx: Option<TraceCtx>,
+) -> Result<morph::Delivery, MorphError> {
+    match probe {
+        Some(p) => p.deliver(rx, payload, ctx),
+        None => rx.process_traced(payload, ctx),
+    }
+}
+
 impl NodeState {
     pub fn new(name: String, version: EchoVersion) -> NodeState {
         let requests: ControlInbox = Arc::new(Mutex::new(Vec::new()));
@@ -201,6 +283,7 @@ impl NodeState {
             control_rx.registry(),
             "echo.node.deadletter",
         );
+        let encode_ns = control_rx.registry().histogram("echo.stage.encode.ns");
         NodeState {
             name,
             version,
@@ -208,6 +291,8 @@ impl NodeState {
             requests,
             responses,
             event_rx: HashMap::new(),
+            stage_probes: HashMap::new(),
+            encode_ns,
             events: Arc::new(Mutex::new(Vec::new())),
             owned: HashMap::new(),
             memberships: HashMap::new(),
@@ -286,6 +371,12 @@ impl NodeState {
     /// against it).
     pub fn set_now(&mut self, now_ns: u64) {
         self.now_ns = now_ns;
+    }
+
+    /// Records one publish-side encode duration into the control
+    /// registry's `echo.stage.encode.ns`.
+    pub fn record_encode_ns(&self, ns: u64) {
+        self.encode_ns.record(ns);
     }
 
     /// Re-bounds every (current and future) per-channel reassembly buffer.
@@ -458,6 +549,7 @@ impl NodeState {
     /// (possibly morphed) events land in the node's event log.
     pub fn expect_events(&mut self, channel: ChannelId, format: &Arc<RecordFormat>) {
         let rx = self.event_rx.entry(channel).or_default();
+        self.stage_probes.entry(channel).or_insert_with(|| StageProbe::new(rx.registry()));
         if let Some(rec) = &self.recorder {
             rx.registry().set_recorder(Arc::clone(rec));
         }
@@ -546,6 +638,7 @@ impl NodeState {
     /// it does not crash.
     pub fn handle_frame(&mut self, sender: u64, bytes: &WireBytes) -> FrameOutcome {
         let ht = self.start_handle_trace(bytes);
+        let unframe_t0 = std::time::Instant::now();
         let frame = match proto::unframe(bytes) {
             Ok(f) => f,
             Err(
@@ -571,6 +664,13 @@ impl NodeState {
                 return FrameOutcome::settled(Disposition::Quarantined(DeadReason::Corrupt));
             }
         };
+        // Attribute the unframe cost to the destination channel's stage
+        // family (event frames only — control channels have no probe).
+        if frame.kind == proto::FRAME_EVENT {
+            if let Some(p) = self.stage_probes.get(&frame.channel) {
+                p.record_unframe(unframe_t0.elapsed().as_nanos() as u64);
+            }
+        }
         if !self.note_seq(sender, frame.seq, frame.frag_index) {
             if let (Some(rec), Some(t)) = (self.recorder.as_ref(), ht.trace) {
                 rec.instant(
@@ -656,7 +756,8 @@ impl NodeState {
         } else {
             let ctx = ht.span.as_ref().map(|s| s.ctx());
             if let Some(rx) = self.event_rx.get_mut(&channel) {
-                if let Err(e) = rx.process_traced(frame.payload, ctx) {
+                let probe = self.stage_probes.get(&channel);
+                if let Err(e) = process_staged(probe, rx, frame.payload, ctx) {
                     let reason = deadletter::reason_for(&e);
                     let (trace, events) = self.seal_failed(ht, "event");
                     self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);
@@ -708,7 +809,8 @@ impl NodeState {
             Offer::Complete(payload) => {
                 let ctx = ht.span.as_ref().map(|s| s.ctx());
                 if let Some(rx) = self.event_rx.get_mut(&channel) {
-                    if let Err(e) = rx.process_traced(&payload, ctx) {
+                    let probe = self.stage_probes.get(&channel);
+                    if let Err(e) = process_staged(probe, rx, &payload, ctx) {
                         let reason = deadletter::reason_for(&e);
                         let (trace, events) = self.seal_failed(ht, "event");
                         self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);

@@ -8,16 +8,19 @@ use morph::{
     CompiledXform, DeadLetter, DeadReason, DecisionCache, MorphStats, RetryPolicy, Transformation,
 };
 use obs::{
-    Counter, CounterFamily, FlightRecorder, Gauge, GaugeFamily, Registry, TraceCtx, TraceId,
+    Clock, Counter, CounterFamily, FlightRecorder, Gauge, GaugeFamily, Histogram, RateGauge,
+    Registry, SnapshotDelta, TraceCtx, TraceId,
 };
 use pbio::{Encoder, PlanStore, RecordFormat, Value, WireBytes};
-use simnet::{FaultPlan, FaultStats, LinkParams, NetError, Network, NodeId};
+use simnet::{FaultPlan, FaultStats, LinkBandwidth, LinkParams, NetError, Network, NodeId};
 
+use crate::adaptive::AdaptiveShedding;
 use crate::driver::Driver;
 use crate::frag;
 use crate::node::{Disposition, EchoVersion, FrameOutcome, NodeState, Role};
 use crate::proto::{self, ChannelId, MemberInfo, QosTier};
 use crate::shard::shard_of_name;
+use crate::telemetry;
 use crate::EchoError;
 
 /// Handle to an ECho process within an [`EchoSystem`].
@@ -41,12 +44,20 @@ const RETRY_QUEUE_CAPACITY: usize = 64;
 /// shed policy as the retry queue.
 const INGRESS_CAPACITY: usize = 64;
 
+/// Window geometry for per-channel throughput: eight 1 ms virtual-time
+/// slots, matching the adaptive watermarks' horizon.
+const CHANNEL_RATE_SLOTS: usize = 8;
+const CHANNEL_RATE_SLOT_NS: u64 = 1_000_000;
+
 /// Per-channel counter handles, created lazily on first traffic.
 #[derive(Debug)]
 struct ChannelCounters {
     published: Arc<Counter>,
     delivered: Arc<Counter>,
     filtered: Arc<Counter>,
+    /// `echo.ch.<id>.delivered_rate` — deliveries/second over the trailing
+    /// window, on the virtual clock (deterministic per run).
+    delivered_rate: RateGauge,
 }
 
 /// Cached handles into the system-level registry.
@@ -106,6 +117,16 @@ struct SysMetrics {
     /// `echo.frag.buffered` — in-progress fragment sets across all
     /// processes, refreshed by each reassembly sweep.
     frag_buffered: Arc<Gauge>,
+    /// `echo.stage.queue_wait.ns` — virtual nanoseconds frames spent in an
+    /// ingress buffer before dispatch (the queue-wait stage of the latency
+    /// attribution; the wall-clock stages live in per-receiver registries).
+    queue_wait: Arc<Histogram>,
+    /// `echo.queue.depth_over_time` — every observed combined queue depth,
+    /// so a snapshot answers how deep the queues ran, not just how deep
+    /// they are.
+    depth_over_time: Arc<Histogram>,
+    /// The registry's (virtual) clock, for stamping rate windows.
+    clock: Arc<dyn Clock>,
     per_channel: HashMap<ChannelId, ChannelCounters>,
 }
 
@@ -154,6 +175,9 @@ impl SysMetrics {
             frag_evicted: registry.counter("echo.frag.evicted"),
             frag_superseded: registry.counter("echo.frag.superseded"),
             frag_buffered: registry.gauge("echo.frag.buffered"),
+            queue_wait: registry.histogram("echo.stage.queue_wait.ns"),
+            depth_over_time: registry.histogram("echo.queue.depth_over_time"),
+            clock: registry.clock(),
             per_channel: HashMap::new(),
             registry,
         }
@@ -165,11 +189,17 @@ impl SysMetrics {
         self.deadletter_by_reason[idx].inc();
     }
 
-    fn channel(&mut self, ch: ChannelId) -> &ChannelCounters {
+    fn channel(&mut self, ch: ChannelId) -> &mut ChannelCounters {
         self.per_channel.entry(ch).or_insert_with(|| ChannelCounters {
             published: self.registry.counter(&format!("echo.ch.{}.published", ch.0)),
             delivered: self.registry.counter(&format!("echo.ch.{}.delivered", ch.0)),
             filtered: self.registry.counter(&format!("echo.ch.{}.filtered", ch.0)),
+            delivered_rate: RateGauge::new(
+                Arc::clone(&self.clock),
+                self.registry.gauge(&format!("echo.ch.{}.delivered_rate", ch.0)),
+                CHANNEL_RATE_SLOTS,
+                CHANNEL_RATE_SLOT_NS,
+            ),
         })
     }
 }
@@ -254,10 +284,11 @@ pub struct EchoSystem {
     /// Per-process pause flags: deliveries to a paused process buffer in
     /// `ingress` instead of dispatching.
     paused: Vec<bool>,
-    /// Per-process ingress buffers of `(sender index, frame)`, filled
-    /// while paused, drained by [`EchoSystem::run`] once resumed. Bounded
-    /// by `ingress_capacity` under the shed policy.
-    ingress: Vec<VecDeque<(usize, WireBytes)>>,
+    /// Per-process ingress buffers of `(sender index, arrival virtual
+    /// time, frame)`, filled while paused, drained by [`EchoSystem::run`]
+    /// once resumed. Bounded by `ingress_capacity` under the shed policy;
+    /// the arrival stamp feeds the queue-wait stage histogram.
+    ingress: Vec<VecDeque<(usize, u64, WireBytes)>>,
     /// Bound on each ingress buffer.
     ingress_capacity: usize,
     /// Flight recorder on the virtual clock: one causal trace per publish
@@ -285,6 +316,38 @@ pub struct EchoSystem {
     /// Reassembly bounds applied to every existing and future process once
     /// overridden ([`EchoSystem::set_reassembly_limits`]).
     reassembly_limits: Option<(usize, u64)>,
+    /// Load-adaptive shed watermarks, present once
+    /// [`EchoSystem::enable_adaptive_shedding`] opted in.
+    adaptive: Option<AdaptiveShedding>,
+    /// Periodic self-telemetry publisher, present once
+    /// [`EchoSystem::enable_self_telemetry`] opted in.
+    telemetry: Option<TelemetryState>,
+}
+
+/// State of the periodic self-telemetry publisher.
+struct TelemetryState {
+    proc: usize,
+    channel: ChannelId,
+    period_ns: u64,
+    /// Virtual time at or after which the next record publishes.
+    next_at_ns: u64,
+    /// The counters a record reports, as live handles with the value seen
+    /// at the last report — each record carries the delta since then.
+    /// Sampling these directly keeps the pump off the full-registry
+    /// snapshot path (every histogram cloned per period); semantically it
+    /// is still `Snapshot::delta` restricted to the record's fields.
+    /// Sorted by name, as `SnapshotDelta` promises.
+    sampled: Vec<(&'static str, Arc<Counter>, u64)>,
+    /// Virtual time of the last report, for the record's `elapsed_ns`.
+    last_at_ns: u64,
+    seq: u64,
+    /// The v2 record format, built once — rebuilding it per report would
+    /// defeat every pointer-keyed cache downstream of `publish`.
+    format: Arc<RecordFormat>,
+    /// `echo.telemetry.published` — records put on the wire.
+    published: Arc<Counter>,
+    /// `echo.telemetry.bytes` — encoded telemetry payload bytes.
+    bytes: Arc<Counter>,
 }
 
 /// A frame whose send was refused (link down); retried with backoff until
@@ -375,6 +438,8 @@ impl EchoSystem {
             qos: HashMap::new(),
             frame_budget: None,
             reassembly_limits: None,
+            adaptive: None,
+            telemetry: None,
         }
     }
 
@@ -637,7 +702,9 @@ impl EchoSystem {
                                 continue;
                             }
                             Some(derived) => {
+                                let t0 = std::time::Instant::now();
                                 let msg = Encoder::new(xform.to_format()).encode(&derived)?;
+                                self.nodes[proc.0].record_encode_ns(t0.elapsed().as_nanos() as u64);
                                 let seq = self.nodes[proc.0].alloc_seq();
                                 self.build_event_frames(channel, seq, wire_trace, tier, msg)?
                             }
@@ -649,7 +716,9 @@ impl EchoSystem {
                     // is per receiver.
                     _ => {
                         if raw_frames.is_none() {
+                            let t0 = std::time::Instant::now();
                             let msg = Encoder::new(format).encode(event)?;
+                            self.nodes[proc.0].record_encode_ns(t0.elapsed().as_nanos() as u64);
                             let seq = self.nodes[proc.0].alloc_seq();
                             raw_frames =
                                 Some(self.build_event_frames(channel, seq, wire_trace, tier, msg)?);
@@ -814,10 +883,29 @@ impl EchoSystem {
     }
 
     /// Refreshes the `echo.queue.depth` gauge (retry queue + every ingress
-    /// buffer).
+    /// buffer) and records the observation into the depth-over-time
+    /// histogram, so snapshots expose the whole depth distribution.
     fn update_queue_depth(&self) {
         let depth = self.pending.len() + self.ingress.iter().map(VecDeque::len).sum::<usize>();
         self.metrics.queue_depth.set(depth as i64);
+        self.metrics.depth_over_time.record(depth as u64);
+    }
+
+    /// The retry queue's effective bound: the configured capacity, pulled
+    /// down by the adaptive watermark while arrivals overrun drains.
+    fn retry_capacity_now(&self) -> usize {
+        match &self.adaptive {
+            Some(a) => self.retry_capacity.min(a.retry.capacity()),
+            None => self.retry_capacity,
+        }
+    }
+
+    /// The ingress buffers' effective bound, under the same rule.
+    fn ingress_capacity_now(&self) -> usize {
+        match &self.adaptive {
+            Some(a) => self.ingress_capacity.min(a.ingress.capacity()),
+            None => self.ingress_capacity,
+        }
     }
 
     /// Sends a frame, absorbing link-down refusals into the retry queue:
@@ -842,11 +930,19 @@ impl EchoSystem {
         match self.net.send_traced(self.net_ids[from], self.net_ids[to], bytes.clone(), ctx) {
             Ok(_) => Ok(()),
             Err(NetError::LinkDown(_, _)) => {
+                // Feed the arrival window and re-evaluate the watermark
+                // before admission, so overload tightens the bound for
+                // this very frame.
+                let now = self.net.now_ns();
+                if let Some(a) = self.adaptive.as_mut() {
+                    a.retry.on_arrival(now);
+                    a.retry.evaluate(now, &self.recorder, ctx);
+                }
                 // A full queue sheds its lowest-tier queued event; when
                 // only control frames are queued, the newcomer is the sole
                 // sheddable load. A control newcomer never sheds: it is
                 // admitted beyond the bound.
-                if self.pending.len() >= self.retry_capacity
+                if self.pending.len() >= self.retry_capacity_now()
                     && !self.shed_pending_victim()
                     && proto::shed_class(&bytes).is_some()
                 {
@@ -883,6 +979,7 @@ impl EchoSystem {
     /// not-yet-due attempt time, if any frames remain queued.
     fn pump_pending(&mut self) -> Option<u64> {
         let now = self.net.now_ns();
+        let before = self.pending.len();
         let mut still_pending = Vec::new();
         for mut p in std::mem::take(&mut self.pending) {
             if p.next_attempt_ns > now {
@@ -923,6 +1020,15 @@ impl EchoSystem {
             }
         }
         let earliest = still_pending.iter().map(|p| p.next_attempt_ns).min();
+        // Every frame that left the queue — delivered or given up — is a
+        // drain event for the adaptive watermark.
+        let drained = before.saturating_sub(still_pending.len());
+        if let Some(a) = self.adaptive.as_mut() {
+            for _ in 0..drained {
+                a.retry.on_drain(now);
+            }
+            a.retry.evaluate(now, &self.recorder, None);
+        }
         self.pending = still_pending;
         self.update_queue_depth();
         earliest
@@ -936,11 +1042,11 @@ impl EchoSystem {
     fn shed_ingress_set(&mut self, idx: usize, sender: usize, seq: u64, detail: &str) {
         let mut i = 0;
         while i < self.ingress[idx].len() {
-            let (s, b) = &self.ingress[idx][i];
+            let (s, _, b) = &self.ingress[idx][i];
             let mate =
                 *s == sender && proto::peek_frag(b).is_some_and(|(q, _, c)| q == seq && c > 1);
             if mate {
-                let (_, victim) = self.ingress[idx].remove(i).expect("index in bounds");
+                let (_, _, victim) = self.ingress[idx].remove(i).expect("index in bounds");
                 let ctx = proto::peek_trace(&victim).map(|t| TraceCtx::root(TraceId(t)));
                 self.shed_at(idx, &victim, detail, ctx);
             } else {
@@ -955,11 +1061,18 @@ impl EchoSystem {
     /// are buffered — is quarantined at the receiver with
     /// [`DeadReason::Shed`]. Fragments shed as whole sets.
     fn buffer_ingress(&mut self, idx: usize, sender: usize, bytes: WireBytes) {
-        if self.ingress[idx].len() >= self.ingress_capacity {
-            let victim_pos = shed_victim_pos(self.ingress[idx].iter().map(|(_, b)| &**b));
+        let now = self.net.now_ns();
+        if let Some(a) = self.adaptive.as_mut() {
+            a.ingress.on_arrival(now);
+            let ctx = proto::peek_trace(&bytes).map(|t| TraceCtx::root(TraceId(t)));
+            a.ingress.evaluate(now, &self.recorder, ctx);
+        }
+        if self.ingress[idx].len() >= self.ingress_capacity_now() {
+            let victim_pos = shed_victim_pos(self.ingress[idx].iter().map(|(_, _, b)| &**b));
             match victim_pos {
                 Some(pos) => {
-                    let (vs, victim) = self.ingress[idx].remove(pos).expect("position in bounds");
+                    let (vs, _, victim) =
+                        self.ingress[idx].remove(pos).expect("position in bounds");
                     let ctx = proto::peek_trace(&victim).map(|t| TraceCtx::root(TraceId(t)));
                     let set = proto::peek_frag(&victim).filter(|&(_, _, count)| count > 1);
                     self.shed_at(
@@ -997,7 +1110,7 @@ impl EchoSystem {
                 None => {}
             }
         }
-        self.ingress[idx].push_back((sender, bytes));
+        self.ingress[idx].push_back((sender, now, bytes));
         self.update_queue_depth();
     }
 
@@ -1022,13 +1135,17 @@ impl EchoSystem {
             Disposition::Handled(kind, channel, tier) => {
                 if kind == proto::FRAME_EVENT {
                     self.metrics.delivered.inc();
-                    self.metrics.channel(channel).delivered.inc();
+                    let cc = self.metrics.channel(channel);
+                    cc.delivered.inc();
+                    cc.delivered_rate.record(1);
                     self.metrics.tier_delivered.get(usize::from(tier.to_wire())).inc();
                 }
             }
             Disposition::Reassembled(channel, tier, _count) => {
                 self.metrics.delivered.inc();
-                self.metrics.channel(channel).delivered.inc();
+                let cc = self.metrics.channel(channel);
+                cc.delivered.inc();
+                cc.delivered_rate.record(1);
                 self.metrics.tier_delivered.get(usize::from(tier.to_wire())).inc();
                 // The completing fragment is a received fragment too.
                 self.metrics.frag_received.inc();
@@ -1085,14 +1202,26 @@ impl EchoSystem {
     /// paused, in arrival order. Returns how many frames were dispatched.
     fn drain_ingress(&mut self) -> usize {
         let mut n = 0;
+        let now = self.net.now_ns();
         for idx in 0..self.nodes.len() {
             while !self.paused[idx] {
-                let Some((sender, bytes)) = self.ingress[idx].pop_front() else { break };
+                let Some((sender, arrived_ns, bytes)) = self.ingress[idx].pop_front() else {
+                    break;
+                };
+                // Queue-wait attribution: virtual time spent buffered
+                // before dispatch.
+                self.metrics.queue_wait.record(now.saturating_sub(arrived_ns));
                 self.dispatch_frame(idx, sender, &bytes);
                 n += 1;
             }
         }
         if n > 0 {
+            if let Some(a) = self.adaptive.as_mut() {
+                for _ in 0..n {
+                    a.ingress.on_drain(now);
+                }
+                a.ingress.evaluate(now, &self.recorder, None);
+            }
             self.update_queue_depth();
         }
         n
@@ -1117,6 +1246,7 @@ impl EchoSystem {
         let mut processed = 0;
         loop {
             self.sweep_reassembly();
+            self.pump_telemetry();
             processed += self.drain_ingress();
             self.pump_pending();
             let Some(d) = self.net.step() else {
@@ -1210,6 +1340,7 @@ impl EchoSystem {
         let mut processed = 0;
         loop {
             self.sweep_reassembly();
+            self.pump_telemetry();
             processed += self.drain_ingress();
             self.pump_pending();
             if self.net.is_idle() {
@@ -1241,6 +1372,22 @@ impl EchoSystem {
                     }
                 }
             }
+            // Adaptive mailbox watermark: this round's fill is the arrival
+            // burst; the previous round's settled frames were the drains.
+            let round_fill: usize = mailboxes.iter().map(Vec::len).sum();
+            let mailbox_capacity = {
+                let now = self.net.now_ns();
+                match self.adaptive.as_mut() {
+                    Some(a) => {
+                        for _ in 0..round_fill {
+                            a.mailbox.on_arrival(now);
+                        }
+                        a.mailbox.evaluate(now, &self.recorder, None);
+                        mailbox_capacity.min(a.mailbox.capacity())
+                    }
+                    None => mailbox_capacity,
+                }
+            };
             // Bounded mailboxes: shed the lowest-tier event frames past
             // the bound (control frames are never shed and may exceed it).
             // A shed fragment takes its whole mailbox set with it — the
@@ -1324,13 +1471,22 @@ impl EchoSystem {
             // Join: settle outcomes in shard order on the driver thread —
             // disposition accounting and follow-up sends are
             // single-threaded again.
+            let mut settled = 0usize;
             for (shard, outs) in outcomes.into_iter().enumerate() {
                 sm.frames.get(shard).add(outs.len() as u64);
                 sm.depth.get(shard).set(0);
                 for (idx, outcome) in outs {
                     self.settle_outcome(idx, outcome);
                     processed += 1;
+                    settled += 1;
                 }
+            }
+            if let Some(a) = self.adaptive.as_mut() {
+                let now = self.net.now_ns();
+                for _ in 0..settled {
+                    a.mailbox.on_drain(now);
+                }
+                a.mailbox.evaluate(now, &self.recorder, None);
             }
         }
         // Final sweep at quiescence, as in [`EchoSystem::run`].
@@ -1507,6 +1663,171 @@ impl EchoSystem {
         self.retry_capacity = capacity;
     }
 
+    /// Turns the fixed shed watermarks into **load-adaptive** ones: the
+    /// retry queue, the ingress buffers, and the sharded runtime's
+    /// mailboxes each compare their windowed arrival rate against their
+    /// drain rate on the virtual clock, halving the effective capacity
+    /// (down to a floor of base/8) while arrivals overrun drains and
+    /// doubling it back once drains recover — with hysteresis, so the
+    /// bound does not flap. The configured capacities become *ceilings*;
+    /// shedding itself stays tier-ordered ([`proto::shed_class`]).
+    ///
+    /// Every decision is counted (`echo.adaptive.<queue>.tightened` /
+    /// `.relaxed`), the live bound is exported
+    /// (`echo.adaptive.<queue>.capacity`), and decisions triggered by a
+    /// traced frame drop `echo.adaptive.tighten`/`.relax` instants into
+    /// its trace. Adaptation inputs are pure functions of virtual-clock
+    /// window state, so identical runs adapt identically.
+    ///
+    /// Call *after* any `set_retry_queue_capacity` /
+    /// `set_ingress_capacity` overrides: the watermarks take the
+    /// capacities configured at enable time as their bases.
+    pub fn enable_adaptive_shedding(&mut self) {
+        self.adaptive = Some(AdaptiveShedding::new(
+            &self.metrics.registry,
+            self.retry_capacity,
+            self.ingress_capacity,
+            crate::driver::DEFAULT_MAILBOX_CAPACITY,
+        ));
+        // A telemetry publisher enabled earlier picks up the decision
+        // counters it could not sample yet, from zero; already-sampled
+        // counters keep their baselines.
+        if self.telemetry.is_none() {
+            return;
+        }
+        let fresh = self.telemetry_sampled();
+        let Some(t) = self.telemetry.as_mut() else { return };
+        for entry in fresh {
+            if !t.sampled.iter().any(|(n, _, _)| *n == entry.0) {
+                t.sampled.push(entry);
+            }
+        }
+        t.sampled.sort_unstable_by_key(|&(n, _, _)| n);
+    }
+
+    /// The adaptive watermarks' current effective capacities as
+    /// `(retry, ingress, mailbox)`, if adaptive shedding is enabled.
+    pub fn adaptive_capacities(&self) -> Option<(usize, usize, usize)> {
+        self.adaptive
+            .as_ref()
+            .map(|a| (a.retry.capacity(), a.ingress.capacity(), a.mailbox.capacity()))
+    }
+
+    /// True while any adaptive watermark holds its queue in the tightened
+    /// (overloaded) regime.
+    pub fn adaptive_overloaded(&self) -> bool {
+        self.adaptive.as_ref().is_some_and(|a| {
+            a.retry.overloaded() || a.ingress.overloaded() || a.mailbox.overloaded()
+        })
+    }
+
+    /// Starts periodic self-telemetry: every `period_ns` of virtual time
+    /// (while the system runs), `proc` publishes one
+    /// [`telemetry::telemetry_format_v2`] record on `channel` carrying the
+    /// system registry's counter deltas since the previous record. The
+    /// channel is switched to [`QosTier::SequencedUnreliable`] — stale
+    /// telemetry is worthless and monitoring traffic must never queue
+    /// retries inside the system it observes. `proc` must be the channel's
+    /// creator or a source on it, and collectors subscribe as ordinary
+    /// sinks; v1-era collectors morph v2 records on receipt with zero
+    /// hand-written transformations (MaxMatch field matching).
+    ///
+    /// Records count into `echo.telemetry.published` / `.bytes`. The
+    /// telemetry traffic itself is observed by the registry it samples, so
+    /// each record's deltas include the previous record's own publish —
+    /// self-observation, not double counting.
+    pub fn enable_self_telemetry(&mut self, proc: ProcessId, channel: ChannelId, period_ns: u64) {
+        self.set_channel_qos(channel, QosTier::SequencedUnreliable);
+        // The system is the writer of its own telemetry: ship the current
+        // record's meta-data out-of-band (the paper's format-server role)
+        // so collectors of any era resolve it — older ones by MaxMatch,
+        // with no transformations to distribute.
+        self.distribute_metadata(&[telemetry::telemetry_format_v2()], &[]);
+        let now = self.net.now_ns();
+        let period_ns = period_ns.max(1);
+        self.telemetry = Some(TelemetryState {
+            proc: proc.0,
+            channel,
+            period_ns,
+            next_at_ns: now + period_ns,
+            sampled: self.telemetry_sampled(),
+            last_at_ns: now,
+            seq: 0,
+            format: telemetry::telemetry_format_v2(),
+            published: self.metrics.registry.counter("echo.telemetry.published"),
+            bytes: self.metrics.registry.counter("echo.telemetry.bytes"),
+        });
+    }
+
+    /// The counter handles a telemetry record samples, baselined at their
+    /// current values. Adaptive decision counters join the list only once
+    /// [`EchoSystem::enable_adaptive_shedding`] created them, keeping the
+    /// registry catalogue of non-adaptive systems unchanged.
+    fn telemetry_sampled(&self) -> Vec<(&'static str, Arc<Counter>, u64)> {
+        let mut names: Vec<&'static str> =
+            vec!["echo.events.delivered", "echo.events.published", "echo.queue.shed"];
+        if self.adaptive.is_some() {
+            names.extend([
+                "echo.adaptive.ingress.relaxed",
+                "echo.adaptive.ingress.tightened",
+                "echo.adaptive.mailbox.relaxed",
+                "echo.adaptive.mailbox.tightened",
+                "echo.adaptive.retry.relaxed",
+                "echo.adaptive.retry.tightened",
+            ]);
+        }
+        names.sort_unstable();
+        names
+            .into_iter()
+            .map(|n| {
+                let c = self.metrics.registry.counter(n);
+                let v = c.get();
+                (n, c, v)
+            })
+            .collect()
+    }
+
+    /// Publishes a telemetry record if the reporting period has elapsed.
+    /// Called by the run loops; firing requires virtual time to advance,
+    /// so a quiescent system emits nothing.
+    fn pump_telemetry(&mut self) {
+        let Some(t) = &self.telemetry else { return };
+        let now = self.net.now_ns();
+        if now < t.next_at_ns {
+            return;
+        }
+        let (proc, channel) = (t.proc, t.channel);
+        let published = Arc::clone(&t.published);
+        let bytes_counter = Arc::clone(&t.bytes);
+        let depth = self.metrics.queue_depth.get();
+        let t = self.telemetry.as_mut().expect("checked above");
+        let mut counters = Vec::with_capacity(t.sampled.len());
+        for (name, handle, last) in &mut t.sampled {
+            let v = handle.get();
+            counters.push(((*name).to_string(), v.saturating_sub(*last)));
+            *last = v;
+        }
+        let delta = SnapshotDelta {
+            elapsed_ns: now.saturating_sub(t.last_at_ns),
+            counters,
+            gauges: Vec::new(),
+            histogram_counts: Vec::new(),
+        };
+        t.last_at_ns = now;
+        t.seq += 1;
+        let seq = t.seq;
+        t.next_at_ns = now + t.period_ns;
+        let value = telemetry::telemetry_value(seq, now, depth, &delta);
+        let fmt = Arc::clone(&t.format);
+        if let Ok(encoded) = Encoder::new(&fmt).encode(&value) {
+            bytes_counter.add(encoded.len() as u64);
+        }
+        published.inc();
+        // A publish failure (e.g. the emitter lost its subscription) must
+        // not wedge the run loop; the period simply elapses again.
+        let _ = self.publish(ProcessId(proc), channel, &fmt, &value);
+    }
+
     /// Caps each paused process's ingress buffer, with the same shed
     /// policy as the retry queue (victims quarantine at the *receiver*).
     pub fn set_ingress_capacity(&mut self, capacity: usize) {
@@ -1589,6 +1910,21 @@ impl EchoSystem {
         self.ingress[proc.0].len()
     }
 
+    /// Enables per-link bandwidth/RTT monitors on the underlying network:
+    /// every directed link gains rolling-window gauges
+    /// (`simnet.link.<from>-><to>.bandwidth_bps` / `.frames_per_sec` /
+    /// `.loss_per_mille` / `.rtt_ewma_ns`) in the system registry, sampled
+    /// on the virtual clock — see [`simnet::Network::enable_link_monitors`].
+    pub fn enable_link_monitors(&mut self, slots: usize, slot_ns: u64) {
+        self.net.enable_link_monitors(slots, slot_ns);
+    }
+
+    /// The current windowed bandwidth/loss/RTT reading for the directed
+    /// link `from → to`, if link monitors are enabled and the link exists.
+    pub fn link_bandwidth(&self, from: ProcessId, to: ProcessId) -> Option<LinkBandwidth> {
+        self.net.link_bandwidth(self.net_ids[from.0], self.net_ids[to.0])
+    }
+
     /// Attaches a [`FaultPlan`] to the (bidirectional) link between two
     /// processes — see [`simnet::Network::set_fault_plan`].
     pub fn set_fault_plan(&mut self, a: ProcessId, b: ProcessId, plan: FaultPlan) {
@@ -1637,7 +1973,7 @@ impl EchoSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{VirtualTimeDriver, WallClockDriver};
+    use crate::{VirtualTimeDriver, WallClockDriver, DEFAULT_MAILBOX_CAPACITY};
     use pbio::FormatBuilder;
 
     fn tick_format() -> Arc<RecordFormat> {
@@ -2435,5 +2771,114 @@ mod tests {
         sys.publish(s1, ch, &fmt, &blob(1, 500)).unwrap();
         sys.run();
         assert_eq!(sys.take_events(s2), vec![(ch, blob(1, 500))]);
+    }
+
+    #[test]
+    fn adaptive_watermark_tightens_retry_shedding_then_relaxes() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let ch = sys.create_channel(c);
+        let fmt = tick_format();
+        sys.subscribe(s1, ch, Role::source(), None).unwrap();
+        sys.subscribe(s2, ch, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.set_retry_queue_capacity(16);
+        // A 10 ms first backoff outlasts the 8 ms adaptation window, so
+        // the post-heal drains land in an arrival-free window and the
+        // relax path is observable.
+        sys.set_retry_policy(RetryPolicy {
+            budget: 8,
+            base_backoff_ns: 10_000_000,
+            max_backoff_ns: 50_000_000,
+            jitter_seed: 1,
+        });
+        sys.enable_adaptive_shedding();
+        assert_eq!(sys.adaptive_capacities(), Some((16, 64, DEFAULT_MAILBOX_CAPACITY)));
+
+        // Partition, then a burst far past the drain rate (zero: nothing
+        // leaves a retry queue while the link is down). The watermark
+        // halves to its floor and shedding starts well before the fixed
+        // bound of 16 would fill.
+        sys.set_link_up(s1, s2, false);
+        for n in 0..32 {
+            sys.publish(s1, ch, &fmt, &tick(n)).unwrap();
+        }
+        let floor = (16usize / 8).max(1);
+        assert_eq!(sys.adaptive_capacities().map(|(r, _, _)| r), Some(floor));
+        assert!(sys.adaptive_overloaded());
+        // Arrivals 1-4 admit freely (the 4th tightens 16→8), the 5th
+        // tightens to 4 and from there shed-one-admit-one holds the queue
+        // at the length it had when the watermark crossed it — far below
+        // the fixed bound of 16.
+        assert_eq!(sys.pending_retries(), 4, "queue held at the crossing length");
+        let snap = sys.registry().snapshot();
+        assert!(snap.counter("echo.adaptive.retry.tightened").unwrap_or(0) >= 3);
+        assert_eq!(snap.gauge("echo.adaptive.retry.capacity"), Some(floor as i64));
+        assert_eq!(snap.counter("echo.queue.shed"), Some(28));
+
+        // Heal before the first retry fires: the survivors deliver in one
+        // drain batch 10 ms later, by which time the arrival burst has
+        // aged out of the window — drains dominate and the watermark
+        // relaxes back off its floor.
+        sys.set_link_up(s1, s2, true);
+        sys.run();
+        assert_eq!(sys.pending_retries(), 0);
+        let snap = sys.registry().snapshot();
+        assert!(snap.counter("echo.adaptive.retry.relaxed").unwrap_or(0) >= 1);
+        assert!(
+            sys.adaptive_capacities().map(|(r, _, _)| r).unwrap() > floor,
+            "watermark still at floor after recovery: {:?}",
+            sys.adaptive_capacities()
+        );
+        // The survivors (newest-first retention) delivered on heal.
+        assert_eq!(sys.take_events(s2).len(), 4);
+    }
+
+    #[test]
+    fn self_telemetry_publishes_v2_that_v1_collectors_morph_with_no_code() {
+        let (mut sys, c, s1, s2) = three(EchoVersion::V2, EchoVersion::V2);
+        let tele = sys.create_channel(c);
+        let work = sys.create_channel(c);
+        let fmt = tick_format();
+        // The collector is a *v1-era* sink: it registered the six-field
+        // telemetry record and has never heard of queue_depth or the
+        // adaptive counters.
+        sys.subscribe(s2, tele, Role::sink(), Some(&telemetry::telemetry_format_v1())).unwrap();
+        sys.subscribe(s1, work, Role::source(), None).unwrap();
+        sys.subscribe(c, work, Role::sink(), Some(&fmt)).unwrap();
+        sys.run();
+        sys.enable_self_telemetry(c, tele, 300_000);
+        assert_eq!(sys.channel_qos(tele), QosTier::SequencedUnreliable);
+
+        // Drive workload traffic so virtual time crosses reporting periods.
+        for n in 0..40 {
+            sys.publish(s1, work, &fmt, &tick(n)).unwrap();
+            sys.run();
+        }
+        let snap = sys.registry().snapshot();
+        let published = snap.counter("echo.telemetry.published").unwrap_or(0);
+        assert!(published >= 3, "telemetry fired {published} times");
+        assert!(snap.counter("echo.telemetry.bytes").unwrap_or(0) > 0);
+
+        // The v1 collector decoded every v2 record via MaxMatch +
+        // default-fill: near-match adaptation only, zero transformation
+        // code written or compiled.
+        let records = sys.take_events(s2);
+        assert!(!records.is_empty());
+        assert!(records.iter().all(|(ch, _)| *ch == tele));
+        let v1 = telemetry::telemetry_format_v1();
+        let mut last_seq = 0;
+        for (_, v) in &records {
+            let Value::Record(fields) = v else { panic!("not a record: {v:?}") };
+            assert_eq!(fields.len(), v1.fields().len(), "morphed to the v1 shape");
+            let seq = v.field(&v1, "seq").and_then(Value::as_i64).unwrap();
+            assert!(seq > last_seq, "seq must advance: {seq} after {last_seq}");
+            last_seq = seq;
+            assert!(v.field(&v1, "elapsed_ns").and_then(Value::as_i64).unwrap() > 0);
+            assert!(v.field(&v1, "published").and_then(Value::as_i64).unwrap() >= 0);
+        }
+        let stats = sys.event_stats(s2, tele).unwrap();
+        assert!(stats.near_matches >= 1, "MaxMatch path never taken: {stats:?}");
+        assert_eq!(stats.morphs, 0, "a hand-written transformation ran: {stats:?}");
+        assert_eq!(stats.compiles, 0, "transformation code was compiled: {stats:?}");
     }
 }

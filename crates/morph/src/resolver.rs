@@ -32,7 +32,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use obs::{Clock, Counter, Gauge, Registry, TraceCtx};
+use obs::{AdaptDecision, AdaptiveThreshold, Clock, Counter, Gauge, Registry, TraceCtx};
 use pbio::{FormatId, WireBytes};
 
 use crate::error::{MorphError, Result};
@@ -136,6 +136,20 @@ pub struct PendingSet {
     dropped: Arc<Counter>,
     failed: Arc<Counter>,
     depth: Arc<Gauge>,
+    adaptive: Option<PendingAdaptive>,
+}
+
+/// Optional load-adaptive watermark (see [`PendingSet::enable_adaptive`]):
+/// when parks outrun drains over the trailing window the effective bound
+/// tightens below the configured capacity, shedding the oldest messages
+/// sooner; when drains recover it relaxes back. Same window geometry as
+/// the echo layer's adaptive queues: eight 1 ms slots.
+#[derive(Debug)]
+struct PendingAdaptive {
+    threshold: AdaptiveThreshold,
+    clock: Arc<dyn Clock>,
+    tightened: Arc<Counter>,
+    relaxed: Arc<Counter>,
 }
 
 impl PendingSet {
@@ -150,15 +164,42 @@ impl PendingSet {
             dropped: registry.counter("morph.pending.dropped"),
             failed: registry.counter("morph.pending.failed"),
             depth: registry.gauge("morph.pending.depth"),
+            adaptive: None,
         }
     }
 
+    /// Turns on the load-adaptive watermark: parks and drains feed
+    /// rolling-rate windows on `clock`, and sustained overload tightens
+    /// the effective bound (counted as `morph.pending.tightened` /
+    /// `.relaxed`) down to one eighth of the configured capacity.
+    pub fn enable_adaptive(&mut self, clock: Arc<dyn Clock>, registry: &Registry) {
+        let floor = (self.capacity / 8).max(1);
+        self.adaptive = Some(PendingAdaptive {
+            threshold: AdaptiveThreshold::new(self.capacity, floor, 8, 1_000_000),
+            clock,
+            tightened: registry.counter("morph.pending.tightened"),
+            relaxed: registry.counter("morph.pending.relaxed"),
+        });
+    }
+
     /// Parks a message awaiting `id`'s meta-data. Parking a [`WireBytes`]
-    /// shares the receive buffer (no payload copy). When full, the oldest
-    /// parked message is shed and returned for quarantining.
+    /// shares the receive buffer (no payload copy). When full — against
+    /// the adaptive watermark if enabled, the configured capacity
+    /// otherwise — the oldest parked message is shed and returned for
+    /// quarantining.
     pub fn park(&mut self, id: FormatId, bytes: impl Into<WireBytes>) -> Option<WireBytes> {
         self.parked_total.inc();
-        let shed = if self.parked.len() == self.capacity {
+        if let Some(a) = self.adaptive.as_mut() {
+            let now = a.clock.now_ns();
+            a.threshold.on_arrival(now);
+            match a.threshold.evaluate(now) {
+                Some(AdaptDecision::Tighten) => a.tightened.inc(),
+                Some(AdaptDecision::Relax) => a.relaxed.inc(),
+                None => {}
+            }
+        }
+        let bound = self.effective_capacity();
+        let shed = if self.parked.len() >= bound {
             self.dropped.inc();
             self.parked.pop_front().map(|(_, b)| b)
         } else {
@@ -172,6 +213,17 @@ impl PendingSet {
     /// Removes and returns the oldest parked message.
     pub fn pop(&mut self) -> Option<(FormatId, WireBytes)> {
         let front = self.parked.pop_front();
+        if front.is_some() {
+            if let Some(a) = self.adaptive.as_mut() {
+                let now = a.clock.now_ns();
+                a.threshold.on_drain(now);
+                match a.threshold.evaluate(now) {
+                    Some(AdaptDecision::Tighten) => a.tightened.inc(),
+                    Some(AdaptDecision::Relax) => a.relaxed.inc(),
+                    None => {}
+                }
+            }
+        }
         self.depth.set(self.parked.len() as i64);
         front
     }
@@ -197,6 +249,16 @@ impl PendingSet {
     /// The configured bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The bound parks are admitted against right now: the adaptive
+    /// watermark when enabled (≤ the configured capacity), the configured
+    /// capacity otherwise.
+    pub fn effective_capacity(&self) -> usize {
+        match &self.adaptive {
+            Some(a) => a.threshold.capacity().min(self.capacity),
+            None => self.capacity,
+        }
     }
 }
 
@@ -301,6 +363,14 @@ impl ResolverPool {
     /// recovery.
     pub fn pending(&self) -> &PendingSet {
         &self.pending
+    }
+
+    /// Turns on the pending set's load-adaptive watermark, clocked and
+    /// counted on this pool's clock and registry. See
+    /// [`PendingSet::enable_adaptive`].
+    pub fn enable_adaptive_pending(&mut self) {
+        let clock = Arc::clone(&self.clock);
+        self.pending.enable_adaptive(clock, &self.registry);
     }
 
     /// True when every endpoint's breaker is open *and* still cooling
@@ -894,6 +964,38 @@ mod tests {
         // Drain order preserved for the survivors.
         assert_eq!(pending.pop().unwrap().0, FormatId(2));
         assert_eq!(pending.pop().unwrap().0, FormatId(3));
+    }
+
+    #[test]
+    fn adaptive_pending_tightens_under_park_pressure_and_relaxes() {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = Arc::new(Registry::with_clock(clock.clone()));
+        let mut pending = PendingSet::with_registry(32, &reg);
+        pending.enable_adaptive(clock.clone(), &reg);
+        assert_eq!(pending.effective_capacity(), 32);
+
+        // A park burst with no drains overruns the window: the watermark
+        // halves and overflow shedding starts well before 32 parked.
+        let mut shed = 0;
+        for i in 0..24u64 {
+            clock.advance_ns(100_000);
+            if pending.park(FormatId(i), b"m").is_some() {
+                shed += 1;
+            }
+        }
+        assert!(pending.effective_capacity() < 32, "watermark never tightened");
+        assert!(shed > 0, "tightened watermark never shed");
+        let snap = reg.snapshot();
+        assert!(snap.counter("morph.pending.tightened").unwrap_or(0) >= 1);
+        assert_eq!(snap.counter("morph.pending.dropped"), Some(shed));
+
+        // Quiet period, then a drain run: the watermark relaxes back.
+        clock.advance_ns(20_000_000);
+        while pending.pop().is_some() {
+            clock.advance_ns(100_000);
+        }
+        assert_eq!(pending.effective_capacity(), 32);
+        assert!(reg.snapshot().counter("morph.pending.relaxed").unwrap_or(0) >= 1);
     }
 
     #[test]

@@ -156,6 +156,12 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all recorded samples. Reading `sum` before and after a
+    /// compound operation attributes its cost without a wrapping timer.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// A consistent-enough point-in-time copy (individual fields are read
     /// atomically; concurrent recording can skew cross-field relations by
     /// at most the in-flight samples).

@@ -333,6 +333,65 @@ impl Snapshot {
         out
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// counters as `# TYPE <name> counter` samples, gauges as gauges, and
+    /// histograms as cumulative `_bucket{le="…"}` series plus `_sum` and
+    /// `_count` — ready for a scrape endpoint or `promtool` ingestion.
+    ///
+    /// Metric names are sanitized to the Prometheus charset: every
+    /// character outside `[a-zA-Z0-9_:]` (the dots and arrows of the
+    /// internal catalogue) becomes `_`, and a leading digit gains a `_`
+    /// prefix. Sanitization can collide names (`a.b` and `a_b`); the
+    /// internal catalogue never does.
+    ///
+    /// ```
+    /// let reg = obs::Registry::new();
+    /// reg.counter("morph.decision.hit").add(3);
+    /// let prom = reg.snapshot().to_prometheus();
+    /// assert!(prom.contains("# TYPE morph_decision_hit counter"));
+    /// assert!(prom.contains("morph_decision_hit 3"));
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write;
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 1);
+            for (i, c) in name.chars().enumerate() {
+                match c {
+                    'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(c),
+                    '0'..='9' => {
+                        if i == 0 {
+                            out.push('_');
+                        }
+                        out.push(c);
+                    }
+                    _ => out.push('_'),
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for &(upper, count) in &h.buckets {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{upper}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+        }
+        out
+    }
+
     /// The change since an `earlier` snapshot of the same registry:
     /// counter/gauge differences and histogram *count* deltas, for
     /// per-phase accounting ("how many cache misses did phase 2 cost?").
@@ -482,6 +541,36 @@ mod tests {
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn prometheus_export_is_well_formed() {
+        let clock = Arc::new(VirtualClock::new());
+        let reg = Registry::with_clock(clock.clone());
+        reg.counter("simnet.link.n0->n1.bytes").add(17);
+        reg.gauge("queue.depth").set(-9);
+        let h = reg.histogram("lat_ns");
+        h.record(1);
+        h.record(3);
+        h.record(70_000);
+
+        let prom = reg.snapshot().to_prometheus();
+        // Names sanitized to the Prometheus charset.
+        assert!(prom.contains("# TYPE simnet_link_n0__n1_bytes counter"));
+        assert!(prom.contains("simnet_link_n0__n1_bytes 17"));
+        assert!(prom.contains("# TYPE queue_depth gauge"));
+        assert!(prom.contains("queue_depth -9"));
+        // Histogram buckets are cumulative and end at +Inf == count.
+        assert!(prom.contains("# TYPE lat_ns histogram"));
+        assert!(prom.contains("lat_ns_bucket{le=\"1\"} 1"));
+        assert!(prom.contains("lat_ns_bucket{le=\"3\"} 2"));
+        assert!(prom.contains("lat_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(prom.contains("lat_ns_sum 70004"));
+        assert!(prom.contains("lat_ns_count 3"));
+        // Every non-comment line is exactly "name[{labels}] value".
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split(' ').count(), 2, "bad sample line: {line}");
+        }
     }
 
     #[test]

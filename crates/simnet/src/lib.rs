@@ -35,7 +35,9 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use obs::{ActiveSpan, Counter, FlightRecorder, Registry, TraceCtx, VirtualClock};
+use obs::{
+    ActiveSpan, Counter, Ewma, FlightRecorder, Gauge, Histogram, Registry, TraceCtx, VirtualClock,
+};
 use pbio::WireBytes;
 
 use fault::FaultState;
@@ -162,6 +164,9 @@ struct InFlight {
     from: NodeId,
     to: NodeId,
     payload: WireBytes,
+    /// Departure time — RTT sampling reads `deliver_at - sent_ns` at
+    /// delivery, piggybacking on real traffic instead of probe frames.
+    sent_ns: u64,
     /// Open hop span, finished at delivery ([`Network::step`]).
     span: Option<ActiveSpan>,
 }
@@ -221,6 +226,188 @@ pub struct CrashStats {
     pub dropped: u64,
 }
 
+/// A point-in-time reading of one directed link's windowed monitor — see
+/// [`Network::link_bandwidth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkBandwidth {
+    /// Payload bytes per second over the window.
+    pub bytes_per_sec: u64,
+    /// Frames (send attempts) per second over the window.
+    pub frames_per_sec: u64,
+    /// Lost frames per thousand attempts over the window (drops,
+    /// partition-blocked sends, crash-window discards).
+    pub loss_per_mille: u64,
+    /// Smoothed round-trip estimate (EWMA over `2 × one-way` samples).
+    pub rtt_ewma_ns: u64,
+}
+
+/// Rolling-window bandwidth/RTT monitor for one directed link
+/// ([`Network::enable_link_monitors`]). Windows are driven by virtual
+/// time, so monitor readings — like everything else in the simulator —
+/// replay byte-identically.
+/// One slot of the merged per-link traffic window.
+#[derive(Debug, Clone, Copy, Default)]
+struct TrafficSlot {
+    epoch: u64,
+    bytes: u64,
+    frames: u64,
+    losses: u64,
+}
+
+/// Payload bytes, send attempts (carried + lost), and losses over the
+/// monitor window in a *single* ring: the per-frame send path computes
+/// one epoch and touches one slot instead of three parallel
+/// [`obs::RollingWindow`]s. Slot visibility and the rate's span rule
+/// mirror `RollingWindow` exactly.
+#[derive(Debug)]
+struct TrafficWindow {
+    slot_ns: u64,
+    slots: Vec<TrafficSlot>,
+}
+
+impl TrafficWindow {
+    fn new(slots: usize, slot_ns: u64) -> TrafficWindow {
+        TrafficWindow { slot_ns: slot_ns.max(1), slots: vec![TrafficSlot::default(); slots.max(1)] }
+    }
+
+    /// The slot covering `now_ns`, reset lazily when its ring position is
+    /// reused.
+    fn slot_mut(&mut self, now_ns: u64) -> &mut TrafficSlot {
+        let epoch = now_ns / self.slot_ns;
+        let idx = (epoch % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.epoch != epoch {
+            *slot = TrafficSlot { epoch, ..TrafficSlot::default() };
+        }
+        slot
+    }
+
+    /// `(bytes, frames, losses)` still inside the window at `now_ns`.
+    fn totals(&self, now_ns: u64) -> (u64, u64, u64) {
+        let epoch = now_ns / self.slot_ns;
+        let n = self.slots.len() as u64;
+        let (mut bytes, mut frames, mut losses) = (0, 0, 0);
+        for s in &self.slots {
+            if s.epoch <= epoch && epoch - s.epoch < n {
+                bytes += s.bytes;
+                frames += s.frames;
+                losses += s.losses;
+            }
+        }
+        (bytes, frames, losses)
+    }
+
+    /// Windowed per-second rate of `sum`: the span is the elapsed time
+    /// rounded up to a slot boundary, capped at the window width.
+    fn rate(&self, sum: u64, now_ns: u64) -> u64 {
+        let window = self.slot_ns * self.slots.len() as u64;
+        let span = window.min((now_ns / self.slot_ns + 1) * self.slot_ns);
+        u64::try_from(u128::from(sum) * 1_000_000_000 / u128::from(span)).unwrap_or(u64::MAX)
+    }
+}
+
+#[derive(Debug)]
+struct LinkMonitor {
+    /// Bytes / attempts / losses entering the wire, windowed together.
+    traffic: TrafficWindow,
+    bandwidth_bps: Arc<Gauge>,
+    frames_per_sec: Arc<Gauge>,
+    loss_per_mille: Arc<Gauge>,
+    rtt_ns: Arc<Histogram>,
+    /// TCP-style smoothing: each sample weighs 1/8.
+    rtt_ewma: Ewma,
+    rtt_ewma_gauge: Arc<Gauge>,
+    /// Slot epoch of the last gauge republish; `u64::MAX` before the
+    /// first. Gauges refresh once per slot, not per frame — recomputing
+    /// three windowed rates on every send is pure hot-path tax, and
+    /// within a slot the rates cannot change by more than that slot's
+    /// still-accumulating traffic anyway. [`LinkMonitor::reading`] always
+    /// computes fresh.
+    refreshed_epoch: u64,
+}
+
+impl LinkMonitor {
+    fn new(slots: usize, slot_ns: u64, label: &str, registry: Option<&Registry>) -> LinkMonitor {
+        let gauge = |suffix: &str| match registry {
+            Some(r) => r.gauge(&format!("{label}.{suffix}")),
+            None => Arc::new(Gauge::default()),
+        };
+        LinkMonitor {
+            traffic: TrafficWindow::new(slots, slot_ns),
+            bandwidth_bps: gauge("bandwidth_bps"),
+            frames_per_sec: gauge("frames_per_sec"),
+            loss_per_mille: gauge("loss_per_mille"),
+            rtt_ns: registry.map_or_else(
+                || Arc::new(Histogram::default()),
+                |r| r.histogram(&format!("{label}.rtt_ns")),
+            ),
+            rtt_ewma: Ewma::new(1, 8),
+            rtt_ewma_gauge: gauge("rtt_ewma_ns"),
+            refreshed_epoch: u64::MAX,
+        }
+    }
+
+    /// Accounts one send: `frames` attempts carrying `bytes` payload bytes,
+    /// of which `losses` were lost in flight.
+    fn on_send(&mut self, now_ns: u64, bytes: u64, frames: u64, losses: u64) {
+        let slot = self.traffic.slot_mut(now_ns);
+        slot.bytes += bytes;
+        slot.frames += frames;
+        slot.losses += losses;
+        self.refresh(now_ns);
+    }
+
+    /// Accounts a loss that never entered (partition block, counted as an
+    /// attempt too) or left the wire early (crash discard).
+    fn on_loss(&mut self, now_ns: u64, also_attempt: bool) {
+        let slot = self.traffic.slot_mut(now_ns);
+        if also_attempt {
+            slot.frames += 1;
+        }
+        slot.losses += 1;
+        self.refresh(now_ns);
+    }
+
+    /// Folds one RTT sample (2 × the observed one-way latency) into the
+    /// histogram and the smoothed estimate.
+    fn on_rtt(&mut self, rtt_ns: u64) {
+        self.rtt_ns.record(rtt_ns);
+        self.rtt_ewma.observe(rtt_ns);
+        self.rtt_ewma_gauge.set(i64::try_from(self.rtt_ewma.get()).unwrap_or(i64::MAX));
+    }
+
+    /// Re-publishes the windowed gauges, at most once per slot epoch.
+    fn refresh(&mut self, now_ns: u64) {
+        let epoch = now_ns / self.traffic.slot_ns;
+        if epoch == self.refreshed_epoch {
+            return;
+        }
+        self.refreshed_epoch = epoch;
+        let clamp = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        let (bytes, attempts, lost) = self.traffic.totals(now_ns);
+        self.bandwidth_bps.set(clamp(self.traffic.rate(bytes, now_ns)));
+        self.frames_per_sec.set(clamp(self.traffic.rate(attempts, now_ns)));
+        self.loss_per_mille.set(clamp(loss_per_mille(lost, attempts)));
+    }
+
+    fn reading(&self, now_ns: u64) -> LinkBandwidth {
+        let (bytes, attempts, lost) = self.traffic.totals(now_ns);
+        LinkBandwidth {
+            bytes_per_sec: self.traffic.rate(bytes, now_ns),
+            frames_per_sec: self.traffic.rate(attempts, now_ns),
+            loss_per_mille: loss_per_mille(lost, attempts),
+            rtt_ewma_ns: self.rtt_ewma.get(),
+        }
+    }
+}
+
+/// Windowed losses per 1000 send attempts, saturated at 1000 (a loss may
+/// land in a later slot than its attempt, so the quotient can transiently
+/// exceed one).
+fn loss_per_mille(lost: u64, attempts: u64) -> u64 {
+    (lost * 1000).checked_div(attempts).unwrap_or(0).min(1000)
+}
+
 /// Cached `simnet.*` counter handles for an attached registry.
 #[derive(Debug)]
 struct NetMetrics {
@@ -256,6 +443,17 @@ pub struct Network {
     /// server-loss mirror of [`FaultPlan`]'s partition windows.
     crash_windows: HashMap<NodeId, Vec<(u64, u64)>>,
     crash_stats: CrashStats,
+    /// Per directed link rolling-window monitors
+    /// ([`Network::enable_link_monitors`]), a dense `n×n` matrix indexed
+    /// `from * stride + to`: the per-frame send/deliver paths index it
+    /// without hashing a key.
+    monitors: Vec<Option<LinkMonitor>>,
+    /// Node count the monitor matrix was laid out for; it grows when
+    /// nodes are added after monitors were enabled.
+    monitor_stride: usize,
+    /// `(slots, slot_ns)` monitor window, once enabled; links connected
+    /// later pick it up lazily on first send.
+    monitor_cfg: Option<(usize, u64)>,
 }
 
 impl Network {
@@ -323,6 +521,74 @@ impl Network {
             per_link: HashMap::new(),
             registry,
         });
+    }
+
+    /// Enables per-link bandwidth/RTT monitors over a rolling window of
+    /// `slots × slot_ns` virtual nanoseconds. Every directed link gains
+    /// windowed gauges (`simnet.link.<from>-><to>.bandwidth_bps`,
+    /// `.frames_per_sec`, `.loss_per_mille`, `.rtt_ewma_ns`) and an RTT
+    /// histogram (`.rtt_ns`) in the attached registry, refreshed on each
+    /// send/delivery; RTT samples piggyback on the traffic already
+    /// flowing (each delivery contributes `2 × one-way latency`, so no
+    /// probe frames are injected). Readable programmatically via
+    /// [`Network::link_bandwidth`]. Call after [`Network::attach_registry`]
+    /// to get the gauges; without a registry the readings stay
+    /// query-only.
+    pub fn enable_link_monitors(&mut self, slots: usize, slot_ns: u64) {
+        self.monitor_cfg = Some((slots, slot_ns));
+        let links: Vec<(NodeId, NodeId)> = self.links.keys().copied().collect();
+        for (from, to) in links {
+            self.monitor_entry(from, to);
+        }
+    }
+
+    /// The monitor for a directed link, created lazily once monitors are
+    /// enabled. `None` while monitors are disabled.
+    fn monitor_entry(&mut self, from: NodeId, to: NodeId) -> Option<&mut LinkMonitor> {
+        let (slots, slot_ns) = self.monitor_cfg?;
+        let n = self.names.len();
+        if self.monitor_stride < n {
+            // Nodes joined since the matrix was laid out: re-stride it,
+            // carrying existing monitors to their new positions.
+            let old = std::mem::take(&mut self.monitors);
+            let old_stride = self.monitor_stride;
+            self.monitors = (0..n * n).map(|_| None).collect();
+            for (i, m) in old.into_iter().enumerate() {
+                if m.is_some() {
+                    self.monitors[(i / old_stride) * n + i % old_stride] = m;
+                }
+            }
+            self.monitor_stride = n;
+        }
+        let idx = from.0 * self.monitor_stride + to.0;
+        if self.monitors[idx].is_none() {
+            let label = format!("simnet.link.{}->{}", &self.names[from.0], &self.names[to.0]);
+            self.monitors[idx] = Some(LinkMonitor::new(
+                slots,
+                slot_ns,
+                &label,
+                self.metrics.as_ref().map(|m| m.registry.as_ref()),
+            ));
+        }
+        self.monitors[idx].as_mut()
+    }
+
+    /// The existing monitor of a directed link, without creating one.
+    fn monitor_mut(&mut self, from: NodeId, to: NodeId) -> Option<&mut LinkMonitor> {
+        if from.0 >= self.monitor_stride || to.0 >= self.monitor_stride {
+            return None;
+        }
+        self.monitors[from.0 * self.monitor_stride + to.0].as_mut()
+    }
+
+    /// The current windowed reading of a directed link's monitor, or
+    /// `None` when monitors are disabled ([`Network::enable_link_monitors`])
+    /// or the link has carried no traffic yet.
+    pub fn link_bandwidth(&self, from: NodeId, to: NodeId) -> Option<LinkBandwidth> {
+        if from.0 >= self.monitor_stride || to.0 >= self.monitor_stride {
+            return None;
+        }
+        Some(self.monitors[from.0 * self.monitor_stride + to.0].as_ref()?.reading(self.now_ns))
     }
 
     /// Attaches a [`FlightRecorder`] so traced sends
@@ -520,6 +786,11 @@ impl Network {
                         now,
                     );
                 }
+                // A blocked send is an attempt the window must see: the
+                // loss rate is what adaptive shedding keys off.
+                if let Some(mon) = self.monitor_mut(from, to) {
+                    mon.on_loss(now, true);
+                }
                 return Err(NetError::LinkDown(from, to));
             }
         }
@@ -646,8 +917,12 @@ impl Network {
                 from,
                 to,
                 payload: c.payload,
+                sent_ns: depart,
                 span,
             }));
+        }
+        if let Some(mon) = self.monitor_entry(from, to) {
+            mon.on_send(now, payload_len * entered, entered, delta.dropped);
         }
         Ok(deliver_at)
     }
@@ -720,7 +995,14 @@ impl Network {
                 if let Some(mm) = &self.metrics {
                     mm.crash_dropped.inc();
                 }
+                // Already counted as an attempt at send time.
+                if let Some(mon) = self.monitor_mut(m.from, m.to) {
+                    mon.on_loss(m.deliver_at, false);
+                }
                 continue;
+            }
+            if let Some(mon) = self.monitor_mut(m.from, m.to) {
+                mon.on_rtt(2 * m.deliver_at.saturating_sub(m.sent_ns));
             }
             let d = Delivery { from: m.from, to: m.to, payload: m.payload, at_ns: m.deliver_at };
             self.inboxes[d.to.0].push_back(d.clone());
@@ -837,6 +1119,39 @@ mod tests {
         let b = net.add_node("b");
         net.connect(a, b, params);
         (net, a, b)
+    }
+
+    #[test]
+    fn link_monitors_window_bandwidth_loss_and_rtt() {
+        // 1000 bytes at 1 MB/s = 1 ms tx; + 1 ms latency = 2 ms one-way.
+        let (mut net, a, b) = pair(LinkParams { latency_ns: 1_000_000, bandwidth_bps: 1_000_000 });
+        let reg = Arc::new(Registry::with_clock(Arc::new(net.virtual_clock())));
+        net.attach_registry(Arc::clone(&reg));
+        assert_eq!(net.link_bandwidth(a, b), None, "disabled until enabled");
+        net.enable_link_monitors(10, 1_000_000); // 10 ms window
+        net.send(a, b, vec![0u8; 1000]).unwrap();
+        let bw = net.link_bandwidth(a, b).unwrap();
+        // 1000 bytes in the first 1 ms slot → 1 MB/s windowed.
+        assert_eq!(bw.bytes_per_sec, 1_000_000);
+        assert_eq!(bw.frames_per_sec, 1000);
+        assert_eq!(bw.loss_per_mille, 0);
+        assert_eq!(bw.rtt_ewma_ns, 0, "no delivery yet, no RTT sample");
+        while net.step().is_some() {}
+        let bw = net.link_bandwidth(a, b).unwrap();
+        // One delivery piggybacks one RTT sample: 2 × (tx + latency).
+        assert_eq!(bw.rtt_ewma_ns, 4_000_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("simnet.link.a->b.rtt_ewma_ns"), Some(4_000_000));
+        assert_eq!(snap.histogram("simnet.link.a->b.rtt_ns").unwrap().count, 1);
+        assert!(snap.gauge("simnet.link.a->b.bandwidth_bps").unwrap_or(0) > 0);
+        // A partition turns attempts into windowed losses.
+        net.set_fault_plan(a, b, FaultPlan::new(7).partition(net.now_ns(), net.now_ns() + 50_000));
+        assert!(net.send(a, b, vec![0u8; 100]).is_err());
+        let bw = net.link_bandwidth(a, b).unwrap();
+        assert_eq!(bw.loss_per_mille, 500, "1 lost of 2 attempts in window");
+        // A full idle window later the rates decay to nothing.
+        net.advance_ns(20_000_000);
+        assert_eq!(net.link_bandwidth(a, b).unwrap().bytes_per_sec, 0);
     }
 
     #[test]

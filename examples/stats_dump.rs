@@ -12,7 +12,7 @@
 //!
 //! Metric names are catalogued in `OBSERVABILITY.md`. Run with:
 //! `cargo run --example stats_dump` (add `--json` for machine-readable
-//! output).
+//! output, or `--prom` for a Prometheus text-format exposition).
 
 use message_morphing::prelude::*;
 
@@ -20,6 +20,7 @@ const WARM_EVENTS: usize = 100;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = std::env::args().any(|a| a == "--json");
+    let prom = std::env::args().any(|a| a == "--prom");
 
     let mut sys = EchoSystem::new();
     let creator = sys.add_process("creator-v2", EchoVersion::V2);
@@ -65,6 +66,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             control.to_json(),
             events.to_json()
         );
+        return Ok(());
+    }
+
+    if prom {
+        // One exposition, ready for a Prometheus scrape or promtool.
+        print!("{}", system.to_prometheus());
+        print!("{}", control.to_prometheus());
+        print!("{}", events.to_prometheus());
         return Ok(());
     }
 

@@ -979,3 +979,149 @@ fn fragmented_publish_survives_loss_and_reorder_deterministically() {
         assert_eq!(first.partials, second.partials);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Scenario 6: load ramp past the drain rate on a partitioned link — the
+// adaptive watermarks tighten shedding while overloaded, relax on
+// recovery, and the whole adaptation story replays byte-identically.
+// ---------------------------------------------------------------------------
+
+const OVERLOAD_ROUNDS: u64 = 4;
+const OVERLOAD_RETRY_CAP: usize = 16;
+
+/// What one overload run produced, for cross-run byte-equality.
+struct OverloadRun {
+    snapshot: String,
+    chrome: String,
+    delivered: Vec<i64>,
+    tightened: u64,
+    relaxed: u64,
+    shed: u64,
+}
+
+fn run_overload_chaos(seed: u64) -> OverloadRun {
+    let mut sys = EchoSystem::new();
+    let creator = sys.add_process("creator", EchoVersion::V2);
+    let publisher = sys.add_process("publisher", EchoVersion::V2);
+    let sink = sys.add_process("sink", EchoVersion::V2);
+    sys.connect_all(LinkParams::lan());
+    sys.enable_link_monitors(8, 1_000_000);
+
+    let fmt = tick_format();
+    let ch = sys.create_channel(creator);
+    sys.subscribe(publisher, ch, Role::source(), None).unwrap();
+    sys.subscribe(sink, ch, Role::sink(), Some(&fmt)).unwrap();
+    sys.run();
+
+    // The first backoff (10 ms + seeded jitter) outlasts the 8 ms
+    // adaptation window, so post-heal drains are judged against an
+    // arrival-free window and the relax path always runs.
+    sys.set_retry_queue_capacity(OVERLOAD_RETRY_CAP);
+    sys.set_retry_policy(RetryPolicy {
+        budget: 8,
+        base_backoff_ns: 10_000_000,
+        max_backoff_ns: 50_000_000,
+        jitter_seed: seed,
+    });
+    sys.enable_adaptive_shedding();
+
+    // Partition the event path, then ramp the offered load: each round
+    // publishes a bigger burst while the drain rate is pinned at zero.
+    sys.set_link_up(publisher, sink, false);
+    let mut published = 0i64;
+    for round in 0..OVERLOAD_ROUNDS {
+        for _ in 0..(4 * (round + 1)) {
+            sys.publish(publisher, ch, &fmt, &tick(published)).unwrap();
+            published += 1;
+        }
+        sys.advance_ns(500_000);
+    }
+    assert_eq!(published, 40);
+
+    // Mid-overload: the watermark tracked the ramp down to its floor and
+    // shed pressure started well before the fixed bound of 16.
+    let floor = (OVERLOAD_RETRY_CAP / 8).max(1);
+    assert!(sys.adaptive_overloaded(), "seed {seed:#x}: ramp never registered as overload");
+    assert_eq!(
+        sys.adaptive_capacities().map(|(r, _, _)| r),
+        Some(floor),
+        "seed {seed:#x}: watermark not at floor"
+    );
+    let mid = sys.registry().snapshot();
+    let tightened_mid = mid.counter("echo.adaptive.retry.tightened").unwrap_or(0);
+    assert!(tightened_mid >= 3, "seed {seed:#x}: only {tightened_mid} tighten decisions");
+    assert_eq!(mid.gauge("echo.adaptive.retry.capacity"), Some(floor as i64));
+    let shed_mid = mid.counter("echo.queue.shed").unwrap_or(0);
+    assert!(shed_mid > 0, "seed {seed:#x}: overload shed nothing");
+    assert!(
+        (sys.pending_retries() as u64) + shed_mid == 40,
+        "seed {seed:#x}: queue + shed must account for the whole ramp"
+    );
+
+    // Heal before the first retry fires: the queued survivors drain in
+    // one batch past the aged-out arrival window, and the watermark
+    // relaxes back off its floor.
+    sys.set_link_up(publisher, sink, true);
+    sys.run();
+    assert_eq!(sys.pending_retries(), 0, "seed {seed:#x}: retries left behind");
+    let snap = sys.registry().snapshot();
+    let tightened = snap.counter("echo.adaptive.retry.tightened").unwrap_or(0);
+    let relaxed = snap.counter("echo.adaptive.retry.relaxed").unwrap_or(0);
+    let shed = snap.counter("echo.queue.shed").unwrap_or(0);
+    assert!(relaxed >= 1, "seed {seed:#x}: recovery never relaxed the watermark");
+    assert!(
+        sys.adaptive_capacities().map(|(r, _, _)| r).unwrap() > floor,
+        "seed {seed:#x}: capacity still at floor after recovery"
+    );
+
+    // Every adaptation decision is visible in the trace plane too.
+    let chrome = sys.recorder().chrome_json();
+    assert!(
+        chrome.contains("echo.adaptive.tighten"),
+        "seed {seed:#x}: no tighten instants in the trace export"
+    );
+
+    // Accounting: every published event either delivered after the heal
+    // or was shed under the adaptive watermark. Nothing vanishes.
+    let delivered: Vec<i64> = sys
+        .take_events(sink)
+        .into_iter()
+        .map(|(c, v)| {
+            assert_eq!(c, ch);
+            v.field(&fmt, "n").unwrap().as_i64().unwrap()
+        })
+        .collect();
+    assert_eq!(
+        delivered.len() as u64 + shed,
+        40,
+        "seed {seed:#x}: {} delivered + {shed} shed != 40",
+        delivered.len()
+    );
+    let shed_letters =
+        sys.dead_letters(publisher).into_iter().filter(|l| l.reason == DeadReason::Shed).count()
+            as u64;
+    assert_eq!(shed_letters, shed, "seed {seed:#x}: every shed frame quarantines at the sender");
+
+    OverloadRun { snapshot: snap.to_text(), chrome, delivered, tightened, relaxed, shed }
+}
+
+/// A load ramp past the drain rate on a partitioned link: the adaptive
+/// watermark tightens to its floor (counted, gauged, and traced), sheds
+/// the overflow with sender-side accounting, relaxes after recovery — and
+/// two runs of the same seed replay the entire adaptation byte-for-byte,
+/// because every decision is a pure function of virtual-clock window
+/// state.
+#[test]
+fn load_ramp_adapts_shedding_deterministically() {
+    for seed in seeds() {
+        let first = run_overload_chaos(seed);
+        let second = run_overload_chaos(seed);
+        assert_eq!(first.snapshot, second.snapshot, "seed {seed:#x}: non-deterministic snapshot");
+        assert_eq!(first.chrome, second.chrome, "seed {seed:#x}: non-deterministic trace export");
+        assert_eq!(first.delivered, second.delivered);
+        assert_eq!(
+            (first.tightened, first.relaxed, first.shed),
+            (second.tightened, second.relaxed, second.shed)
+        );
+    }
+}

@@ -62,6 +62,14 @@ echo "==> monitoring overhead bench (writes BENCH_7.json)"
 cargo run -q --release --example monitor_bench >/dev/null
 cat BENCH_7.json
 
+echo "==> crash-recovery smoke + journaling overhead bench (writes BENCH_8.json)"
+# Part 1 replays a deterministic crash-restart conversation (both roles
+# die and come back; exactly-once must hold). Part 2 runs the Reliable
+# fan-out workload journaled vs bare and exits non-zero if the journaled
+# system falls below 0.90x bare throughput.
+cargo run -q --release --example crash_recovery >/dev/null
+cat BENCH_8.json
+
 echo "==> bench workspace (needs registry access for criterion)"
 if (cd crates/bench && cargo metadata --format-version 1 >/dev/null 2>&1); then
     (cd crates/bench && cargo test -q)

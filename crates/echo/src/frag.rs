@@ -257,6 +257,13 @@ impl ReassemblyBuffer {
         self.entries = kept;
         purged
     }
+
+    /// Crash amnesia: removes and returns every in-progress set, oldest
+    /// first. The caller dead-letters them as crash-lost — a restarted
+    /// process has no memory of the fragments it had buffered.
+    pub fn drain_all(&mut self) -> Vec<PartialSet> {
+        self.entries.drain(..).map(Entry::into_partial).collect()
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,7 @@
 mod adaptive;
 mod driver;
 pub mod frag;
+pub mod journal;
 mod node;
 pub mod proto;
 mod shard;
@@ -30,6 +31,7 @@ use std::fmt;
 
 pub use driver::{Driver, VirtualTimeDriver, WallClockDriver, DEFAULT_MAILBOX_CAPACITY};
 pub use frag::{split_message, Fragment, ReassemblyBuffer};
+pub use journal::{Journal, JournalEntry, JournalStats, Recovered};
 pub use node::{EchoVersion, Role};
 pub use proto::{ChannelId, Frame, FrameError, MemberInfo, QosTier};
 pub use shard::{fnv1a, shard_of_name};

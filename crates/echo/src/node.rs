@@ -91,6 +91,11 @@ pub(crate) enum Disposition {
     /// Verified but already seen (duplicate suppression by sender seq and
     /// fragment index).
     Duplicate(u8, ChannelId),
+    /// Refused by the epoch fence: the frame carries an epoch below the
+    /// sender's known incarnation — it was in flight when its sender
+    /// crashed, and delivering it would resurrect pre-crash state. Dead-
+    /// lettered as [`DeadReason::StaleEpoch`].
+    Fenced(ChannelId),
     /// Quarantined in the node's dead-letter queue, never decoded or
     /// already failed decoding/delivery.
     Quarantined(DeadReason),
@@ -109,11 +114,51 @@ pub(crate) struct FrameOutcome {
     pub evicted_partials: u16,
     /// Partial sets superseded (newest-wins) and dropped by this frame.
     pub stale_partials: u16,
+    /// This frame bumped the sender's known epoch — the sender restarted
+    /// (an explicit resume handshake or any higher-epoch frame).
+    pub resumed: bool,
+    /// For Reliable event frames that reached the receiver (handled,
+    /// buffered, or recognized as a duplicate): the `(channel, seq,
+    /// frag_index)` the sender may stop redelivering. The system folds it
+    /// into the sender's journal as an ack.
+    pub ack: Option<(ChannelId, u64, u16)>,
+    /// For Reliable event frames freshly noted in the dedup window: the
+    /// `(seq, frag_index)` a journaling receiver persists so the window
+    /// survives its own crash.
+    pub seen: Option<(u64, u16)>,
+    /// For sequenced event frames that passed newest-wins: the `(channel,
+    /// latest seq)` watermark after this frame — a journaling receiver
+    /// persists it so newest-wins still suppresses pre-crash traffic after
+    /// a restart.
+    pub watermark: Option<(ChannelId, u64)>,
+}
+
+/// What one crash amnesia pass erased, for the system's
+/// `echo.crash.lost.*` accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AmnesiaReport {
+    /// Dedup triples forgotten.
+    pub dedup: usize,
+    /// Sequenced newest-wins watermarks forgotten.
+    pub watermarks: usize,
+    /// Partial fragment sets lost (each dead-lettered as crash-lost).
+    pub partials: u16,
+    /// Warm morph decisions invalidated across all receivers.
+    pub decisions: usize,
 }
 
 impl FrameOutcome {
     fn settled(disposition: Disposition) -> FrameOutcome {
-        FrameOutcome { disposition, outgoing: Vec::new(), evicted_partials: 0, stale_partials: 0 }
+        FrameOutcome {
+            disposition,
+            outgoing: Vec::new(),
+            evicted_partials: 0,
+            stale_partials: 0,
+            resumed: false,
+            ack: None,
+            seen: None,
+            watermark: None,
+        }
     }
 }
 
@@ -147,6 +192,15 @@ pub(crate) struct NodeState {
     shared_formats: Vec<Arc<RecordFormat>>,
     /// Next outgoing frame sequence number.
     pub(crate) next_seq: u64,
+    /// This process's incarnation number, stamped on every outgoing frame.
+    /// Bumped by each crash-restart; receivers fence frames from older
+    /// incarnations. Epoch 0 is the first incarnation.
+    epoch: u32,
+    /// Highest epoch seen per sender. Frames below a sender's known epoch
+    /// are fenced ([`Disposition::Fenced`]); frames above it are an
+    /// implicit resume. Volatile — cleared by crash amnesia (fencing is a
+    /// receiver-freshness guard, not durable contract state).
+    peer_epochs: HashMap<u64, u32>,
     /// Recently seen incoming `(sender, seq, frag_index)` triples, for
     /// duplicate suppression. Keyed per sender: two senders may
     /// legitimately emit overlapping sequence numbers without suppressing
@@ -301,6 +355,8 @@ impl NodeState {
             shared_xforms: Vec::new(),
             shared_formats: Vec::new(),
             next_seq: 0,
+            epoch: 0,
+            peer_epochs: HashMap::new(),
             seen_seqs: HashSet::new(),
             seen_order: VecDeque::new(),
             reassembly: HashMap::new(),
@@ -424,6 +480,79 @@ impl NodeState {
         self.quarantine_dropped(DeadReason::PartialFragments, "reassembly", &p.frame, &detail, ctx);
     }
 
+    /// This process's current incarnation number.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Starts the next incarnation (called by the system at restart,
+    /// before anything is sent). Returns the new epoch.
+    pub fn bump_epoch(&mut self) -> u32 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Crash amnesia: drops every piece of volatile per-peer state — the
+    /// dedup window, sequenced watermarks, peer epochs, in-progress
+    /// fragment sets (each dead-lettered as [`DeadReason::CrashLost`]),
+    /// and the morph receivers' private decision caches (a shared system
+    /// cache survives: it models state outside the process). Durable
+    /// configuration — channel ownership, memberships, roles, formats —
+    /// stays, as does the outgoing sequence counter (modeled as derived
+    /// from a restart-surviving monotonic source, so sequence numbers are
+    /// never reused; see `JournalEntry::SeqFloor` for the journaled belt
+    /// and braces). Returns what was lost, for the system's
+    /// `echo.crash.lost.*` counters.
+    pub fn crash_amnesia(&mut self) -> AmnesiaReport {
+        let dedup = self.seen_seqs.len();
+        self.seen_seqs.clear();
+        self.seen_order.clear();
+        let watermarks = self.latest_seq.len();
+        self.latest_seq.clear();
+        self.peer_epochs.clear();
+        let mut channels: Vec<ChannelId> = self.reassembly.keys().copied().collect();
+        channels.sort_unstable();
+        let mut partials = 0u16;
+        for ch in channels {
+            let sets = self.reassembly.get_mut(&ch).map(ReassemblyBuffer::drain_all);
+            for p in sets.unwrap_or_default() {
+                let detail = format!("{} of {} fragments (crash)", p.received, p.count);
+                let ctx = p.trace.map(|t| TraceCtx::root(TraceId(t)));
+                self.quarantine_dropped(DeadReason::CrashLost, "crash", &p.frame, &detail, ctx);
+                partials += 1;
+            }
+        }
+        let mut decisions = self.control_rx.invalidate_decisions();
+        for rx in self.event_rx.values_mut() {
+            decisions += rx.invalidate_decisions();
+        }
+        AmnesiaReport { dedup, watermarks, partials, decisions }
+    }
+
+    /// Replays journaled dedup triples into the (fresh) sliding window,
+    /// oldest first, restoring the receiver half of exactly-once.
+    pub fn restore_seen(&mut self, triples: &[(u64, u64, u16)]) -> usize {
+        let mut restored = 0;
+        for &(sender, seq, index) in triples {
+            if self.note_seq(sender, seq, index) {
+                restored += 1;
+            }
+        }
+        restored
+    }
+
+    /// Replays a journaled sequenced watermark (never regresses one).
+    pub fn restore_watermark(&mut self, channel: ChannelId, sender: u64, seq: u64) {
+        let w = self.latest_seq.entry((channel, sender)).or_insert(seq);
+        *w = (*w).max(seq);
+    }
+
+    /// Applies a journaled sequence floor: the next allocated sequence
+    /// number will not fall below it.
+    pub fn restore_seq_floor(&mut self, floor: u64) {
+        self.next_seq = self.next_seq.max(floor);
+    }
+
     /// Opens the receiver-side trace for an incoming frame. Span ids do not
     /// cross the wire, so `echo.handle` joins the sender's trace (read
     /// best-effort from the frame header, checksum or not) as a second root.
@@ -501,6 +630,13 @@ impl NodeState {
     /// its trace (if it carried one) with a `shed`-stage quarantine event.
     pub fn quarantine_shed(&mut self, bytes: &[u8], detail: &str, ctx: Option<TraceCtx>) {
         self.quarantine_dropped(DeadReason::Shed, "shed", bytes, detail, ctx);
+    }
+
+    /// Quarantines a frame lost to a process crash — a retry-queue or
+    /// ingress-buffer entry that died with the process's memory — sealing
+    /// its trace (if it carried one) with a `crash`-stage quarantine event.
+    pub fn quarantine_crash(&mut self, bytes: &[u8], detail: &str, ctx: Option<TraceCtx>) {
+        self.quarantine_dropped(DeadReason::CrashLost, "crash", bytes, detail, ctx);
     }
 
     fn quarantine_dropped(
@@ -637,6 +773,42 @@ impl NodeState {
     /// node's dead-letter queue — a process on a hostile network degrades,
     /// it does not crash.
     pub fn handle_frame(&mut self, sender: u64, bytes: &WireBytes) -> FrameOutcome {
+        let mut resumed = false;
+        let mut outcome = self.handle_frame_inner(sender, bytes, &mut resumed);
+        outcome.resumed = resumed;
+        // Receiver-side recovery bookkeeping for Reliable event frames:
+        // `ack` names the (channel, seq, frag) the sender may stop
+        // redelivering; `seen` is the dedup triple a journaling receiver
+        // persists. Only dispositions that verified the checksum get them
+        // (the header peeks are unverified, but the CRC already passed).
+        if bytes.first() == Some(&proto::FRAME_EVENT)
+            && proto::peek_qos(bytes) == Some(QosTier::Reliable)
+        {
+            let key = proto::peek_channel(bytes)
+                .zip(proto::peek_frag(bytes))
+                .map(|(ch, (seq, index, _))| (ch, seq, index));
+            match outcome.disposition {
+                Disposition::Handled(..)
+                | Disposition::Reassembled(..)
+                | Disposition::FragmentBuffered(_) => {
+                    outcome.ack = key;
+                    outcome.seen = key.map(|(_, seq, index)| (seq, index));
+                }
+                // A duplicate still discharges the sender's redelivery
+                // obligation — the message already arrived once.
+                Disposition::Duplicate(..) => outcome.ack = key,
+                _ => {}
+            }
+        }
+        outcome
+    }
+
+    fn handle_frame_inner(
+        &mut self,
+        sender: u64,
+        bytes: &WireBytes,
+        resumed: &mut bool,
+    ) -> FrameOutcome {
         let ht = self.start_handle_trace(bytes);
         let unframe_t0 = std::time::Instant::now();
         let frame = match proto::unframe(bytes) {
@@ -671,6 +843,28 @@ impl NodeState {
                 p.record_unframe(unframe_t0.elapsed().as_nanos() as u64);
             }
         }
+        // Epoch fence, after checksum verification (a corrupt frame must
+        // never move the fence) and before dedup (a fenced frame is
+        // refused, not remembered). Below the sender's known incarnation:
+        // the frame was in flight when its sender crashed — delivering it
+        // would resurrect pre-crash state. Above it: an implicit resume
+        // (the explicit handshake may itself be lost or reordered).
+        let known = self.peer_epochs.get(&sender).copied().unwrap_or(0);
+        if frame.epoch < known {
+            let (trace, events) = self.seal_failed(ht, "epoch-fence");
+            self.dlq.push_traced(
+                DeadReason::StaleEpoch,
+                bytes,
+                format!("epoch {} fenced: sender resumed at epoch {known}", frame.epoch),
+                trace,
+                events,
+            );
+            return FrameOutcome::settled(Disposition::Fenced(frame.channel));
+        }
+        if frame.epoch > known {
+            self.peer_epochs.insert(sender, frame.epoch);
+            *resumed = true;
+        }
         if !self.note_seq(sender, frame.seq, frame.frag_index) {
             if let (Some(rec), Some(t)) = (self.recorder.as_ref(), ht.trace) {
                 rec.instant(
@@ -698,15 +892,23 @@ impl NodeState {
                 }
                 match self.handle_control(msg, ctx, frame.trace) {
                     Ok(outgoing) => FrameOutcome {
-                        disposition: Disposition::Handled(kind, channel, QosTier::Reliable),
                         outgoing,
-                        evicted_partials: 0,
-                        stale_partials: 0,
+                        ..FrameOutcome::settled(Disposition::Handled(
+                            kind,
+                            channel,
+                            QosTier::Reliable,
+                        ))
                     },
                     Err(e) => FrameOutcome::settled(self.quarantine(&e, bytes, ht, "control")),
                 }
             }
             proto::FRAME_EVENT => self.handle_event(sender, bytes, &frame, ht),
+            // A session-resume handshake: its whole job — the epoch bump —
+            // already happened above. The empty frame delivers nothing, so
+            // it never counts as an event delivery.
+            proto::FRAME_RESUME => {
+                FrameOutcome::settled(Disposition::Handled(kind, channel, QosTier::Reliable))
+            }
             k => FrameOutcome::settled(self.quarantine(
                 &EchoError::UnknownFrameKind(k),
                 bytes,
@@ -727,6 +929,7 @@ impl NodeState {
     ) -> FrameOutcome {
         let (channel, qos) = (frame.channel, frame.qos);
         let mut stale_partials = 0u16;
+        let mut watermark = None;
         if qos == QosTier::SequencedUnreliable {
             let latest = self.latest_seq.entry((channel, sender)).or_insert(frame.seq);
             if frame.seq < *latest {
@@ -750,6 +953,7 @@ impl NodeState {
                     stale_partials = buf.purge_below(sender, frame.seq).len() as u16;
                 }
             }
+            watermark = Some((channel, frame.seq));
         }
         let mut outcome = if frame.is_fragment() {
             self.handle_fragment(sender, bytes, frame, ht)
@@ -762,16 +966,15 @@ impl NodeState {
                     let (trace, events) = self.seal_failed(ht, "event");
                     self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);
                     return FrameOutcome {
-                        disposition: Disposition::Quarantined(reason),
-                        outgoing: Vec::new(),
-                        evicted_partials: 0,
                         stale_partials,
+                        ..FrameOutcome::settled(Disposition::Quarantined(reason))
                     };
                 }
             }
             FrameOutcome::settled(Disposition::Handled(frame.kind, channel, qos))
         };
         outcome.stale_partials += stale_partials;
+        outcome.watermark = watermark;
         outcome
     }
 
@@ -815,10 +1018,8 @@ impl NodeState {
                         let (trace, events) = self.seal_failed(ht, "event");
                         self.dlq.push_traced(reason, bytes, e.to_string(), trace, events);
                         return FrameOutcome {
-                            disposition: Disposition::Quarantined(reason),
-                            outgoing: Vec::new(),
                             evicted_partials,
-                            stale_partials: 0,
+                            ..FrameOutcome::settled(Disposition::Quarantined(reason))
                         };
                     }
                 }
@@ -829,20 +1030,12 @@ impl NodeState {
             // landing twice past the window is treated the same way.
             Offer::DuplicatePart => Disposition::Duplicate(frame.kind, channel),
             Offer::Mismatch => {
-                return FrameOutcome {
-                    disposition: self.quarantine(
-                        &EchoError::MalformedFrame,
-                        bytes,
-                        ht,
-                        "reassembly",
-                    ),
-                    outgoing: Vec::new(),
-                    evicted_partials,
-                    stale_partials: 0,
-                };
+                let quarantined =
+                    self.quarantine(&EchoError::MalformedFrame, bytes, ht, "reassembly");
+                return FrameOutcome { evicted_partials, ..FrameOutcome::settled(quarantined) };
             }
         };
-        FrameOutcome { disposition, outgoing: Vec::new(), evicted_partials, stale_partials: 0 }
+        FrameOutcome { evicted_partials, ..FrameOutcome::settled(disposition) }
     }
 
     /// `wire_trace` is the incoming frame's raw trace id; follow-up frames
@@ -891,7 +1084,17 @@ impl NodeState {
                     let seq = self.alloc_seq();
                     out.push(Outgoing {
                         to_contact: m.contact.clone(),
-                        bytes: proto::frame(proto::FRAME_CONTROL, channel, seq, wire_trace, &resp),
+                        bytes: proto::frame_qos(
+                            proto::FRAME_CONTROL,
+                            channel,
+                            seq,
+                            wire_trace,
+                            QosTier::Reliable,
+                            0,
+                            1,
+                            self.epoch,
+                            &resp,
+                        ),
                     });
                 }
             }
@@ -1019,6 +1222,7 @@ mod tests {
             qos,
             index,
             count,
+            0,
             payload,
         )
     }
@@ -1104,11 +1308,90 @@ mod tests {
             QosTier::Reliable,
             0,
             2,
+            0,
             b"ctl",
         );
         assert!(matches!(
             node.handle_frame(0, &bad).disposition,
             Disposition::Quarantined(DeadReason::Malformed)
+        ));
+    }
+
+    #[test]
+    fn higher_epoch_resumes_and_older_epoch_frames_are_fenced() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        // Any higher-epoch frame is an implicit resume handshake.
+        let fresh = proto::restamp_epoch(&event_frame(8), 1);
+        let out = node.handle_frame(0, &fresh);
+        assert!(matches!(out.disposition, Disposition::Handled(..)));
+        assert!(out.resumed, "a higher epoch bumps the sender's incarnation");
+        // Epoch-0 stragglers from the crashed incarnation are refused.
+        let stale = node.handle_frame(0, &event_frame(9));
+        assert!(matches!(stale.disposition, Disposition::Fenced(ChannelId(1))));
+        assert!(stale.ack.is_none(), "a fenced frame is not an arrival");
+        assert_eq!(node.dead_letters().count(DeadReason::StaleEpoch), 1);
+        // Same-epoch traffic flows; a duplicate resume bump never happens.
+        let again = node.handle_frame(0, &proto::restamp_epoch(&event_frame(10), 1));
+        assert!(matches!(again.disposition, Disposition::Handled(..)));
+        assert!(!again.resumed);
+        // Other senders are unaffected by this sender's fence.
+        assert!(matches!(
+            node.handle_frame(1, &event_frame(9)).disposition,
+            Disposition::Handled(..)
+        ));
+    }
+
+    #[test]
+    fn explicit_resume_handshake_bumps_without_delivering() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        let resume = proto::frame_qos(
+            proto::FRAME_RESUME,
+            ChannelId(0),
+            1,
+            proto::NO_TRACE,
+            QosTier::Reliable,
+            0,
+            1,
+            3,
+            b"",
+        );
+        let out = node.handle_frame(0, &resume);
+        assert!(matches!(out.disposition, Disposition::Handled(proto::FRAME_RESUME, ..)));
+        assert!(out.resumed);
+        assert!(out.ack.is_none(), "resume frames are not Reliable event traffic");
+        // A duplicate of the same handshake is absorbed by dedup.
+        assert!(matches!(node.handle_frame(0, &resume).disposition, Disposition::Duplicate(..)));
+    }
+
+    #[test]
+    fn crash_amnesia_forgets_dedup_and_dead_letters_partials() {
+        let mut node = NodeState::new("sink".into(), EchoVersion::V2);
+        assert!(matches!(
+            node.handle_frame(0, &event_frame(7)).disposition,
+            Disposition::Handled(..)
+        ));
+        let part = frag_frame(QosTier::Reliable, 3, 0, 2, b"x");
+        assert!(matches!(
+            node.handle_frame(0, &part).disposition,
+            Disposition::FragmentBuffered(_)
+        ));
+        let report = node.crash_amnesia();
+        assert_eq!(report.dedup, 2);
+        assert_eq!(report.partials, 1);
+        assert_eq!(node.reassembly_depth(), 0);
+        assert_eq!(node.dead_letters().count(DeadReason::CrashLost), 1);
+        // The window is gone: a replay of seq 7 reads as fresh traffic —
+        // which is exactly why exactly-once needs the journaled window.
+        assert!(matches!(
+            node.handle_frame(0, &event_frame(7)).disposition,
+            Disposition::Handled(..)
+        ));
+        // Restoring the journaled triples brings suppression back.
+        node.crash_amnesia();
+        assert_eq!(node.restore_seen(&[(0, 7, 0), (0, 3, 0)]), 2);
+        assert!(matches!(
+            node.handle_frame(0, &event_frame(7)).disposition,
+            Disposition::Duplicate(..)
         ));
     }
 }

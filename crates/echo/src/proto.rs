@@ -259,10 +259,15 @@ pub fn channel_of(value: &Value, format: &RecordFormat) -> Option<ChannelId> {
 pub const FRAME_CONTROL: u8 = 0;
 /// Frame kind: an event on a channel.
 pub const FRAME_EVENT: u8 = 1;
+/// Frame kind: a session-resume handshake from a restarted process. The
+/// payload is empty — the header's epoch field carries the new
+/// incarnation, and receiving it (or any frame with a higher epoch) fences
+/// every older incarnation's frames.
+pub const FRAME_RESUME: u8 = 2;
 
 /// Frame header size: kind (1) + channel (4) + seq (8) + trace (8) +
-/// qos (1) + frag_index (2) + frag_count (2) + crc32 (4).
-pub const FRAME_HEADER_LEN: usize = 30;
+/// qos (1) + frag_index (2) + frag_count (2) + epoch (4) + crc32 (4).
+pub const FRAME_HEADER_LEN: usize = 34;
 
 /// An absent trace id on the wire: the frame joins no trace.
 pub const NO_TRACE: u64 = 0;
@@ -341,6 +346,11 @@ pub struct Frame<'a> {
     /// Total fragments in the set (`1` for unfragmented frames; always
     /// ≥ 1 and > `frag_index` — [`unframe`] rejects anything else).
     pub frag_count: u16,
+    /// The sender's incarnation at send time: bumped on every
+    /// crash-restart, so receivers can fence frames from an incarnation
+    /// the sender has already outlived (stale-epoch fencing). `0` for a
+    /// process that has never crashed.
+    pub epoch: u32,
     /// The PBIO message bytes (one fragment's slice when
     /// `frag_count > 1`).
     pub payload: &'a [u8],
@@ -405,23 +415,24 @@ fn crc32(seed: u32, bytes: &[u8]) -> u32 {
 
 /// Wraps a PBIO message in an ECho network frame:
 /// `[kind u8][channel u32][seq u64][trace u64][qos u8][frag_index u16]`
-/// `[frag_count u16][crc32 u32][payload]`, all little-endian. The CRC-32
-/// covers every header field and the payload, so any single-byte damage
-/// anywhere in the frame is detected by [`unframe`]. Pass [`NO_TRACE`]
-/// when the message joins no trace. This shorthand stamps
-/// [`QosTier::Reliable`] and unfragmented fields (`0 of 1`); use
-/// [`frame_qos`] to set them.
+/// `[frag_count u16][epoch u32][crc32 u32][payload]`, all little-endian.
+/// The CRC-32 covers every header field and the payload, so any
+/// single-byte damage anywhere in the frame is detected by [`unframe`].
+/// Pass [`NO_TRACE`] when the message joins no trace. This shorthand
+/// stamps [`QosTier::Reliable`], unfragmented fields (`0 of 1`), and
+/// epoch `0` (a never-crashed sender); use [`frame_qos`] to set them.
 ///
 /// This is the *one* place on the send path where payload bytes are
 /// copied: the returned [`WireBytes`] is a shared buffer, so fan-out,
 /// retry queues, and the simulated wire all clone views of it rather
 /// than the bytes themselves.
 pub fn frame(kind: u8, channel: ChannelId, seq: u64, trace: u64, pbio_msg: &[u8]) -> WireBytes {
-    frame_qos(kind, channel, seq, trace, QosTier::Reliable, 0, 1, pbio_msg)
+    frame_qos(kind, channel, seq, trace, QosTier::Reliable, 0, 1, 0, pbio_msg)
 }
 
-/// [`frame`] with explicit QoS tier and fragment fields. Fragments of one
-/// message share the message's `seq` and carry `index` in `0..count`.
+/// [`frame`] with explicit QoS tier, fragment fields, and sender epoch.
+/// Fragments of one message share the message's `seq` and carry `index`
+/// in `0..count`.
 ///
 /// # Panics
 ///
@@ -436,6 +447,7 @@ pub fn frame_qos(
     qos: QosTier,
     index: u16,
     count: u16,
+    epoch: u32,
     pbio_msg: &[u8],
 ) -> WireBytes {
     assert!(count > 0 && index < count, "impossible fragment fields: index {index} of {count}");
@@ -447,9 +459,29 @@ pub fn frame_qos(
     out.push(qos.to_wire());
     out.extend_from_slice(&index.to_le_bytes());
     out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
     let crc = crc32(crc32(0, &out), pbio_msg);
     out.extend_from_slice(&crc.to_le_bytes());
     out.extend_from_slice(pbio_msg);
+    WireBytes::from(out)
+}
+
+/// Rewrites the epoch field of an already-built frame, re-sealing the
+/// checksum — used when a restarted sender redelivers frames recovered
+/// from its journal: the bytes were framed under the previous incarnation,
+/// and sending them unchanged would be fenced by every receiver. Shares
+/// nothing with the input; the returned buffer is a fresh copy.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than a frame header — journals only hold
+/// frames that passed through [`frame_qos`], so this is a caller bug.
+pub fn restamp_epoch(bytes: &[u8], epoch: u32) -> WireBytes {
+    assert!(bytes.len() >= FRAME_HEADER_LEN, "restamp of a non-frame");
+    let mut out = bytes.to_vec();
+    out[26..30].copy_from_slice(&epoch.to_le_bytes());
+    let crc = crc32(crc32(0, &out[..30]), &out[FRAME_HEADER_LEN..]);
+    out[30..34].copy_from_slice(&crc.to_le_bytes());
     WireBytes::from(out)
 }
 
@@ -478,6 +510,13 @@ pub fn peek_qos(bytes: &[u8]) -> Option<QosTier> {
     QosTier::from_wire(*bytes.get(21)?)
 }
 
+/// Best-effort read of the channel id from raw frame bytes, **without**
+/// checksum verification — used to key journal entries for frames the
+/// sender built itself (so corruption is not a concern on this path).
+pub fn peek_channel(bytes: &[u8]) -> Option<ChannelId> {
+    Some(ChannelId(u32::from_le_bytes(bytes.get(1..5)?.try_into().expect("4-byte slice"))))
+}
+
 /// Best-effort read of `(seq, frag_index, frag_count)` from raw frame
 /// bytes, **without** checksum verification — used to shed *whole*
 /// fragment sets (queue-mates sharing the sender's `seq`) so no orphan
@@ -488,6 +527,13 @@ pub fn peek_frag(bytes: &[u8]) -> Option<(u64, u16, u16)> {
     let index = u16::from_le_bytes(bytes.get(22..24)?.try_into().expect("2-byte slice"));
     let count = u16::from_le_bytes(bytes.get(24..26)?.try_into().expect("2-byte slice"));
     Some((seq, index, count))
+}
+
+/// Best-effort read of the sender epoch from raw frame bytes, **without**
+/// checksum verification — used to attribute fenced frames before full
+/// parsing. Returns `None` for buffers too short to hold the field.
+pub fn peek_epoch(bytes: &[u8]) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(26..30)?.try_into().expect("4-byte slice")))
 }
 
 /// Shed-priority class of a queued raw frame: `None` for control frames
@@ -529,16 +575,17 @@ pub fn unframe(bytes: &[u8]) -> Result<Frame<'_>, FrameError> {
     let qos_byte = bytes[21];
     let frag_index = u16::from_le_bytes([bytes[22], bytes[23]]);
     let frag_count = u16::from_le_bytes([bytes[24], bytes[25]]);
-    let stored = u32::from_le_bytes([bytes[26], bytes[27], bytes[28], bytes[29]]);
+    let epoch = u32::from_le_bytes([bytes[26], bytes[27], bytes[28], bytes[29]]);
+    let stored = u32::from_le_bytes([bytes[30], bytes[31], bytes[32], bytes[33]]);
     let payload = &bytes[FRAME_HEADER_LEN..];
-    if crc32(crc32(0, &bytes[..26]), payload) != stored {
+    if crc32(crc32(0, &bytes[..30]), payload) != stored {
         return Err(FrameError::BadChecksum);
     }
     let qos = QosTier::from_wire(qos_byte).ok_or(FrameError::BadQos(qos_byte))?;
     if frag_count == 0 || frag_index >= frag_count {
         return Err(FrameError::BadFragment { index: frag_index, count: frag_count });
     }
-    Ok(Frame { kind, channel, seq, trace, qos, frag_index, frag_count, payload })
+    Ok(Frame { kind, channel, seq, trace, qos, frag_index, frag_count, epoch, payload })
 }
 
 #[cfg(test)]
@@ -623,6 +670,7 @@ mod tests {
         assert_eq!(f.trace, 0xA11CE);
         assert_eq!(f.qos, QosTier::Reliable);
         assert_eq!((f.frag_index, f.frag_count), (0, 1));
+        assert_eq!(f.epoch, 0, "the shorthand stamps a never-crashed sender");
         assert!(!f.is_fragment());
         assert_eq!(f.payload, b"xyz");
         assert_eq!(unframe(&[1, 2]), Err(FrameError::Truncated));
@@ -639,16 +687,33 @@ mod tests {
             QosTier::SequencedUnreliable,
             2,
             5,
+            3,
             b"part",
         );
         let f = unframe(&framed).unwrap();
         assert_eq!(f.qos, QosTier::SequencedUnreliable);
         assert_eq!((f.frag_index, f.frag_count), (2, 5));
+        assert_eq!(f.epoch, 3);
         assert!(f.is_fragment());
         assert_eq!(f.payload, b"part");
         // The lightweight peeks agree with the verified parse.
         assert_eq!(peek_qos(&framed), Some(QosTier::SequencedUnreliable));
         assert_eq!(peek_frag(&framed), Some((77, 2, 5)));
+        assert_eq!(peek_epoch(&framed), Some(3));
+    }
+
+    #[test]
+    fn restamp_epoch_reseals_the_checksum() {
+        let framed =
+            frame_qos(FRAME_EVENT, ChannelId(4), 12, 0xFEED, QosTier::Reliable, 0, 1, 1, b"keep");
+        let restamped = restamp_epoch(&framed, 2);
+        let f = unframe(&restamped).expect("restamped frames parse");
+        assert_eq!(f.epoch, 2);
+        // Everything except the epoch (and the seal) is preserved.
+        assert_eq!((f.kind, f.channel, f.seq, f.trace), (FRAME_EVENT, ChannelId(4), 12, 0xFEED));
+        assert_eq!(f.payload, b"keep");
+        // The original is untouched and still parses under its old epoch.
+        assert_eq!(unframe(&framed).unwrap().epoch, 1);
     }
 
     #[test]
@@ -668,8 +733,8 @@ mod tests {
     fn reseal(framed: &[u8], offset: usize, value: u8) -> Vec<u8> {
         let mut out = framed.to_vec();
         out[offset] = value;
-        let crc = crc32(crc32(0, &out[..26]), &out[FRAME_HEADER_LEN..]);
-        out[26..30].copy_from_slice(&crc.to_le_bytes());
+        let crc = crc32(crc32(0, &out[..30]), &out[FRAME_HEADER_LEN..]);
+        out[30..34].copy_from_slice(&crc.to_le_bytes());
         out
     }
 
@@ -692,7 +757,7 @@ mod tests {
 
     #[test]
     fn shed_class_orders_tiers_and_spares_control() {
-        let mk = |qos| frame_qos(FRAME_EVENT, ChannelId(1), 1, NO_TRACE, qos, 0, 1, b"x");
+        let mk = |qos| frame_qos(FRAME_EVENT, ChannelId(1), 1, NO_TRACE, qos, 0, 1, 0, b"x");
         assert_eq!(shed_class(&mk(QosTier::UnorderedUnreliable)), Some(0));
         assert_eq!(shed_class(&mk(QosTier::SequencedUnreliable)), Some(1));
         assert_eq!(shed_class(&mk(QosTier::Reliable)), Some(2));
@@ -714,11 +779,13 @@ mod tests {
             QosTier::UnorderedUnreliable,
             1,
             3,
+            9,
             b"p",
         );
         for len in 0..framed.len() {
             let qos = peek_qos(&framed[..len]);
             let frag = peek_frag(&framed[..len]);
+            let epoch = peek_epoch(&framed[..len]);
             if len < 22 {
                 assert_eq!(qos, None, "length {len} cannot hold the qos byte");
             } else {
@@ -728,6 +795,11 @@ mod tests {
                 assert_eq!(frag, None, "length {len} cannot hold the fragment fields");
             } else {
                 assert_eq!(frag, Some((6, 1, 3)));
+            }
+            if len < 30 {
+                assert_eq!(epoch, None, "length {len} cannot hold the epoch field");
+            } else {
+                assert_eq!(epoch, Some(9));
             }
         }
     }

@@ -17,6 +17,7 @@ use simnet::{FaultPlan, FaultStats, LinkBandwidth, LinkParams, NetError, Network
 use crate::adaptive::AdaptiveShedding;
 use crate::driver::Driver;
 use crate::frag;
+use crate::journal::{Journal, JournalEntry, JournalStats};
 use crate::node::{Disposition, EchoVersion, FrameOutcome, NodeState, Role};
 use crate::proto::{self, ChannelId, MemberInfo, QosTier};
 use crate::shard::shard_of_name;
@@ -80,6 +81,42 @@ struct SysMetrics {
     retry_attempts: Arc<Counter>,
     retry_delivered: Arc<Counter>,
     retry_giveup: Arc<Counter>,
+    /// `echo.retry.parked` — sends parked because the destination process
+    /// is inside a crash window; they wake at its scheduled restart
+    /// without burning backoff attempts.
+    retry_parked: Arc<Counter>,
+    /// `echo.crash.down` / `echo.crash.restarts` — crash windows opened
+    /// and incarnations started by the crash-restart lifecycle.
+    crash_down: Arc<Counter>,
+    crash_restarts: Arc<Counter>,
+    /// `echo.crash.lost.*` — volatile state erased by crash amnesia:
+    /// dedup triples, sequenced watermarks, reassembly partials (each also
+    /// dead-letters as `crash_lost`), queued retry frames, and warm morph
+    /// decisions.
+    crash_lost_dedup: Arc<Counter>,
+    crash_lost_watermarks: Arc<Counter>,
+    crash_lost_partials: Arc<Counter>,
+    crash_lost_retry: Arc<Counter>,
+    crash_lost_decisions: Arc<Counter>,
+    /// `echo.crash.lost.ingress` — frames that had left the wire but sat
+    /// in the crashed process's ingress buffer (each also dead-letters as
+    /// `crash_lost`).
+    crash_lost_ingress: Arc<Counter>,
+    /// `echo.epoch.fenced` — frames refused for carrying a pre-crash
+    /// epoch; `echo.epoch.resumed` — sender-incarnation bumps observed by
+    /// receivers (explicit resume handshakes or any higher-epoch frame);
+    /// `echo.epoch.handshakes` — explicit resume-handshake frames handled.
+    epoch_fenced: Arc<Counter>,
+    epoch_resumed: Arc<Counter>,
+    epoch_handshakes: Arc<Counter>,
+    /// `echo.journal.*` — durable-journal activity: entries appended /
+    /// synced / torn off by crashes, synced entries replayed at restarts,
+    /// and unacked frames redelivered under a new epoch.
+    journal_appended: Arc<Counter>,
+    journal_synced: Arc<Counter>,
+    journal_lost: Arc<Counter>,
+    journal_replayed: Arc<Counter>,
+    journal_redelivered: Arc<Counter>,
     /// Combined depth of the retry queue and every ingress buffer.
     queue_depth: Arc<Gauge>,
     /// Frames dropped by load shedding (bounded queue overflow).
@@ -149,6 +186,23 @@ impl SysMetrics {
             retry_attempts: registry.counter("echo.retry.attempts"),
             retry_delivered: registry.counter("echo.retry.delivered"),
             retry_giveup: registry.counter("echo.retry.giveup"),
+            retry_parked: registry.counter("echo.retry.parked"),
+            crash_down: registry.counter("echo.crash.down"),
+            crash_restarts: registry.counter("echo.crash.restarts"),
+            crash_lost_dedup: registry.counter("echo.crash.lost.dedup"),
+            crash_lost_watermarks: registry.counter("echo.crash.lost.watermarks"),
+            crash_lost_partials: registry.counter("echo.crash.lost.partials"),
+            crash_lost_retry: registry.counter("echo.crash.lost.retry"),
+            crash_lost_decisions: registry.counter("echo.crash.lost.decisions"),
+            crash_lost_ingress: registry.counter("echo.crash.lost.ingress"),
+            epoch_fenced: registry.counter("echo.epoch.fenced"),
+            epoch_resumed: registry.counter("echo.epoch.resumed"),
+            epoch_handshakes: registry.counter("echo.epoch.handshakes"),
+            journal_appended: registry.counter("echo.journal.appended"),
+            journal_synced: registry.counter("echo.journal.synced"),
+            journal_lost: registry.counter("echo.journal.lost"),
+            journal_replayed: registry.counter("echo.journal.replayed"),
+            journal_redelivered: registry.counter("echo.journal.redelivered"),
             queue_depth: registry.gauge("echo.queue.depth"),
             queue_shed: registry.counter("echo.queue.shed"),
             // Tier and fragmentation handles are created eagerly so every
@@ -322,6 +376,11 @@ pub struct EchoSystem {
     /// Periodic self-telemetry publisher, present once
     /// [`EchoSystem::enable_self_telemetry`] opted in.
     telemetry: Option<TelemetryState>,
+    /// Per-process durable delivery journals, present once
+    /// [`EchoSystem::enable_journaling`] opted in.
+    journals: Vec<Option<Journal>>,
+    /// Fsync-batch boundary for the journals of future processes.
+    journal_batch: Option<usize>,
 }
 
 /// State of the periodic self-telemetry publisher.
@@ -440,6 +499,8 @@ impl EchoSystem {
             reassembly_limits: None,
             adaptive: None,
             telemetry: None,
+            journals: Vec::new(),
+            journal_batch: None,
         }
     }
 
@@ -470,11 +531,17 @@ impl EchoSystem {
         if let Some((capacity, timeout_ns)) = self.reassembly_limits {
             node.configure_reassembly(capacity, timeout_ns);
         }
+        let seq_floor = node.next_seq;
         let net_id = self.net.add_node(name.clone());
         self.nodes.push(node);
         self.net_ids.push(net_id);
         self.paused.push(false);
         self.ingress.push(VecDeque::new());
+        let mut journal = self.journal_batch.map(Journal::new);
+        if let Some(j) = journal.as_mut() {
+            j.append(self.net.now_ns(), JournalEntry::SeqFloor { next_seq: seq_floor });
+        }
+        self.journals.push(journal);
         self.by_contact.insert(name, self.nodes.len() - 1);
         ProcessId(self.nodes.len() - 1)
     }
@@ -557,7 +624,17 @@ impl EchoSystem {
         span.tag("channel", &channel.0.to_string());
         span.tag("from", &self.nodes[proc.0].name);
         let ctx = Some(span.ctx());
-        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, trace.0, &msg);
+        let framed = proto::frame_qos(
+            proto::FRAME_CONTROL,
+            channel,
+            seq,
+            trace.0,
+            QosTier::Reliable,
+            0,
+            1,
+            self.nodes[proc.0].epoch(),
+            &msg,
+        );
         let sent = self.send_with_retry(proc.0, creator_idx, framed, ctx);
         span.finish();
         sent
@@ -595,7 +672,17 @@ impl EchoSystem {
         span.tag("channel", &channel.0.to_string());
         span.tag("from", &self.nodes[proc.0].name);
         let ctx = Some(span.ctx());
-        let framed = proto::frame(proto::FRAME_CONTROL, channel, seq, trace.0, &msg);
+        let framed = proto::frame_qos(
+            proto::FRAME_CONTROL,
+            channel,
+            seq,
+            trace.0,
+            QosTier::Reliable,
+            0,
+            1,
+            self.nodes[proc.0].epoch(),
+            &msg,
+        );
         let sent = self.send_with_retry(proc.0, creator_idx, framed, ctx);
         span.finish();
         sent
@@ -674,6 +761,7 @@ impl EchoSystem {
         let ctx = root.as_ref().map(|s| s.ctx());
         let wire_trace = ctx.map_or(proto::NO_TRACE, |c| c.trace.0);
         let tier = self.channel_qos(channel);
+        let epoch = self.nodes[proc.0].epoch();
         // Raw fan-out: the frame set is built (and the payload copied)
         // once; every additional sink clones the views — Arc bumps, not
         // bytes. A message within the frame budget is one frame; larger
@@ -706,7 +794,7 @@ impl EchoSystem {
                                 let msg = Encoder::new(xform.to_format()).encode(&derived)?;
                                 self.nodes[proc.0].record_encode_ns(t0.elapsed().as_nanos() as u64);
                                 let seq = self.nodes[proc.0].alloc_seq();
-                                self.build_event_frames(channel, seq, wire_trace, tier, msg)?
+                                self.build_event_frames(channel, seq, wire_trace, tier, epoch, msg)?
                             }
                         }
                     }
@@ -721,7 +809,9 @@ impl EchoSystem {
                             self.nodes[proc.0].record_encode_ns(t0.elapsed().as_nanos() as u64);
                             let seq = self.nodes[proc.0].alloc_seq();
                             raw_frames =
-                                Some(self.build_event_frames(channel, seq, wire_trace, tier, msg)?);
+                                Some(self.build_event_frames(
+                                    channel, seq, wire_trace, tier, epoch, msg,
+                                )?);
                         }
                         raw_frames.clone().expect("filled above")
                     }
@@ -759,6 +849,7 @@ impl EchoSystem {
         seq: u64,
         trace: u64,
         tier: QosTier,
+        epoch: u32,
         msg: Vec<u8>,
     ) -> Result<Vec<WireBytes>, EchoError> {
         let Some(budget) = self.frame_budget.filter(|&b| msg.len() > b) else {
@@ -770,6 +861,7 @@ impl EchoSystem {
                 tier,
                 0,
                 1,
+                epoch,
                 &msg,
             )]);
         };
@@ -788,6 +880,7 @@ impl EchoSystem {
                     tier,
                     f.index,
                     f.count,
+                    epoch,
                     &f.bytes,
                 )
             })
@@ -810,6 +903,25 @@ impl EchoSystem {
         tier: QosTier,
     ) -> Result<(), EchoError> {
         if tier == QosTier::Reliable {
+            // The journaled half of exactly-once: the frame's key and bytes
+            // go to the modeled disk before the wire sees them (WAL
+            // discipline), so a crashed sender redelivers it on restart.
+            if self.journals[from].is_some() {
+                if let (Some(channel), Some((seq, frag_index, _))) =
+                    (proto::peek_channel(&bytes), proto::peek_frag(&bytes))
+                {
+                    self.journal_append(
+                        from,
+                        JournalEntry::Sent {
+                            to: to as u64,
+                            channel,
+                            seq,
+                            frag_index,
+                            frame: bytes.clone(),
+                        },
+                    );
+                }
+            }
             return self.send_with_retry(from, to, bytes, ctx);
         }
         match self.net.send_traced(self.net_ids[from], self.net_ids[to], bytes, ctx) {
@@ -971,6 +1083,50 @@ impl EchoSystem {
                 self.update_queue_depth();
                 Ok(())
             }
+            // The *destination* is inside a crash window: burning
+            // capped-backoff attempts into a peer that cannot answer would
+            // waste the retry budget, so the frame parks until the window's
+            // scheduled end — zero attempts consumed — under the same shed
+            // admission as a down link. A send refused because the *sender*
+            // is down still propagates: that is a caller bug.
+            Err(NetError::NodeDown(down)) if down == self.net_ids[to] => {
+                let now = self.net.now_ns();
+                if let Some(a) = self.adaptive.as_mut() {
+                    a.retry.on_arrival(now);
+                    a.retry.evaluate(now, &self.recorder, ctx);
+                }
+                if self.pending.len() >= self.retry_capacity_now()
+                    && !self.shed_pending_victim()
+                    && proto::shed_class(&bytes).is_some()
+                {
+                    self.shed_at(from, &bytes, "retry queue full: event frame shed", ctx);
+                    self.update_queue_depth();
+                    return Ok(());
+                }
+                self.metrics.retry_parked.inc();
+                if let Some(c) = ctx {
+                    self.recorder.instant(
+                        c.trace,
+                        c.parent,
+                        "echo.retry.parked",
+                        &[("from", &self.nodes[from].name), ("to", &self.nodes[to].name)],
+                    );
+                }
+                let next_attempt_ns = self
+                    .net
+                    .node_down_until(down, now)
+                    .unwrap_or_else(|| now + self.retry.backoff_ns(0));
+                self.pending.push(PendingFrame {
+                    from,
+                    to,
+                    bytes,
+                    attempts: 0,
+                    next_attempt_ns,
+                    ctx,
+                });
+                self.update_queue_depth();
+                Ok(())
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -983,6 +1139,15 @@ impl EchoSystem {
         let mut still_pending = Vec::new();
         for mut p in std::mem::take(&mut self.pending) {
             if p.next_attempt_ns > now {
+                still_pending.push(p);
+                continue;
+            }
+            // Peer-down awareness: a frame due while its destination is
+            // (still, or again) inside a crash window re-parks to the
+            // window's scheduled end without consuming an attempt.
+            if let Some(until) = self.net.node_down_until(self.net_ids[p.to], now) {
+                self.metrics.retry_parked.inc();
+                p.next_attempt_ns = until;
                 still_pending.push(p);
                 continue;
             }
@@ -1009,6 +1174,17 @@ impl EchoSystem {
                         p.next_attempt_ns = now + self.retry.backoff_ns(p.attempts);
                         still_pending.push(p);
                     }
+                }
+                // A crash window opening at this exact instant (half-open
+                // windows start *at* `from_ns`) parks without burning the
+                // attempt just spent — it never reached the peer's memory.
+                Err(NetError::NodeDown(down)) if down == self.net_ids[p.to] => {
+                    self.metrics.retry_parked.inc();
+                    p.next_attempt_ns = self
+                        .net
+                        .node_down_until(down, now)
+                        .unwrap_or_else(|| now + self.retry.backoff_ns(p.attempts));
+                    still_pending.push(p);
                 }
                 // The peer disappeared from the topology — config bug;
                 // surface it via the sender's quarantine, not a panic.
@@ -1122,7 +1298,7 @@ impl EchoSystem {
         // virtual time this frame arrives at.
         self.nodes[idx].set_now(self.net.now_ns());
         let outcome = self.nodes[idx].handle_frame(sender as u64, bytes);
-        self.settle_outcome(idx, outcome);
+        self.settle_outcome(idx, sender, outcome);
     }
 
     /// Settles a frame's [`FrameOutcome`]: counts its disposition and puts
@@ -1130,7 +1306,12 @@ impl EchoSystem {
     /// so the sharded runtime can run `handle_frame` on worker threads and
     /// settle the results here, on the driver thread, where the network and
     /// system counters are single-threaded.
-    fn settle_outcome(&mut self, idx: usize, outcome: FrameOutcome) {
+    fn settle_outcome(&mut self, idx: usize, sender: usize, outcome: FrameOutcome) {
+        if outcome.resumed {
+            // The frame announced a fresh sender incarnation (an explicit
+            // resume handshake or any higher-epoch frame).
+            self.metrics.epoch_resumed.inc();
+        }
         match outcome.disposition {
             Disposition::Handled(kind, channel, tier) => {
                 if kind == proto::FRAME_EVENT {
@@ -1139,6 +1320,8 @@ impl EchoSystem {
                     cc.delivered.inc();
                     cc.delivered_rate.record(1);
                     self.metrics.tier_delivered.get(usize::from(tier.to_wire())).inc();
+                } else if kind == proto::FRAME_RESUME {
+                    self.metrics.epoch_handshakes.inc();
                 }
             }
             Disposition::Reassembled(channel, tier, _count) => {
@@ -1154,7 +1337,29 @@ impl EchoSystem {
             Disposition::FragmentBuffered(_) => self.metrics.frag_received.inc(),
             Disposition::Stale(_) => self.metrics.sequenced_stale.inc(),
             Disposition::Duplicate(_, _) => self.metrics.dedup_dropped.inc(),
+            Disposition::Fenced(_) => {
+                self.metrics.epoch_fenced.inc();
+                self.metrics.quarantined(DeadReason::StaleEpoch);
+            }
             Disposition::Quarantined(reason) => self.metrics.quarantined(reason),
+        }
+        // Recovery bookkeeping (no-ops without journals): the receiver
+        // persists its dedup triple and sequenced watermark, and the
+        // sender's journal discharges the redelivery obligation.
+        if let Some((seq, frag_index)) = outcome.seen {
+            self.journal_append(idx, JournalEntry::Seen { sender: sender as u64, seq, frag_index });
+        }
+        if let Some((channel, seq)) = outcome.watermark {
+            self.journal_append(
+                idx,
+                JournalEntry::Watermark { channel, sender: sender as u64, seq },
+            );
+        }
+        if let Some((channel, seq, frag_index)) = outcome.ack {
+            self.journal_append(
+                sender,
+                JournalEntry::Acked { to: idx as u64, channel, seq, frag_index },
+            );
         }
         // Partial sets the node evicted (capacity) or purged (newest-wins)
         // while handling this frame were already dead-lettered / dropped
@@ -1175,6 +1380,171 @@ impl EchoSystem {
                 // will resync on its next own request).
                 let _ = self.send_with_retry(idx, dst, out.bytes, ctx);
             }
+        }
+    }
+
+    /// Appends one entry to a process's journal (a no-op when journaling
+    /// is off), stamped with the current virtual time, mirroring the
+    /// journal's own accounting into `echo.journal.*`.
+    fn journal_append(&mut self, owner: usize, entry: JournalEntry) {
+        let now = self.net.now_ns();
+        if let Some(j) = self.journals[owner].as_mut() {
+            let before = j.stats();
+            j.append(now, entry);
+            let after = j.stats();
+            self.metrics.journal_appended.add(after.appended - before.appended);
+            self.metrics.journal_synced.add(after.synced - before.synced);
+        }
+    }
+
+    /// Applies every crash/restart boundary scheduled at or before
+    /// `now_ns`, in deterministic order (time, restarts before crashes,
+    /// node id — see [`simnet::Network::take_crash_transitions`]): a window
+    /// opening crashes the owning process, a window closing restarts it.
+    fn process_crash_transitions(&mut self, now_ns: u64) {
+        for t in self.net.take_crash_transitions(now_ns) {
+            let idx = self
+                .net_ids
+                .iter()
+                .position(|&n| n == t.node)
+                .expect("crash transition for a known node");
+            if t.up {
+                self.restart_node(idx);
+            } else {
+                self.crash_node(idx);
+            }
+        }
+    }
+
+    /// A crash window opens: the process drops its volatile state. What
+    /// survives is exactly the journal's synced prefix plus durable
+    /// configuration (channel ownership, memberships, formats); every loss
+    /// is counted in `echo.crash.lost.*` and the lost frames dead-letter
+    /// as [`DeadReason::CrashLost`], traces sealed with a `crash` stage.
+    fn crash_node(&mut self, idx: usize) {
+        self.metrics.crash_down.inc();
+        // The modeled disk keeps only the synced prefix; the unsynced
+        // journal tail is torn off with the process's memory.
+        if let Some(j) = self.journals[idx].as_mut() {
+            let lost = j.crash();
+            self.metrics.journal_lost.add(lost as u64);
+        }
+        // Amnesia inside the node: dedup window, sequenced watermarks,
+        // peer epochs, reassembly partials (each dead-lettered there),
+        // and warm morph decisions.
+        let report = self.nodes[idx].crash_amnesia();
+        self.metrics.crash_lost_dedup.add(report.dedup as u64);
+        self.metrics.crash_lost_watermarks.add(report.watermarks as u64);
+        self.metrics.crash_lost_partials.add(u64::from(report.partials));
+        for _ in 0..report.partials {
+            self.metrics.quarantined(DeadReason::CrashLost);
+        }
+        self.metrics.crash_lost_decisions.add(report.decisions as u64);
+        // The in-flight retry queue dies with the process. Journaled
+        // Reliable event frames are only *dropped* — the journal will
+        // redeliver them at restart — everything else queued here is a
+        // real loss and dead-letters.
+        let mut kept = Vec::new();
+        for p in std::mem::take(&mut self.pending) {
+            if p.from != idx {
+                kept.push(p);
+                continue;
+            }
+            self.metrics.crash_lost_retry.inc();
+            let journaled = self.journals[idx].is_some()
+                && p.bytes.first() == Some(&proto::FRAME_EVENT)
+                && proto::peek_qos(&p.bytes) == Some(QosTier::Reliable);
+            if !journaled {
+                self.metrics.quarantined(DeadReason::CrashLost);
+                self.nodes[idx].quarantine_crash(
+                    &p.bytes,
+                    "retry queue lost to process crash",
+                    p.ctx,
+                );
+            }
+        }
+        self.pending = kept;
+        // Frames buffered at the crashed process's ingress vanish with
+        // its memory too.
+        let buffered: Vec<_> = self.ingress[idx].drain(..).collect();
+        for (_, _, bytes) in buffered {
+            let ctx = proto::peek_trace(&bytes).map(|t| TraceCtx::root(TraceId(t)));
+            self.metrics.crash_lost_ingress.inc();
+            self.metrics.quarantined(DeadReason::CrashLost);
+            self.nodes[idx].quarantine_crash(&bytes, "ingress buffer lost to process crash", ctx);
+        }
+        self.update_queue_depth();
+    }
+
+    /// A crash window closes: the next incarnation starts. The epoch is
+    /// bumped first; a resume handshake to every reachable peer travels
+    /// ahead of the journal's redeliveries (sent at the same instant, it
+    /// takes the lower wire sequence), so receivers fence the dead
+    /// incarnation before its retransmitted traffic arrives. Redeliveries
+    /// are restamped with the new epoch and re-journaled, so a second
+    /// crash redelivers each message once, not once per incarnation.
+    fn restart_node(&mut self, idx: usize) {
+        self.metrics.crash_restarts.inc();
+        let epoch = self.nodes[idx].bump_epoch();
+        // Replay the synced prefix: receiver-side dedup window and
+        // watermarks, the sequence floor, and the redelivery obligations.
+        let mut redeliveries = Vec::new();
+        if let Some(j) = self.journals[idx].as_ref() {
+            let rec = j.replay();
+            self.metrics.journal_replayed.add(j.synced_len() as u64);
+            let node = &mut self.nodes[idx];
+            node.restore_seen(&rec.seen);
+            for (&(channel, sender), &seq) in &rec.watermarks {
+                node.restore_watermark(channel, sender, seq);
+            }
+            node.restore_seq_floor(rec.seq_floor);
+            redeliveries = rec.unacked.into_iter().collect();
+        }
+        // Resume handshake: an empty frame whose header carries the new
+        // incarnation, to every process this one has a link to.
+        for peer in 0..self.nodes.len() {
+            if peer == idx {
+                continue;
+            }
+            let seq = self.nodes[idx].alloc_seq();
+            let (wire_trace, ctx) = if self.tracing {
+                let t = self.alloc_trace(idx);
+                (t.0, Some(TraceCtx::root(t)))
+            } else {
+                (proto::NO_TRACE, None)
+            };
+            let frame = proto::frame_qos(
+                proto::FRAME_RESUME,
+                ChannelId(0),
+                seq,
+                wire_trace,
+                QosTier::Reliable,
+                0,
+                1,
+                epoch,
+                b"",
+            );
+            // Unlinked peers refuse the send with a routing error — not a
+            // session this restart needs to resume.
+            let _ = self.send_with_retry(idx, peer, frame, ctx);
+        }
+        // Redeliver every unacked Reliable frame in key order, under the
+        // new epoch.
+        for ((to, channel, seq, frag_index), frame) in redeliveries {
+            let restamped = proto::restamp_epoch(&frame, epoch);
+            self.journal_append(
+                idx,
+                JournalEntry::Sent { to, channel, seq, frag_index, frame: restamped.clone() },
+            );
+            self.metrics.journal_redelivered.inc();
+            let ctx = proto::peek_trace(&restamped).map(|t| TraceCtx::root(TraceId(t)));
+            let _ = self.send_with_retry(idx, to as usize, restamped, ctx);
+        }
+        // Floor the next incarnation's sequence numbers above everything
+        // this one has allocated (handshakes and redeliveries included).
+        if self.journals[idx].is_some() {
+            let floor = self.nodes[idx].next_seq;
+            self.journal_append(idx, JournalEntry::SeqFloor { next_seq: floor });
         }
     }
 
@@ -1245,18 +1615,36 @@ impl EchoSystem {
     pub fn run(&mut self) -> usize {
         let mut processed = 0;
         loop {
+            self.process_crash_transitions(self.net.now_ns());
             self.sweep_reassembly();
             self.pump_telemetry();
             processed += self.drain_ingress();
             self.pump_pending();
-            let Some(d) = self.net.step() else {
-                // Idle wire. If retries are waiting on their backoff (or a
-                // partition window), jump virtual time to the next attempt.
-                match self.pump_pending() {
-                    Some(next_at) => {
+            // Deliveries never cross a pending crash/restart boundary: the
+            // step is bounded at the next one, and an empty bounded step
+            // advances the clock straight to the boundary (or the next
+            // retry attempt, whichever is sooner), so every transition
+            // fires at its exact instant under every driver.
+            let boundary = self.net.next_crash_transition();
+            let stepped = match boundary {
+                Some(t) => self.net.step_before(t),
+                None => self.net.step(),
+            };
+            let Some(d) = stepped else {
+                // Nothing deliverable before the boundary (or an idle
+                // wire). Jump virtual time to whatever comes first: the
+                // boundary or the next retry attempt.
+                let target = match (boundary, self.pump_pending()) {
+                    (Some(t), Some(r)) => Some(t.min(r)),
+                    (Some(t), None) => Some(t),
+                    (None, Some(r)) => Some(r),
+                    (None, None) => None,
+                };
+                match target {
+                    Some(at) => {
                         let now = self.net.now_ns();
-                        if next_at > now {
-                            self.net.advance_ns(next_at - now);
+                        if at > now {
+                            self.net.advance_ns(at - now);
                         }
                         continue;
                     }
@@ -1339,16 +1727,32 @@ impl EchoSystem {
             self.net_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         let mut processed = 0;
         loop {
+            self.process_crash_transitions(self.net.now_ns());
             self.sweep_reassembly();
             self.pump_telemetry();
             processed += self.drain_ingress();
             self.pump_pending();
-            if self.net.is_idle() {
-                match self.pump_pending() {
-                    Some(next_at) => {
+            // As in [`EchoSystem::run`], no fork/join round ever straddles
+            // a crash/restart boundary: rounds are bounded at the next one
+            // and the clock jumps straight to it when nothing is
+            // deliverable first.
+            let boundary = self.net.next_crash_transition();
+            let ready = match boundary {
+                Some(t) => self.net.next_delivery_at().is_some_and(|d| d < t),
+                None => !self.net.is_idle(),
+            };
+            if !ready {
+                let target = match (boundary, self.pump_pending()) {
+                    (Some(t), Some(r)) => Some(t.min(r)),
+                    (Some(t), None) => Some(t),
+                    (None, Some(r)) => Some(r),
+                    (None, None) => None,
+                };
+                match target {
+                    Some(at) => {
                         let now = self.net.now_ns();
-                        if next_at > now {
-                            self.net.advance_ns(next_at - now);
+                        if at > now {
+                            self.net.advance_ns(at - now);
                         }
                         continue;
                     }
@@ -1356,9 +1760,13 @@ impl EchoSystem {
                     None => continue,
                 }
             }
-            // One round: everything currently in flight, bucketed by the
-            // destination's shard in global delivery order.
-            let buckets = self.net.drain_ready_sharded(shards, |to| assign[idx_of[&to]]);
+            // One round: everything currently in flight (up to the next
+            // crash boundary), bucketed by the destination's shard in
+            // global delivery order.
+            let buckets = match boundary {
+                Some(t) => self.net.drain_ready_sharded_before(shards, t, |to| assign[idx_of[&to]]),
+                None => self.net.drain_ready_sharded(shards, |to| assign[idx_of[&to]]),
+            };
             let mut mailboxes: Vec<Vec<(usize, usize, WireBytes)>> =
                 (0..shards).map(|_| Vec::new()).collect();
             for (shard, bucket) in buckets.into_iter().enumerate() {
@@ -1448,7 +1856,7 @@ impl EchoSystem {
             for (i, node) in self.nodes.iter_mut().enumerate() {
                 partitions[assign[i]].push((i, node));
             }
-            let outcomes: Vec<Vec<(usize, FrameOutcome)>> = std::thread::scope(|scope| {
+            let outcomes: Vec<Vec<(usize, usize, FrameOutcome)>> = std::thread::scope(|scope| {
                 let workers: Vec<_> = mailboxes
                     .into_iter()
                     .zip(partitions)
@@ -1460,7 +1868,7 @@ impl EchoSystem {
                             for (idx, sender, bytes) in mailbox {
                                 let node =
                                     nodes.get_mut(&idx).expect("destination owned by this shard");
-                                out.push((idx, node.handle_frame(sender as u64, &bytes)));
+                                out.push((idx, sender, node.handle_frame(sender as u64, &bytes)));
                             }
                             out
                         })
@@ -1475,8 +1883,8 @@ impl EchoSystem {
             for (shard, outs) in outcomes.into_iter().enumerate() {
                 sm.frames.get(shard).add(outs.len() as u64);
                 sm.depth.get(shard).set(0);
-                for (idx, outcome) in outs {
-                    self.settle_outcome(idx, outcome);
+                for (idx, sender, outcome) in outs {
+                    self.settle_outcome(idx, sender, outcome);
                     processed += 1;
                     settled += 1;
                 }
@@ -1967,6 +2375,46 @@ impl EchoSystem {
     /// Frames currently waiting in the system retry queue.
     pub fn pending_retries(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Schedules crash windows on a process (half-open `[from_ns,
+    /// until_ns)` intervals of virtual time). While a window is open the
+    /// process is dead: sends to it are refused (Reliable frames park
+    /// until the scheduled restart), in-flight deliveries into it vanish,
+    /// and the run loops apply the full lifecycle at the window's edges —
+    /// amnesia and journal tear-off going down; epoch bump, journal
+    /// replay, resume handshakes, and redelivery coming back up.
+    pub fn set_crash_windows(&mut self, proc: ProcessId, windows: &[(u64, u64)]) {
+        self.net.set_crash_windows(self.net_ids[proc.0], windows);
+    }
+
+    /// Opts every process — existing and future — into a durable delivery
+    /// journal with the given fsync-batch boundary (floor 1; see
+    /// [`crate::Journal`]). Journaling is what upgrades the Reliable
+    /// tier's exactly-once from "while the process lives" to "across
+    /// crash-restarts": without it a restarted process neither redelivers
+    /// its unacked frames nor remembers what it already delivered.
+    pub fn enable_journaling(&mut self, batch: usize) {
+        self.journal_batch = Some(batch);
+        let now = self.net.now_ns();
+        for (i, slot) in self.journals.iter_mut().enumerate() {
+            if slot.is_none() {
+                let mut j = Journal::new(batch);
+                j.append(now, JournalEntry::SeqFloor { next_seq: self.nodes[i].next_seq });
+                *slot = Some(j);
+            }
+        }
+    }
+
+    /// A process's journal self-accounting, when journaling is enabled.
+    pub fn journal_stats(&self, proc: ProcessId) -> Option<JournalStats> {
+        self.journals[proc.0].as_ref().map(Journal::stats)
+    }
+
+    /// A process's current incarnation number: 0 at birth, bumped by each
+    /// crash-restart.
+    pub fn epoch_of(&self, proc: ProcessId) -> u32 {
+        self.nodes[proc.0].epoch()
     }
 }
 

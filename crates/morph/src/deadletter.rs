@@ -45,6 +45,14 @@ pub enum DeadReason {
     /// reassembly timeout elapsed, or the bounded reassembly buffer
     /// evicted it (oldest-incomplete) to admit fresher traffic.
     PartialFragments,
+    /// Lost to a process crash: volatile state (reassembly partials,
+    /// queued retries) discarded when the owning process's crash window
+    /// opened — amnesia semantics, not wire damage.
+    CrashLost,
+    /// Fenced at the receiver: the frame carried a sender epoch older
+    /// than an incarnation the receiver has already resumed with, so
+    /// delivering it could resurrect pre-crash state.
+    StaleEpoch,
 }
 
 impl DeadReason {
@@ -60,11 +68,13 @@ impl DeadReason {
             DeadReason::RetryExhausted => "retry_exhausted",
             DeadReason::Shed => "shed",
             DeadReason::PartialFragments => "partial_fragments",
+            DeadReason::CrashLost => "crash_lost",
+            DeadReason::StaleEpoch => "stale_epoch",
         }
     }
 
     /// Every reason, in metric-catalogue order.
-    pub const ALL: [DeadReason; 8] = [
+    pub const ALL: [DeadReason; 10] = [
         DeadReason::Corrupt,
         DeadReason::Malformed,
         DeadReason::Undecodable,
@@ -73,6 +83,8 @@ impl DeadReason {
         DeadReason::RetryExhausted,
         DeadReason::Shed,
         DeadReason::PartialFragments,
+        DeadReason::CrashLost,
+        DeadReason::StaleEpoch,
     ];
 }
 

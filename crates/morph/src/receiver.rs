@@ -505,6 +505,20 @@ impl MorphReceiver {
         self.plans.set_store(store);
     }
 
+    /// Drops every privately cached decision (the warm L1), modeling a
+    /// process restart: the next message of each format pays the cold
+    /// lookup again. A [`DecisionCache`] attached via
+    /// [`MorphReceiver::set_shared_decisions`] is deliberately **not**
+    /// cleared — it models state held outside the crashed process (the
+    /// population's shared L2), so a restarted receiver re-warms from it
+    /// at shared-hit cost instead of re-running MaxMatch + compilation.
+    /// Returns the number of decisions dropped.
+    pub fn invalidate_decisions(&mut self) -> usize {
+        let dropped = self.cache.len();
+        self.cache.clear();
+        dropped
+    }
+
     /// The receiver's compatibility fingerprint: a digest of everything a
     /// cached decision depends on. Receivers with equal fingerprints
     /// compute identical decisions, which is the sharing contract of
@@ -1543,6 +1557,27 @@ mod tests {
         shared.clear();
         assert!(shared.is_empty());
         assert!(!format!("{shared:?}").is_empty());
+    }
+
+    #[test]
+    fn invalidate_decisions_cold_restarts_the_l1_but_spares_the_shared_l2() {
+        let shared = DecisionCache::new();
+        let (_, mut rx) = v1_subscriber(&shared);
+        rx.process(&v2_message(4)).unwrap();
+        assert_eq!(rx.cached_decisions(), 1);
+        assert_eq!(shared.len(), 1);
+
+        // Crash-restart amnesia: the private cache is gone, the shared
+        // cache — held outside the process — survives.
+        assert_eq!(rx.invalidate_decisions(), 1);
+        assert_eq!(rx.cached_decisions(), 0);
+        assert_eq!(shared.len(), 1, "the shared L2 outlives the restart");
+
+        // Re-warming is a shared hit, not a recompile.
+        rx.process(&v2_message(4)).unwrap();
+        let snap = rx.registry().snapshot();
+        assert_eq!(snap.counter("morph.decision.shared_hit"), Some(1));
+        assert_eq!(rx.stats().compiles, 1, "MaxMatch + DCG ran once, pre-crash");
     }
 
     #[test]

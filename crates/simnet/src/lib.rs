@@ -226,6 +226,21 @@ pub struct CrashStats {
     pub dropped: u64,
 }
 
+/// A crash-window boundary crossed as virtual time advanced — the raw
+/// material of crash/restart recovery in the layer that owns the nodes
+/// (see [`Network::take_crash_transitions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashTransition {
+    /// The node whose window boundary was crossed.
+    pub node: NodeId,
+    /// The boundary instant: a window's `from_ns` (down) or `until_ns`
+    /// (up). Windows are half-open, so the node is alive *at* `until_ns`.
+    pub at_ns: u64,
+    /// `false` when a window opened (the process crashed), `true` when it
+    /// closed (the process restarted).
+    pub up: bool,
+}
+
 /// A point-in-time reading of one directed link's windowed monitor — see
 /// [`Network::link_bandwidth`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -443,6 +458,12 @@ pub struct Network {
     /// server-loss mirror of [`FaultPlan`]'s partition windows.
     crash_windows: HashMap<NodeId, Vec<(u64, u64)>>,
     crash_stats: CrashStats,
+    /// Every crash-window boundary, flattened and sorted by
+    /// `(at_ns, restart-before-crash, node)` — rebuilt whenever windows
+    /// change. `crash_cursor` marks the prefix already handed out by
+    /// [`Network::take_crash_transitions`].
+    crash_events: Vec<CrashTransition>,
+    crash_cursor: usize,
     /// Per directed link rolling-window monitors
     /// ([`Network::enable_link_monitors`]), a dense `n×n` matrix indexed
     /// `from * stride + to`: the per-frame send/deliver paths index it
@@ -649,11 +670,58 @@ impl Network {
     /// any previous windows for the node.
     pub fn set_crash_windows(&mut self, node: NodeId, windows: &[(u64, u64)]) {
         self.crash_windows.insert(node, windows.to_vec());
+        self.rebuild_crash_events();
     }
 
     /// Removes every scheduled crash window for the node.
     pub fn clear_crash_windows(&mut self, node: NodeId) {
         self.crash_windows.remove(&node);
+        self.rebuild_crash_events();
+    }
+
+    /// Flattens the window schedule into the sorted boundary-event list.
+    /// Boundaries already in the past when the schedule changes are marked
+    /// taken, so late re-scheduling cannot replay old transitions.
+    fn rebuild_crash_events(&mut self) {
+        let mut events: Vec<CrashTransition> = Vec::new();
+        for (&node, windows) in &self.crash_windows {
+            for &(from, until) in windows {
+                if from >= until {
+                    continue; // degenerate window: never down
+                }
+                events.push(CrashTransition { node, at_ns: from, up: false });
+                events.push(CrashTransition { node, at_ns: until, up: true });
+            }
+        }
+        // Restarts sort before crashes at the same instant: back-to-back
+        // windows `[a,b) [b,c)` then read as one continuous outage.
+        events.sort_by_key(|e| (e.at_ns, !e.up, e.node.0));
+        self.crash_cursor = events.iter().take_while(|e| e.at_ns < self.now_ns).count();
+        self.crash_events = events;
+    }
+
+    /// Returns — once each — every crash-window boundary with
+    /// `at_ns <= upto_ns`, in `(at_ns, restart-before-crash, node)` order.
+    /// The layer owning the processes polls this as virtual time advances
+    /// to run amnesia (window opened) and recovery (window closed) at
+    /// deterministic instants; repeated calls never hand out a boundary
+    /// twice, so replays observe the identical transition stream.
+    pub fn take_crash_transitions(&mut self, upto_ns: u64) -> Vec<CrashTransition> {
+        let start = self.crash_cursor;
+        let mut end = start;
+        while end < self.crash_events.len() && self.crash_events[end].at_ns <= upto_ns {
+            end += 1;
+        }
+        self.crash_cursor = end;
+        self.crash_events[start..end].to_vec()
+    }
+
+    /// The instant of the next crash-window boundary not yet handed out by
+    /// [`Network::take_crash_transitions`], if any — an idle component can
+    /// advance virtual time to it so restarts fire even when no traffic is
+    /// in flight.
+    pub fn next_crash_transition(&self) -> Option<u64> {
+        self.crash_events.get(self.crash_cursor).map(|e| e.at_ns)
     }
 
     /// True when `at_ns` falls inside one of the node's crash windows.
@@ -661,6 +729,26 @@ impl Network {
         self.crash_windows
             .get(&node)
             .is_some_and(|ws| ws.iter().any(|&(from, until)| at_ns >= from && at_ns < until))
+    }
+
+    /// When the node is down at `at_ns`, the `until_ns` of the covering
+    /// crash window (merging back-to-back windows, so the returned instant
+    /// is the first at which the node is actually alive again). `None`
+    /// while the node is up — retry layers use this to *park* frames for a
+    /// crashed peer until its scheduled restart instead of burning backoff
+    /// attempts into a process that cannot answer.
+    pub fn node_down_until(&self, node: NodeId, at_ns: u64) -> Option<u64> {
+        let windows = self.crash_windows.get(&node)?;
+        let mut t = at_ns;
+        let mut covered = false;
+        // Windows may be unsorted and may abut; chase the cover point until
+        // no window contains it.
+        while let Some(&(_, until)) = windows.iter().find(|&&(from, until)| t >= from && t < until)
+        {
+            covered = true;
+            t = until;
+        }
+        covered.then_some(t)
     }
 
     /// Accounting for crash-window refusals and drops.
@@ -970,7 +1058,29 @@ impl Network {
     /// in [`Network::crash_stats`]. Returns `None` when nothing is in
     /// flight.
     pub fn step(&mut self) -> Option<Delivery> {
+        self.step_limited(None)
+    }
+
+    /// [`Network::step`] bounded at `before_ns`: delivers the next message
+    /// only if it lands strictly before the cutoff, leaving later traffic
+    /// in flight. Drivers use this to keep deliveries from crossing a
+    /// crash-window boundary ([`Network::next_crash_transition`]).
+    pub fn step_before(&mut self, before_ns: u64) -> Option<Delivery> {
+        self.step_limited(Some(before_ns))
+    }
+
+    /// [`Network::step`] bounded by an optional cutoff: messages with
+    /// `deliver_at >= limit` stay in flight. Each pop re-checks the bound,
+    /// so a crash-discarded front never makes the loop overshoot past the
+    /// cutoff into later traffic.
+    fn step_limited(&mut self, before_ns: Option<u64>) -> Option<Delivery> {
         loop {
+            if let Some(limit) = before_ns {
+                match self.queue.peek() {
+                    Some(Reverse(m)) if m.deliver_at < limit => {}
+                    _ => return None,
+                }
+            }
             let Reverse(mut m) = self.queue.pop()?;
             self.now_ns = self.now_ns.max(m.deliver_at);
             self.clock.set_ns(self.now_ns);
@@ -1021,6 +1131,14 @@ impl Network {
         self.queue.is_empty()
     }
 
+    /// The delivery time of the earliest in-flight message, if any — the
+    /// peek counterpart of [`Network::step`], so a driver can decide
+    /// whether a crash-window boundary ([`Network::next_crash_transition`])
+    /// falls due before the next delivery.
+    pub fn next_delivery_at(&self) -> Option<u64> {
+        self.queue.peek().map(|Reverse(m)| m.deliver_at)
+    }
+
     /// Drains **every** message currently in flight, bucketed by the
     /// destination's shard — the batch boundary of the wall-clock driver's
     /// fork-join rounds (see `echo::WallClockDriver`).
@@ -1047,6 +1165,33 @@ impl Network {
         assert!(shards > 0, "at least one shard required");
         let mut buckets: Vec<Vec<Delivery>> = (0..shards).map(|_| Vec::new()).collect();
         while let Some(d) = self.step() {
+            self.inboxes[d.to.0].pop_back(); // bypass inboxes, as in run()
+            buckets[shard_of(d.to)].push(d);
+        }
+        buckets
+    }
+
+    /// [`Network::drain_ready_sharded`] bounded by a time cutoff: drains
+    /// only messages with `deliver_at < before_ns`, leaving later traffic
+    /// in flight. The batch boundary a crash-aware driver needs — a round
+    /// must not straddle a crash-window boundary, or deliveries after a
+    /// restart would be handled with pre-restart state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `shard_of` returns an index `>= shards`.
+    pub fn drain_ready_sharded_before<F>(
+        &mut self,
+        shards: usize,
+        before_ns: u64,
+        shard_of: F,
+    ) -> Vec<Vec<Delivery>>
+    where
+        F: Fn(NodeId) -> usize,
+    {
+        assert!(shards > 0, "at least one shard required");
+        let mut buckets: Vec<Vec<Delivery>> = (0..shards).map(|_| Vec::new()).collect();
+        while let Some(d) = self.step_limited(Some(before_ns)) {
             self.inboxes[d.to.0].pop_back(); // bypass inboxes, as in run()
             buckets[shard_of(d.to)].push(d);
         }
@@ -1152,6 +1297,44 @@ mod tests {
         // A full idle window later the rates decay to nothing.
         net.advance_ns(20_000_000);
         assert_eq!(net.link_bandwidth(a, b).unwrap().bytes_per_sec, 0);
+    }
+
+    #[test]
+    fn crash_transitions_are_handed_out_once_in_boundary_order() {
+        let (mut net, a, b) = pair(LinkParams::ideal());
+        net.set_crash_windows(a, &[(10, 20), (20, 30)]);
+        net.set_crash_windows(b, &[(15, 25)]);
+        assert_eq!(net.next_crash_transition(), Some(10));
+        // Nothing is due before the first boundary.
+        assert!(net.take_crash_transitions(9).is_empty());
+        let first = net.take_crash_transitions(20);
+        assert_eq!(
+            first,
+            vec![
+                CrashTransition { node: a, at_ns: 10, up: false },
+                CrashTransition { node: b, at_ns: 15, up: false },
+                // Restart sorts before crash at the shared boundary, so
+                // back-to-back windows read as one continuous outage.
+                CrashTransition { node: a, at_ns: 20, up: true },
+                CrashTransition { node: a, at_ns: 20, up: false },
+            ]
+        );
+        // Already-taken boundaries never reappear.
+        assert!(net.take_crash_transitions(20).is_empty());
+        assert_eq!(net.next_crash_transition(), Some(25));
+        let rest = net.take_crash_transitions(u64::MAX);
+        assert_eq!(
+            rest,
+            vec![
+                CrashTransition { node: b, at_ns: 25, up: true },
+                CrashTransition { node: a, at_ns: 30, up: true },
+            ]
+        );
+        assert_eq!(net.next_crash_transition(), None);
+        // Re-scheduling after time advanced marks past boundaries taken.
+        net.advance_ns(100);
+        net.set_crash_windows(b, &[(40, 50), (200, 210)]);
+        assert_eq!(net.next_crash_transition(), Some(200));
     }
 
     #[test]

@@ -37,16 +37,17 @@ for s in ${CHAOS_SEEDS:-1 7 42}; do
 done
 
 echo "==> examples (offline smoke runs; each asserts its own output)"
-for ex in quickstart stats_dump echo_evolution trace_dump failover qos_telemetry self_telemetry; do
+for ex in quickstart stats_dump echo_evolution trace_dump failover qos_telemetry self_telemetry vm_dump; do
     echo "    cargo run --release --example $ex"
     cargo run -q --release --example "$ex" >/dev/null
 done
 
-echo "==> staged-vs-fused bench (smoke mode; writes BENCH_5.json)"
-# Fails if the fused warm path is slower than the staged oracle — the
-# fusion regression gate runs offline, without the criterion harness.
+echo "==> warm-engine bench (smoke mode; writes BENCH_9.json)"
+# Fails if the fused warm path is slower than the staged oracle, or if
+# the register engine is below 2x over the fused stack engine — both
+# gates run offline, without the criterion harness.
 cargo run -q --release --example fused_bench >/dev/null
-cat BENCH_5.json
+cat BENCH_9.json
 
 echo "==> fan-out scaling bench (writes BENCH_6.json)"
 # The example measures 1/2/4/8-shard throughput under the wall-clock
@@ -66,7 +67,7 @@ echo "==> crash-recovery smoke + journaling overhead bench (writes BENCH_8.json)
 # Part 1 replays a deterministic crash-restart conversation (both roles
 # die and come back; exactly-once must hold). Part 2 runs the Reliable
 # fan-out workload journaled vs bare and exits non-zero if the journaled
-# system falls below 0.90x bare throughput.
+# system falls below 0.85x bare throughput.
 cargo run -q --release --example crash_recovery >/dev/null
 cat BENCH_8.json
 

@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Experiments: `fig8`, `fig9`, `fig10`, `table1`, `fig_b2b`, `latency`,
-//! `stats`, `trace`.
+//! `stats`, `trace`, `vm`.
 
 use std::time::Duration;
 
@@ -355,6 +355,61 @@ fn trace() {
     println!("  (the full distributed version of this view: cargo run --example trace_dump)");
 }
 
+/// The lowered register programs behind the warm fused path: per-step
+/// listings plus the composed single-pass program (`report -- vm`).
+fn vm() {
+    header(
+        "Register VM — lowered programs for a morph chain (report -- vm)",
+        "§3.2 dynamic code generation, reproduced as a register ISA with superinstructions",
+    );
+    let samples = |b: pbio::FormatBuilder| {
+        b.int("n").var_array_basic("vals", pbio::BasicType::Int(pbio::Width::W8), "n")
+    };
+    let wide = samples(pbio::FormatBuilder::record("Telemetry"))
+        .long("a")
+        .long("b")
+        .build_arc()
+        .expect("well-formed format");
+    let narrow =
+        samples(pbio::FormatBuilder::record("Telemetry")).long("a").build_arc().expect("well-formed format");
+    let copy = "int i; old.n = new.n; for (i = 0; i < new.n; i++) old.vals[i] = new.vals[i];";
+    let chain = [
+        morph::Transformation::new(
+            std::sync::Arc::clone(&wide),
+            std::sync::Arc::clone(&narrow),
+            format!("{copy} old.a = new.a + new.b;"),
+        ),
+        morph::Transformation::new(narrow, wide, format!("{copy} old.a = new.a; old.b = 0;")),
+    ];
+    let compiled = morph::CompiledChain::compile(&chain).expect("chain compiles");
+
+    for (i, step) in compiled.steps().iter().enumerate() {
+        let prog = step.program();
+        println!(
+            "\n-- step {} : {} -> {} --------------------------------------",
+            i + 1,
+            step.from_format().name(),
+            step.to_format().name()
+        );
+        println!(
+            "   stack ISA: {} insns; register ISA: {} insns",
+            prog.code().len(),
+            prog.rcode().len()
+        );
+        print!("{}", ecode::dump::register(prog.rcode()));
+    }
+
+    let fused = compiled.fuse().expect("chain fuses");
+    println!("\n-- fused: one register-VM pass over the whole chain ------------");
+    println!(
+        "   stack ISA: {} insns; register ISA: {} insns (per-step Ret becomes a jump to the next step)",
+        fused.code().len(),
+        fused.rcode().len()
+    );
+    print!("{}", ecode::dump::register(fused.rcode()));
+    println!("\n  (stack-ISA oracle listing: ecode::dump::stack; see also: cargo run --example vm_dump)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -389,5 +444,8 @@ fn main() {
     }
     if want("trace") {
         trace();
+    }
+    if want("vm") {
+        vm();
     }
 }

@@ -26,8 +26,9 @@
 
 use pbio::format_id;
 
-use crate::bytecode::{CSeg, Code, FnCode, Insn};
+use crate::bytecode::{map_registers, CSeg, Code, FnCode, Insn, RCode, RFnCode, RInsn};
 use crate::error::{EcodeError, Result};
+use crate::rvm::{self, RunStats};
 use crate::tast::Binding;
 use crate::vm;
 use crate::EcodeProgram;
@@ -39,9 +40,18 @@ use pbio::Value;
 /// against `m + 1` roots (incoming message first, then one default record
 /// per step's target format, in chain order). On return, the last root holds
 /// the final morphed value.
+///
+/// Composition produces *both* ISAs: the stack stream (the oracle,
+/// [`FusedProgram::run`]) and the register stream
+/// ([`FusedProgram::run_register`], the production engine). The register
+/// rewrite follows the same offset rules, with two differences: main-body
+/// *registers* rebase by the sum of preceding steps' main frames (function
+/// frames are window-relative and need no shift), and the step trailer is a
+/// bare `SyncRoot` — a register return value needs no `Pop`.
 #[derive(Debug, Clone)]
 pub struct FusedProgram {
     code: Code,
+    rcode: RCode,
     bindings: Vec<Binding>,
 }
 
@@ -145,7 +155,107 @@ impl FusedProgram {
 
         let code =
             Code { insns, strings, n_locals: local_base as usize, n_roots: bindings.len(), funcs };
-        Ok(FusedProgram { code, bindings })
+        let rcode = Self::compose_register(steps, bindings.len());
+        Ok(FusedProgram { code, rcode, bindings })
+    }
+
+    /// Builds the fused register stream. Same step layout as the stack
+    /// compose (already validated): body, then a `SyncRoot(i + 1)` trailer
+    /// each step falls through (or jumps, on a main-body return) into.
+    fn compose_register(steps: &[&EcodeProgram], n_roots: usize) -> RCode {
+        let mut insns: Vec<RInsn> = Vec::new();
+        let mut strings: Vec<String> = Vec::new();
+        let mut funcs: Vec<RFnCode> = Vec::new();
+        let mut reg_base: u32 = 0;
+        let last = steps.len() - 1;
+
+        for (i, p) in steps.iter().enumerate() {
+            let rc = p.rcode();
+            let off = insns.len() as u32;
+            let string_base = strings.len() as u32;
+            let func_base = funcs.len() as u32;
+            let main_end =
+                rc.funcs.iter().map(|f| f.entry as usize).min().unwrap_or(rc.insns.len());
+            // The trailer sits right after the step's body; main-body
+            // returns jump to it (any return value simply stays in its
+            // register — no stack to unwind).
+            let tail = off + rc.insns.len() as u32;
+
+            for (pc, insn) in rc.insns.iter().enumerate() {
+                let in_main = pc < main_end;
+                let shifted = match insn {
+                    RInsn::Jmp(t) => RInsn::Jmp(t + off),
+                    RInsn::Jz { cond, target } => RInsn::Jz { cond: *cond, target: target + off },
+                    RInsn::Jnz { cond, target } => RInsn::Jnz { cond: *cond, target: target + off },
+                    RInsn::ConstS { dst, s } => RInsn::ConstS { dst: *dst, s: s + string_base },
+                    RInsn::CallFn { f, dst, args } => {
+                        RInsn::CallFn { f: f + func_base, dst: *dst, args: args.clone() }
+                    }
+                    RInsn::Load { dst, root, segs, idx } => RInsn::Load {
+                        dst: *dst,
+                        root: root + i as u8,
+                        segs: segs.clone(),
+                        idx: idx.clone(),
+                    },
+                    RInsn::Store { src, root, segs, idx } => RInsn::Store {
+                        src: *src,
+                        root: root + i as u8,
+                        segs: segs.clone(),
+                        idx: idx.clone(),
+                    },
+                    RInsn::LenOf { dst, root, segs, idx } => RInsn::LenOf {
+                        dst: *dst,
+                        root: root + i as u8,
+                        segs: segs.clone(),
+                        idx: idx.clone(),
+                    },
+                    RInsn::CopyPath {
+                        src_root,
+                        src_segs,
+                        src_idx,
+                        dst_root,
+                        dst_segs,
+                        dst_idx,
+                        conv,
+                    } => RInsn::CopyPath {
+                        src_root: src_root + i as u8,
+                        src_segs: src_segs.clone(),
+                        src_idx: src_idx.clone(),
+                        dst_root: dst_root + i as u8,
+                        dst_segs: dst_segs.clone(),
+                        dst_idx: dst_idx.clone(),
+                        conv: *conv,
+                    },
+                    RInsn::BatchCopy { counter, limit, src_root, src_segs, dst_root, dst_segs } => {
+                        RInsn::BatchCopy {
+                            counter: *counter,
+                            limit: *limit,
+                            src_root: src_root + i as u8,
+                            src_segs: src_segs.clone(),
+                            dst_root: dst_root + i as u8,
+                            dst_segs: dst_segs.clone(),
+                        }
+                    }
+                    RInsn::Ret { .. } if in_main => RInsn::Jmp(tail),
+                    other => other.clone(),
+                };
+                insns.push(if in_main {
+                    map_registers(&shifted, |r| r + reg_base)
+                } else {
+                    shifted
+                });
+            }
+            insns.push(RInsn::SyncRoot((i + 1) as u8));
+            if i == last {
+                insns.push(RInsn::Ret { src: None });
+            }
+
+            strings.extend(rc.strings.iter().cloned());
+            funcs.extend(rc.funcs.iter().map(|f| RFnCode { entry: f.entry + off, ..*f }));
+            reg_base += rc.n_regs as u32;
+        }
+
+        RCode { insns, strings, n_regs: reg_base as usize, n_roots, funcs }
     }
 
     /// Executes the fused chain. `roots` must hold the incoming message
@@ -170,9 +280,36 @@ impl FusedProgram {
         Ok(())
     }
 
+    /// Executes the fused chain on the register VM — one register-VM pass
+    /// wire-roots → final `Value`. Returns batch-superinstruction
+    /// statistics. Differentially tested against [`FusedProgram::run`].
+    ///
+    /// # Errors
+    ///
+    /// As [`FusedProgram::run`].
+    pub fn run_register(&self, roots: &mut [Value]) -> Result<RunStats> {
+        let (_, stats) = rvm::run(&self.rcode, &self.bindings, roots)?;
+        Ok(stats)
+    }
+
+    /// [`FusedProgram::run_register`] with an instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`FusedProgram::run_register`], plus fuel exhaustion.
+    pub fn run_register_with_fuel(&self, roots: &mut [Value], fuel: u64) -> Result<RunStats> {
+        let (_, stats) = rvm::run_with_fuel(&self.rcode, &self.bindings, roots, fuel)?;
+        Ok(stats)
+    }
+
     /// The fused bytecode (inspection/metrics).
     pub fn code(&self) -> &Code {
         &self.code
+    }
+
+    /// The fused register bytecode (inspection/metrics).
+    pub fn rcode(&self) -> &RCode {
+        &self.rcode
     }
 
     /// The fused root bindings: incoming message, then one per step.
@@ -250,13 +387,19 @@ mod tests {
         v
     }
 
+    /// Runs the fused chain on both engines, asserting the register VM
+    /// matches the stack VM on every intermediate root, then returns the
+    /// final value.
     fn fused(steps: &[&EcodeProgram], input: &Value) -> Value {
         let fp = FusedProgram::compose(steps).unwrap();
         let mut roots = vec![input.clone()];
         for p in steps {
             roots.push(Value::default_record(&p.bindings()[1].format));
         }
+        let mut reg_roots = roots.clone();
         fp.run(&mut roots).unwrap();
+        fp.run_register(&mut reg_roots).unwrap();
+        assert_eq!(roots, reg_roots, "fused stack/register divergence");
         roots.pop().unwrap()
     }
 
@@ -375,6 +518,42 @@ mod tests {
         let fp = FusedProgram::compose(&[&s1]).unwrap();
         let mut roots = vec![Value::Record(vec![Value::Int(1)]), Value::default_record(&b)];
         assert!(fp.run_with_fuel(&mut roots, 1_000).is_err());
+        let mut roots = vec![Value::Record(vec![Value::Int(1)]), Value::default_record(&b)];
+        assert!(fp.run_register_with_fuel(&mut roots, 1_000).is_err());
+    }
+
+    #[test]
+    fn fused_register_stream_keeps_batch_superinstructions() {
+        let elem = pbio::BasicType::Int(pbio::Width::W8);
+        let a = FormatBuilder::record("M")
+            .int("n")
+            .var_array_basic("vals", elem.clone(), "n")
+            .build_arc()
+            .unwrap();
+        let b = FormatBuilder::record("M")
+            .int("n")
+            .var_array_basic("vals", elem, "n")
+            .build_arc()
+            .unwrap();
+        let body = "int i; old.n = new.n; for (i = 0; i < new.n; i++) old.vals[i] = new.vals[i];";
+        let s1 = step(&a, &b, body);
+        let s2 = step(&b, &a, body);
+        let input = Value::Record(vec![
+            Value::Int(3),
+            Value::Array(vec![Value::Int(4), Value::Int(5), Value::Int(6)]),
+        ]);
+        let fp = FusedProgram::compose(&[&s1, &s2]).unwrap();
+        let mut roots = vec![input, Value::default_record(&b), Value::default_record(&a)];
+        let stats = fp.run_register(&mut roots).unwrap();
+        assert_eq!(stats.batch_copies, 2, "one BatchCopy per step");
+        assert_eq!(stats.batch_elems, 6);
+        assert_eq!(
+            roots[2],
+            Value::Record(vec![
+                Value::Int(3),
+                Value::Array(vec![Value::Int(4), Value::Int(5), Value::Int(6)])
+            ])
+        );
     }
 
     #[test]

@@ -44,12 +44,15 @@
 pub mod ast;
 mod bytecode;
 mod compile;
+pub mod dump;
 mod error;
 mod fold;
 mod fuse;
 mod interp;
 mod lexer;
+mod lower;
 mod parser;
+mod rvm;
 mod tast;
 mod typeck;
 mod vm;
@@ -58,11 +61,12 @@ use std::sync::Arc;
 
 use pbio::{RecordFormat, Value};
 
-pub use bytecode::{Code, Insn};
+pub use bytecode::{Code, Insn, RCode, RInsn, ScalarConv};
 pub use error::{EcodeError, Pos, Result};
 pub use fuse::{root_used_fields, FusedProgram};
 pub use lexer::{lex, Spanned, Tok};
 pub use parser::parse;
+pub use rvm::RunStats;
 pub use tast::{Binding, TProgram, Ty};
 
 /// Compiler for Ecode programs: binds root records, then compiles source.
@@ -111,7 +115,8 @@ impl EcodeCompiler {
         let mut typed = typeck::check(&ast, self.bindings.clone())?;
         fold::fold_program(&mut typed);
         let code = compile::compile(&typed);
-        Ok(EcodeProgram { typed, code })
+        let rcode = lower::lower(&typed);
+        Ok(EcodeProgram { typed, code, rcode })
     }
 
     /// Compiles without the constant-folding pass (the `ablate`-style
@@ -124,16 +129,19 @@ impl EcodeCompiler {
         let ast = parser::parse(src)?;
         let typed = typeck::check(&ast, self.bindings.clone())?;
         let code = compile::compile(&typed);
-        Ok(EcodeProgram { typed, code })
+        let rcode = lower::lower(&typed);
+        Ok(EcodeProgram { typed, code, rcode })
     }
 }
 
-/// A compiled Ecode program, executable by the bytecode VM (production
-/// path) or the reference interpreter (baseline/oracle).
+/// A compiled Ecode program, executable by the register VM (production
+/// path), the stack VM (the semantic oracle), or the reference
+/// interpreter (no-codegen baseline).
 #[derive(Debug, Clone)]
 pub struct EcodeProgram {
     typed: TProgram,
     code: Code,
+    rcode: RCode,
 }
 
 impl EcodeProgram {
@@ -177,9 +185,41 @@ impl EcodeProgram {
         interp::run_with_fuel(&self.typed, roots, fuel)
     }
 
+    /// Executes on the register VM — the fast production engine. Returns
+    /// the program's `return` value plus batch-superinstruction statistics.
+    /// Semantically identical to [`EcodeProgram::run`] (the stack VM is the
+    /// oracle; the register VM is differential-tested against it).
+    ///
+    /// # Errors
+    ///
+    /// As [`EcodeProgram::run`].
+    pub fn run_register(&self, roots: &mut [Value]) -> Result<(Option<Value>, RunStats)> {
+        rvm::run(&self.rcode, &self.typed.bindings, roots)
+    }
+
+    /// Executes on the register VM with an instruction budget (`BatchCopy`
+    /// charges per element moved, keeping budgets comparable across
+    /// engines).
+    ///
+    /// # Errors
+    ///
+    /// As [`EcodeProgram::run_register`], plus fuel exhaustion.
+    pub fn run_register_with_fuel(
+        &self,
+        roots: &mut [Value],
+        fuel: u64,
+    ) -> Result<(Option<Value>, RunStats)> {
+        rvm::run_with_fuel(&self.rcode, &self.typed.bindings, roots, fuel)
+    }
+
     /// The compiled bytecode (inspection/metrics).
     pub fn code(&self) -> &Code {
         &self.code
+    }
+
+    /// The lowered register bytecode (inspection/metrics).
+    pub fn rcode(&self) -> &RCode {
+        &self.rcode
     }
 
     /// The root bindings, in execution order.
@@ -197,9 +237,9 @@ mod tests {
         FormatBuilder::record("S").int("i").double("d").string("s").char("c").build_arc().unwrap()
     }
 
-    /// Runs `src` with a single writable root of `scalar_fmt`, on both the
-    /// VM and the interpreter, asserting agreement; returns the final root
-    /// and the return value.
+    /// Runs `src` with a single writable root of `scalar_fmt`, on the stack
+    /// VM, the register VM, and the interpreter, asserting three-way
+    /// agreement; returns the final root and the return value.
     fn run_both(src: &str) -> (Value, Option<Value>) {
         let fmt = scalar_fmt();
         let prog = EcodeCompiler::new()
@@ -212,6 +252,10 @@ mod tests {
         let ret_it = prog.run_interp(&mut roots_it).unwrap();
         assert_eq!(roots_vm, roots_it, "vm/interp root divergence for {src}");
         assert_eq!(ret_vm, ret_it, "vm/interp return divergence for {src}");
+        let mut roots_rv = vec![Value::default_record(&fmt)];
+        let (ret_rv, _) = prog.run_register(&mut roots_rv).unwrap();
+        assert_eq!(roots_vm, roots_rv, "stack/register root divergence for {src}");
+        assert_eq!(ret_vm, ret_rv, "stack/register return divergence for {src}");
         (roots_vm.pop().expect("one root"), ret_vm)
     }
 
@@ -446,12 +490,18 @@ mod tests {
             ]),
         ]);
 
-        for engine in ["vm", "interp"] {
+        for engine in ["vm", "interp", "register"] {
             let mut roots = vec![input.clone(), Value::default_record(&v1)];
-            if engine == "vm" {
-                prog.run(&mut roots).unwrap();
-            } else {
-                prog.run_interp(&mut roots).unwrap();
+            match engine {
+                "vm" => {
+                    prog.run(&mut roots).unwrap();
+                }
+                "register" => {
+                    prog.run_register(&mut roots).unwrap();
+                }
+                _ => {
+                    prog.run_interp(&mut roots).unwrap();
+                }
             }
             let old = &roots[1];
             assert_eq!(old.field(&v1, "member_count"), Some(&Value::Int(3)), "{engine}");
@@ -646,5 +696,79 @@ mod tests {
         prog.run(&mut roots).unwrap();
         let best = roots[0].field(&fmt, "best").unwrap().as_array().unwrap();
         assert_eq!(best[0], Value::Record(vec![Value::str("b"), Value::Int(2)]));
+    }
+
+    fn array_pair() -> (Arc<RecordFormat>, Arc<RecordFormat>) {
+        let f = FormatBuilder::record("A")
+            .int("n")
+            .var_array_basic("vals", pbio::BasicType::Int(pbio::Width::W8), "n")
+            .build_arc()
+            .unwrap();
+        (f.clone(), f)
+    }
+
+    #[test]
+    fn batch_copy_superinstruction_matches_scalar_loop() {
+        let (src_f, dst_f) = array_pair();
+        let code = "int i; old.n = new.n; for (i = 0; i < new.n; i++) old.vals[i] = new.vals[i];";
+        let prog = EcodeCompiler::new()
+            .bind_input("new", &src_f)
+            .bind_output("old", &dst_f)
+            .compile(code)
+            .unwrap();
+        let input = Value::Record(vec![
+            Value::Int(4),
+            Value::Array((0..4).map(|k| Value::Int(k * 11)).collect()),
+        ]);
+        let mut stack_roots = vec![input.clone(), Value::default_record(&dst_f)];
+        prog.run(&mut stack_roots).unwrap();
+        let mut reg_roots = vec![input, Value::default_record(&dst_f)];
+        let (_, stats) = prog.run_register(&mut reg_roots).unwrap();
+        assert_eq!(stack_roots, reg_roots);
+        assert_eq!(stats.batch_copies, 1, "loop should lower to one BatchCopy");
+        assert_eq!(stats.batch_elems, 4);
+        assert!(dump::register(prog.rcode()).contains("BatchCopy"));
+    }
+
+    #[test]
+    fn batch_copy_short_source_errors_like_scalar_loop() {
+        let (src_f, dst_f) = array_pair();
+        let code = "int i; for (i = 0; i < new.n; i++) old.vals[i] = new.vals[i];";
+        let prog = EcodeCompiler::new()
+            .bind_input("new", &src_f)
+            .bind_output("old", &dst_f)
+            .compile(code)
+            .unwrap();
+        // Claims 5 elements, carries 2: both engines must report the same
+        // out-of-bounds read at index 2 after copying the in-range prefix.
+        let input =
+            Value::Record(vec![Value::Int(5), Value::Array(vec![Value::Int(7), Value::Int(8)])]);
+        let mut stack_roots = vec![input.clone(), Value::default_record(&dst_f)];
+        let stack_err = prog.run(&mut stack_roots).unwrap_err();
+        let mut reg_roots = vec![input, Value::default_record(&dst_f)];
+        let reg_err = prog.run_register(&mut reg_roots).unwrap_err();
+        assert_eq!(stack_err.to_string(), reg_err.to_string());
+        assert_eq!(stack_roots, reg_roots, "partial copy before the error must agree");
+    }
+
+    #[test]
+    fn register_vm_honours_fuel() {
+        let fmt = scalar_fmt();
+        let prog = EcodeCompiler::new().bind_output("r", &fmt).compile("while (1) {}").unwrap();
+        let mut roots = vec![Value::default_record(&fmt)];
+        assert!(prog.run_register_with_fuel(&mut roots, 10_000).is_err());
+    }
+
+    #[test]
+    fn register_vm_runtime_errors_match_stack_vm() {
+        let fmt = scalar_fmt();
+        for src in ["return 1 / 0;", "return 1 % 0;", "return r.s + itoa(1 / 0);"] {
+            let prog = EcodeCompiler::new().bind_output("r", &fmt).compile(src).unwrap();
+            let mut a = vec![Value::default_record(&fmt)];
+            let ea = prog.run(&mut a).unwrap_err();
+            let mut b = vec![Value::default_record(&fmt)];
+            let eb = prog.run_register(&mut b).unwrap_err();
+            assert_eq!(ea.to_string(), eb.to_string(), "error divergence for {src}");
+        }
     }
 }

@@ -21,7 +21,7 @@ struct Frame {
     prev_base: usize,
 }
 
-fn rt_err(msg: impl Into<String>) -> EcodeError {
+pub(crate) fn rt_err(msg: impl Into<String>) -> EcodeError {
     EcodeError::runtime(msg)
 }
 
@@ -61,7 +61,7 @@ fn pop_char(stack: &mut Vec<Value>) -> Result<u8> {
     }
 }
 
-fn icmp(op: CmpOp, a: i64, b: i64) -> i64 {
+pub(crate) fn icmp(op: CmpOp, a: i64, b: i64) -> i64 {
     let r = match op {
         CmpOp::Eq => a == b,
         CmpOp::Ne => a != b,
@@ -73,7 +73,7 @@ fn icmp(op: CmpOp, a: i64, b: i64) -> i64 {
     i64::from(r)
 }
 
-fn fcmp(op: CmpOp, a: f64, b: f64) -> i64 {
+pub(crate) fn fcmp(op: CmpOp, a: f64, b: f64) -> i64 {
     let r = match op {
         CmpOp::Eq => a == b,
         CmpOp::Ne => a != b,
@@ -85,7 +85,7 @@ fn fcmp(op: CmpOp, a: f64, b: f64) -> i64 {
     i64::from(r)
 }
 
-fn scmp(op: CmpOp, a: &str, b: &str) -> i64 {
+pub(crate) fn scmp(op: CmpOp, a: &str, b: &str) -> i64 {
     let r = match op {
         CmpOp::Eq => a == b,
         CmpOp::Ne => a != b,
@@ -97,7 +97,7 @@ fn scmp(op: CmpOp, a: &str, b: &str) -> i64 {
     i64::from(r)
 }
 
-fn iarith(op: ArithOp, a: i64, b: i64) -> Result<i64> {
+pub(crate) fn iarith(op: ArithOp, a: i64, b: i64) -> Result<i64> {
     match op {
         ArithOp::Add => Ok(a.wrapping_add(b)),
         ArithOp::Sub => Ok(a.wrapping_sub(b)),
@@ -119,7 +119,7 @@ fn iarith(op: ArithOp, a: i64, b: i64) -> Result<i64> {
     }
 }
 
-fn farith(op: ArithOp, a: f64, b: f64) -> f64 {
+pub(crate) fn farith(op: ArithOp, a: f64, b: f64) -> f64 {
     match op {
         ArithOp::Add => a + b,
         ArithOp::Sub => a - b,
@@ -158,7 +158,12 @@ fn gather_indices(stack: &mut Vec<Value>, k: usize, scratch: &mut Vec<usize>) ->
 }
 
 /// Navigates a fused path for reading; returns a reference to the value.
-fn nav<'v>(roots: &'v [Value], root: u8, segs: &[CSeg], idx: &[usize]) -> Result<&'v Value> {
+pub(crate) fn nav<'v>(
+    roots: &'v [Value],
+    root: u8,
+    segs: &[CSeg],
+    idx: &[usize],
+) -> Result<&'v Value> {
     let mut cur: &Value =
         roots.get(root as usize).ok_or_else(|| rt_err(format!("no root #{root}")))?;
     let mut it = idx.iter();
@@ -184,14 +189,14 @@ fn nav<'v>(roots: &'v [Value], root: u8, segs: &[CSeg], idx: &[usize]) -> Result
     Ok(cur)
 }
 
-enum TyRef<'f> {
+pub(crate) enum TyRef<'f> {
     Rec(&'f RecordFormat),
     Ty(&'f FieldType),
 }
 
 /// Navigates a fused path for writing, auto-extending arrays with
 /// format-appropriate default elements, and stores `value` at the end.
-fn write_path(
+pub(crate) fn write_path(
     roots: &mut [Value],
     bindings: &[Binding],
     root: u8,
@@ -493,7 +498,7 @@ pub(crate) fn atof(s: &str) -> f64 {
     }
 }
 
-fn call_builtin(b: Builtin, argc: u8, stack: &mut Vec<Value>) -> Result<()> {
+pub(crate) fn call_builtin(b: Builtin, argc: u8, stack: &mut Vec<Value>) -> Result<()> {
     match (b, argc) {
         (Builtin::Strlen, 1) => {
             let s = pop_str(stack)?;

@@ -34,6 +34,12 @@ impl<'a> Cursor<'a> {
         self.pos == self.buf.len()
     }
 
+    /// Bytes left to read — used by the plan executor to bounds-check a
+    /// whole fixed-stride array with a single comparison.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
             return Err(PbioError::UnexpectedEof);

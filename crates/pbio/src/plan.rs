@@ -57,9 +57,20 @@ impl WireScalar {
 
 #[derive(Debug, Clone)]
 enum ElemPlan {
-    Basic { read: WireScalar, cast: Cast },
+    Basic {
+        read: WireScalar,
+        cast: Cast,
+    },
     Record(RecordPlan),
-    Array { elem: Box<ElemPlan>, len: LenPlan },
+    Array {
+        elem: Box<ElemPlan>,
+        len: LenPlan,
+        /// Fixed wire stride of one element, when every element occupies the
+        /// same number of payload bytes ([`FieldType::wire_stride`]). Lets
+        /// execution bounds-check the whole range once and reserve the exact
+        /// element count instead of a defensive cap.
+        stride: Option<usize>,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -341,6 +352,7 @@ fn compile_elem(wire_ty: &FieldType, native_ty: Option<&FieldType>) -> Result<El
                     ArrayLen::Fixed(n) => LenPlan::Fixed(*n),
                     ArrayLen::LengthField(_) => LenPlan::WireField(0), // patched by caller
                 },
+                stride: elem.wire_stride(),
             })
         }
         (FieldType::Record(_), Some(_)) => unreachable!("types_match checked record-vs-record"),
@@ -451,13 +463,24 @@ fn exec_elem(
             let v = exec_record(rp, c)?;
             Ok(if build { Some(v) } else { None })
         }
-        ElemPlan::Array { elem, len } => {
+        ElemPlan::Array { elem, len, stride } => {
             let n = match len {
                 LenPlan::Fixed(n) => *n,
                 LenPlan::WireField(i) => counts[*i] as usize,
             };
+            // Fixed-stride ranges are bounds-checked as a block: one
+            // comparison proves every element read is in-bounds, which also
+            // justifies reserving the exact count (a hostile length field
+            // fails here instead of over-allocating).
+            if let Some(s) = stride {
+                match n.checked_mul(*s) {
+                    Some(need) if need <= c.remaining() => {}
+                    _ => return Err(PbioError::UnexpectedEof),
+                }
+            }
             if build {
-                let mut es = Vec::with_capacity(n.min(1 << 16));
+                let cap = if stride.is_some() { n } else { n.min(1 << 16) };
+                let mut es = Vec::with_capacity(cap);
                 for _ in 0..n {
                     es.push(
                         exec_elem(elem, c, counts, true)?
@@ -719,6 +742,32 @@ mod tests {
         assert_eq!(ident.execute(&wire).unwrap(), v);
         // Mask arity is validated.
         assert!(ConversionPlan::project(&fmt, &[true; 3]).is_err());
+    }
+
+    #[test]
+    fn fixed_stride_array_bounds_checks_as_a_block() {
+        // `vals` is a fixed-stride (8-byte) array: a hostile count that
+        // exceeds the remaining payload must fail up front (one comparison),
+        // not after allocating element-by-element.
+        let fmt = FormatBuilder::record("R")
+            .int("n")
+            .var_array_basic("vals", crate::types::BasicType::Int(crate::types::Width::W8), "n")
+            .build_arc()
+            .unwrap();
+        let good = Value::Record(vec![
+            Value::Int(3),
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+        ]);
+        let wire = Encoder::new(&fmt).encode(&good).unwrap();
+        let plan = ConversionPlan::identity(&fmt).unwrap();
+        assert_eq!(plan.execute(&wire).unwrap(), good);
+
+        // Corrupt the count (first payload int, little-endian) to a huge
+        // value: the block bounds check rejects it as truncation.
+        let mut bad = wire.clone();
+        let payload = crate::encode::HEADER_LEN;
+        bad[payload..payload + 4].copy_from_slice(&0x7fff_ffffu32.to_le_bytes());
+        assert!(matches!(plan.execute(&bad), Err(PbioError::UnexpectedEof)));
     }
 
     #[test]

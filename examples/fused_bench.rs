@@ -1,18 +1,26 @@
-//! Staged-vs-fused warm-path benchmark, in offline smoke mode.
+//! Warm-path engine benchmark: staged vs fused-stack vs fused-register.
 //!
-//! Builds the fusion acceptance workload — a string-heavy wide source
-//! format morphed through a 3-step retro-transformation chain down to a
-//! narrow reader — and times the warm path both ways on the same
-//! receiver code: staged (full decode, one VM invocation per chain step,
-//! an intermediate Value tree between steps) versus fused (projected
-//! decode that skips unread fields, one composed VM program, no
-//! intermediates). Also verifies the zero-copy message path: one
-//! [`WireBytes`] buffer is allocated when a frame is encoded, and every
-//! hop after that — fan-out, retry, the simulated wire — shares it.
+//! Builds the register-VM acceptance workload — a wide source format
+//! carrying a 96-element telemetry array plus unread string padding,
+//! morphed through a 3-step retro-transformation chain (each step copies
+//! the array with the canonical per-element loop) down to a narrow
+//! reader — and times the warm path three ways on the same receiver code:
 //!
-//! Writes the measurements to `BENCH_5.json` and exits non-zero if the
-//! fused warm path is slower than the staged one, so CI catches a fusion
-//! regression without a registry-dependent bench harness.
+//! * **staged** — full decode, one stack-VM invocation per chain step,
+//!   an intermediate `Value` tree between steps;
+//! * **fused stack** — projected decode, one composed stack-VM program
+//!   (the semantic oracle);
+//! * **fused register** — the same composed chain lowered to the register
+//!   ISA, where each step's copy loop runs as a single `BatchCopy`
+//!   superinstruction (one bounds check + range clone per step).
+//!
+//! Also verifies the zero-copy message path: one [`WireBytes`] buffer is
+//! allocated when a frame is encoded, and every hop after that shares it.
+//!
+//! Writes the measurements to `BENCH_9.json` and exits non-zero unless
+//! the register engine is at least 2x the fused stack engine on this
+//! workload (the ISSUE 10 acceptance bar) and fusion itself is not a
+//! regression over staged.
 //!
 //! Run with: `cargo run --release --example fused_bench`
 
@@ -20,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use message_morphing::prelude::*;
-use pbio::WireBytes;
+use pbio::{BasicType, Width, WireBytes};
 use simnet::{LinkParams, Network};
 
 /// Warm iterations per timed pass (the smoke-mode budget: large enough to
@@ -32,43 +40,71 @@ const WARM_ITERS: u32 = 2_000;
 const PASSES: usize = 5;
 
 /// How many string fields pad the wide source format. The narrow reader
-/// never touches them, so the fused path's projected decode skips their
+/// never touches them, so the fused paths' projected decode skips their
 /// allocation entirely while the staged path materializes every one.
 const PAD_STRINGS: usize = 64;
+
+/// Telemetry samples carried by every message. Each chain step copies the
+/// whole array, so the stack engine pays ~a dozen dispatches per element
+/// per step while the register engine runs one `BatchCopy` per step.
+const SAMPLES: i64 = 96;
+
+fn samples_field(b: FormatBuilder) -> FormatBuilder {
+    b.int("n").var_array_basic("vals", BasicType::Int(Width::W8), "n")
+}
 
 fn wide() -> Arc<RecordFormat> {
     let mut b = FormatBuilder::record("Telemetry");
     for i in 0..PAD_STRINGS {
         b = b.string(format!("tag{i}"));
     }
-    b.long("a").long("b").long("c").build_arc().unwrap()
+    samples_field(b).long("a").long("b").long("c").build_arc().unwrap()
 }
 
 fn mid() -> Arc<RecordFormat> {
-    FormatBuilder::record("Telemetry").long("a").long("b").long("c").build_arc().unwrap()
+    samples_field(FormatBuilder::record("Telemetry"))
+        .long("a")
+        .long("b")
+        .long("c")
+        .build_arc()
+        .unwrap()
 }
 
 fn narrow() -> Arc<RecordFormat> {
-    FormatBuilder::record("Telemetry").long("a").long("b").build_arc().unwrap()
+    samples_field(FormatBuilder::record("Telemetry")).long("a").long("b").build_arc().unwrap()
 }
 
 fn reader() -> Arc<RecordFormat> {
-    FormatBuilder::record("Telemetry").long("a").build_arc().unwrap()
+    samples_field(FormatBuilder::record("Telemetry")).long("a").build_arc().unwrap()
 }
+
+/// The per-element array copy every step performs — the pattern the
+/// register lowering collapses into one `BatchCopy`.
+const COPY_LOOP: &str =
+    "int i; old.n = new.n; for (i = 0; i < new.n; i++) old.vals[i] = new.vals[i];";
 
 fn chain() -> Vec<Transformation> {
     vec![
-        Transformation::new(wide(), mid(), "old.a = new.a; old.b = new.b; old.c = new.c;"),
-        Transformation::new(mid(), narrow(), "old.a = new.a + new.c; old.b = new.b;"),
-        Transformation::new(narrow(), reader(), "old.a = new.a + new.b;"),
+        Transformation::new(
+            wide(),
+            mid(),
+            format!("{COPY_LOOP} old.a = new.a; old.b = new.b; old.c = new.c;"),
+        ),
+        Transformation::new(
+            mid(),
+            narrow(),
+            format!("{COPY_LOOP} old.a = new.a + new.c; old.b = new.b;"),
+        ),
+        Transformation::new(narrow(), reader(), format!("{COPY_LOOP} old.a = new.a + new.b;")),
     ]
 }
 
-fn receiver(fusion: bool) -> (Arc<Mutex<u64>>, MorphReceiver) {
+fn receiver(fusion: bool, register_vm: bool) -> (Arc<Mutex<u64>>, MorphReceiver) {
     let delivered = Arc::new(Mutex::new(0u64));
     let n = Arc::clone(&delivered);
     let mut rx = MorphReceiver::new();
     rx.set_fusion(fusion);
+    rx.set_register_vm(register_vm);
     rx.register_handler(&reader(), move |_| *n.lock().unwrap() += 1);
     for t in chain() {
         rx.import_transformation(t);
@@ -79,6 +115,8 @@ fn receiver(fusion: bool) -> (Arc<Mutex<u64>>, MorphReceiver) {
 fn wide_message() -> Vec<u8> {
     let mut fields: Vec<Value> =
         (0..PAD_STRINGS).map(|i| Value::str(format!("pad-{i:04}"))).collect();
+    fields.push(Value::Int(SAMPLES));
+    fields.push(Value::Array((0..SAMPLES).map(|k| Value::Int(k * 7 + 1)).collect()));
     fields.extend([Value::Int(40), Value::Int(2), Value::Int(100)]);
     Encoder::new(&wide()).encode(&Value::Record(fields)).unwrap()
 }
@@ -100,31 +138,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let msg = wide_message();
 
     // -- Cold: the first message pays Algorithm 2 in full. ----------------
-    let (_, mut rx_cold) = receiver(true);
+    let (_, mut rx_cold) = receiver(true, true);
     let t = Instant::now();
     rx_cold.process(&msg)?;
     let cold_ns = t.elapsed().as_nanos() as u64;
 
-    // -- Warm, both ways: same workload, same receiver code. --------------
-    let (n_staged, mut rx_staged) = receiver(false);
-    let (n_fused, mut rx_fused) = receiver(true);
+    // -- Warm, three ways: same workload, same receiver code. -------------
+    let (n_staged, mut rx_staged) = receiver(false, true);
+    let (n_stack, mut rx_stack) = receiver(true, false);
+    let (n_register, mut rx_register) = receiver(true, true);
     rx_staged.process(&msg)?; // decide + cache
-    rx_fused.process(&msg)?;
+    rx_stack.process(&msg)?;
+    rx_register.process(&msg)?;
     let warm_staged_ns = time_warm(&mut rx_staged, &msg);
-    let warm_fused_ns = time_warm(&mut rx_fused, &msg);
-    let speedup = warm_staged_ns as f64 / warm_fused_ns.max(1) as f64;
+    let warm_stack_fused_ns = time_warm(&mut rx_stack, &msg);
+    let warm_register_ns = time_warm(&mut rx_register, &msg);
+    let fused_speedup = warm_staged_ns as f64 / warm_stack_fused_ns.max(1) as f64;
+    let register_speedup = warm_stack_fused_ns as f64 / warm_register_ns.max(1) as f64;
     let total = u64::from(WARM_ITERS) * PASSES as u64 + 1;
     assert_eq!(*n_staged.lock().unwrap(), total);
-    assert_eq!(*n_fused.lock().unwrap(), total);
-    // The fused receiver really fused: one VM invocation per warm message.
-    let snap = rx_fused.registry().snapshot();
-    assert_eq!(snap.counter("morph.fused.apply"), Some(total - 1));
+    assert_eq!(*n_stack.lock().unwrap(), total);
+    assert_eq!(*n_register.lock().unwrap(), total);
+
+    // Each engine really took the path it claims: fused applies on both
+    // fused receivers, split by engine counter; every warm register apply
+    // ran its three copy loops as batch superinstructions.
+    let warm = total - 1;
+    let snap = rx_register.registry().snapshot();
+    assert_eq!(snap.counter("morph.fused.apply"), Some(warm));
     assert_eq!(snap.counter("morph.fused.intermediates"), Some(0));
+    assert_eq!(snap.counter("morph.vm.register.apply"), Some(warm));
+    assert_eq!(snap.counter("ecode.batch.copies"), Some(3 * warm));
+    assert_eq!(snap.counter("ecode.batch.copied_elems"), Some(3 * warm * SAMPLES as u64));
+    let snap = rx_stack.registry().snapshot();
+    assert_eq!(snap.counter("morph.vm.stack.apply"), Some(warm));
+    assert_eq!(snap.counter("morph.vm.register.apply"), Some(0));
 
     // -- Bytes copied per hop: the zero-copy path, measured. --------------
-    // Before this change every queue admission and wire send cloned the
-    // frame's Vec — one full copy of the frame per hop. Now the frame is
-    // copied exactly once, at encode, into a shared WireBytes buffer.
     let frame = WireBytes::from(msg.clone());
     let bytes_before = frame.len() as u64;
     let mut net = Network::new();
@@ -140,19 +190,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bytes_after = 0u64;
 
     let json = format!(
-        "{{\n  \"workload\": \"3-step chain, {PAD_STRINGS} unread strings, narrow reader\",\n  \
+        "{{\n  \"workload\": \"3-step chain, {SAMPLES}-long array copy per step, {PAD_STRINGS} unread strings\",\n  \
          \"cold_ns\": {cold_ns},\n  \"warm_staged_ns\": {warm_staged_ns},\n  \
-         \"warm_fused_ns\": {warm_fused_ns},\n  \"warm_speedup\": {speedup:.2},\n  \
+         \"warm_stack_fused_ns\": {warm_stack_fused_ns},\n  \
+         \"warm_register_fused_ns\": {warm_register_ns},\n  \
+         \"fused_speedup_vs_staged\": {fused_speedup:.2},\n  \
+         \"register_speedup_vs_stack\": {register_speedup:.2},\n  \
          \"bytes_copied_per_hop_before\": {bytes_before},\n  \
          \"bytes_copied_per_hop_after\": {bytes_after}\n}}\n"
     );
-    std::fs::write("BENCH_5.json", &json)?;
+    std::fs::write("BENCH_9.json", &json)?;
     println!("{json}");
 
-    // The gate: fusion must never make the warm path slower.
+    // The gates: fusion must never make the warm path slower, and the
+    // register engine must clear the 2x bar over the stack engine.
     assert!(
-        warm_fused_ns <= warm_staged_ns,
-        "fused warm path ({warm_fused_ns} ns) slower than staged ({warm_staged_ns} ns)"
+        warm_stack_fused_ns <= warm_staged_ns,
+        "fused warm path ({warm_stack_fused_ns} ns) slower than staged ({warm_staged_ns} ns)"
+    );
+    assert!(
+        register_speedup >= 2.0,
+        "register engine ({warm_register_ns} ns) below 2x over stack engine \
+         ({warm_stack_fused_ns} ns): {register_speedup:.2}x"
     );
     Ok(())
 }
